@@ -1,0 +1,90 @@
+"""A3 — Ablation: how many dominance dimensions are worth it?
+
+The paper stops at two topological orderings; §3.1 notes that more
+dimensions are possible ("any nD index with n arbitrarily large").  This
+ablation sweeps FELINE-K's dimension count, measuring query time, index
+size and falsely implied pairs — quantifying the diminishing returns
+behind the authors' choice of two.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.bench.runner import ExperimentReport
+from repro.core.multidim import MultiDimFelineIndex
+from repro.datasets.queries import mixed_workload
+from repro.datasets.real_stand_ins import load_real_stand_in
+from repro.graph.transitive import count_reachable_pairs
+
+from conftest import save_report, scaled
+
+DIMENSIONS = [2, 3, 4, 6]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_real_stand_in("citeseer", scale=scaled(0.15))
+
+
+@pytest.fixture(scope="module")
+def workload(graph):
+    return mixed_workload(graph, 2000, positive_fraction=0.3, seed=0)
+
+
+@pytest.fixture(scope="module")
+def report(graph, workload):
+    reachable_pairs = count_reachable_pairs(graph)
+    rows = []
+    data = {}
+    for d in DIMENSIONS:
+        index = MultiDimFelineIndex(graph, dimensions=d).build()
+        start = time.perf_counter()
+        index.query_many(workload.pairs)
+        elapsed_ms = 1000 * (time.perf_counter() - start)
+        dominance_pairs = sum(
+            1
+            for u in range(graph.num_vertices)
+            for v in range(graph.num_vertices)
+            if u != v and index.dominates(u, v)
+        )
+        false_positives = dominance_pairs - reachable_pairs
+        rows.append([
+            d, round(elapsed_ms, 2), index.index_size_bytes(),
+            false_positives, index.stats.expanded,
+        ])
+        data[d] = {
+            "ms": elapsed_ms,
+            "bytes": index.index_size_bytes(),
+            "false_positives": false_positives,
+            "expanded": index.stats.expanded,
+        }
+    result = ExperimentReport(
+        experiment_id="A3-dimensions",
+        title="Ablation: dominance dimensions (FELINE-K)",
+        text=format_table(
+            ["dims", "2k queries (ms)", "index bytes",
+             "false positives", "expanded"],
+            rows,
+        ),
+        data=data,
+    )
+    save_report(result)
+    return result
+
+
+@pytest.mark.parametrize("d", DIMENSIONS)
+def test_query_batch(benchmark, report, graph, workload, d):
+    index = MultiDimFelineIndex(graph, dimensions=d).build()
+    benchmark(index.query_many, workload.pairs)
+
+
+def test_shape_false_positives_non_increasing(report):
+    counts = [report.data[d]["false_positives"] for d in DIMENSIONS]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_shape_index_grows_with_dimensions(report):
+    sizes = [report.data[d]["bytes"] for d in DIMENSIONS]
+    assert sizes == sorted(sizes) and sizes[0] < sizes[-1]

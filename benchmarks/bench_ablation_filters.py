@@ -1,0 +1,57 @@
+"""A1 — Ablation: the §3.4 positive-cut and level filters.
+
+Times FELINE query batches with each filter toggled, isolating how much
+of the query-time win comes from the optimizations shared with GRAIL and
+FERRARI versus FELINE's own two-dimensional pruning.
+"""
+
+import pytest
+
+from repro.bench.runner import ablation_filters
+from repro.core.query import FelineIndex
+from repro.datasets.queries import mixed_workload
+from repro.datasets.real_stand_ins import load_real_stand_in
+
+from conftest import save_report, scaled
+
+CONFIGS = {
+    "full": {},
+    "no-level": {"use_level_filter": False},
+    "no-poscut": {"use_positive_cut": False},
+    "bare": {"use_level_filter": False, "use_positive_cut": False},
+}
+
+
+@pytest.fixture(scope="module")
+def report():
+    result = ablation_filters(scale=scaled(0.2), num_queries=2000, runs=2)
+    save_report(result)
+    return result
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_real_stand_in("arxiv", scale=scaled(0.2))
+
+
+@pytest.fixture(scope="module")
+def workload(graph):
+    return mixed_workload(graph, 2000, positive_fraction=0.3, seed=0)
+
+
+@pytest.mark.parametrize("config", list(CONFIGS))
+def test_query_batch(benchmark, report, graph, workload, config):
+    index = FelineIndex(graph, **CONFIGS[config]).build()
+    benchmark(index.query_many, workload.pairs)
+
+
+def test_shape_positive_cut_short_circuits_searches(graph, workload):
+    """With the positive-cut filter on, strictly fewer DFS searches run
+    on a positive-heavy workload."""
+    full = FelineIndex(graph).build()
+    bare = FelineIndex(
+        graph, use_level_filter=False, use_positive_cut=False
+    ).build()
+    full.query_many(workload.pairs)
+    bare.query_many(workload.pairs)
+    assert full.stats.searches < bare.stats.searches

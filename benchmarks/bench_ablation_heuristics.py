@@ -1,0 +1,63 @@
+"""A1 — Ablation: the Y-ordering heuristic (DESIGN.md experiment A1).
+
+Quantifies the design choice at the heart of Algorithm 1: the ``max-x``
+Kornaropoulos root selection versus three controls.  The benchmark times a
+query batch under each heuristic; the regenerated table plus a
+false-positive count back the claim that ``max-x`` minimises falsely
+implied paths locally.
+"""
+
+import pytest
+
+from repro.bench.runner import ablation_y_heuristics
+from repro.core.analysis import count_false_positives
+from repro.core.index import build_feline_index
+from repro.core.query import FelineIndex
+from repro.datasets.queries import random_pairs
+from repro.datasets.real_stand_ins import load_real_stand_in
+from repro.graph.generators import random_dag
+
+from conftest import save_report, scaled
+
+HEURISTICS = ["max-x", "min-x", "fifo", "random"]
+
+
+@pytest.fixture(scope="module")
+def report():
+    result = ablation_y_heuristics(scale=scaled(0.2), num_queries=2000, runs=2)
+    save_report(result)
+    return result
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_real_stand_in("go", scale=scaled(0.2))
+
+
+@pytest.fixture(scope="module")
+def pairs(graph):
+    return random_pairs(graph, 2000, seed=0)
+
+
+@pytest.mark.parametrize("heuristic", HEURISTICS)
+def test_query_batch(benchmark, report, graph, pairs, heuristic):
+    index = FelineIndex(graph, y_heuristic=heuristic, seed=0).build()
+    benchmark(index.query_many, pairs)
+
+
+def test_shape_max_x_minimises_false_positives(report):
+    """Aggregated over random DAGs, the paper's heuristic yields no more
+    falsely implied paths than any control."""
+    totals = {h: 0 for h in HEURISTICS}
+    for seed in range(4):
+        g = random_dag(120, avg_degree=1.5, seed=seed)
+        for heuristic in HEURISTICS:
+            coords = build_feline_index(
+                g,
+                y_heuristic=heuristic,
+                with_level_filter=False,
+                with_positive_cut=False,
+                seed=seed,
+            )
+            totals[heuristic] += count_false_positives(g, coords)
+    assert totals["max-x"] == min(totals.values())

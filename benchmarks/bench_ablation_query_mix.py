@@ -1,0 +1,89 @@
+"""A2 — Ablation: query-type mix (the paper's §3.3.1/§4.5 discussion).
+
+The paper attributes all performance differences between online-search
+methods to the queries that are *not* answered by the constant-time cuts
+— positive queries and false positives.  This ablation sweeps the
+positive fraction of the workload and measures, for FELINE, FELINE-B and
+GRAIL, the time and the expanded-vertex counts, making the paper's
+"differences really come from the search" claim directly visible.
+"""
+
+import time
+
+import pytest
+
+from repro.baselines.base import create_index
+from repro.bench.reporting import format_table
+from repro.bench.runner import ExperimentReport
+from repro.datasets.queries import mixed_workload
+from repro.datasets.real_stand_ins import load_real_stand_in
+
+from conftest import save_report, scaled
+
+FRACTIONS = [0.0, 0.25, 0.5, 0.75, 1.0]
+METHODS = ["feline", "feline-b", "grail"]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_real_stand_in("arxiv", scale=scaled(0.25))
+
+
+@pytest.fixture(scope="module")
+def report(graph):
+    rows = []
+    data = {}
+    for fraction in FRACTIONS:
+        workload = mixed_workload(
+            graph, 2000, positive_fraction=fraction, seed=1
+        )
+        row: list[object] = [f"{fraction:.0%}"]
+        for method in METHODS:
+            index = create_index(method, graph).build()
+            start = time.perf_counter()
+            index.query_many(workload.pairs)
+            elapsed_ms = 1000 * (time.perf_counter() - start)
+            row.extend([
+                round(elapsed_ms, 2), index.stats.expanded,
+            ])
+            data[(fraction, method)] = {
+                "ms": elapsed_ms,
+                "expanded": index.stats.expanded,
+                "searches": index.stats.searches,
+            }
+        rows.append(row)
+    headers = ["positive %"]
+    for method in METHODS:
+        headers.extend([f"{method} ms", f"{method} expanded"])
+    result = ExperimentReport(
+        experiment_id="A2-query-mix",
+        title="Ablation: workload positive fraction",
+        text=format_table(headers, rows),
+        data=data,
+    )
+    save_report(result)
+    return result
+
+
+@pytest.mark.parametrize("fraction", [0.0, 0.5, 1.0])
+def test_query_batch(benchmark, report, graph, fraction):
+    workload = mixed_workload(graph, 2000, positive_fraction=fraction, seed=1)
+    index = create_index("feline", graph).build()
+    benchmark(index.query_many, workload.pairs)
+
+
+def test_shape_positive_queries_cost_more(report):
+    """All-negative workloads are cut in O(1); all-positive ones search.
+
+    Expanded-vertex counts must grow with the positive fraction for
+    every online-search method."""
+    for method in ["feline", "feline-b", "grail"]:
+        negative_heavy = report.data[(0.0, method)]["expanded"]
+        positive_heavy = report.data[(1.0, method)]["expanded"]
+        assert positive_heavy >= negative_heavy, method
+
+
+def test_shape_feline_b_expands_least_on_positive_workloads(report):
+    feline_b = report.data[(1.0, "feline-b")]["expanded"]
+    feline = report.data[(1.0, "feline")]["expanded"]
+    assert feline_b <= feline

@@ -1,0 +1,102 @@
+"""EXT2 — Extension benchmark: distributed FELINE (simulated cluster).
+
+Measures the cost model of the simulated distributed deployment
+(DESIGN.md S27): query throughput, messages and rounds as the shard
+count grows, and shard load balance — the quantities a real cluster
+deployment of FELINE would tune.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.bench.runner import ExperimentReport
+from repro.core.distributed import SimulatedCluster
+from repro.datasets.queries import mixed_workload
+from repro.graph.generators import random_dag
+
+from conftest import save_report, scaled
+
+N = max(64, round(scaled(4000)))
+SHARD_COUNTS = [1, 2, 4, 8]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_dag(N, avg_degree=3.0, seed=1)
+
+
+@pytest.fixture(scope="module")
+def workload(graph):
+    return mixed_workload(graph, 3000, positive_fraction=0.3, seed=2)
+
+
+@pytest.fixture(scope="module")
+def report(graph, workload):
+    rows = []
+    data = {}
+    for shards in SHARD_COUNTS:
+        cluster = SimulatedCluster(graph, num_shards=shards)
+        cluster.stats.reset(cluster.num_shards)
+        for u, v in workload.pairs:
+            cluster.query(u, v)
+        stats = cluster.stats
+        expansions = stats.expansions_per_shard
+        balance = (
+            max(expansions) / max(1, min(expansions))
+            if min(expansions) > 0
+            else float("inf")
+        )
+        rows.append([
+            shards,
+            stats.messages,
+            stats.rounds,
+            stats.forwarded_vertices,
+            round(stats.local_only_queries / stats.queries, 3),
+            round(balance, 2),
+        ])
+        data[shards] = {
+            "messages": stats.messages,
+            "rounds": stats.rounds,
+            "local_fraction": stats.local_only_queries / stats.queries,
+        }
+    result = ExperimentReport(
+        experiment_id="EXT-distributed",
+        title=f"Simulated distributed FELINE, {N}-vertex DAG, "
+              f"{len(workload)} queries",
+        text=format_table(
+            ["shards", "messages", "rounds", "forwarded",
+             "local-only fraction", "expansion imbalance"],
+            rows,
+        ),
+        data=data,
+    )
+    save_report(result)
+    return result
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_query_batch(benchmark, report, graph, workload, shards):
+    cluster = SimulatedCluster(graph, num_shards=shards)
+
+    def run():
+        return [cluster.query(u, v) for u, v in workload.pairs]
+
+    answers = benchmark(run)
+    assert len(answers) == len(workload.pairs)
+
+
+def test_shape_messages_grow_with_shards(report):
+    """More shards = more boundary crossings; one shard = none."""
+    assert report.data[1]["messages"] == 0
+    assert report.data[8]["messages"] >= report.data[2]["messages"]
+
+
+def test_shape_answers_independent_of_sharding(graph, workload):
+    reference = None
+    for shards in (1, 4):
+        cluster = SimulatedCluster(graph, num_shards=shards)
+        answers = [cluster.query(u, v) for u, v in workload.pairs]
+        if reference is None:
+            reference = answers
+        else:
+            assert answers == reference

@@ -1,0 +1,123 @@
+"""EXT — Extension benchmark: incremental FELINE (paper's future work).
+
+The paper's conclusion announces an incremental FELINE; DESIGN.md S11+
+implements it over Pearce–Kelly online topological reordering.  This
+bench measures what the extension buys: per-edge insertion cost versus
+the rebuild-per-batch alternative, and query cost on the evolving index
+versus the static index on the same final graph.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.bench.runner import ExperimentReport
+from repro.core.incremental import IncrementalFelineIndex
+from repro.core.query import FelineIndex
+from repro.datasets.queries import random_pairs
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag
+
+from conftest import save_report, scaled
+
+from random import Random
+import time
+
+
+def _edge_stream(n: int, avg_degree: float, seed: int):
+    graph = random_dag(n, avg_degree=avg_degree, seed=seed)
+    edges = list(graph.edges())
+    Random(seed).shuffle(edges)
+    return graph, edges
+
+
+N = max(16, round(scaled(3000)))
+
+
+@pytest.fixture(scope="module")
+def report():
+    rows = []
+    data = {}
+    for avg_degree in (1.0, 3.0):
+        graph, edges = _edge_stream(N, avg_degree, seed=1)
+        index = IncrementalFelineIndex(DiGraph(N, []))
+        start = time.perf_counter()
+        for u, v in edges:
+            index.add_edge(u, v)
+        incremental_ms = 1000 * (time.perf_counter() - start)
+
+        start = time.perf_counter()
+        static = FelineIndex(graph).build()
+        rebuild_ms = 1000 * (time.perf_counter() - start)
+
+        pairs = random_pairs(graph, 2000, seed=2)
+        start = time.perf_counter()
+        for u, v in pairs:
+            index.query(u, v)
+        inc_query_ms = 1000 * (time.perf_counter() - start)
+        start = time.perf_counter()
+        static.query_many(pairs)
+        static_query_ms = 1000 * (time.perf_counter() - start)
+
+        rows.append([
+            f"deg={avg_degree}", len(edges),
+            round(incremental_ms, 2),
+            round(incremental_ms * 1000 / len(edges), 2),
+            round(rebuild_ms, 2),
+            index.reorders,
+            round(inc_query_ms, 2),
+            round(static_query_ms, 2),
+        ])
+        data[avg_degree] = {
+            "incremental_ms": incremental_ms,
+            "rebuild_ms": rebuild_ms,
+            "inc_query_ms": inc_query_ms,
+            "static_query_ms": static_query_ms,
+        }
+    result = ExperimentReport(
+        experiment_id="EXT-incremental",
+        title=f"Incremental FELINE on {N}-vertex streams",
+        text=format_table(
+            ["stream", "edges", "stream total (ms)", "us/edge",
+             "one static rebuild (ms)", "reorders",
+             "2k queries inc (ms)", "2k queries static (ms)"],
+            rows,
+        ),
+        data=data,
+    )
+    save_report(result)
+    return result
+
+
+def test_insertion_throughput(benchmark, report):
+    _, edges = _edge_stream(N, 2.0, seed=3)
+
+    def stream():
+        index = IncrementalFelineIndex(DiGraph(N, []))
+        for u, v in edges:
+            index.add_edge(u, v)
+        return index
+
+    index = benchmark(stream)
+    assert index.num_edges == len(edges)
+
+
+def test_incremental_queries(benchmark, report):
+    graph, edges = _edge_stream(N, 2.0, seed=4)
+    index = IncrementalFelineIndex(DiGraph(N, []))
+    for u, v in edges:
+        index.add_edge(u, v)
+    pairs = random_pairs(graph, 2000, seed=5)
+
+    def run():
+        return [index.query(u, v) for u, v in pairs]
+
+    answers = benchmark(run)
+    static = FelineIndex(graph).build()
+    assert answers == static.query_many(pairs)
+
+
+def test_shape_streaming_beats_rebuild_per_edge(report):
+    """The extension's point: absorbing E edges costs far less than E
+    static rebuilds (here: less than rebuilding even 30 times)."""
+    for metrics in report.data.values():
+        assert metrics["incremental_ms"] < 30 * metrics["rebuild_ms"]

@@ -1,0 +1,56 @@
+"""F10 — Figure 10: critical-difference diagram, construction times.
+
+Runs the Table 3 sweep, ranks methods per dataset, applies the Friedman
+test at the paper's confidence level (0.1) and renders the Nemenyi CD
+diagram.  The benchmark times the statistical pipeline itself.
+
+Expected shape: FELINE holds the best average rank (1.0 in the paper).
+"""
+
+import pytest
+
+from repro.bench.runner import fig10_cd_construction
+from repro.stats.friedman import friedman_test
+from repro.stats.nemenyi import compute_cd_diagram
+
+from conftest import save_report, scaled
+
+NAMES = ["arxiv", "yago", "go", "pubmed", "citeseer", "uniprot22m"]
+
+
+@pytest.fixture(scope="module")
+def report():
+    result = fig10_cd_construction(
+        names=NAMES, scale=scaled(0.3), num_queries=1000, runs=2
+    )
+    save_report(result)
+    return result
+
+
+def test_cd_pipeline(benchmark, report):
+    # Re-derive the CD diagram from the measured ranks: the statistical
+    # pipeline is what this figure's machinery adds over Table 3.
+    friedman = report.data["friedman"]
+    table = [
+        [rank + i * 0.01 for i, rank in enumerate(friedman.average_ranks)]
+        for _ in range(len(NAMES))
+    ]
+
+    def pipeline():
+        result = friedman_test(table)
+        return compute_cd_diagram(
+            [str(i) for i in range(result.num_methods)],
+            result.average_ranks,
+            result.num_blocks,
+        )
+
+    diagram = benchmark(pipeline)
+    assert diagram.cd > 0
+
+
+def test_shape_feline_best_rank(report):
+    friedman = report.data["friedman"]
+    diagram = report.data["diagram"]
+    best_method, _ = diagram.ordered_methods()[0]
+    assert best_method == "FELINE"
+    assert friedman.significant(alpha=0.1)

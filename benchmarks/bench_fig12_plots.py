@@ -1,0 +1,42 @@
+"""F12 — Figure 12: index plottings, normal vs reversed drawings.
+
+Regenerates the coordinate scatters for the Arxiv, Yago, Go and Pubmed
+stand-ins (normal and reversed), saving ASCII density plots, and
+benchmarks the pure Algorithm 1 coordinate construction the plots read.
+"""
+
+import pytest
+
+from repro.bench.runner import fig12_index_plots
+from repro.core.index import build_feline_index
+from repro.datasets.real_stand_ins import load_real_stand_in
+
+from conftest import save_report, scaled
+
+
+@pytest.fixture(scope="module")
+def report():
+    result = fig12_index_plots(scale=scaled(0.25))
+    save_report(result)
+    return result
+
+
+def test_coordinate_construction(benchmark, report):
+    graph = load_real_stand_in("pubmed", scale=scaled(0.25))
+    coords = benchmark(
+        build_feline_index,
+        graph,
+        with_level_filter=False,
+        with_positive_cut=False,
+    )
+    assert coords.num_vertices == graph.num_vertices
+
+
+def test_shape_normal_and_reversed_drawings_differ(report):
+    """The paper's observation driving FELINE-I: reversing the edges
+    places the vertices differently."""
+    coordinates = report.data["coordinates"]
+    for name in ("arxiv", "yago", "go", "pubmed"):
+        normal = coordinates[(name, "normal")]
+        reversed_ = coordinates[(name, "reversed")]
+        assert normal != reversed_, name

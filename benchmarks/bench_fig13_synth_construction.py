@@ -1,0 +1,48 @@
+"""F13 — Figure 13: construction times over the synthetic suite.
+
+Sweeps the Table 2 datasets (scaled) over all five methods and benchmarks
+FELINE's build across the sparse size ladder, exposing the linearithmic
+growth the paper's figure shows.
+"""
+
+import pytest
+
+from repro.baselines.base import create_index
+from repro.bench.runner import fig13_synthetic_construction
+from repro.datasets.synthetic import load_synthetic
+
+from conftest import save_report, scaled
+
+LADDER = ["10M", "50M", "100M"]
+
+
+@pytest.fixture(scope="module")
+def report():
+    result = fig13_synthetic_construction(
+        scale=scaled(0.0002), num_queries=500, runs=1
+    )
+    save_report(result)
+    return result
+
+
+@pytest.mark.parametrize("name", LADDER)
+def test_feline_construction_scaling(benchmark, report, name):
+    graph = load_synthetic(name, scale=scaled(0.0002))
+    benchmark(lambda: create_index("feline", graph).build())
+
+
+def test_shape_feline_fastest_on_synthetics(report):
+    results = report.data["results"]
+    by_key = {(r.dataset, r.method): r for r in results}
+    datasets = {r.dataset for r in results}
+    wins = 0
+    for name in datasets:
+        feline = by_key[(name, "FELINE")].construction_ms
+        competitors = [
+            by_key[(name, m)].construction_ms
+            for m in ("GRAIL", "FERRARI", "TF-Label")
+            if by_key[(name, m)].construction_ms is not None
+        ]
+        if competitors and feline < min(competitors):
+            wins += 1
+    assert wins >= len(datasets) - 1  # FELINE wins (almost) everywhere

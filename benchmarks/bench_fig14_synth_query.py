@@ -1,0 +1,49 @@
+"""F14 — Figure 14: query times over the synthetic suite.
+
+Sweeps the synthetic datasets (including the dense ``-5``/``-10``
+variants) with FELINE-B added, as the paper's figure does, and benchmarks
+query batches of FELINE vs FELINE-B on a dense instance — the regime
+where the bidirectional pruning pays off.
+"""
+
+import pytest
+
+from repro.baselines.base import create_index
+from repro.bench.runner import fig14_synthetic_query
+from repro.datasets.queries import random_pairs
+from repro.datasets.synthetic import load_synthetic
+
+from conftest import save_report, scaled
+
+
+@pytest.fixture(scope="module")
+def report():
+    result = fig14_synthetic_query(
+        scale=scaled(0.0002), num_queries=1000, runs=1
+    )
+    save_report(result)
+    return result
+
+
+@pytest.fixture(scope="module")
+def dense_graph():
+    return load_synthetic("50M-10", scale=scaled(0.0002))
+
+
+@pytest.fixture(scope="module")
+def pairs(dense_graph):
+    return random_pairs(dense_graph, 1000, seed=0)
+
+
+@pytest.mark.parametrize("variant", ["feline", "feline-b", "grail"])
+def test_query_batch_dense(benchmark, report, dense_graph, pairs, variant):
+    index = create_index(variant, dense_graph).build()
+    benchmark(index.query_many, pairs)
+
+
+def test_shape_feline_b_prunes_harder_than_feline(dense_graph, pairs):
+    feline = create_index("feline", dense_graph).build()
+    feline_b = create_index("feline-b", dense_graph).build()
+    feline.query_many(pairs)
+    feline_b.query_many(pairs)
+    assert feline_b.stats.expanded <= feline.stats.expanded

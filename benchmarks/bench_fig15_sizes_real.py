@@ -1,0 +1,58 @@
+"""F15 — Figure 15: index sizes on the real-graph stand-ins.
+
+Regenerates the size comparison (GRAIL at d = 3 and d = 5, FELINE,
+FELINE-B, plus the other baselines) and asserts the paper's headline size
+relations.  The benchmark times FELINE's size accounting plus build on one
+stand-in, the operation the figure is built from.
+"""
+
+import pytest
+
+from repro.baselines.base import create_index
+from repro.bench.runner import fig15_index_sizes_real
+from repro.datasets.real_stand_ins import load_real_stand_in
+
+from conftest import save_report, scaled
+
+NAMES = ["arxiv", "yago", "go", "pubmed", "citeseer"]
+
+
+@pytest.fixture(scope="module")
+def report():
+    result = fig15_index_sizes_real(
+        names=NAMES, scale=scaled(0.25), num_queries=50, runs=1
+    )
+    save_report(result)
+    return result
+
+
+def test_build_and_measure(benchmark, report):
+    graph = load_real_stand_in("yago", scale=scaled(0.25))
+
+    def build_and_size():
+        return create_index("feline", graph).build().index_size_bytes()
+
+    assert benchmark(build_and_size) > 0
+
+
+def test_shape_grail_larger_than_feline(report):
+    """Paper: GRAIL's index is ~2x FELINE's at d = 3 and ~4x at d = 5."""
+    by_key = {
+        (r.dataset, r.method): r for r in report.data["results"]
+    }
+    for name in NAMES:
+        feline = by_key[(name, "FELINE")].index_bytes
+        grail3 = by_key[(name, "GRAIL")].index_bytes
+        grail5 = by_key[(name, "GRAIL-d5")].index_bytes
+        assert grail3 > feline, name
+        assert grail5 > grail3, name
+
+
+def test_shape_feline_b_between_feline_and_double(report):
+    by_key = {
+        (r.dataset, r.method): r for r in report.data["results"]
+    }
+    for name in NAMES:
+        feline = by_key[(name, "FELINE")].index_bytes
+        feline_b = by_key[(name, "FELINE-B")].index_bytes
+        assert feline < feline_b < 2 * feline, name

@@ -1,0 +1,42 @@
+"""F16 — Figure 16: index sizes over the synthetic suite.
+
+Same size comparison as Figure 15 on the synthetic ladder; the benchmark
+times size accounting across methods on one mid-size synthetic.
+"""
+
+import pytest
+
+from repro.baselines.base import create_index
+from repro.bench.runner import fig16_index_sizes_synthetic
+from repro.datasets.synthetic import load_synthetic
+
+from conftest import save_report, scaled
+
+
+@pytest.fixture(scope="module")
+def report():
+    result = fig16_index_sizes_synthetic(
+        scale=scaled(0.0002), num_queries=50, runs=1
+    )
+    save_report(result)
+    return result
+
+
+@pytest.mark.parametrize("method", ["feline", "grail", "tf-label"])
+def test_size_accounting(benchmark, report, method):
+    graph = load_synthetic("50M", scale=scaled(0.0002))
+    index = create_index(method, graph).build()
+    assert benchmark(index.index_size_bytes) > 0
+
+
+def test_shape_feline_linear_in_vertices(report):
+    """FELINE's index is O(|V|): size per vertex is flat across sizes."""
+    by_key = {
+        (r.dataset, r.method): r for r in report.data["results"]
+    }
+    per_vertex = []
+    for name in ("10M", "50M", "100M"):
+        result = by_key[(name, "FELINE")]
+        graph = load_synthetic(name, scale=scaled(0.0002))
+        per_vertex.append(result.index_bytes / graph.num_vertices)
+    assert max(per_vertex) - min(per_vertex) < 1e-6

@@ -1,0 +1,41 @@
+"""F17 — Figure 17: critical-difference diagram for the SCARAB variants.
+
+Runs the Table 5 sweep, applies Friedman + Nemenyi and renders the CD
+diagram.  Expected shape: FELINE-SCAR has the better average rank and the
+difference is significant at the paper's 0.1 level.
+"""
+
+import pytest
+
+from repro.bench.runner import fig17_cd_scarab
+
+from conftest import save_report, scaled
+
+NAMES = ["arxiv", "yago", "go", "pubmed", "citeseer", "uniprot22m",
+         "cit-patents", "citeseerx"]
+
+
+@pytest.fixture(scope="module")
+def report():
+    result = fig17_cd_scarab(
+        names=NAMES, scale=scaled(0.1), num_queries=1500, runs=2
+    )
+    save_report(result)
+    return result
+
+
+def test_scar_sweep(benchmark, report):
+    from repro.baselines.base import create_index
+    from repro.datasets.queries import random_pairs
+    from repro.datasets.real_stand_ins import load_real_stand_in
+
+    graph = load_real_stand_in("pubmed", scale=scaled(0.1))
+    pairs = random_pairs(graph, 1500, seed=0)
+    index = create_index("scarab", graph, base_method="feline").build()
+    benchmark(index.query_many, pairs)
+
+
+def test_shape_feline_scar_outranks_grail_scar(report):
+    diagram = report.data["diagram"]
+    ranks = dict(zip(diagram.method_names, diagram.average_ranks))
+    assert ranks["FELINE-SCAR"] < ranks["GRAIL-SCAR"]

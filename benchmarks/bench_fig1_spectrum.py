@@ -1,0 +1,144 @@
+"""F1 — Figure 1: the reachability trade-off spectrum.
+
+The paper opens with the spectrum (borrowed from the GRAIL paper):
+materialised transitive closure on one end (O(1) queries, quadratic
+space), pure online search on the other (zero index, O(|V|+|E|)
+queries), and the interesting methods in between.  This bench plots that
+spectrum with our implementations: index size and query time for every
+point along it, plus the FELINE batch-query fast path.
+"""
+
+import time
+
+import pytest
+
+from repro.baselines.base import create_index
+from repro.bench.reporting import format_bytes, format_table
+from repro.bench.runner import ExperimentReport
+from repro.core.batch import query_batch
+from repro.core.query import FelineIndex
+from repro.datasets.queries import random_pairs
+from repro.datasets.real_stand_ins import load_real_stand_in
+
+from conftest import save_report, scaled
+
+SPECTRUM = [
+    ("tc", {}, "full closure (left end)"),
+    ("chain-cover", {}, "TC compression"),
+    ("interval", {}, "TC compression"),
+    # Dual-Labeling is a sparse-graph method (index O(n + t^2) in the
+    # non-tree edge count t); on a dense citation graph it exceeds any
+    # sane link budget — the FAIL row is the method's documented wall.
+    ("dual-labeling", {"link_budget": 2000}, "TC compression (sparse)"),
+    ("tf-label", {}, "hop labeling"),
+    ("grail", {}, "refined online search"),
+    ("ferrari", {}, "refined online search"),
+    ("feline", {}, "refined online search"),
+    ("bibfs", {}, "no index (right end)"),
+]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_real_stand_in("citeseer", scale=scaled(0.25))
+
+
+@pytest.fixture(scope="module")
+def pairs(graph):
+    return random_pairs(graph, 3000, seed=0)
+
+
+@pytest.fixture(scope="module")
+def report(graph, pairs):
+    rows = []
+    data = {}
+    from repro.exceptions import IndexBuildError
+
+    for method, params, family in SPECTRUM:
+        index = create_index(method, graph, **params)
+        start = time.perf_counter()
+        try:
+            index.build()
+        except IndexBuildError:
+            rows.append([method, family, None, None, "FAIL"])
+            continue
+        build_ms = 1000 * (time.perf_counter() - start)
+        start = time.perf_counter()
+        index.query_many(pairs)
+        query_ms = 1000 * (time.perf_counter() - start)
+        rows.append([
+            method, family, round(build_ms, 2), round(query_ms, 2),
+            format_bytes(index.index_size_bytes()),
+        ])
+        data[method] = {
+            "build_ms": build_ms,
+            "query_ms": query_ms,
+            "bytes": index.index_size_bytes(),
+        }
+    result = ExperimentReport(
+        experiment_id="F1",
+        title="The reachability spectrum (paper Figure 1) on citeseer",
+        text=format_table(
+            ["method", "family", "build (ms)", "3k queries (ms)", "index"],
+            rows,
+        ),
+        data=data,
+    )
+    save_report(result)
+    return result
+
+
+def test_spectrum_sweep(benchmark, report, graph, pairs):
+    index = FelineIndex(graph).build()
+    benchmark(query_batch, index, pairs)
+
+
+def test_shape_endpoints(report):
+    """The spectrum's defining trade-off: the closure end has the largest
+    index and near-free queries; the searchless end has zero index and
+    the slowest queries."""
+    data = report.data
+    assert data["bibfs"]["bytes"] == 0
+    assert data["tc"]["bytes"] >= max(
+        d["bytes"] for m, d in data.items() if m != "tc"
+    ) or data["tc"]["query_ms"] <= min(
+        d["query_ms"] for m, d in data.items() if m != "tc"
+    )
+    assert data["bibfs"]["query_ms"] == max(
+        d["query_ms"] for d in data.values()
+    )
+
+
+def test_shape_feline_smallest_real_index(report):
+    """Among the methods that build something, FELINE's index is the
+    smallest (two integers per vertex plus the two filters)."""
+    data = report.data
+    indexed = {m: d for m, d in data.items() if d["bytes"] > 0}
+    assert min(indexed, key=lambda m: indexed[m]["bytes"]) == "feline"
+
+
+def test_shape_dual_labeling_wins_on_sparse(report):
+    """Dual-Labeling's home turf: a fan-out near-tree, where the
+    spanning forest absorbs almost every edge and t stays tiny — the
+    sparse/dense contrast with its FAIL row above.  (Fan-*in* graphs
+    like the reversed Uniprot trees are adversarial instead: an
+    out-rooted spanning forest can cover only one parent per vertex.)"""
+    from repro.graph.generators import tree_like_dag
+
+    graph = tree_like_dag(8000, extra_edge_fraction=0.01, seed=3)
+    dual = create_index("dual-labeling", graph).build()
+    feline = create_index("feline", graph).build()
+    assert dual.num_links < graph.num_vertices * 0.02
+    assert dual.index_size_bytes() < 2 * feline.index_size_bytes()
+
+
+def test_batch_queries_not_slower(graph, pairs):
+    index = FelineIndex(graph).build()
+    start = time.perf_counter()
+    scalar = index.query_many(pairs)
+    scalar_s = time.perf_counter() - start
+    start = time.perf_counter()
+    batch = query_batch(index, pairs)
+    batch_s = time.perf_counter() - start
+    assert batch.tolist() == scalar
+    assert batch_s < scalar_s * 1.5  # typically several times faster

@@ -1,0 +1,24 @@
+"""T2 — Table 2: the synthetic dataset suite.
+
+Regenerates the dataset list with generated sizes and benchmarks the
+random-DAG generator (the substrate every synthetic experiment feeds on).
+"""
+
+import pytest
+
+from repro.bench.runner import table2_synthetic
+from repro.datasets.synthetic import load_synthetic
+
+from conftest import save_report, scaled
+
+
+@pytest.fixture(scope="module")
+def report():
+    result = table2_synthetic(scale=scaled(0.001))
+    save_report(result)
+    return result
+
+
+def test_table2_generation_speed(benchmark, report):
+    graph = benchmark(load_synthetic, "50M-5", scale=scaled(0.0005))
+    assert graph.num_edges == 5 * graph.num_vertices

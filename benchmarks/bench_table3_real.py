@@ -1,0 +1,70 @@
+"""T3 — Table 3: construction + query times on real-graph stand-ins.
+
+The headline comparison of the paper: {GRAIL, INTERVAL, FERRARI,
+TF-Label, FELINE} on the real datasets.  The full table is regenerated on
+all five small stand-ins plus a scaled large one; micro-benchmarks time
+each method's build and query batch on one shared graph so
+pytest-benchmark's own table mirrors the paper's rows.
+
+Expected shapes (paper §4.3.1–2): FELINE has the best construction time on
+every dataset; on queries FELINE beats GRAIL and FERRARI while the
+self-sufficient indexes (INTERVAL, TF-Label) are the fastest responders.
+"""
+
+import pytest
+
+from repro.baselines.base import create_index
+from repro.bench.runner import DEFAULT_METHODS, table3_real
+from repro.datasets.queries import random_pairs
+from repro.datasets.real_stand_ins import load_real_stand_in
+
+from conftest import save_report, scaled
+
+NAMES = ["arxiv", "yago", "go", "pubmed", "citeseer", "uniprot22m"]
+METHOD_PARAMS = {spec.display: (spec.method, spec.params) for spec in DEFAULT_METHODS}
+
+
+@pytest.fixture(scope="module")
+def report():
+    result = table3_real(
+        names=NAMES, scale=scaled(0.2), num_queries=2000, runs=2
+    )
+    save_report(result)
+    return result
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_real_stand_in("citeseer", scale=scaled(0.2))
+
+
+@pytest.fixture(scope="module")
+def pairs(graph):
+    return random_pairs(graph, 2000, seed=0)
+
+
+@pytest.mark.parametrize("label", list(METHOD_PARAMS))
+def test_construction(benchmark, report, graph, label):
+    method, params = METHOD_PARAMS[label]
+    benchmark(lambda: create_index(method, graph, **params).build())
+
+
+@pytest.mark.parametrize("label", list(METHOD_PARAMS))
+def test_query_batch(benchmark, report, graph, pairs, label):
+    method, params = METHOD_PARAMS[label]
+    index = create_index(method, graph, **params).build()
+    answers = benchmark(index.query_many, pairs)
+    assert len(answers) == len(pairs)
+
+
+def test_shape_feline_best_construction(report):
+    """Paper claim: FELINE achieves the best construction times."""
+    results = report.data["results"]
+    by_key = {(r.dataset, r.method): r for r in results}
+    for name in NAMES:
+        feline = by_key[(name, "FELINE")].construction_ms
+        others = [
+            by_key[(name, m)].construction_ms
+            for m in ("GRAIL", "FERRARI", "TF-Label")
+        ]
+        assert all(feline < o for o in others if o is not None), name

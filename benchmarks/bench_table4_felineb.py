@@ -1,0 +1,59 @@
+"""T4 — Table 4: FELINE vs FELINE-I vs FELINE-B.
+
+Regenerates the variant comparison on the five small stand-ins and
+benchmarks each variant's build and query batch.  Expected shapes (paper
+§4.3.3): FELINE-B's construction time is roughly double (two Algorithm 1
+runs) and its query times are the best of the three.
+"""
+
+import pytest
+
+from repro.baselines.base import create_index
+from repro.bench.runner import table4_feline_variants
+from repro.datasets.queries import random_pairs
+from repro.datasets.real_stand_ins import load_real_stand_in
+
+from conftest import save_report, scaled
+
+VARIANTS = ["feline", "feline-i", "feline-b"]
+
+
+@pytest.fixture(scope="module")
+def report():
+    result = table4_feline_variants(scale=scaled(0.2), num_queries=2000, runs=2)
+    save_report(result)
+    return result
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_real_stand_in("arxiv", scale=scaled(0.2))
+
+
+@pytest.fixture(scope="module")
+def pairs(graph):
+    return random_pairs(graph, 2000, seed=0)
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_construction(benchmark, report, graph, variant):
+    benchmark(lambda: create_index(variant, graph).build())
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_query_batch(benchmark, report, graph, pairs, variant):
+    index = create_index(variant, graph).build()
+    benchmark(index.query_many, pairs)
+
+
+def test_shape_feline_b_construction_roughly_doubles(report):
+    # Aggregated across datasets (per-dataset timings at this scale are
+    # noisy): two Algorithm 1 runs must cost more than one overall.
+    results = report.data["results"]
+    single = sum(
+        r.construction_ms for r in results if r.method == "FELINE"
+    )
+    double = sum(
+        r.construction_ms for r in results if r.method == "FELINE-B"
+    )
+    assert double > single

@@ -1,0 +1,57 @@
+"""T5 — Table 5: FELINE-SCAR vs GRAIL-SCAR query times.
+
+Regenerates the SCARAB comparison (the paper's §4.4: FELINE also benefits
+from the reachability-backbone booster, and FELINE-SCAR beats GRAIL-SCAR)
+and benchmarks both SCAR variants' query batches.
+"""
+
+import pytest
+
+from repro.baselines.base import create_index
+from repro.bench.runner import table5_scarab
+from repro.datasets.queries import random_pairs
+from repro.datasets.real_stand_ins import load_real_stand_in
+
+from conftest import save_report, scaled
+
+SCAR_VARIANTS = {
+    "FELINE-SCAR": "feline",
+    "GRAIL-SCAR": "grail",
+}
+NAMES = ["arxiv", "yago", "go", "pubmed", "citeseer", "uniprot22m"]
+
+
+@pytest.fixture(scope="module")
+def report():
+    result = table5_scarab(
+        names=NAMES, scale=scaled(0.2), num_queries=2000, runs=2
+    )
+    save_report(result)
+    return result
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_real_stand_in("citeseer", scale=scaled(0.2))
+
+
+@pytest.fixture(scope="module")
+def pairs(graph):
+    return random_pairs(graph, 2000, seed=0)
+
+
+@pytest.mark.parametrize("label", list(SCAR_VARIANTS))
+def test_query_batch(benchmark, report, graph, pairs, label):
+    index = create_index(
+        "scarab", graph, base_method=SCAR_VARIANTS[label]
+    ).build()
+    benchmark(index.query_many, pairs)
+
+
+@pytest.mark.parametrize("label", list(SCAR_VARIANTS))
+def test_construction(benchmark, report, graph, label):
+    benchmark(
+        lambda: create_index(
+            "scarab", graph, base_method=SCAR_VARIANTS[label]
+        ).build()
+    )

@@ -1,0 +1,58 @@
+"""Shared plumbing for the benchmark suite.
+
+Every ``bench_*`` module regenerates one artifact of the paper (a table or
+figure) and micro-benchmarks its headline operation.  Running
+
+    pytest benchmarks/ --benchmark-only
+
+produces the pytest-benchmark timing table *and* writes each regenerated
+artifact to ``benchmarks/results/<experiment>.txt`` so the full
+paper-vs-measured comparison is inspectable afterwards (EXPERIMENTS.md is
+assembled from those files).
+
+Sizing: scales are chosen so the whole suite runs in a few minutes in
+pure Python.  Crank ``REPRO_BENCH_SCALE`` (a multiplier on each bench's
+default scale) for bigger runs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Global multiplier on each bench's default graph scale.
+SCALE_FACTOR = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(value: float) -> float:
+    """Apply the environment's scale multiplier to a bench's default."""
+    return value * SCALE_FACTOR
+
+
+def save_report(report) -> None:
+    """Persist a regenerated artifact under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{report.experiment_id}.txt"
+    path.write_text(str(report) + "\n", encoding="utf-8")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def pytest_collection_modifyitems(items) -> None:
+    """Cap benchmark rounds so the whole suite stays in the minutes range.
+
+    Pure-Python index builds take seconds each; pytest-benchmark's default
+    calibration would repeat them dozens of times for no extra insight.
+    """
+    for item in items:
+        item.add_marker(
+            pytest.mark.benchmark(min_rounds=3, max_time=0.5, warmup=False)
+        )

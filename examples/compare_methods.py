@@ -1,0 +1,78 @@
+"""Scenario: pick the right index for *your* graph.
+
+Sweeps every practical index over a dataset of your choice (any name from
+``repro.datasets``), printing construction time, query time, index size
+and how queries were answered — the same measurements as the paper's
+Table 3 — then renders a Figure-10-style critical-difference diagram over
+a small dataset panel.
+
+Run with::
+
+    python examples/compare_methods.py [dataset] [scale]
+
+e.g. ``python examples/compare_methods.py citeseer 0.5``.
+"""
+
+import sys
+
+from repro.bench.harness import MethodSpec, measure_method
+from repro.bench.reporting import format_bytes, format_table
+from repro.datasets.queries import random_pairs
+from repro.datasets.registry import load_dataset
+from repro.stats.friedman import friedman_test
+from repro.stats.nemenyi import compute_cd_diagram, render_cd_diagram
+
+dataset = sys.argv[1] if len(sys.argv) > 1 else "citeseer"
+scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.25
+
+METHODS = [
+    MethodSpec("bibfs", "BiBFS (no index)"),
+    MethodSpec("grail", "GRAIL d=3", {"num_labelings": 3}),
+    MethodSpec("ferrari", "FERRARI k=3", {"max_intervals": 3}),
+    MethodSpec("interval", "INTERVAL", {"memory_budget_bytes": 64 << 20}),
+    MethodSpec("tf-label", "TF-Label", {"label_budget_entries": 2_000_000}),
+    MethodSpec("feline", "FELINE"),
+    MethodSpec("feline-b", "FELINE-B"),
+    MethodSpec("scarab", "FELINE-SCAR", {"base_method": "feline"}),
+]
+
+graph = load_dataset(dataset, scale=scale)
+pairs = random_pairs(graph, 5000, seed=0)
+print(f"dataset {dataset} at scale {scale}: {graph!r}, "
+      f"{len(pairs)} random queries\n")
+
+rows = []
+for spec in METHODS:
+    result = measure_method(graph, spec, pairs, runs=2)
+    rows.append([
+        spec.display,
+        None if result.construction_ms is None else round(result.construction_ms, 2),
+        None if result.query_ms is None else round(result.query_ms, 2),
+        format_bytes(result.index_bytes),
+        result.positives if result.ok else "-",
+    ])
+print(format_table(
+    ["method", "build (ms)", "5k queries (ms)", "index", "positives"],
+    rows,
+))
+
+# ---------------------------------------------------------------------------
+# Statistical comparison over a panel of datasets (Figure 10 style).
+# ---------------------------------------------------------------------------
+PANEL = ["arxiv", "yago", "go", "pubmed", "citeseer"]
+CONTENDERS = [m for m in METHODS if m.method in ("grail", "ferrari", "feline")]
+print(f"\nCritical-difference comparison of query times over {PANEL}:")
+table = []
+for name in PANEL:
+    g = load_dataset(name, scale=0.2)
+    p = random_pairs(g, 1500, seed=1)
+    table.append([
+        measure_method(g, spec, p, runs=2).query_ms for spec in CONTENDERS
+    ])
+friedman = friedman_test(table)
+diagram = compute_cd_diagram(
+    [m.display for m in CONTENDERS],
+    friedman.average_ranks,
+    num_blocks=len(PANEL),
+)
+print(render_cd_diagram(diagram))

@@ -1,0 +1,45 @@
+"""Scenario: FELINE served by a (simulated) shard cluster.
+
+The paper's conclusion announces a distributed FELINE; this library
+simulates one (`repro.core.distributed`): the drawing is cut into
+X-rank slabs, each owned by a worker holding only its vertices'
+out-edges, while the O(|V|) coordinate arrays are replicated.  A query
+runs the usual pruned DFS, hopping shards only when an admissible edge
+crosses a slab boundary — and the negative cut never communicates at
+all.
+
+Run with::
+
+    python examples/distributed_cluster.py
+"""
+
+from repro.core.distributed import SimulatedCluster
+from repro.datasets.queries import mixed_workload
+from repro.graph.generators import citation_dag
+
+graph = citation_dag(8000, avg_out_degree=4.0, seed=7)
+workload = mixed_workload(graph, 5000, positive_fraction=0.3, seed=1)
+print(f"graph: {graph!r}, workload: {len(workload)} queries "
+      f"(~30% positive)\n")
+
+print(f"{'shards':>6}  {'messages':>8}  {'rounds':>7}  "
+      f"{'local-only':>10}  {'positives':>9}")
+reference = None
+for shards in (1, 2, 4, 8, 16):
+    cluster = SimulatedCluster(graph, num_shards=shards)
+    answers = [cluster.query(u, v) for u, v in workload.pairs]
+    if reference is None:
+        reference = answers
+    assert answers == reference  # sharding never changes answers
+    stats = cluster.stats
+    print(f"{shards:>6}  {stats.messages:>8}  {stats.rounds:>7}  "
+          f"{stats.local_only_queries / stats.queries:>10.0%}  "
+          f"{sum(answers):>9}")
+
+print("\nReading the table:")
+print(" * answers are identical at every shard count (asserted above);")
+print(" * one shard never sends a message — and even with 16 shards most")
+print("   queries stay local, because FELINE's negative cut resolves them")
+print("   from the replicated coordinates without touching any adjacency;")
+print(" * messages grow with the shard count: that communication cost is")
+print("   exactly what a production partitioning strategy would minimise.")

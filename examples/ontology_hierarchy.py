@@ -1,0 +1,75 @@
+"""Scenario: is-a queries over a Gene-Ontology-style hierarchy.
+
+The GO dataset is one of the paper's benchmarks: a sparse, deep DAG with
+few roots and thousands of leaf terms, where a reachability query answers
+"is term A a (transitive) kind of term B?".  This example builds a GO-like
+ontology, shows how the positive-cut filter answers tree-path queries in
+O(1), and compares FELINE's cut statistics against GRAIL's on the same
+workload.
+
+Run with::
+
+    python examples/ontology_hierarchy.py
+"""
+
+from repro.baselines.grail import GrailIndex
+from repro.core import FelineIndex
+from repro.datasets.queries import mixed_workload
+from repro.graph.generators import ontology_dag
+from repro.graph.levels import compute_levels
+from repro.graph.properties import degree_statistics
+
+# A GO-like ontology: 64 upper-level terms, ~1.6 parents per term.
+ontology = ontology_dag(6793, num_roots=64, avg_parents=2.0, seed=14)
+stats = degree_statistics(ontology)
+levels = compute_levels(ontology)
+print(f"ontology: {ontology!r}")
+print(f"  roots (top-level terms): {stats.num_roots}")
+print(f"  leaves (most specific terms): {stats.num_leaves}")
+print(f"  depth (max is-a chain): {max(levels)}")
+
+# ---------------------------------------------------------------------------
+# Build FELINE and answer a few is-a questions.
+# ---------------------------------------------------------------------------
+index = FelineIndex(ontology).build()
+
+specific_term = ontology.num_vertices - 1  # a late, specific term
+its_parents = list(ontology.predecessors(specific_term))
+print(f"\nterm {specific_term} has direct parents {its_parents}")
+for ancestor in (0, its_parents[0] if its_parents else 0, specific_term):
+    answer = index.query(specific_term, ancestor)
+    print(f"  is term {specific_term} a kind of term {ancestor}?  "
+          f"{'yes' if answer else 'no'}"
+          if ancestor != specific_term
+          else f"  term is trivially a kind of itself: {answer}")
+# NOTE: edges run ancestor -> descendant here, so "A is-a B" is r(B, A);
+# we query both directions to show positive and negative answers.
+print(f"  does the root reach term {specific_term}? "
+      f"{index.query(0, specific_term)}")
+
+# ---------------------------------------------------------------------------
+# Workload comparison: how each method *answers* (cuts vs searches).
+# ---------------------------------------------------------------------------
+workload = mixed_workload(ontology, 50_000, positive_fraction=0.3, seed=1)
+grail = GrailIndex(ontology).build()
+
+measured = {}
+for name, idx in (("FELINE", index), ("GRAIL ", grail)):
+    idx.stats.reset()
+    idx.query_many(workload.pairs)
+    s = idx.stats.as_dict()
+    measured[name.strip()] = s
+    print(f"{name}: {s['negative_cuts']:>6} neg cuts  "
+          f"{s['positive_cuts']:>6} pos cuts  "
+          f"{s['searches']:>5} searches  "
+          f"{s['expanded']:>7} expanded  "
+          f"(index {idx.index_size_bytes():,} B)")
+
+print("\nTrade-off on display: FELINE's index is a single coordinate pair "
+      "per vertex (less than half of GRAIL's d=3 labels), while GRAIL "
+      "buys extra negative cuts with those extra labelings.  Per search, "
+      "FELINE's two-dimensional bound prunes branches past the target:")
+for name, s in measured.items():
+    if s["searches"]:
+        print(f"  {name}: {s['expanded'] / s['searches']:.1f} vertices "
+              f"expanded per search, {s['pruned']} branches pruned")

@@ -1,0 +1,81 @@
+"""Scenario: influence reachability in a social network.
+
+The paper's introduction motivates reachability with social-network
+analysis: "whether there is a relationship between two entities, for
+security reasons, to provide conditional access to shared resources".
+This example builds a follower graph with communities and mutual-follow
+cycles, condenses it, and uses FELINE-B (the best query-time variant) to
+answer influence questions in bulk.
+
+Run with::
+
+    python examples/social_network.py
+"""
+
+from random import Random
+
+from repro import Reachability
+from repro.graph.builder import GraphBuilder
+
+rng = Random(20140328)  # EDBT 2014 deadline-ish seed
+
+# ---------------------------------------------------------------------------
+# Build a follower graph: 3 communities, intra-community follows (often
+# mutual -> cycles), sparse cross-community bridges, a few influencers.
+# ---------------------------------------------------------------------------
+COMMUNITY_SIZE = 400
+NUM_COMMUNITIES = 3
+N = COMMUNITY_SIZE * NUM_COMMUNITIES
+
+builder = GraphBuilder(num_vertices=N, dedup=True, drop_self_loops=True)
+influencers = []
+for c in range(NUM_COMMUNITIES):
+    base = c * COMMUNITY_SIZE
+    influencer = base  # first member is the community's influencer
+    influencers.append(influencer)
+    for member in range(base + 1, base + COMMUNITY_SIZE):
+        builder.add_edge(member, influencer)  # everyone follows them
+        # A few in-community follows; 30% are mutual (a cycle).
+        for _ in range(rng.randrange(1, 5)):
+            other = base + rng.randrange(COMMUNITY_SIZE)
+            if other != member:
+                builder.add_edge(member, other)
+                if rng.random() < 0.3:
+                    builder.add_edge(other, member)
+# Influencers follow the next community's influencer (a bridge chain).
+for c in range(NUM_COMMUNITIES - 1):
+    builder.add_edge(influencers[c], influencers[c + 1])
+
+graph = builder.build(name="social")
+print(f"follower graph: {graph!r}")
+
+# ---------------------------------------------------------------------------
+# "Can a post by X propagate to Y?" == reachability in the follow-reverse
+# direction; our edges already point follower -> followee, so a post by
+# the followee reaches the follower: ask r(reader, author) to mean
+# "reader sees author's posts" (transitively via re-shares).
+# ---------------------------------------------------------------------------
+oracle = Reachability(graph, method="feline-b")
+print(f"condensed to {oracle.condensation.num_components} "
+      f"strongly connected communities-of-mutuals")
+
+author = influencers[-1]          # influencer of the last community
+readers = [1, COMMUNITY_SIZE + 1, 2 * COMMUNITY_SIZE + 1]
+for reader in readers:
+    sees = oracle.reachable(reader, author)
+    print(f"  member {reader} {'sees' if sees else 'cannot see'} "
+          f"posts by influencer {author}")
+
+# Bulk audit: which fraction of the network can see influencer 0's posts?
+# (Conditional-access use case: content restricted to transitively
+# connected accounts.)
+visible = sum(
+    1 for member in range(N) if oracle.reachable(member, influencers[0])
+)
+print(f"influencer {influencers[0]} is visible to {visible}/{N} members "
+      f"({visible / N:.0%})")
+
+stats = oracle.index.stats.as_dict()
+print(f"index stats: {stats['negative_cuts']} negative cuts, "
+      f"{stats['positive_cuts']} positive cuts, "
+      f"{stats['searches']} searches for {stats['queries']} queries")

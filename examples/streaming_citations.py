@@ -1,0 +1,73 @@
+"""Scenario: a growing citation graph, queried while it grows.
+
+The paper's conclusion announces an *incremental* FELINE; this library
+implements it (`repro.core.incremental`).  This example streams a
+citation network paper by paper — every new paper cites existing ones —
+and answers reachability queries between insertions, something the static
+index would need a full rebuild for.
+
+Run with::
+
+    python examples/streaming_citations.py
+"""
+
+import time
+from random import Random
+
+from repro.core import FelineIndex
+from repro.core.incremental import IncrementalFelineIndex
+from repro.graph.digraph import DiGraph
+
+rng = Random(2014)
+
+# ---------------------------------------------------------------------------
+# Stream: 4000 papers arrive one by one, each citing up to 3 earlier ones.
+# ---------------------------------------------------------------------------
+index = IncrementalFelineIndex()
+edges: list[tuple[int, int]] = []
+
+start = time.perf_counter()
+queries_answered = 0
+first = index.add_vertex()
+for _ in range(1, 4000):
+    paper = index.add_vertex()
+    for _ in range(rng.randrange(0, 4)):
+        cited = rng.randrange(paper)
+        index.add_edge(paper, cited)
+        edges.append((paper, cited))
+    # Interleaved queries: does this paper transitively cite paper 0?
+    if paper % 100 == 0:
+        index.query(paper, first)
+        queries_answered += 1
+elapsed = time.perf_counter() - start
+
+print(f"streamed {index.num_vertices} papers, {index.num_edges} citations "
+      f"in {elapsed * 1000:.0f} ms "
+      f"({index.num_edges / elapsed:,.0f} insertions/s)")
+print(f"order repairs triggered: {index.reorders} "
+      f"of {index.edges_inserted} insertions")
+print(f"interleaved queries answered: {queries_answered}")
+
+# ---------------------------------------------------------------------------
+# Sanity: the incremental index agrees with a freshly built static one.
+# ---------------------------------------------------------------------------
+snapshot = DiGraph(index.num_vertices, edges, name="stream-final")
+static = FelineIndex(snapshot).build()
+mismatches = 0
+for _ in range(5000):
+    u = rng.randrange(index.num_vertices)
+    v = rng.randrange(index.num_vertices)
+    if index.query(u, v) != static.query(u, v):
+        mismatches += 1
+print(f"agreement with a static rebuild on 5000 random queries: "
+      f"{5000 - mismatches}/5000")
+
+# ---------------------------------------------------------------------------
+# Why incremental: cost of the alternative (rebuild per batch).
+# ---------------------------------------------------------------------------
+start = time.perf_counter()
+FelineIndex(snapshot).build()
+rebuild_ms = 1000 * (time.perf_counter() - start)
+print(f"one full static rebuild of the final graph: {rebuild_ms:.1f} ms "
+      f"— the incremental index absorbed {index.num_edges} edges for "
+      f"{elapsed * 1000:.0f} ms total, staying queryable throughout")

@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs on environments whose
+setuptools predates PEP 660 self-sufficiency (no `wheel` package).
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

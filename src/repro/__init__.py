@@ -1,0 +1,115 @@
+"""repro — a from-scratch reproduction of FELINE (EDBT 2014).
+
+FELINE (*Fast rEfined onLINE search*, Veloso, Cerf, Meira Jr & Zaki)
+answers reachability queries on very large directed graphs by drawing the
+DAG in the plane with two topological orderings and cutting impossible
+queries in constant time.  This package implements FELINE, its variants
+(FELINE-I, FELINE-B), every baseline of the paper's evaluation (GRAIL,
+FERRARI, Nuutila's INTERVAL, TF-Label), the SCARAB boosting framework, and
+the full benchmark suite regenerating the paper's tables and figures.
+
+Quick start
+-----------
+>>> import repro
+>>> r = repro.Reachability([(0, 1), (1, 2), (3, 2)])
+>>> r.reachable(0, 2)
+True
+>>> r.reachable(2, 0)
+False
+
+The :class:`Reachability` facade accepts *any* directed graph — cycles are
+condensed automatically.  Power users work with the index classes directly
+on DAGs (:class:`repro.core.FelineIndex` and friends), through the method
+registry (:func:`repro.baselines.create_index`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.baselines.base import (
+    ReachabilityIndex,
+    available_methods,
+    create_index,
+)
+from repro.exceptions import ReproError
+from repro.graph.digraph import DiGraph
+from repro.graph.scc import condense
+
+# Importing these modules registers every built-in method in the factory.
+import repro.baselines  # noqa: F401  (registration side effect)
+import repro.core  # noqa: F401
+import repro.scarab  # noqa: F401
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Reachability",
+    "DiGraph",
+    "available_methods",
+    "create_index",
+    "ReproError",
+    "__version__",
+]
+
+
+class Reachability:
+    """High-level reachability oracle over an arbitrary directed graph.
+
+    Handles the paper's preprocessing transparently: the input graph is
+    condensed (every strongly connected component folded into one vertex,
+    Tarjan's algorithm) and the chosen index is built on the resulting
+    DAG.  Queries map vertices through the SCC function first, so two
+    vertices in the same component are mutually reachable, as expected.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`DiGraph` or an iterable of ``(u, v)`` edges over dense
+        integer vertex ids.
+    method:
+        Registry name of the index to build (default ``"feline"``; see
+        :func:`available_methods`).
+    **params:
+        Forwarded to the index constructor (e.g. ``num_labelings=5`` for
+        GRAIL).
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph | Iterable[tuple[int, int]],
+        method: str = "feline",
+        **params,
+    ) -> None:
+        if not isinstance(graph, DiGraph):
+            graph = DiGraph.from_edges(graph)
+        self.graph = graph
+        self.condensation = condense(graph)
+        self.index: ReachabilityIndex = create_index(
+            method, self.condensation.dag, **params
+        ).build()
+
+    def reachable(self, u: int, v: int) -> bool:
+        """Whether there is a directed path from ``u`` to ``v``."""
+        scc_of = self.condensation.scc_of
+        return self.index.query(scc_of[u], scc_of[v])
+
+    def witness_path(self, u: int, v: int) -> list[int] | None:
+        """An actual path from ``u`` to ``v`` in the *original* graph.
+
+        Answers the index first (cheap no), then runs a BFS on the
+        original graph for the witness — O(|V| + |E|), paid only when a
+        path exists and is explicitly requested.
+        """
+        if not self.reachable(u, v):
+            return None
+        from repro.graph.paths import find_path
+
+        return find_path(self.graph, u, v)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Reachability method={self.index.method_name!r} "
+            f"|V|={self.graph.num_vertices} |E|={self.graph.num_edges} "
+            f"sccs={self.condensation.num_components}>"
+        )

@@ -1,0 +1,53 @@
+"""Baseline reachability indexes the paper evaluates FELINE against.
+
+* :class:`~repro.baselines.online_search.DFSIndex`,
+  :class:`~repro.baselines.online_search.BFSIndex`,
+  :class:`~repro.baselines.online_search.BidirectionalBFSIndex` — the
+  un-indexed end of the spectrum;
+* :class:`~repro.baselines.transitive_closure.TransitiveClosureIndex` —
+  the fully materialised end;
+* :class:`~repro.baselines.grail.GrailIndex` — GRAIL (Yildirim et al.);
+* :class:`~repro.baselines.ferrari.FerrariIndex` — FERRARI (Seufert et al.);
+* :class:`~repro.baselines.interval.NuutilaIntervalIndex` — Nuutila's
+  INTERVAL with PWAH-compressed interval lists;
+* :class:`~repro.baselines.tflabel.TFLabelIndex` — TF-Label (Cheng et al.).
+
+All of them implement :class:`~repro.baselines.base.ReachabilityIndex` and
+are registered in the method factory (:func:`~repro.baselines.base.create_index`).
+"""
+
+from repro.baselines.base import (
+    ReachabilityIndex,
+    available_methods,
+    create_index,
+    register_index,
+)
+from repro.baselines.chain_cover import ChainCoverIndex
+from repro.baselines.dual_labeling import DualLabelingIndex
+from repro.baselines.ferrari import FerrariIndex
+from repro.baselines.grail import GrailIndex
+from repro.baselines.interval import NuutilaIntervalIndex
+from repro.baselines.online_search import (
+    BFSIndex,
+    BidirectionalBFSIndex,
+    DFSIndex,
+)
+from repro.baselines.tflabel import TFLabelIndex
+from repro.baselines.transitive_closure import TransitiveClosureIndex
+
+__all__ = [
+    "ReachabilityIndex",
+    "available_methods",
+    "create_index",
+    "register_index",
+    "DFSIndex",
+    "BFSIndex",
+    "BidirectionalBFSIndex",
+    "TransitiveClosureIndex",
+    "GrailIndex",
+    "FerrariIndex",
+    "ChainCoverIndex",
+    "DualLabelingIndex",
+    "NuutilaIntervalIndex",
+    "TFLabelIndex",
+]

@@ -1,0 +1,196 @@
+"""Common interface and factory for every reachability index.
+
+The benchmark harness sweeps methods uniformly: it instantiates each index
+through :func:`create_index`, calls :meth:`ReachabilityIndex.build` once
+(timed — the paper's "construction time"), then issues queries through
+:meth:`ReachabilityIndex.query` (timed — "query time") and reads
+:meth:`ReachabilityIndex.index_size_bytes` ("index size").
+
+All indexes require a **DAG**; condensation of cyclic inputs is a
+documented pre-processing step (:func:`repro.graph.scc.condense`), applied
+automatically by the :class:`repro.Reachability` facade.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from repro.exceptions import DatasetError, IndexNotBuiltError
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "QueryStats",
+    "ReachabilityIndex",
+    "register_index",
+    "create_index",
+    "available_methods",
+]
+
+
+@dataclass
+class QueryStats:
+    """Counters describing how queries were answered.
+
+    The paper's discussion section attributes the performance differences
+    between online-search methods to *which* cut answers each query; these
+    counters make that observable:
+
+    * ``queries`` — total queries answered;
+    * ``equal_cuts`` — answered by ``u == v``;
+    * ``negative_cuts`` — answered negatively in O(1) (dominance, level or
+      interval non-containment before any search);
+    * ``positive_cuts`` — answered positively in O(1) by the positive-cut
+      filter;
+    * ``searches`` — queries that needed a graph search;
+    * ``expanded`` — total vertices expanded across all searches;
+    * ``pruned`` — search branches cut by the index during searches.
+    """
+
+    queries: int = 0
+    equal_cuts: int = 0
+    negative_cuts: int = 0
+    positive_cuts: int = 0
+    searches: int = 0
+    expanded: int = 0
+    pruned: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.queries = 0
+        self.equal_cuts = 0
+        self.negative_cuts = 0
+        self.positive_cuts = 0
+        self.searches = 0
+        self.expanded = 0
+        self.pruned = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Counters as a plain dict (for reports)."""
+        return {
+            "queries": self.queries,
+            "equal_cuts": self.equal_cuts,
+            "negative_cuts": self.negative_cuts,
+            "positive_cuts": self.positive_cuts,
+            "searches": self.searches,
+            "expanded": self.expanded,
+            "pruned": self.pruned,
+        }
+
+
+class ReachabilityIndex(ABC):
+    """Abstract reachability index over a DAG.
+
+    Subclasses set the class attribute ``method_name`` (the factory key and
+    report label) and implement :meth:`_build` and :meth:`_query`.
+
+    The public :meth:`query` guards against use-before-build and maintains
+    the ``stats.queries`` counter; subclasses update the finer-grained
+    counters themselves.
+    """
+
+    method_name: str = "abstract"
+
+    def __init__(self, graph: DiGraph) -> None:
+        self.graph = graph
+        self.stats = QueryStats()
+        self._built = False
+
+    # -- lifecycle ------------------------------------------------------
+    def build(self) -> "ReachabilityIndex":
+        """Construct the index; returns ``self`` for chaining."""
+        self._build()
+        self._built = True
+        return self
+
+    @property
+    def built(self) -> bool:
+        """Whether :meth:`build` has completed."""
+        return self._built
+
+    # -- queries --------------------------------------------------------
+    def query(self, u: int, v: int) -> bool:
+        """Whether ``v`` is reachable from ``u`` (``r(u, v)``)."""
+        if not self._built:
+            raise IndexNotBuiltError(
+                f"{self.method_name}: call build() before query()"
+            )
+        self.stats.queries += 1
+        return self._query(u, v)
+
+    def query_many(self, pairs: Iterable[tuple[int, int]]) -> list[bool]:
+        """Answer a batch of queries (harness convenience)."""
+        if not self._built:
+            raise IndexNotBuiltError(
+                f"{self.method_name}: call build() before query_many()"
+            )
+        query = self._query
+        stats = self.stats
+        answers = []
+        for u, v in pairs:
+            stats.queries += 1
+            answers.append(query(u, v))
+        return answers
+
+    # -- introspection ----------------------------------------------------
+    @abstractmethod
+    def index_size_bytes(self) -> int:
+        """Approximate size of the *index structure itself*, in bytes.
+
+        Excludes the input graph — the paper's "index size" figures
+        compare only the generated labels, which is what makes GRAIL's
+        d-interval index measurably larger than FELINE's two orderings.
+        """
+
+    # -- to be provided by subclasses -------------------------------------
+    @abstractmethod
+    def _build(self) -> None:
+        """Construct the index structures."""
+
+    @abstractmethod
+    def _query(self, u: int, v: int) -> bool:
+        """Answer one query; ``build`` is guaranteed to have run."""
+
+    def __repr__(self) -> str:
+        state = "built" if self._built else "unbuilt"
+        return f"<{type(self).__name__} {state} on {self.graph!r}>"
+
+
+_REGISTRY: dict[str, Callable[..., ReachabilityIndex]] = {}
+
+
+def register_index(
+    factory: Callable[..., ReachabilityIndex], name: str | None = None
+) -> Callable[..., ReachabilityIndex]:
+    """Register an index class/factory under its ``method_name``.
+
+    Usable as a plain call or a decorator:
+
+    >>> @register_index
+    ... class MyIndex(ReachabilityIndex):
+    ...     method_name = "mine"
+    ...     ...
+    """
+    key = name or getattr(factory, "method_name", None)
+    if not key or key == "abstract":
+        raise ValueError(f"{factory!r} has no usable method_name")
+    _REGISTRY[key] = factory
+    return factory
+
+
+def create_index(method: str, graph: DiGraph, **params) -> ReachabilityIndex:
+    """Instantiate a registered index by name (does not build it)."""
+    try:
+        factory = _REGISTRY[method]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise DatasetError(
+            f"unknown reachability method {method!r}; known: {known}"
+        ) from None
+    return factory(graph, **params)
+
+
+def available_methods() -> list[str]:
+    """Names of all registered methods, sorted."""
+    return sorted(_REGISTRY)

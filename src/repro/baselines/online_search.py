@@ -1,0 +1,79 @@
+"""Un-indexed online searches — the right end of the Figure 1 spectrum.
+
+These "indexes" build nothing: every query is a fresh O(|V| + |E|) graph
+search.  They anchor the benchmark sweeps (any real index must beat them on
+query time) and give the test suites an obviously-correct oracle.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import ReachabilityIndex, register_index
+from repro.graph.traversal import (
+    bfs_reachable,
+    bidirectional_reachable,
+    dfs_reachable,
+)
+
+__all__ = ["DFSIndex", "BFSIndex", "BidirectionalBFSIndex"]
+
+
+class DFSIndex(ReachabilityIndex):
+    """Pure DFS per query; zero construction time, zero index size."""
+
+    method_name = "dfs"
+
+    def _build(self) -> None:
+        pass  # nothing to construct
+
+    def index_size_bytes(self) -> int:
+        return 0
+
+    def _query(self, u: int, v: int) -> bool:
+        if u == v:
+            self.stats.equal_cuts += 1
+            return True
+        self.stats.searches += 1
+        return dfs_reachable(self.graph, u, v)
+
+
+class BFSIndex(ReachabilityIndex):
+    """Pure BFS per query."""
+
+    method_name = "bfs"
+
+    def _build(self) -> None:
+        pass  # nothing to construct
+
+    def index_size_bytes(self) -> int:
+        return 0
+
+    def _query(self, u: int, v: int) -> bool:
+        if u == v:
+            self.stats.equal_cuts += 1
+            return True
+        self.stats.searches += 1
+        return bfs_reachable(self.graph, u, v)
+
+
+class BidirectionalBFSIndex(ReachabilityIndex):
+    """Bidirectional BFS per query — the strongest un-indexed baseline."""
+
+    method_name = "bibfs"
+
+    def _build(self) -> None:
+        pass  # nothing to construct
+
+    def index_size_bytes(self) -> int:
+        return 0
+
+    def _query(self, u: int, v: int) -> bool:
+        if u == v:
+            self.stats.equal_cuts += 1
+            return True
+        self.stats.searches += 1
+        return bidirectional_reachable(self.graph, u, v)
+
+
+register_index(DFSIndex)
+register_index(BFSIndex)
+register_index(BidirectionalBFSIndex)

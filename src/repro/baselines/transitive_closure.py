@@ -1,0 +1,56 @@
+"""Fully materialised transitive closure — the left end of Figure 1.
+
+O(1) queries, O(|V|²) bits of space: exactly the trade-off the paper calls
+infeasible for very large graphs.  The benchmark harness includes it on
+small graphs to exhibit that trade-off, and every test suite uses it as the
+ground-truth oracle.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import ReachabilityIndex, register_index
+from repro.exceptions import IndexBuildError
+from repro.graph.transitive import transitive_closure_bitsets
+
+__all__ = ["TransitiveClosureIndex"]
+
+
+class TransitiveClosureIndex(ReachabilityIndex):
+    """Per-vertex reachability bitsets; queries are one bit test.
+
+    ``memory_budget_bytes`` emulates a machine memory cap: construction
+    raises :class:`IndexBuildError` (reason ``"memory-budget"``) when the
+    closure would exceed it — the harness uses this to reproduce, on small
+    hardware, the paper's "INTERVAL failed on the largest graphs" rows.
+    """
+
+    method_name = "tc"
+
+    def __init__(self, graph, memory_budget_bytes: int | None = None) -> None:
+        super().__init__(graph)
+        self._memory_budget = memory_budget_bytes
+        self._closure: list[int] | None = None
+
+    def _build(self) -> None:
+        n = self.graph.num_vertices
+        projected = n * n // 8  # one bit per ordered pair
+        if self._memory_budget is not None and projected > self._memory_budget:
+            raise IndexBuildError(
+                f"transitive closure needs ~{projected} bytes, budget is "
+                f"{self._memory_budget}",
+                reason="memory-budget",
+            )
+        self._closure = transitive_closure_bitsets(self.graph)
+
+    def index_size_bytes(self) -> int:
+        if self._closure is None:
+            return 0
+        # sys.getsizeof of each int would count object headers; the paper
+        # compares label payloads, so count the raw bit payload.
+        return sum(max(1, bits.bit_length() + 7 >> 3) for bits in self._closure)
+
+    def _query(self, u: int, v: int) -> bool:
+        return bool((self._closure[u] >> v) & 1)
+
+
+register_index(TransitiveClosureIndex)

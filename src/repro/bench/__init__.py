@@ -1,0 +1,59 @@
+"""Benchmark harness and per-table/figure experiment drivers."""
+
+from repro.bench.harness import MethodResult, MethodSpec, measure_method, run_sweep
+from repro.bench.reporting import (
+    format_bytes,
+    format_series,
+    format_table,
+    render_scatter,
+)
+from repro.bench.validate import ValidationReport, cross_validate
+from repro.bench.runner import (
+    DEFAULT_METHODS,
+    ExperimentReport,
+    ablation_filters,
+    ablation_y_heuristics,
+    fig10_cd_construction,
+    fig11_cd_query,
+    fig12_index_plots,
+    fig13_synthetic_construction,
+    fig14_synthetic_query,
+    fig15_index_sizes_real,
+    fig16_index_sizes_synthetic,
+    fig17_cd_scarab,
+    table1_datasets,
+    table2_synthetic,
+    table3_real,
+    table4_feline_variants,
+    table5_scarab,
+)
+
+__all__ = [
+    "MethodSpec",
+    "MethodResult",
+    "measure_method",
+    "run_sweep",
+    "cross_validate",
+    "ValidationReport",
+    "format_table",
+    "format_series",
+    "format_bytes",
+    "render_scatter",
+    "ExperimentReport",
+    "DEFAULT_METHODS",
+    "table1_datasets",
+    "table2_synthetic",
+    "table3_real",
+    "table4_feline_variants",
+    "table5_scarab",
+    "fig10_cd_construction",
+    "fig11_cd_query",
+    "fig12_index_plots",
+    "fig13_synthetic_construction",
+    "fig14_synthetic_query",
+    "fig15_index_sizes_real",
+    "fig16_index_sizes_synthetic",
+    "fig17_cd_scarab",
+    "ablation_y_heuristics",
+    "ablation_filters",
+]

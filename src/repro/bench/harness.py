@@ -1,0 +1,146 @@
+"""Measurement harness: construction time, query time, index size.
+
+Reproduces the paper's methodology (§4.2): per dataset, a fixed set of
+random query pairs is generated once; each method's index is built and the
+whole batch is answered; both phases are timed and averaged over
+``runs`` executions (the paper uses 500k pairs × 10 runs; defaults here
+are scaled with the graphs).
+
+Failures are first-class: a method that raises :class:`IndexBuildError`
+(e.g. INTERVAL exceeding its memory budget — the paper's "failed with
+these datasets" rows) produces a result with ``failure`` set instead of
+aborting the sweep.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.baselines.base import ReachabilityIndex, create_index
+from repro.exceptions import IndexBuildError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["MethodResult", "MethodSpec", "measure_method", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """A method to sweep: registry name, display label, constructor params."""
+
+    method: str
+    label: str = ""
+    params: dict = field(default_factory=dict)
+
+    @property
+    def display(self) -> str:
+        return self.label or self.method
+
+
+@dataclass
+class MethodResult:
+    """One (method, dataset) measurement.
+
+    Times are averages over the runs, in **milliseconds** (the paper's
+    unit).  ``query_ms`` is the time for the *whole* query batch, like the
+    paper's per-dataset totals.  ``failure`` carries the machine-readable
+    reason when construction failed; the timing fields are then ``None``.
+    """
+
+    method: str
+    dataset: str
+    num_queries: int
+    construction_ms: float | None = None
+    query_ms: float | None = None
+    index_bytes: int | None = None
+    positives: int | None = None
+    failure: str | None = None
+    # Per-query latency percentiles in microseconds (only filled when
+    # measure_method(..., percentiles=True); per-query timing adds
+    # overhead, so the batch totals above stay the headline numbers).
+    query_p50_us: float | None = None
+    query_p95_us: float | None = None
+    query_p99_us: float | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def measure_method(
+    graph: DiGraph,
+    spec: MethodSpec,
+    pairs: list[tuple[int, int]],
+    runs: int = 3,
+    percentiles: bool = False,
+) -> MethodResult:
+    """Build ``spec`` on ``graph`` and answer ``pairs``, ``runs`` times.
+
+    Returns averaged timings; on :class:`IndexBuildError` the result
+    records the failure reason (other exceptions propagate — they are
+    bugs, not resource exhaustion).  With ``percentiles=True`` the last
+    run additionally times every query individually and fills the
+    ``query_p50/p95/p99_us`` tail-latency fields.
+    """
+    result = MethodResult(
+        method=spec.display,
+        dataset=graph.name or "unnamed",
+        num_queries=len(pairs),
+    )
+    build_times: list[float] = []
+    query_times: list[float] = []
+    index: ReachabilityIndex | None = None
+    for _ in range(max(1, runs)):
+        index = create_index(spec.method, graph, **spec.params)
+        start = time.perf_counter()
+        try:
+            index.build()
+        except IndexBuildError as exc:
+            result.failure = exc.reason
+            return result
+        build_times.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        answers = index.query_many(pairs)
+        query_times.append(time.perf_counter() - start)
+        result.positives = sum(answers)
+
+    result.construction_ms = 1000 * sum(build_times) / len(build_times)
+    result.query_ms = 1000 * sum(query_times) / len(query_times)
+    result.index_bytes = index.index_size_bytes() if index else None
+
+    if percentiles and pairs and index is not None:
+        latencies = []
+        query = index.query
+        for u, v in pairs:
+            start = time.perf_counter()
+            query(u, v)
+            latencies.append(time.perf_counter() - start)
+        latencies.sort()
+        result.query_p50_us = 1e6 * _percentile(latencies, 0.50)
+        result.query_p95_us = 1e6 * _percentile(latencies, 0.95)
+        result.query_p99_us = 1e6 * _percentile(latencies, 0.99)
+    return result
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, round(fraction * (len(sorted_values) - 1)))
+    return sorted_values[rank]
+
+
+def run_sweep(
+    graphs: list[DiGraph],
+    specs: list[MethodSpec],
+    pairs_per_graph: dict[str, list[tuple[int, int]]],
+    runs: int = 3,
+) -> list[MethodResult]:
+    """Measure every method on every graph with the graph's query batch."""
+    results: list[MethodResult] = []
+    for graph in graphs:
+        pairs = pairs_per_graph[graph.name]
+        for spec in specs:
+            results.append(measure_method(graph, spec, pairs, runs=runs))
+    return results

@@ -1,0 +1,122 @@
+"""Plain-text rendering of experiment outputs: tables and scatter plots.
+
+The paper's artifacts are tables (3–5), bar/line charts (13–16), CD
+diagrams (10, 11, 17) and index scatter plots (12).  Benchmarks print the
+same rows/series as text; charts become aligned series tables and ASCII
+scatters, which preserve the *shape* comparisons the reproduction is
+judged on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_series", "render_scatter", "format_bytes"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    highlight_best: Sequence[int] = (),
+    title: str = "",
+) -> str:
+    """Fixed-width table; ``highlight_best`` marks per-row winners.
+
+    The paper highlights each row's best result with a gray background;
+    we mimic that with a ``*`` suffix on the minimum value among the
+    ``highlight_best`` columns of each row (failures excluded).
+    """
+    cells = [[_fmt(c) for c in row] for row in rows]
+    if highlight_best:
+        for row, rendered in zip(rows, cells):
+            numeric = {
+                i: row[i]
+                for i in highlight_best
+                if isinstance(row[i], (int, float))
+            }
+            if numeric:
+                best = min(numeric, key=numeric.get)
+                rendered[best] += "*"
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for rendered in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(rendered, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "FAIL"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[object]],
+    title: str = "",
+) -> str:
+    """A figure's line chart as a table: x in rows, one column per series."""
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [series[name][i] for name in series]
+        for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def render_scatter(
+    points: Sequence[tuple[float, float]],
+    width: int = 60,
+    height: int = 20,
+    title: str = "",
+) -> str:
+    """ASCII density scatter of coordinate points (the Figure 12 plots).
+
+    Darker glyphs mean more points per character cell.
+    """
+    if not points:
+        return f"{title}\n(empty)" if title else "(empty)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1
+    y_span = (y_hi - y_lo) or 1
+    counts = [[0] * width for _ in range(height)]
+    for x, y in points:
+        col = min(width - 1, int((x - x_lo) / x_span * width))
+        row = min(height - 1, int((y - y_lo) / y_span * height))
+        counts[height - 1 - row][col] += 1  # y grows upward
+    peak = max(max(row) for row in counts)
+    glyphs = " .:+*#@"
+    lines = [title] if title else []
+    for row in counts:
+        line = "".join(
+            glyphs[min(len(glyphs) - 1, round(c / peak * (len(glyphs) - 1)))]
+            for c in row
+        )
+        lines.append("|" + line + "|")
+    lines.append(f"x: [{x_lo}, {x_hi}]  y: [{y_lo}, {y_hi}]  n={len(points)}")
+    return "\n".join(lines)
+
+
+def format_bytes(num_bytes: int | None) -> str:
+    """Human-readable byte count (KiB/MiB), ``FAIL`` for ``None``."""
+    if num_bytes is None:
+        return "FAIL"
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024
+    return f"{value:.1f}GiB"

@@ -1,0 +1,106 @@
+"""Cross-method validation: every index must tell the same story.
+
+The strongest end-to-end check a reachability library can run on itself:
+answer the same workload with several independent index structures and
+report any disagreement, with the exact DFS verdict attached.  The test
+suite runs this on every graph family; it is exposed publicly so
+downstream users can validate the library on *their* graphs before
+trusting an index in production.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.baselines.base import create_index
+from repro.exceptions import IndexBuildError
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import dfs_reachable
+
+__all__ = ["Disagreement", "ValidationReport", "cross_validate"]
+
+
+@dataclass(frozen=True)
+class Disagreement:
+    """One query where a method deviated from the DFS ground truth."""
+
+    method: str
+    source: int
+    target: int
+    answered: bool
+    truth: bool
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of a cross-validation run."""
+
+    methods_checked: list[str]
+    methods_skipped: dict[str, str]  # method -> failure reason
+    num_queries: int
+    disagreements: list[Disagreement]
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreements
+
+    def summary(self) -> str:
+        lines = [
+            f"validated {len(self.methods_checked)} methods on "
+            f"{self.num_queries} queries: "
+            + ("ALL AGREE" if self.ok else f"{len(self.disagreements)} DISAGREEMENTS")
+        ]
+        for method, reason in self.methods_skipped.items():
+            lines.append(f"  skipped {method}: {reason}")
+        for d in self.disagreements[:20]:
+            lines.append(
+                f"  {d.method}: r({d.source}, {d.target}) answered "
+                f"{d.answered}, truth {d.truth}"
+            )
+        return "\n".join(lines)
+
+
+def cross_validate(
+    graph: DiGraph,
+    pairs: Sequence[tuple[int, int]],
+    methods: Sequence[str] = ("feline", "feline-b", "grail", "ferrari", "interval"),
+    method_params: dict[str, dict] | None = None,
+) -> ValidationReport:
+    """Answer ``pairs`` with every method and diff against DFS truth.
+
+    Methods whose construction hits a resource budget are skipped (with
+    the reason recorded), not failed — resource limits are not
+    correctness bugs.
+    """
+    params = method_params or {}
+    truth = [dfs_reachable(graph, u, v) for u, v in pairs]
+    checked: list[str] = []
+    skipped: dict[str, str] = {}
+    disagreements: list[Disagreement] = []
+    for method in methods:
+        index = create_index(method, graph, **params.get(method, {}))
+        try:
+            index.build()
+        except IndexBuildError as exc:
+            skipped[method] = exc.reason
+            continue
+        checked.append(method)
+        answers = index.query_many(list(pairs))
+        for (u, v), answered, expected in zip(pairs, answers, truth):
+            if answered != expected:
+                disagreements.append(
+                    Disagreement(
+                        method=method,
+                        source=u,
+                        target=v,
+                        answered=answered,
+                        truth=expected,
+                    )
+                )
+    return ValidationReport(
+        methods_checked=checked,
+        methods_skipped=skipped,
+        num_queries=len(pairs),
+        disagreements=disagreements,
+    )

@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``methods``
+    List every registered reachability method.
+``datasets``
+    List every addressable dataset name.
+``query GRAPH.edges u v [--method M] [--index FILE]``
+    Load an edge-list file and answer one reachability query; with
+    ``--index`` the FELINE coordinates are loaded from ``FILE`` instead
+    of rebuilt (pass ``--mmap`` to page them in lazily).
+``build GRAPH.edges INDEX.feline``
+    Build a FELINE index for an edge-list graph (must be a DAG after
+    condensation is *not* applied here — build works on DAGs) and save
+    it in the binary format of :mod:`repro.core.persistence`.
+``bench EXPERIMENT [--scale S] [--queries N] [--runs R]``
+    Regenerate a paper artifact (``t1``..``t5``, ``f10``..``f17``,
+    ``ablation-heuristics``, ``ablation-filters``, or ``all``).
+``validate GRAPH.edges [--queries N]``
+    Cross-check several index methods against DFS ground truth on the
+    given graph; exits non-zero on any disagreement.
+``recommend GRAPH.edges [--query-heavy]``
+    Print the advised index method for the graph, with the features and
+    rule behind the choice.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable
+
+from repro import Reachability, available_methods
+from repro.bench import runner
+from repro.datasets.registry import dataset_names
+from repro.graph.io import read_edge_list
+
+__all__ = ["main"]
+
+_EXPERIMENTS: dict[str, Callable[..., runner.ExperimentReport]] = {
+    "t1": runner.table1_datasets,
+    "t2": runner.table2_synthetic,
+    "t3": runner.table3_real,
+    "t4": runner.table4_feline_variants,
+    "t5": runner.table5_scarab,
+    "f10": runner.fig10_cd_construction,
+    "f11": runner.fig11_cd_query,
+    "f12": runner.fig12_index_plots,
+    "f13": runner.fig13_synthetic_construction,
+    "f14": runner.fig14_synthetic_query,
+    "f15": runner.fig15_index_sizes_real,
+    "f16": runner.fig16_index_sizes_synthetic,
+    "f17": runner.fig17_cd_scarab,
+    "ablation-heuristics": runner.ablation_y_heuristics,
+    "ablation-filters": runner.ablation_filters,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="FELINE reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("methods", help="list registered reachability methods")
+    sub.add_parser("datasets", help="list dataset names")
+
+    query = sub.add_parser("query", help="answer one reachability query")
+    query.add_argument("graph", help="edge-list file (u v per line)")
+    query.add_argument("source", type=int)
+    query.add_argument("target", type=int)
+    query.add_argument("--method", default="feline")
+    query.add_argument(
+        "--index", default=None, help="saved FELINE index file to reuse"
+    )
+    query.add_argument(
+        "--mmap", action="store_true", help="memory-map the saved index"
+    )
+
+    build = sub.add_parser(
+        "build", help="build and save a FELINE index for a DAG"
+    )
+    build.add_argument("graph", help="edge-list file of a DAG")
+    build.add_argument("output", help="destination .feline index file")
+
+    bench = sub.add_parser("bench", help="regenerate a paper artifact")
+    bench.add_argument(
+        "experiment", choices=sorted(_EXPERIMENTS) + ["all"]
+    )
+    bench.add_argument("--scale", type=float, default=None)
+    bench.add_argument("--queries", type=int, default=None)
+    bench.add_argument("--runs", type=int, default=None)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--datasets",
+        default=None,
+        help="comma-separated dataset names to restrict the sweep to",
+    )
+
+    validate = sub.add_parser(
+        "validate", help="cross-check index methods against DFS truth"
+    )
+    validate.add_argument("graph", help="edge-list file of a DAG")
+    validate.add_argument("--queries", type=int, default=500)
+    validate.add_argument("--seed", type=int, default=0)
+
+    recommend = sub.add_parser(
+        "recommend", help="advise an index method for a graph"
+    )
+    recommend.add_argument("graph", help="edge-list file of a DAG")
+    recommend.add_argument("--query-heavy", action="store_true")
+    return parser
+
+
+def _bench_kwargs(args: argparse.Namespace, experiment: str) -> dict:
+    kwargs: dict = {"seed": args.seed}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    if experiment not in ("t1", "t2", "f12"):
+        if args.queries is not None:
+            kwargs["num_queries"] = args.queries
+        if args.runs is not None:
+            kwargs["runs"] = args.runs
+    if getattr(args, "datasets", None) and experiment not in ("t1", "t2"):
+        names = args.datasets.split(",")
+        kwargs["names"] = tuple(names) if experiment == "f12" else names
+    if experiment in ("t2",) and "scale" not in kwargs:
+        kwargs["scale"] = 0.001
+    return kwargs
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "methods":
+        print("\n".join(available_methods()))
+        return 0
+
+    if args.command == "datasets":
+        print("\n".join(dataset_names()))
+        return 0
+
+    if args.command == "query":
+        graph = read_edge_list(args.graph)
+        if args.index is not None:
+            from repro.core.persistence import load_index
+
+            index = load_index(graph, args.index, mmap=args.mmap)
+            answer = index.query(args.source, args.target)
+        else:
+            oracle = Reachability(graph, method=args.method)
+            answer = oracle.reachable(args.source, args.target)
+        print("reachable" if answer else "not reachable")
+        return 0 if answer else 1
+
+    if args.command == "build":
+        from repro.core.persistence import save_index
+        from repro.core.query import FelineIndex
+
+        graph = read_edge_list(args.graph)
+        index = FelineIndex(graph).build()
+        save_index(index, args.output)
+        print(
+            f"built FELINE index for {graph.num_vertices} vertices, "
+            f"{index.index_size_bytes()} bytes -> {args.output}"
+        )
+        return 0
+
+    if args.command == "validate":
+        from repro.bench.validate import cross_validate
+        from repro.datasets.queries import random_pairs
+
+        graph = read_edge_list(args.graph)
+        pairs = random_pairs(graph, args.queries, seed=args.seed)
+        report = cross_validate(graph, pairs)
+        print(report.summary())
+        return 0 if report.ok else 1
+
+    if args.command == "recommend":
+        from repro.core.advisor import describe_recommendation
+
+        graph = read_edge_list(args.graph)
+        print(describe_recommendation(graph, expect_query_heavy=args.query_heavy))
+        return 0
+
+    if args.command == "bench":
+        wanted = (
+            sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+        )
+        for experiment in wanted:
+            report = _EXPERIMENTS[experiment](
+                **_bench_kwargs(args, experiment)
+            )
+            print(report)
+            print()
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

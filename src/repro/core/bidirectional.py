@@ -1,0 +1,199 @@
+"""FELINE-I and FELINE-B — the reversed and bidirectional variants (§4.3.3).
+
+Reversing every edge of a DAG changes the in/out-degree distributions, so
+the index built on the reversed graph places vertices differently (the
+paper's Figure 12 plots).  Two variants exploit this:
+
+* **FELINE-I** builds the index on the reversed DAG ``G'`` and answers
+  ``r(u, v)`` on ``G`` as ``r(v, u)`` on ``G'`` — same machinery, different
+  coordinates, and for some datasets a better false-positive rate.
+* **FELINE-B** builds *both* indexes and intersects their admissible
+  regions: ``r(u, v)`` requires ``i(u) ≼ i(v)`` in the normal index *and*
+  ``i'(v) ≼ i'(u)`` in the reversed one; during the DFS every expanded
+  vertex ``w`` must satisfy both ``i(w) ≼ i(v)`` and ``i'(v) ≼ i'(w)``.
+  Per the paper, the level and positive-cut filters are applied just once,
+  on the normal index, which is why FELINE-B's index is less than twice
+  FELINE's.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.baselines.base import ReachabilityIndex, register_index
+from repro.core.index import FelineCoordinates, build_feline_index
+from repro.core.query import FelineIndex
+from repro.graph.digraph import DiGraph
+
+__all__ = ["FelineIIndex", "FelineBIndex"]
+
+
+class FelineIIndex(ReachabilityIndex):
+    """FELINE-I: the FELINE index built on the edge-reversed DAG.
+
+    Internally delegates to a :class:`FelineIndex` over ``graph.reversed()``
+    and swaps the query arguments; the inner index's statistics are
+    mirrored on this object's ``stats``.
+    """
+
+    method_name = "feline-i"
+
+    def __init__(self, graph: DiGraph, **feline_params) -> None:
+        super().__init__(graph)
+        self._inner = FelineIndex(graph.reversed(), **feline_params)
+        # Share one stats object so counters land in the usual place.
+        self._inner.stats = self.stats
+
+    def _build(self) -> None:
+        self._inner.build()
+
+    def index_size_bytes(self) -> int:
+        return self._inner.index_size_bytes()
+
+    @property
+    def coordinates(self) -> FelineCoordinates | None:
+        """The coordinates over the *reversed* graph (Figure 12 plots)."""
+        return self._inner.coordinates
+
+    def _query(self, u: int, v: int) -> bool:
+        # r(u, v) on G  ⇔  r(v, u) on reversed(G).
+        return self._inner._query(v, u)
+
+
+class FelineBIndex(ReachabilityIndex):
+    """FELINE-B: bidirectional pruning with normal + reversed coordinates.
+
+    Construction cost is roughly doubled (two Algorithm 1 runs) but the
+    DFS prunes with four bounds instead of two, which the paper shows
+    yields the best query times overall (Table 4, Figure 14).
+    """
+
+    method_name = "feline-b"
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        y_heuristic: str = "max-x",
+        x_order: str = "dfs",
+        use_level_filter: bool = True,
+        use_positive_cut: bool = True,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(graph)
+        self._y_heuristic = y_heuristic
+        self._x_order = x_order
+        self._use_level_filter = use_level_filter
+        self._use_positive_cut = use_positive_cut
+        self._seed = seed
+        self.forward: FelineCoordinates | None = None
+        self.backward: FelineCoordinates | None = None
+        self._visited = array("l", [0] * graph.num_vertices)
+        self._stamp = 0
+
+    def _build(self) -> None:
+        # Filters live on the normal index only (paper §4.3.5): the
+        # reversed index contributes coordinates alone.
+        self.forward = build_feline_index(
+            self.graph,
+            y_heuristic=self._y_heuristic,
+            x_order=self._x_order,
+            with_level_filter=self._use_level_filter,
+            with_positive_cut=self._use_positive_cut,
+            seed=self._seed,
+        )
+        self.backward = build_feline_index(
+            self.graph.reversed(),
+            y_heuristic=self._y_heuristic,
+            x_order=self._x_order,
+            with_level_filter=False,
+            with_positive_cut=False,
+            seed=self._seed,
+        )
+
+    def index_size_bytes(self) -> int:
+        total = 0
+        if self.forward is not None:
+            total += self.forward.memory_bytes()
+        if self.backward is not None:
+            total += self.backward.memory_bytes()
+        return total
+
+    def _query(self, u: int, v: int) -> bool:
+        stats = self.stats
+        if u == v:
+            stats.equal_cuts += 1
+            return True
+
+        fwd, bwd = self.forward, self.backward
+        fx, fy = fwd.x, fwd.y
+        bx, by = bwd.x, bwd.y
+        xv, yv = fx[v], fy[v]
+        # Normal-index dominance: i(u) ≼ i(v).
+        if fx[u] > xv or fy[u] > yv:
+            stats.negative_cuts += 1
+            return False
+        # Reversed-index dominance: i'(v) ≼ i'(u).
+        rxv, ryv = bx[v], by[v]
+        if bx[u] < rxv or by[u] < ryv:
+            stats.negative_cuts += 1
+            return False
+
+        levels = fwd.levels
+        if levels is not None and levels[u] >= levels[v]:
+            stats.negative_cuts += 1
+            return False
+
+        intervals = fwd.tree_intervals
+        if intervals is not None and intervals.contains(u, v):
+            stats.positive_cuts += 1
+            return True
+
+        stats.searches += 1
+        return self._search(u, v, xv, yv, rxv, ryv)
+
+    def _search(
+        self, u: int, v: int, xv: int, yv: int, rxv: int, ryv: int
+    ) -> bool:
+        """DFS restricted to the intersection of both admissible regions."""
+        fwd, bwd = self.forward, self.backward
+        fx, fy = fwd.x, fwd.y
+        bx, by = bwd.x, bwd.y
+        levels = fwd.levels
+        intervals = fwd.tree_intervals
+        level_v = levels[v] if levels is not None else 0
+        indptr = self.graph.out_indptr
+        indices = self.graph.out_indices
+        stats = self.stats
+
+        self._stamp += 1
+        stamp = self._stamp
+        visited = self._visited
+        visited[u] = stamp
+        stack = [u]
+        while stack:
+            w = stack.pop()
+            stats.expanded += 1
+            for k in range(indptr[w], indptr[w + 1]):
+                child = indices[k]
+                if child == v:
+                    return True
+                if visited[child] == stamp:
+                    continue
+                visited[child] = stamp
+                if fx[child] > xv or fy[child] > yv:
+                    stats.pruned += 1
+                    continue
+                if bx[child] < rxv or by[child] < ryv:
+                    stats.pruned += 1
+                    continue
+                if levels is not None and levels[child] >= level_v:
+                    stats.pruned += 1
+                    continue
+                if intervals is not None and intervals.contains(child, v):
+                    return True
+                stack.append(child)
+        return False
+
+
+register_index(FelineIIndex)
+register_index(FelineBIndex)

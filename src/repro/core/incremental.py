@@ -1,0 +1,219 @@
+"""Incremental FELINE — the paper's announced future-work variant.
+
+The conclusion of the paper states: "We are currently working on
+distributed, out-of-core and incremental versions of Feline. We believe
+that its index may be extended to support efficiently these versions."
+This module delivers the incremental version: a FELINE index that absorbs
+**edge and vertex insertions** without rebuilding.
+
+Design
+------
+* Both coordinate orderings are maintained online with the Pearce–Kelly
+  algorithm (:class:`repro.graph.dynamic.DynamicTopologicalOrder`):
+  an insertion permutes only the affected rank window.
+* The ``Y`` order's repair is priority-biased by the current ``X``
+  ranks, keeping the spirit of the Kornaropoulos max-X-rank heuristic as
+  the drawing evolves (the static heuristic's global pass is impossible
+  online; local bias is the natural incremental analogue).
+* Vertex levels are maintained by forward propagation (levels only grow
+  under insertions), preserving the level filter.
+* The positive-cut filter is **dropped**: min-post intervals over a
+  spanning forest have no cheap incremental repair, and the filter is an
+  optimization, never needed for correctness.
+
+Soundness is unconditional: both orderings are kept topological after
+every insertion, so Theorem 1 (``r(u, v) ⇒ i(u) ≼ i(v)``) holds at all
+times, and the pruned DFS stays exact.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Iterable
+
+from repro.exceptions import NotADAGError
+from repro.graph.digraph import DiGraph
+from repro.graph.dynamic import DynamicDiGraph, DynamicTopologicalOrder
+from repro.graph.levels import compute_levels
+from repro.graph.toposort import dfs_topological_order, ranks_from_order
+
+__all__ = ["IncrementalFelineIndex"]
+
+
+class IncrementalFelineIndex:
+    """A FELINE index over a growing DAG.
+
+    Parameters
+    ----------
+    graph:
+        Initial DAG as a static :class:`DiGraph`, a ``(num_vertices,
+        edges)`` pair via :meth:`from_edges`, or nothing (empty start).
+
+    Examples
+    --------
+    >>> index = IncrementalFelineIndex.from_edges(3, [(0, 1)])
+    >>> index.add_edge(1, 2)
+    >>> index.query(0, 2)
+    True
+    >>> index.add_edge(2, 0)
+    Traceback (most recent call last):
+        ...
+    repro.exceptions.NotADAGError: edge (2, 0) would create a cycle
+    """
+
+    def __init__(self, graph: DiGraph | None = None) -> None:
+        if graph is None:
+            graph = DiGraph(0, [])
+        self._graph = DynamicDiGraph.from_edges(
+            graph.num_vertices, graph.edges()
+        )
+        order_x = dfs_topological_order(graph)
+        x_ranks = ranks_from_order(order_x) if order_x else array("l")
+        self._x = DynamicTopologicalOrder(self._graph, initial_order=order_x)
+        # Seed Y with the same valid order; the X-rank priority steers
+        # every subsequent repair toward the heuristic's preference.
+        self._y = DynamicTopologicalOrder(
+            self._graph, initial_order=order_x, priority=x_ranks
+        )
+        self._levels = compute_levels(graph)
+        self._visited = array("l", [0] * graph.num_vertices)
+        self._stamp = 0
+        self.edges_inserted = 0
+        self.reorders = 0
+
+    @classmethod
+    def from_edges(
+        cls, num_vertices: int, edges: Iterable[tuple[int, int]]
+    ) -> "IncrementalFelineIndex":
+        return cls(DiGraph(num_vertices, list(edges)))
+
+    # ------------------------------------------------------------------
+    # growth
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self._graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self._graph.num_edges
+
+    def add_vertex(self) -> int:
+        """Append an isolated vertex; returns its id."""
+        v = self._graph.add_vertex()
+        self._x.append_vertex()
+        self._y.append_vertex()
+        self._levels.append(0)
+        self._visited.append(0)
+        return v
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Insert edge ``(u, v)``, repairing coordinates and levels.
+
+        Raises :class:`NotADAGError` (graph unchanged) if the edge would
+        close a cycle.
+        """
+        # X and Y share one DynamicDiGraph.  X's insert_edge both checks
+        # acyclicity and appends the edge; Y then only needs the order
+        # repair, done against the pre-insertion adjacency it discovers
+        # (the new edge extends succ[u]/pred[v], which neither discovery
+        # traverses from v forward or u backward).
+        changed_x = self._x.insert_edge(u, v)
+        changed_y = self._repair_second_order(u, v)
+        self._propagate_levels(u, v)
+        self.edges_inserted += 1
+        if changed_x or changed_y:
+            self.reorders += 1
+
+    def _repair_second_order(self, u: int, v: int) -> bool:
+        """Repair Y for an edge already present in the shared graph."""
+        y = self._y
+        lower, upper = y.ranks[v], y.ranks[u]
+        if lower > upper:
+            return False
+        # u cannot appear in the forward set (a v -> u path would be the
+        # cycle X's check just excluded), and symmetrically for v.
+        delta_forward = y._discover_forward(v, upper)
+        delta_backward = y._discover_backward(u, lower)
+        y._reorder(delta_forward, delta_backward)
+        return True
+
+    def _propagate_levels(self, u: int, v: int) -> None:
+        """Raise levels downstream of ``v`` where the new edge deepens them."""
+        levels = self._levels
+        required = levels[u] + 1
+        if levels[v] >= required:
+            return
+        levels[v] = required
+        stack = [v]
+        successors = self._graph.successors
+        while stack:
+            w = stack.pop()
+            next_level = levels[w] + 1
+            for child in successors(w):
+                if levels[child] < next_level:
+                    levels[child] = next_level
+                    stack.append(child)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def coordinate(self, v: int) -> tuple[int, int]:
+        """The current ``i(v) = (x, y)``."""
+        return self._x.ranks[v], self._y.ranks[v]
+
+    def dominates(self, u: int, v: int) -> bool:
+        """Whether ``i(u) ≼ i(v)`` under the current drawing."""
+        return (
+            self._x.ranks[u] <= self._x.ranks[v]
+            and self._y.ranks[u] <= self._y.ranks[v]
+        )
+
+    def query(self, u: int, v: int) -> bool:
+        """Whether ``v`` is reachable from ``u`` in the current graph."""
+        if u == v:
+            return True
+        x, y = self._x.ranks, self._y.ranks
+        xv, yv = x[v], y[v]
+        if x[u] > xv or y[u] > yv:
+            return False
+        levels = self._levels
+        if levels[u] >= levels[v]:
+            return False
+        self._stamp += 1
+        stamp = self._stamp
+        visited = self._visited
+        visited[u] = stamp
+        stack = [u]
+        successors = self._graph.successors
+        level_v = levels[v]
+        while stack:
+            w = stack.pop()
+            for child in successors(w):
+                if child == v:
+                    return True
+                if visited[child] == stamp:
+                    continue
+                visited[child] = stamp
+                if x[child] > xv or y[child] > yv:
+                    continue
+                if levels[child] >= level_v:
+                    continue
+                stack.append(child)
+        return False
+
+    def check_invariants(self) -> bool:
+        """Both orderings topological and levels consistent (test hook)."""
+        if not (self._x.is_consistent() and self._y.is_consistent()):
+            return False
+        levels = self._levels
+        return all(
+            levels[a] < levels[b] for a, b in self._graph.edges()
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<IncrementalFelineIndex |V|={self.num_vertices} "
+            f"|E|={self.num_edges} inserts={self.edges_inserted} "
+            f"reorders={self.reorders}>"
+        )

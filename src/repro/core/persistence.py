@@ -1,0 +1,155 @@
+"""FELINE index persistence — build once, reload or memory-map later.
+
+The paper's conclusion lists an *out-of-core* FELINE among the planned
+extensions.  The index is four flat integer arrays, which makes it
+naturally storage-friendly; this module defines a binary format and two
+loading modes:
+
+* ``mmap=False`` — read the arrays back into RAM (fast queries,
+  construction cost skipped);
+* ``mmap=True`` — back the arrays with :class:`numpy.memmap`, so the
+  index pages in on demand and the resident footprint stays O(pages
+  touched), the out-of-core access pattern (queries only touch the
+  coordinates of vertices the pruned DFS actually visits).
+
+Format (little-endian)::
+
+    magic     8 bytes  b"FELINEi1"
+    n         u64      vertex count
+    flags     u64      bit 0: levels present, bit 1: tree intervals present
+    x         n × i64
+    y         n × i64
+    [levels   n × i64]
+    [start    n × i64]
+    [post     n × i64]
+
+The graph itself is *not* stored — FELINE is an online-search index, so
+the caller keeps the graph (e.g. via :mod:`repro.graph.io`) and pairs it
+with the loaded coordinates.
+"""
+
+from __future__ import annotations
+
+import struct
+from array import array
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.index import FelineCoordinates
+from repro.core.query import FelineIndex
+from repro.exceptions import ReproError
+from repro.graph.digraph import DiGraph
+from repro.graph.spanning import IntervalLabels
+
+__all__ = ["save_coordinates", "load_coordinates", "save_index", "load_index"]
+
+_MAGIC = b"FELINEi1"
+_FLAG_LEVELS = 1
+_FLAG_INTERVALS = 2
+
+
+def _array_bytes(values) -> bytes:
+    return np.asarray(values, dtype="<i8").tobytes()
+
+
+def save_coordinates(coords: FelineCoordinates, path: str | Path) -> None:
+    """Write a :class:`FelineCoordinates` to ``path`` in the v1 format."""
+    flags = 0
+    if coords.levels is not None:
+        flags |= _FLAG_LEVELS
+    if coords.tree_intervals is not None:
+        flags |= _FLAG_INTERVALS
+    with open(path, "wb") as handle:
+        handle.write(_MAGIC)
+        handle.write(struct.pack("<QQ", coords.num_vertices, flags))
+        handle.write(_array_bytes(coords.x))
+        handle.write(_array_bytes(coords.y))
+        if coords.levels is not None:
+            handle.write(_array_bytes(coords.levels))
+        if coords.tree_intervals is not None:
+            handle.write(_array_bytes(coords.tree_intervals.start))
+            handle.write(_array_bytes(coords.tree_intervals.post))
+
+
+def load_coordinates(
+    path: str | Path, mmap: bool = False
+) -> FelineCoordinates:
+    """Read coordinates back; ``mmap=True`` pages them in lazily."""
+    path = Path(path)
+    header_size = len(_MAGIC) + 16
+    with open(path, "rb") as handle:
+        magic = handle.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise ReproError(
+                f"{path}: not a FELINE index file (bad magic {magic!r})"
+            )
+        n, flags = struct.unpack("<QQ", handle.read(16))
+
+    num_arrays = 2 + bool(flags & _FLAG_LEVELS) + 2 * bool(
+        flags & _FLAG_INTERVALS
+    )
+    expected = header_size + 8 * n * num_arrays
+    actual = path.stat().st_size
+    if actual != expected:
+        raise ReproError(
+            f"{path}: truncated or corrupt index "
+            f"(expected {expected} bytes, found {actual})"
+        )
+
+    def segment(index: int):
+        offset = header_size + 8 * n * index
+        if mmap:
+            return np.memmap(
+                path, dtype="<i8", mode="r", offset=offset, shape=(n,)
+            )
+        data = np.fromfile(path, dtype="<i8", count=n, offset=offset)
+        return array("l", data.tolist())
+
+    cursor = 0
+    x = segment(cursor)
+    cursor += 1
+    y = segment(cursor)
+    cursor += 1
+    levels = None
+    if flags & _FLAG_LEVELS:
+        levels = segment(cursor)
+        cursor += 1
+    tree_intervals = None
+    if flags & _FLAG_INTERVALS:
+        start = segment(cursor)
+        cursor += 1
+        post = segment(cursor)
+        tree_intervals = IntervalLabels(start=start, post=post)
+    return FelineCoordinates(
+        x=x, y=y, levels=levels, tree_intervals=tree_intervals
+    )
+
+
+def save_index(index: FelineIndex, path: str | Path) -> None:
+    """Persist a built :class:`FelineIndex`'s coordinate structure."""
+    if index.coordinates is None:
+        raise ReproError("cannot save an unbuilt index; call build() first")
+    save_coordinates(index.coordinates, path)
+
+
+def load_index(
+    graph: DiGraph, path: str | Path, mmap: bool = False
+) -> FelineIndex:
+    """Reattach saved coordinates to ``graph``, skipping construction.
+
+    The caller is responsible for pairing the file with the same graph it
+    was built on; a vertex-count mismatch is rejected, anything subtler
+    is undetectable by design (the format stores no graph fingerprint to
+    stay O(index) on disk).
+    """
+    coords = load_coordinates(path, mmap=mmap)
+    if coords.num_vertices != graph.num_vertices:
+        raise ReproError(
+            f"index file covers {coords.num_vertices} vertices but the "
+            f"graph has {graph.num_vertices}"
+        )
+    index = FelineIndex(graph)
+    index.coordinates = coords
+    index._built = True
+    return index

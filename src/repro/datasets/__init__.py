@@ -1,0 +1,50 @@
+"""Datasets: stand-ins for the paper's real graphs, synthetics, workloads."""
+
+from repro.datasets.queries import (
+    Workload,
+    equal_pairs,
+    load_pairs,
+    mixed_workload,
+    negative_pairs,
+    positive_pairs,
+    random_pairs,
+    save_pairs,
+)
+from repro.datasets.real_stand_ins import (
+    REAL_GRAPH_SPECS,
+    RealGraphSpec,
+    large_real_graph_names,
+    load_real_stand_in,
+    real_graph_names,
+    small_real_graph_names,
+)
+from repro.datasets.registry import dataset_names, load_dataset
+from repro.datasets.synthetic import (
+    SYNTHETIC_SPECS,
+    SyntheticSpec,
+    load_synthetic,
+    synthetic_names,
+)
+
+__all__ = [
+    "load_dataset",
+    "dataset_names",
+    "load_real_stand_in",
+    "real_graph_names",
+    "small_real_graph_names",
+    "large_real_graph_names",
+    "REAL_GRAPH_SPECS",
+    "RealGraphSpec",
+    "load_synthetic",
+    "synthetic_names",
+    "SYNTHETIC_SPECS",
+    "SyntheticSpec",
+    "random_pairs",
+    "positive_pairs",
+    "negative_pairs",
+    "equal_pairs",
+    "mixed_workload",
+    "Workload",
+    "save_pairs",
+    "load_pairs",
+]

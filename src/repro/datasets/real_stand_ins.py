@@ -1,0 +1,319 @@
+"""Synthetic stand-ins for the paper's eleven real datasets (Table 1).
+
+The original graphs (Arxiv ... Uniprot150m) were distributed from the
+authors' site, which is unavailable offline, so each dataset is replaced by
+a *parameterised generator* matching its published shape: |V| and |E|
+(optionally scaled down), root/leaf balance, density regime and depth.
+DESIGN.md §3 documents why shape, not identity, is what the evaluation
+depends on.
+
+Each spec records the **paper's** Table 1 row, so EXPERIMENTS.md can print
+paper-vs-measured statistics side by side.
+
+Shape families (see :mod:`repro.graph.generators`):
+
+* ``citation`` — dense, clustered, heavy-tailed in-degree (Arxiv,
+  Citeseer, Pubmed, Citeseerx, Cit-Patents);
+* ``ontology`` — sparse, deep, few roots / many leaves (GO);
+* ``tree-like`` — |E| ≈ |V| taxonomies (the Uniprot family; the paper's
+  originals have millions of roots and 4 leaves, i.e. our generator's
+  natural orientation *reversed* — the specs reverse the graph — with a
+  ``hub_bias`` matching each row's root fraction);
+* ``fan-in`` — a thin core fed by a huge fringe of sources (Yago's 78%
+  roots; Go-Uniprot's 99.7% annotation vertices pointing into the GO
+  core);
+* ``random`` — uniform DAG (available for custom specs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import DatasetError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    citation_dag,
+    fan_in_dag,
+    ontology_dag,
+    random_dag,
+    tree_like_dag,
+)
+
+__all__ = ["RealGraphSpec", "REAL_GRAPH_SPECS", "load_real_stand_in", "real_graph_names", "small_real_graph_names", "large_real_graph_names"]
+
+
+@dataclass(frozen=True)
+class RealGraphSpec:
+    """Shape description of one Table 1 dataset.
+
+    ``paper_*`` fields are the published values (what Table 1 reports);
+    ``family``/``family_params`` select the stand-in generator;
+    ``default_scale`` shrinks |V| for interactive runs (1.0 = paper size).
+    """
+
+    name: str
+    paper_vertices: int
+    paper_edges: int
+    paper_clustering: float
+    paper_eff_diameter: float
+    paper_roots: int
+    paper_leaves: int
+    family: str
+    default_scale: float
+    reverse: bool = False
+    family_params: tuple[tuple[str, float], ...] = ()
+
+    def scaled_vertices(self, scale: float | None = None) -> int:
+        """|V| after applying ``scale`` (default: the spec's own)."""
+        factor = self.default_scale if scale is None else scale
+        return max(16, round(self.paper_vertices * factor))
+
+
+# Paper Table 1 (vertex/edge counts as printed; the five small graphs are
+# full-size by default, the six large ones scaled down for pure Python).
+REAL_GRAPH_SPECS: dict[str, RealGraphSpec] = {
+    spec.name: spec
+    for spec in (
+        RealGraphSpec(
+            name="arxiv",
+            paper_vertices=6000,
+            paper_edges=66707,
+            paper_clustering=0.35,
+            paper_eff_diameter=5.48,
+            paper_roots=961,
+            paper_leaves=624,
+            family="citation",
+            default_scale=1.0,
+            family_params=(
+                ("avg_out_degree", 11.1),
+                ("leaf_fraction", 0.10),
+                ("triadic_probability", 0.5),
+            ),
+        ),
+        RealGraphSpec(
+            name="yago",
+            paper_vertices=6642,
+            paper_edges=42392,
+            paper_clustering=0.24,
+            paper_eff_diameter=6.57,
+            paper_roots=5176,
+            paper_leaves=264,
+            family="fan-in",
+            default_scale=1.0,
+            family_params=(("root_fraction", 0.78), ("avg_degree", 7.5)),
+        ),
+        RealGraphSpec(
+            name="go",
+            paper_vertices=6793,
+            paper_edges=13361,
+            paper_clustering=0.07,
+            paper_eff_diameter=10.92,
+            paper_roots=64,
+            paper_leaves=3687,
+            family="ontology",
+            default_scale=1.0,
+            family_params=(("num_roots", 64), ("avg_parents", 2.0)),
+        ),
+        RealGraphSpec(
+            name="pubmed",
+            paper_vertices=9000,
+            paper_edges=40028,
+            paper_clustering=0.19,
+            paper_eff_diameter=6.83,
+            paper_roots=2069,
+            paper_leaves=4402,
+            family="citation",
+            default_scale=1.0,
+            family_params=(
+                ("avg_out_degree", 8.7),
+                ("leaf_fraction", 0.49),
+                ("triadic_probability", 0.4),
+            ),
+        ),
+        RealGraphSpec(
+            name="citeseer",
+            paper_vertices=10720,
+            paper_edges=44258,
+            paper_clustering=0.28,
+            paper_eff_diameter=8.36,
+            paper_roots=4572,
+            paper_leaves=1368,
+            family="citation",
+            default_scale=1.0,
+            family_params=(
+                ("avg_out_degree", 4.7),
+                ("leaf_fraction", 0.13),
+                ("triadic_probability", 0.45),
+            ),
+        ),
+        RealGraphSpec(
+            name="uniprot22m",
+            paper_vertices=1595444,
+            paper_edges=1595442,
+            paper_clustering=0.09,
+            paper_eff_diameter=10.53,
+            paper_roots=1354225,
+            paper_leaves=4,
+            family="tree-like",
+            default_scale=0.01,
+            reverse=True,
+            family_params=(("hub_bias", 0.85),),
+        ),
+        RealGraphSpec(
+            name="citeseerx",
+            paper_vertices=6540400,
+            paper_edges=15011260,
+            paper_clustering=0.06,
+            paper_eff_diameter=4.8,
+            paper_roots=567149,
+            paper_leaves=5740722,
+            family="citation",
+            default_scale=0.001,
+            family_params=(
+                ("avg_out_degree", 19.0),
+                ("leaf_fraction", 0.88),
+                ("triadic_probability", 0.3),
+                ("preferential_probability", 0.1),
+            ),
+        ),
+        RealGraphSpec(
+            name="go-uniprot",
+            paper_vertices=6967956,
+            paper_edges=34770235,
+            paper_clustering=0.0,
+            paper_eff_diameter=4.41,
+            paper_roots=6946721,
+            paper_leaves=4,
+            family="fan-in",
+            default_scale=0.001,
+            family_params=(
+                ("root_fraction", 0.997),
+                ("avg_degree", 5.0),
+                ("core_avg_degree", 2.0),
+            ),
+        ),
+        RealGraphSpec(
+            name="uniprot100m",
+            paper_vertices=16087295,
+            paper_edges=16087293,
+            paper_clustering=0.0,
+            paper_eff_diameter=7.0,
+            paper_roots=14499959,
+            paper_leaves=4,
+            family="tree-like",
+            default_scale=0.001,
+            reverse=True,
+            family_params=(("hub_bias", 0.90),),
+        ),
+        RealGraphSpec(
+            name="uniprot150m",
+            paper_vertices=25037600,
+            paper_edges=25037598,
+            paper_clustering=0.0,
+            paper_eff_diameter=7.0,
+            paper_roots=21650005,
+            paper_leaves=4,
+            family="tree-like",
+            default_scale=0.001,
+            reverse=True,
+            family_params=(("hub_bias", 0.86),),
+        ),
+        RealGraphSpec(
+            name="cit-patents",
+            paper_vertices=3774768,
+            paper_edges=16518948,
+            paper_clustering=0.09,
+            paper_eff_diameter=9.4,
+            paper_roots=515785,
+            paper_leaves=1685423,
+            family="citation",
+            default_scale=0.001,
+            family_params=(
+                ("avg_out_degree", 8.0),
+                ("leaf_fraction", 0.45),
+                ("triadic_probability", 0.35),
+                ("preferential_probability", 0.25),
+            ),
+        ),
+    )
+}
+
+_SMALL = ("arxiv", "yago", "go", "pubmed", "citeseer")
+
+
+def real_graph_names() -> list[str]:
+    """All stand-in names, small graphs first (paper's table order)."""
+    return list(_SMALL) + [n for n in REAL_GRAPH_SPECS if n not in _SMALL]
+
+
+def small_real_graph_names() -> list[str]:
+    """The five < 100k-vertex datasets."""
+    return list(_SMALL)
+
+
+def large_real_graph_names() -> list[str]:
+    """The six large datasets (scaled stand-ins)."""
+    return [n for n in REAL_GRAPH_SPECS if n not in _SMALL]
+
+
+def load_real_stand_in(
+    name: str, scale: float | None = None, seed: int = 0
+) -> DiGraph:
+    """Generate the stand-in DAG for dataset ``name``.
+
+    ``scale`` multiplies the paper's |V| (default: the spec's
+    ``default_scale``); edge counts scale along through the family's
+    density parameters.  Deterministic given ``seed``.
+    """
+    try:
+        spec = REAL_GRAPH_SPECS[name]
+    except KeyError:
+        known = ", ".join(real_graph_names())
+        raise DatasetError(f"unknown dataset {name!r}; known: {known}") from None
+
+    n = spec.scaled_vertices(scale)
+    params = dict(spec.family_params)
+    if spec.family == "citation":
+        graph = citation_dag(
+            n,
+            avg_out_degree=params.get("avg_out_degree", 5.0),
+            leaf_fraction=params.get("leaf_fraction", 0.1),
+            triadic_probability=params.get("triadic_probability", 0.35),
+            preferential_probability=params.get(
+                "preferential_probability", 0.7
+            ),
+            seed=seed,
+        )
+    elif spec.family == "ontology":
+        graph = ontology_dag(
+            n,
+            num_roots=int(params.get("num_roots", 1)),
+            avg_parents=params.get("avg_parents", 1.5),
+            seed=seed,
+        )
+    elif spec.family == "tree-like":
+        graph = tree_like_dag(
+            n,
+            extra_edge_fraction=params.get("extra_edge_fraction", 0.0),
+            hub_bias=params.get("hub_bias", 0.0),
+            seed=seed,
+        )
+    elif spec.family == "fan-in":
+        graph = fan_in_dag(
+            n,
+            root_fraction=params.get("root_fraction", 0.75),
+            avg_degree=params.get("avg_degree", 6.0),
+            core_avg_degree=params.get("core_avg_degree", 2.0),
+            seed=seed,
+        )
+    elif spec.family == "random":
+        graph = random_dag(
+            n, avg_degree=params.get("avg_degree", 1.0), seed=seed
+        )
+    else:  # pragma: no cover - specs are static
+        raise DatasetError(f"spec {name!r} has unknown family {spec.family!r}")
+
+    if spec.reverse:
+        graph = graph.reversed()
+    graph.name = name
+    return graph

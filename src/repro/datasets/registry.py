@@ -1,0 +1,47 @@
+"""Unified dataset lookup: one name space over stand-ins and synthetics.
+
+The benchmark harness and the CLI address every dataset by name;
+:func:`load_dataset` dispatches to the right generator and
+:func:`dataset_names` enumerates everything (real stand-ins first, then the
+synthetic suite), so experiment scripts never hard-code generator calls.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.real_stand_ins import (
+    REAL_GRAPH_SPECS,
+    load_real_stand_in,
+    real_graph_names,
+)
+from repro.datasets.synthetic import (
+    DEFAULT_SYNTHETIC_SCALE,
+    SYNTHETIC_SPECS,
+    load_synthetic,
+    synthetic_names,
+)
+from repro.exceptions import DatasetError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["dataset_names", "load_dataset"]
+
+
+def dataset_names() -> list[str]:
+    """Every addressable dataset name (real stand-ins, then synthetic)."""
+    return real_graph_names() + synthetic_names()
+
+
+def load_dataset(
+    name: str, scale: float | None = None, seed: int = 0
+) -> DiGraph:
+    """Load any dataset by name.
+
+    ``scale`` overrides the per-dataset default size factor (1.0 = paper
+    size).  Raises :class:`DatasetError` for unknown names.
+    """
+    if name in REAL_GRAPH_SPECS:
+        return load_real_stand_in(name, scale=scale, seed=seed)
+    if name in SYNTHETIC_SPECS:
+        effective = DEFAULT_SYNTHETIC_SCALE if scale is None else scale
+        return load_synthetic(name, scale=effective, seed=seed)
+    known = ", ".join(dataset_names())
+    raise DatasetError(f"unknown dataset {name!r}; known: {known}")

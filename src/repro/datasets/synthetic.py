@@ -1,0 +1,88 @@
+"""The paper's synthetic dataset suite (Table 2), scaled for pure Python.
+
+Table 2 lists random DAGs named after their vertex count: ``10M`` ...
+``100M``, ``200M`` and ``500M`` with average degree 1 (|E| = |V|), plus the
+dense variants ``50M-5``, ``50M-10``, ``100M-5`` and ``100M-10`` with
+average degree 5 and 10.  All are uniform random DAGs
+(:func:`repro.graph.generators.random_dag`).
+
+The default ``scale`` is 1/1000 — ``10M`` becomes a 10,000-vertex DAG — so
+a full sweep runs in seconds; pass ``scale=1.0`` to generate paper-size
+graphs (memory permitting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import DatasetError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag
+
+__all__ = [
+    "SyntheticSpec",
+    "SYNTHETIC_SPECS",
+    "synthetic_names",
+    "load_synthetic",
+    "DEFAULT_SYNTHETIC_SCALE",
+]
+
+DEFAULT_SYNTHETIC_SCALE = 0.001
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """One Table 2 row: a vertex count and an average degree."""
+
+    name: str
+    paper_vertices: int
+    avg_degree: float
+
+    @property
+    def paper_edges(self) -> int:
+        return round(self.paper_vertices * self.avg_degree)
+
+    def scaled_vertices(self, scale: float) -> int:
+        return max(16, round(self.paper_vertices * scale))
+
+
+def _million(n: float) -> int:
+    return round(n * 1_000_000)
+
+
+SYNTHETIC_SPECS: dict[str, SyntheticSpec] = {
+    spec.name: spec
+    for spec in (
+        [
+            SyntheticSpec(f"{n}M", _million(n), 1.0)
+            for n in (10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 200, 500)
+        ]
+        + [
+            SyntheticSpec("50M-5", _million(50), 5.0),
+            SyntheticSpec("50M-10", _million(50), 10.0),
+            SyntheticSpec("100M-5", _million(100), 5.0),
+            SyntheticSpec("100M-10", _million(100), 10.0),
+        ]
+    )
+}
+
+
+def synthetic_names() -> list[str]:
+    """Names in Table 2 order (sparse sweep, then dense variants)."""
+    return list(SYNTHETIC_SPECS)
+
+
+def load_synthetic(
+    name: str,
+    scale: float = DEFAULT_SYNTHETIC_SCALE,
+    seed: int = 0,
+) -> DiGraph:
+    """Generate synthetic dataset ``name`` at ``scale`` of its paper size."""
+    try:
+        spec = SYNTHETIC_SPECS[name]
+    except KeyError:
+        known = ", ".join(SYNTHETIC_SPECS)
+        raise DatasetError(f"unknown synthetic {name!r}; known: {known}") from None
+    n = spec.scaled_vertices(scale)
+    graph = random_dag(n, avg_degree=spec.avg_degree, seed=seed, name=name)
+    return graph

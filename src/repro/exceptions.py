@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.  More specific
+subclasses communicate *what* went wrong:
+
+* :class:`GraphError` — structurally invalid graph input (bad vertex ids,
+  malformed edge lists, ...).
+* :class:`NotADAGError` — an algorithm that requires a DAG received a graph
+  with at least one directed cycle.
+* :class:`IndexNotBuiltError` — a query was issued against an index whose
+  :meth:`build` method has not run yet.
+* :class:`IndexBuildError` — index construction failed; the ``reason``
+  attribute carries a machine-readable cause (e.g. ``"memory-budget"`` for
+  the emulated INTERVAL memory exhaustion from the paper's evaluation).
+* :class:`DatasetError` — an unknown dataset name or unusable dataset
+  parameters.
+* :class:`WorkloadError` — a query workload could not be generated (e.g.
+  asking for positive-only pairs on an edgeless graph).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GraphError(ReproError):
+    """A graph argument is structurally invalid."""
+
+
+class NotADAGError(GraphError):
+    """An operation that requires an acyclic graph received a cyclic one.
+
+    The optional ``cycle_hint`` attribute carries one vertex known to lie on
+    a cycle, which makes error messages actionable on large graphs.
+    """
+
+    def __init__(self, message: str, cycle_hint: int | None = None) -> None:
+        super().__init__(message)
+        self.cycle_hint = cycle_hint
+
+
+class IndexNotBuiltError(ReproError):
+    """A reachability query was issued before the index was built."""
+
+
+class IndexBuildError(ReproError):
+    """Index construction failed.
+
+    ``reason`` is a short machine-readable cause.  The benchmark harness
+    uses ``reason == "memory-budget"`` to reproduce the paper's observation
+    that Nuutila's INTERVAL fails on very large graphs.
+    """
+
+    def __init__(self, message: str, reason: str = "error") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class DatasetError(ReproError):
+    """An unknown dataset name or invalid dataset parameters."""
+
+
+class WorkloadError(ReproError):
+    """A query workload could not be generated with the given parameters."""

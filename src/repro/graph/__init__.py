@@ -1,0 +1,34 @@
+"""Directed-graph substrate: representation, algorithms and generators.
+
+Everything in :mod:`repro.core`, :mod:`repro.baselines` and
+:mod:`repro.scarab` is built on this package.  The central type is
+:class:`~repro.graph.digraph.DiGraph`, an immutable CSR graph over dense
+integer vertices.
+"""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import DiGraph
+from repro.graph.levels import compute_levels
+from repro.graph.properties import graph_summary
+from repro.graph.scc import condense, is_dag, strongly_connected_components
+from repro.graph.toposort import (
+    dfs_topological_order,
+    kahn_order,
+    priority_kahn_order,
+)
+from repro.graph.traversal import bfs_reachable, dfs_reachable
+
+__all__ = [
+    "DiGraph",
+    "GraphBuilder",
+    "condense",
+    "is_dag",
+    "strongly_connected_components",
+    "kahn_order",
+    "priority_kahn_order",
+    "dfs_topological_order",
+    "compute_levels",
+    "graph_summary",
+    "dfs_reachable",
+    "bfs_reachable",
+]

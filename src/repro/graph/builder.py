@@ -1,0 +1,111 @@
+"""Mutable accumulator for constructing :class:`~repro.graph.digraph.DiGraph`.
+
+:class:`GraphBuilder` collects edges incrementally — from generators, file
+parsers or algorithmic constructions — and produces an immutable CSR graph
+at the end.  It optionally deduplicates edges and drops self loops, the two
+clean-ups every dataset loader in this library needs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Accumulates edges and vertices, then builds a :class:`DiGraph`.
+
+    Parameters
+    ----------
+    num_vertices:
+        Initial vertex count.  May grow via :meth:`add_vertex` or
+        automatically when ``auto_grow`` is true and an edge mentions a
+        vertex id beyond the current count.
+    dedup:
+        Drop duplicate edges (keeps the first occurrence's position).
+    drop_self_loops:
+        Silently discard edges ``(u, u)``.
+
+    Examples
+    --------
+    >>> b = GraphBuilder(auto_grow=True)
+    >>> b.add_edge(0, 1)
+    >>> b.add_edge(1, 2)
+    >>> g = b.build()
+    >>> g.num_vertices, g.num_edges
+    (3, 2)
+    """
+
+    def __init__(
+        self,
+        num_vertices: int = 0,
+        dedup: bool = False,
+        drop_self_loops: bool = False,
+        auto_grow: bool = False,
+    ) -> None:
+        if num_vertices < 0:
+            raise GraphError(f"num_vertices must be >= 0, got {num_vertices}")
+        self._num_vertices = num_vertices
+        self._edges: list[tuple[int, int]] = []
+        self._seen: set[tuple[int, int]] | None = set() if dedup else None
+        self._drop_self_loops = drop_self_loops
+        self._auto_grow = auto_grow
+
+    @property
+    def num_vertices(self) -> int:
+        """Current vertex count."""
+        return self._num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges accumulated so far (after dedup / loop drops)."""
+        return len(self._edges)
+
+    def add_vertex(self) -> int:
+        """Allocate one more vertex and return its id."""
+        vid = self._num_vertices
+        self._num_vertices += 1
+        return vid
+
+    def ensure_vertices(self, count: int) -> None:
+        """Grow the vertex count to at least ``count``."""
+        if count > self._num_vertices:
+            self._num_vertices = count
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Record the directed edge ``(u, v)``.
+
+        Raises :class:`GraphError` if an endpoint is out of range and
+        ``auto_grow`` is off.
+        """
+        if u < 0 or v < 0:
+            raise GraphError(f"negative vertex id in edge ({u}, {v})")
+        top = max(u, v)
+        if top >= self._num_vertices:
+            if not self._auto_grow:
+                raise GraphError(
+                    f"edge ({u}, {v}) exceeds vertex count "
+                    f"{self._num_vertices} (auto_grow is off)"
+                )
+            self._num_vertices = top + 1
+        if self._drop_self_loops and u == v:
+            return
+        if self._seen is not None:
+            key = (u, v)
+            if key in self._seen:
+                return
+            self._seen.add(key)
+        self._edges.append((u, v))
+
+    def add_edges(self, edges: Iterable[tuple[int, int]]) -> None:
+        """Record many edges; equivalent to repeated :meth:`add_edge`."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def build(self, name: str = "") -> DiGraph:
+        """Produce the immutable CSR graph from the accumulated edges."""
+        return DiGraph(self._num_vertices, self._edges, name=name)

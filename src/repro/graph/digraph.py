@@ -1,0 +1,242 @@
+"""Compact directed-graph representation.
+
+:class:`DiGraph` stores a directed graph in *compressed sparse row* (CSR)
+form, once for the out-direction and once for the in-direction.  This is the
+substrate every index in this library is built on:
+
+* vertices are the dense integers ``0 .. n-1`` (the paper numbers them
+  ``1 .. |V|``; we follow the Python convention);
+* ``successors(u)`` / ``predecessors(u)`` are O(1) slices into flat arrays;
+* the raw CSR arrays are exposed (``out_indptr``, ``out_indices``,
+  ``in_indptr``, ``in_indices``) so that hot loops — index construction and
+  DFS-based query answering — can avoid per-call overhead.
+
+Instances are immutable once constructed.  Use
+:class:`repro.graph.builder.GraphBuilder` to accumulate edges, or the
+convenience classmethods :meth:`DiGraph.from_edges` and
+:meth:`DiGraph.from_adjacency`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.exceptions import GraphError
+
+__all__ = ["DiGraph"]
+
+
+def _csr_from_edges(
+    num_vertices: int, sources: Sequence[int], targets: Sequence[int]
+) -> tuple[array, array]:
+    """Build (indptr, indices) CSR arrays grouping ``targets`` by source.
+
+    Runs in O(|V| + |E|) using a counting pass followed by a placement pass,
+    which keeps construction linear even for tens of millions of edges.
+    Within each source bucket the targets keep their input order.
+    """
+    counts = array("l", bytes(8 * (num_vertices + 1)))
+    for s in sources:
+        counts[s + 1] += 1
+    indptr = counts  # reused in place: prefix-sum turns counts into offsets
+    for v in range(1, num_vertices + 1):
+        indptr[v] += indptr[v - 1]
+    indices = array("l", bytes(8 * len(targets)))
+    cursor = array("l", indptr[:num_vertices])
+    for s, t in zip(sources, targets):
+        pos = cursor[s]
+        indices[pos] = t
+        cursor[s] = pos + 1
+    return indptr, indices
+
+
+class DiGraph:
+    """An immutable directed graph over vertices ``0 .. n-1`` in CSR form.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices ``n``; vertex ids are ``0 .. n-1``.
+    edges:
+        Iterable of ``(source, target)`` pairs.  Duplicate edges are kept
+        as given (deduplicate in :class:`GraphBuilder` if needed); self
+        loops are allowed here and removed by SCC condensation.
+
+    Notes
+    -----
+    The class checks vertex ids once at construction, so traversal code can
+    skip bounds checks.
+    """
+
+    __slots__ = (
+        "_num_vertices",
+        "_num_edges",
+        "out_indptr",
+        "out_indices",
+        "in_indptr",
+        "in_indices",
+        "name",
+    )
+
+    def __init__(
+        self,
+        num_vertices: int,
+        edges: Iterable[tuple[int, int]],
+        name: str = "",
+    ) -> None:
+        if num_vertices < 0:
+            raise GraphError(f"num_vertices must be >= 0, got {num_vertices}")
+        sources = array("l")
+        targets = array("l")
+        for u, v in edges:
+            sources.append(u)
+            targets.append(v)
+        n = num_vertices
+        for endpoint in (sources, targets):
+            for v in endpoint:
+                if not 0 <= v < n:
+                    raise GraphError(
+                        f"edge endpoint {v} out of range [0, {n})"
+                    )
+        self._num_vertices = n
+        self._num_edges = len(sources)
+        self.out_indptr, self.out_indices = _csr_from_edges(n, sources, targets)
+        self.in_indptr, self.in_indices = _csr_from_edges(n, targets, sources)
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[int, int]],
+        num_vertices: int | None = None,
+        name: str = "",
+    ) -> "DiGraph":
+        """Build a graph from an edge list, inferring ``n`` when omitted.
+
+        When ``num_vertices`` is ``None``, ``n`` is one more than the largest
+        endpoint mentioned (0 for an empty edge list).
+        """
+        edge_list = list(edges)
+        if num_vertices is None:
+            num_vertices = (
+                1 + max(max(u, v) for u, v in edge_list) if edge_list else 0
+            )
+        return cls(num_vertices, edge_list, name=name)
+
+    @classmethod
+    def from_adjacency(
+        cls,
+        adjacency: Sequence[Iterable[int]],
+        name: str = "",
+    ) -> "DiGraph":
+        """Build a graph from per-vertex successor lists."""
+        edges = [
+            (u, v) for u, succ in enumerate(adjacency) for v in succ
+        ]
+        return cls(len(adjacency), edges, name=name)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self._num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges (duplicates counted)."""
+        return self._num_edges
+
+    def vertices(self) -> range:
+        """The vertex ids, as a :class:`range`."""
+        return range(self._num_vertices)
+
+    def successors(self, u: int) -> array:
+        """The out-neighbours of ``u`` (a fresh array slice)."""
+        return self.out_indices[self.out_indptr[u] : self.out_indptr[u + 1]]
+
+    def predecessors(self, u: int) -> array:
+        """The in-neighbours of ``u`` (a fresh array slice)."""
+        return self.in_indices[self.in_indptr[u] : self.in_indptr[u + 1]]
+
+    def out_degree(self, u: int) -> int:
+        """Number of out-edges of ``u``."""
+        return self.out_indptr[u + 1] - self.out_indptr[u]
+
+    def in_degree(self, u: int) -> int:
+        """Number of in-edges of ``u``."""
+        return self.in_indptr[u + 1] - self.in_indptr[u]
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over all directed edges as ``(source, target)`` pairs."""
+        indptr, indices = self.out_indptr, self.out_indices
+        for u in range(self._num_vertices):
+            for k in range(indptr[u], indptr[u + 1]):
+                yield u, indices[k]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the directed edge ``(u, v)`` exists (linear in deg(u))."""
+        indptr = self.out_indptr
+        indices = self.out_indices
+        for k in range(indptr[u], indptr[u + 1]):
+            if indices[k] == v:
+                return True
+        return False
+
+    def roots(self) -> list[int]:
+        """Vertices with no incoming edges."""
+        indptr = self.in_indptr
+        return [v for v in range(self._num_vertices) if indptr[v] == indptr[v + 1]]
+
+    def leaves(self) -> list[int]:
+        """Vertices with no outgoing edges."""
+        indptr = self.out_indptr
+        return [v for v in range(self._num_vertices) if indptr[v] == indptr[v + 1]]
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def reversed(self) -> "DiGraph":
+        """The graph with every edge direction flipped.
+
+        Used by FELINE-I / FELINE-B: the reversed index answers ``r(u, v)``
+        on this graph as ``r(v, u)`` on the reversal.
+        """
+        rev = DiGraph.__new__(DiGraph)
+        rev._num_vertices = self._num_vertices
+        rev._num_edges = self._num_edges
+        rev.out_indptr = self.in_indptr
+        rev.out_indices = self.in_indices
+        rev.in_indptr = self.out_indptr
+        rev.in_indices = self.out_indices
+        rev.name = f"{self.name}-reversed" if self.name else "reversed"
+        return rev
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint of the CSR arrays, in bytes."""
+        return sum(
+            arr.itemsize * len(arr)
+            for arr in (
+                self.out_indptr,
+                self.out_indices,
+                self.in_indptr,
+                self.in_indices,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # dunder conveniences
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._num_vertices
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<DiGraph{label} |V|={self._num_vertices} |E|={self._num_edges}>"
+        )

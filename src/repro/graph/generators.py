@@ -1,0 +1,352 @@
+"""Graph generators: synthetic DAG families and adversarial cases.
+
+These generators produce every graph class the evaluation needs:
+
+* :func:`random_dag` — uniform random DAG with a target edge count; the
+  paper's synthetic suite (Table 2) is exactly this family, with average
+  degree 1 (``nM`` graphs), 5 and 10 (``nM-5``, ``nM-10``).
+* :func:`tree_like_dag` — |E| ≈ |V| forest-with-shortcuts, the shape of
+  the Uniprot RDF graphs (huge root counts, 4 leaves in the paper).
+* :func:`citation_dag` — preferential-attachment citations, dense and
+  shallow like Arxiv / Citeseer / Cit-Patents.
+* :func:`ontology_dag` — few roots, many leaves, sparse and deep like GO.
+* :func:`layered_dag` — explicit depth control.
+* :func:`crown_graph` — the S⁰ₖ crown of the paper's Figure 4, the classic
+  adversarial case whose 2-D dominance drawing *must* contain falsely
+  implied paths.
+* :func:`random_digraph` — cyclic digraph for SCC/condensation tests.
+
+Every generator takes an explicit ``seed`` and is deterministic given it.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "random_dag",
+    "tree_like_dag",
+    "citation_dag",
+    "fan_in_dag",
+    "ontology_dag",
+    "layered_dag",
+    "crown_graph",
+    "random_digraph",
+    "path_graph",
+    "diamond_graph",
+    "complete_dag",
+]
+
+
+def _unique_dag_edges(
+    n: int, m: int, rng: Random, max_span: int | None = None
+) -> list[tuple[int, int]]:
+    """``m`` distinct edges ``(u, v)`` with ``u < v`` under a hidden order.
+
+    ``max_span`` caps ``v - u``, which controls depth/locality.  Rejection
+    sampling stays O(m) in expectation while m is far below n², which all
+    callers guarantee.
+    """
+    if n < 2 and m > 0:
+        raise GraphError(f"cannot place {m} edges on {n} vertices")
+    possible = n * (n - 1) // 2
+    if m > possible:
+        raise GraphError(f"{m} edges exceed the {possible} possible DAG edges")
+    edges: set[tuple[int, int]] = set()
+    while len(edges) < m:
+        u = rng.randrange(n - 1)
+        if max_span is None:
+            v = rng.randrange(u + 1, n)
+        else:
+            v = rng.randrange(u + 1, min(n, u + 1 + max_span))
+        edges.add((u, v))
+    return list(edges)
+
+
+def random_dag(
+    num_vertices: int,
+    num_edges: int | None = None,
+    avg_degree: float = 1.0,
+    seed: int = 0,
+    name: str = "",
+) -> DiGraph:
+    """Uniform random DAG: each edge respects a hidden total vertex order.
+
+    This matches the paper's synthetic generator: ``num_vertices`` vertices
+    and ``avg_degree × num_vertices`` edges drawn uniformly among pairs
+    ordered by vertex id (every labelled DAG on a fixed topological order
+    is equally likely).  Pass ``num_edges`` to fix the count exactly.
+    """
+    rng = Random(seed)
+    m = num_edges if num_edges is not None else round(avg_degree * num_vertices)
+    edges = _unique_dag_edges(num_vertices, m, rng)
+    return DiGraph(num_vertices, edges, name=name or f"random-dag-{num_vertices}")
+
+
+def tree_like_dag(
+    num_vertices: int,
+    extra_edge_fraction: float = 0.0,
+    max_children: int = 256,
+    hub_bias: float = 0.0,
+    seed: int = 0,
+    name: str = "",
+) -> DiGraph:
+    """A shallow random recursive tree plus shortcut edges (|E| ≈ |V|).
+
+    Models the Uniprot RDF graphs: an enormous number of roots feeding a
+    tiny set of sinks is obtained downstream by *reversing*; here we build
+    the natural orientation — every non-root vertex has exactly one tree
+    parent, so |E| = |V| - 1, plus ``extra_edge_fraction × |V|``
+    shortcuts.  Uniform parent choice keeps the expected depth O(log n),
+    matching the paper's single-digit effective diameters at scale.
+
+    ``hub_bias`` is the probability of attaching to an *already internal*
+    vertex instead of a uniform one; since only uniform attachments mint
+    new internal vertices, the leaf fraction converges to ``hub_bias`` —
+    the knob behind the Uniprot rows' 85-90% root fractions (after
+    reversal, the tree's leaves are the roots).
+    """
+    rng = Random(seed)
+    n = num_vertices
+    edges: list[tuple[int, int]] = []
+    child_count = [0] * n
+    internals: list[int] = []
+    for v in range(1, n):
+        parent = 0
+        for _ in range(8):
+            if internals and rng.random() < hub_bias:
+                parent = internals[rng.randrange(len(internals))]
+            else:
+                parent = rng.randrange(v)
+            if child_count[parent] < max_children:
+                break
+        if child_count[parent] == 0:
+            internals.append(parent)
+        child_count[parent] += 1
+        edges.append((parent, v))
+    extra = round(extra_edge_fraction * n)
+    existing = set(edges)
+    while extra > 0:
+        u = rng.randrange(n - 1)
+        v = rng.randrange(u + 1, n)
+        if (u, v) not in existing:
+            existing.add((u, v))
+            edges.append((u, v))
+            extra -= 1
+    return DiGraph(n, edges, name=name or f"tree-like-{n}")
+
+
+def citation_dag(
+    num_vertices: int,
+    avg_out_degree: float = 6.0,
+    leaf_fraction: float = 0.1,
+    triadic_probability: float = 0.35,
+    preferential_probability: float = 0.7,
+    seed: int = 0,
+    name: str = "",
+) -> DiGraph:
+    """Preferential-attachment citation network (dense, shallow, clustered).
+
+    Vertices arrive in id order; each new paper cites earlier papers,
+    preferring already-cited ones (degree-proportional sampling via the
+    repeated-endpoint trick), which produces the heavy-tailed in-degrees
+    of Arxiv / Citeseer / Cit-Patents.  Two knobs match the Table 1 shape
+    columns:
+
+    * ``leaf_fraction`` — probability a paper cites nothing inside the
+      dataset (a *leaf* of the DAG; real citation snapshots have many);
+    * ``triadic_probability`` — probability each citation is followed by
+      a reference-copying citation to one of the target's own references,
+      the mechanism behind citation networks' high clustering;
+    * ``preferential_probability`` — probability a citation target is
+      drawn from the degree-weighted pool rather than uniformly; lower
+      values spread citations out, raising the never-cited (root)
+      fraction toward the uniform-Poisson limit.
+    """
+    rng = Random(seed)
+    n = num_vertices
+    edges: list[tuple[int, int]] = []
+    cited_by: list[list[int]] = [[] for _ in range(n)]  # v -> its targets
+    # Pool of endpoints; sampling from it approximates preferential
+    # attachment (each citation adds the cited id once more).
+    pool: list[int] = [0]
+    for v in range(1, n):
+        pool.append(v)
+        if rng.random() < leaf_fraction:
+            continue  # cites nothing in-set: a leaf
+        cites = min(v, max(1, round(rng.expovariate(1.0 / avg_out_degree))))
+        targets: set[int] = set()
+        for _ in range(cites * 3):
+            if len(targets) >= cites:
+                break
+            candidate = (
+                pool[rng.randrange(len(pool))]
+                if rng.random() < preferential_probability
+                else rng.randrange(v)
+            )
+            if candidate != v:
+                targets.add(candidate)
+            # Reference copying: also cite a reference of the reference.
+            if (
+                candidate != v
+                and cited_by[candidate]
+                and rng.random() < triadic_probability
+            ):
+                copied = cited_by[candidate][
+                    rng.randrange(len(cited_by[candidate]))
+                ]
+                targets.add(copied)
+        for t in targets:
+            edges.append((v, t))  # newer cites older: v -> t with t < v
+            pool.append(t)
+        cited_by[v] = list(targets)
+    return DiGraph(n, edges, name=name or f"citation-{n}")
+
+
+def fan_in_dag(
+    num_vertices: int,
+    root_fraction: float = 0.75,
+    avg_degree: float = 6.0,
+    core_avg_degree: float = 2.0,
+    seed: int = 0,
+    name: str = "",
+) -> DiGraph:
+    """A mostly-roots DAG: a thin core fed by a large fringe of sources.
+
+    Models knowledge-base graphs like Yago (Table 1: 78% of the vertices
+    are roots): the first ``(1 - root_fraction) · n`` vertices form a
+    random DAG *core*; every remaining vertex is a root pointing
+    ``avg_degree``-ish edges into the core.
+    """
+    rng = Random(seed)
+    n = num_vertices
+    core_size = max(2, round((1.0 - root_fraction) * n))
+    core_edges = min(
+        round(core_avg_degree * core_size),
+        core_size * (core_size - 1) // 2,  # tiny cores: all pairs
+    )
+    edges = _unique_dag_edges(core_size, core_edges, rng)
+    for v in range(core_size, n):
+        fanout = max(1, round(rng.expovariate(1.0 / avg_degree)))
+        targets = {rng.randrange(core_size) for _ in range(fanout)}
+        edges.extend((v, t) for t in targets)
+    # Root ids above the core point "backwards" in id space, which is
+    # still acyclic: core edges go forward within the core, fringe edges
+    # go fringe -> core and nothing points at the fringe.
+    return DiGraph(n, edges, name=name or f"fan-in-{n}")
+
+
+def ontology_dag(
+    num_vertices: int,
+    num_roots: int = 1,
+    avg_parents: float = 1.5,
+    seed: int = 0,
+    name: str = "",
+) -> DiGraph:
+    """GO-style ontology: few roots, is-a multi-parents, many leaves.
+
+    Edges run root→leaf: each non-root term attaches to ~``avg_parents``
+    earlier terms drawn near the front of the id range, giving the sparse,
+    deep, few-roots/many-leaves shape of the Gene Ontology row in Table 1.
+    """
+    rng = Random(seed)
+    n = num_vertices
+    num_roots = max(1, min(num_roots, n))
+    edges: list[tuple[int, int]] = []
+    for v in range(num_roots, n):
+        parents = max(1, round(rng.expovariate(1.0 / avg_parents)))
+        chosen: set[int] = set()
+        for _ in range(parents):
+            # Bias toward smaller ids (upper ontology) with a square law.
+            parent = int((rng.random() ** 2) * v)
+            chosen.add(min(parent, v - 1))
+        edges.extend((p, v) for p in chosen)
+    return DiGraph(n, edges, name=name or f"ontology-{n}")
+
+
+def layered_dag(
+    num_layers: int,
+    layer_width: int,
+    edge_probability: float = 0.3,
+    seed: int = 0,
+    name: str = "",
+) -> DiGraph:
+    """DAG of ``num_layers`` layers; edges go only to the next layer.
+
+    Gives precise control over depth (= ``num_layers - 1``), which the
+    level-filter tests and the depth-sweep ablation rely on.
+    """
+    rng = Random(seed)
+    n = num_layers * layer_width
+    edges: list[tuple[int, int]] = []
+    for layer in range(num_layers - 1):
+        base = layer * layer_width
+        next_base = base + layer_width
+        for i in range(layer_width):
+            for j in range(layer_width):
+                if rng.random() < edge_probability:
+                    edges.append((base + i, next_base + j))
+    return DiGraph(n, edges, name=name or f"layered-{num_layers}x{layer_width}")
+
+
+def crown_graph(k: int, name: str = "") -> DiGraph:
+    """The crown S⁰ₖ: bipartite ``a_i -> b_j`` for all ``i ≠ j``.
+
+    The paper's Figure 4 example: for k ≥ 3 *no* 2-dimensional dominance
+    drawing is free of falsely implied paths, so FELINE's negative cut
+    cannot be complete on it — the canonical worst case for the index.
+    Vertices ``0..k-1`` are the sources, ``k..2k-1`` the sinks.
+    """
+    if k < 1:
+        raise GraphError(f"crown graph needs k >= 1, got {k}")
+    edges = [
+        (i, k + j) for i in range(k) for j in range(k) if i != j
+    ]
+    return DiGraph(2 * k, edges, name=name or f"crown-{k}")
+
+
+def random_digraph(
+    num_vertices: int,
+    num_edges: int,
+    seed: int = 0,
+    name: str = "",
+) -> DiGraph:
+    """Uniform random *cyclic* digraph (distinct directed pairs, no loops).
+
+    The input for SCC/condensation tests — everything downstream of
+    :func:`repro.graph.scc.condense` only ever sees DAGs.
+    """
+    rng = Random(seed)
+    n = num_vertices
+    possible = n * (n - 1)
+    if num_edges > possible:
+        raise GraphError(f"{num_edges} edges exceed the {possible} possible")
+    edges: set[tuple[int, int]] = set()
+    while len(edges) < num_edges:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v:
+            edges.add((u, v))
+    return DiGraph(n, list(edges), name=name or f"random-digraph-{n}")
+
+
+def path_graph(num_vertices: int, name: str = "") -> DiGraph:
+    """The directed path 0 -> 1 -> ... -> n-1."""
+    edges = [(v, v + 1) for v in range(num_vertices - 1)]
+    return DiGraph(num_vertices, edges, name=name or f"path-{num_vertices}")
+
+
+def diamond_graph(name: str = "") -> DiGraph:
+    """The 4-vertex diamond 0 -> {1, 2} -> 3 (smallest non-tree DAG)."""
+    return DiGraph(4, [(0, 1), (0, 2), (1, 3), (2, 3)], name=name or "diamond")
+
+
+def complete_dag(num_vertices: int, name: str = "") -> DiGraph:
+    """All edges ``(u, v)`` with ``u < v`` — maximal density, worst TC."""
+    edges = [
+        (u, v) for u in range(num_vertices) for v in range(u + 1, num_vertices)
+    ]
+    return DiGraph(num_vertices, edges, name=name or f"complete-dag-{num_vertices}")

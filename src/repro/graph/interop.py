@@ -1,0 +1,51 @@
+"""NetworkX interoperability.
+
+Downstream users often already hold a :class:`networkx.DiGraph`; these
+adapters move graphs across without ceremony.  The test suite also uses
+them for *independent validation*: our Tarjan/condensation/toposort and
+every reachability index are cross-checked against NetworkX's own
+implementations on the same graphs.
+
+Vertices need not be integers on the NetworkX side —
+:func:`from_networkx` densifies arbitrary hashable node labels and
+returns the mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import networkx as nx
+
+from repro.graph.digraph import DiGraph
+
+__all__ = ["from_networkx", "to_networkx"]
+
+
+def from_networkx(
+    nx_graph: "nx.DiGraph", name: str = ""
+) -> tuple[DiGraph, dict[Hashable, int]]:
+    """Convert a NetworkX DiGraph; returns ``(graph, id_of_node)``.
+
+    Node labels are densified in NetworkX's node-insertion order, so
+    round-tripping integer-labelled graphs is the identity mapping.
+    Parallel-edge multigraphs are rejected (use ``nx.DiGraph``).
+    """
+    if nx_graph.is_multigraph():
+        raise TypeError("multigraphs are not supported; collapse edges first")
+    id_of: dict[Hashable, int] = {
+        node: i for i, node in enumerate(nx_graph.nodes())
+    }
+    edges = [(id_of[u], id_of[v]) for u, v in nx_graph.edges()]
+    graph = DiGraph(
+        len(id_of), edges, name=name or str(nx_graph.name or "")
+    )
+    return graph, id_of
+
+
+def to_networkx(graph: DiGraph) -> "nx.DiGraph":
+    """Convert to a NetworkX DiGraph with integer nodes ``0..n-1``."""
+    nx_graph = nx.DiGraph(name=graph.name)
+    nx_graph.add_nodes_from(range(graph.num_vertices))
+    nx_graph.add_edges_from(graph.edges())
+    return nx_graph

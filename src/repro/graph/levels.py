@@ -1,0 +1,60 @@
+"""Vertex levels (depths) — the *level filter* substrate.
+
+The level of a vertex (paper §3.4.2, after Bender et al.) is its longest
+distance from any root: ``l_v = 0`` if ``v`` has no predecessors, otherwise
+``l_v = 1 + max(l_u for u -> v)``.  Levels induce the topological order, so
+``r(u, v) ∧ u ≠ v ⇒ l_u < l_v`` — a second constant-time negative cut used
+by FELINE, GRAIL and FERRARI.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.exceptions import NotADAGError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["compute_levels", "level_histogram"]
+
+
+def compute_levels(graph: DiGraph) -> array:
+    """Longest-path-from-root depth of every vertex, O(|V| + |E|).
+
+    One Kahn sweep: a vertex's level is final when its last predecessor has
+    been peeled.  Raises :class:`NotADAGError` on cyclic input.
+    """
+    n = graph.num_vertices
+    in_indptr = graph.in_indptr
+    indegree = array("l", [in_indptr[v + 1] - in_indptr[v] for v in range(n)])
+    levels = array("l", [0] * n)
+    worklist = [v for v in range(n) if indegree[v] == 0]
+    indptr, indices = graph.out_indptr, graph.out_indices
+    processed = 0
+    while worklist:
+        u = worklist.pop()
+        processed += 1
+        next_level = levels[u] + 1
+        for k in range(indptr[u], indptr[u + 1]):
+            w = indices[k]
+            if next_level > levels[w]:
+                levels[w] = next_level
+            indegree[w] -= 1
+            if indegree[w] == 0:
+                worklist.append(w)
+    if processed != n:
+        stuck = next(v for v in range(n) if indegree[v] > 0)
+        raise NotADAGError(
+            f"graph has a cycle (vertex {stuck} never became a root)",
+            cycle_hint=stuck,
+        )
+    return levels
+
+
+def level_histogram(levels: array) -> list[int]:
+    """Count of vertices per level; ``histogram[l]`` vertices at level l."""
+    if not levels:
+        return []
+    histogram = [0] * (max(levels) + 1)
+    for level in levels:
+        histogram[level] += 1
+    return histogram

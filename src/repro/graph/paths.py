@@ -1,0 +1,44 @@
+"""Witness paths: not just *whether* ``v`` is reachable, but *how*.
+
+Reachability indexes answer yes/no; debugging and auditing usually want
+the path itself ("through which intermediaries does A influence B?").
+:func:`find_path` returns a shortest witness path via BFS parent
+pointers, O(|V| + |E|) — the online-search cost, paid only when a
+witness is explicitly requested.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.graph.digraph import DiGraph
+
+__all__ = ["find_path"]
+
+
+def find_path(graph: DiGraph, source: int, target: int) -> list[int] | None:
+    """A shortest directed path from ``source`` to ``target``.
+
+    Returns the vertex list (``[source, ..., target]``; ``[source]``
+    when they coincide) or ``None`` when unreachable.
+    """
+    if source == target:
+        return [source]
+    indptr, indices = graph.out_indptr, graph.out_indices
+    parent = {source: -1}
+    queue: deque[int] = deque([source])
+    while queue:
+        u = queue.popleft()
+        for k in range(indptr[u], indptr[u + 1]):
+            w = indices[k]
+            if w in parent:
+                continue
+            parent[w] = u
+            if w == target:
+                path = [w]
+                while parent[path[-1]] != -1:
+                    path.append(parent[path[-1]])
+                path.reverse()
+                return path
+            queue.append(w)
+    return None

@@ -1,0 +1,196 @@
+"""Spanning forests and min-post interval labelling (positive-cut filter).
+
+Several reachability indexes (GRAIL, FERRARI, FELINE) extract a spanning
+forest of the DAG and label it with *min-post* intervals: each vertex ``u``
+gets ``I_u = [s_u, e_u]`` where ``e_u = post(u)`` is its post-order rank in
+the forest and ``s_u`` is the minimum ``s`` among its tree children (its own
+post-order rank at a leaf).  On tree edges the containment ``I_v ⊆ I_u``
+*proves* reachability ``r(u, v)`` — the *positive-cut filter* of the paper's
+§3.4.1 — while nothing can be concluded for non-tree paths.
+
+GRAIL generalises the same labelling to the whole DAG (children = all DAG
+successors, visited in random order), where containment becomes a *negative*
+cut instead; :func:`minpost_intervals_dag` provides that variant.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Sequence
+from dataclasses import dataclass
+from random import Random
+
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "SpanningForest",
+    "extract_spanning_forest",
+    "minpost_intervals_tree",
+    "minpost_intervals_dag",
+    "IntervalLabels",
+]
+
+
+@dataclass(frozen=True)
+class SpanningForest:
+    """A spanning forest of a DAG.
+
+    ``parent[v]`` is the tree parent of ``v`` (-1 at a forest root);
+    ``children[v]`` lists tree children.  The forest covers every vertex.
+    """
+
+    parent: array
+    children: list[list[int]]
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.parent)
+
+    def tree_roots(self) -> list[int]:
+        """The forest's root vertices."""
+        return [v for v in range(len(self.parent)) if self.parent[v] == -1]
+
+
+@dataclass(frozen=True)
+class IntervalLabels:
+    """Min-post interval labels ``I_v = [start[v], post[v]]``.
+
+    ``contains(u, v)`` tests ``I_v ⊆ I_u``:
+
+    * on labels from :func:`minpost_intervals_tree` this is a *positive*
+      cut (containment proves reachability along tree edges);
+    * on labels from :func:`minpost_intervals_dag` this is a *negative*
+      cut (non-containment disproves reachability) — GRAIL's usage.
+    """
+
+    start: array
+    post: array
+
+    def contains(self, u: int, v: int) -> bool:
+        """Whether ``I_v ⊆ I_u``."""
+        return self.start[u] <= self.start[v] and self.post[v] <= self.post[u]
+
+    def memory_bytes(self) -> int:
+        """Approximate footprint of the two label arrays."""
+        return self.start.itemsize * len(self.start) + self.post.itemsize * len(
+            self.post
+        )
+
+
+def extract_spanning_forest(
+    graph: DiGraph, root_order: Sequence[int] | None = None
+) -> SpanningForest:
+    """DFS spanning forest: first DFS discovery edge to each vertex wins.
+
+    The paper notes the forest "may be performed by the topological
+    ordering in line 2" of Algorithm 1 — i.e. it falls out of the same DFS
+    that produces the ``X`` coordinates, and that is exactly what FELINE's
+    builder does by passing the DFS root order used for ``X``.
+    """
+    n = graph.num_vertices
+    indptr, indices = graph.out_indptr, graph.out_indices
+    parent = array("l", [-1] * n)
+    visited = bytearray(n)
+    children: list[list[int]] = [[] for _ in range(n)]
+    starts = root_order if root_order is not None else range(n)
+    for root in starts:
+        if visited[root]:
+            continue
+        visited[root] = 1
+        stack = [root]
+        while stack:
+            u = stack.pop()
+            for k in range(indptr[u + 1] - 1, indptr[u] - 1, -1):
+                w = indices[k]
+                if not visited[w]:
+                    visited[w] = 1
+                    parent[w] = u
+                    children[u].append(w)
+                    stack.append(w)
+    # Children were appended in reversed push order; restore edge order.
+    for child_list in children:
+        child_list.reverse()
+    return SpanningForest(parent=parent, children=children)
+
+
+def minpost_intervals_tree(forest: SpanningForest) -> IntervalLabels:
+    """Min-post labels over a spanning forest (positive-cut filter).
+
+    Iterative post-order over the forest; O(|V|).
+    """
+    n = forest.num_vertices
+    post = array("l", [0] * n)
+    start = array("l", [0] * n)
+    counter = 0
+    for root in forest.tree_roots():
+        stack: list[tuple[int, int]] = [(root, 0)]
+        while stack:
+            v, child_pos = stack[-1]
+            kids = forest.children[v]
+            if child_pos < len(kids):
+                stack[-1] = (v, child_pos + 1)
+                stack.append((kids[child_pos], 0))
+            else:
+                stack.pop()
+                post[v] = counter
+                if kids:
+                    start[v] = min(start[c] for c in kids)
+                else:
+                    start[v] = counter
+                counter += 1
+    return IntervalLabels(start=start, post=post)
+
+
+def minpost_intervals_dag(
+    graph: DiGraph, rng: Random | None = None
+) -> IntervalLabels:
+    """GRAIL-style min-post labels computed over the *whole DAG*.
+
+    One randomized DFS traversal: successors are visited in random order
+    (when ``rng`` is given), ``post[v]`` is the DFS finish rank and
+    ``start[v] = min(start of any successor, own post rank)`` — so ``I_v``
+    covers the interval of everything reachable from ``v`` in this
+    traversal, making non-containment a sound negative cut.
+    """
+    n = graph.num_vertices
+    indptr, indices = graph.out_indptr, graph.out_indices
+    post = array("l", [0] * n)
+    start = array("l", [0] * n)
+    visited = bytearray(n)
+    counter = 0
+
+    roots = [v for v in range(n) if graph.in_indptr[v] == graph.in_indptr[v + 1]]
+    if not roots:  # fully covered by cycles should not happen on DAGs,
+        roots = list(range(n))  # but stay safe for arbitrary inputs
+    if rng is not None:
+        rng.shuffle(roots)
+
+    for root in roots + list(range(n)):
+        if visited[root]:
+            continue
+        visited[root] = 1
+        succ_of_root = list(indices[indptr[root] : indptr[root + 1]])
+        if rng is not None:
+            rng.shuffle(succ_of_root)
+        stack: list[tuple[int, list[int], int]] = [(root, succ_of_root, 0)]
+        while stack:
+            v, succ, pos = stack[-1]
+            if pos < len(succ):
+                stack[-1] = (v, succ, pos + 1)
+                w = succ[pos]
+                if not visited[w]:
+                    visited[w] = 1
+                    succ_w = list(indices[indptr[w] : indptr[w + 1]])
+                    if rng is not None:
+                        rng.shuffle(succ_w)
+                    stack.append((w, succ_w, 0))
+            else:
+                stack.pop()
+                low = counter
+                for w in succ:
+                    if start[w] < low:
+                        low = start[w]
+                start[v] = low
+                post[v] = counter
+                counter += 1
+    return IntervalLabels(start=start, post=post)

@@ -1,0 +1,73 @@
+"""Subgraph extraction utilities.
+
+:func:`induced_subgraph` renumbers a vertex subset densely and keeps the
+edges among its members — the operation behind SCARAB's backbone graph
+and any divide-and-conquer over DAGs.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["SubgraphMapping", "induced_subgraph"]
+
+
+@dataclass(frozen=True)
+class SubgraphMapping:
+    """An induced subgraph plus the id translation both ways.
+
+    ``local_of[v]`` maps an original vertex to its subgraph id (-1 when
+    not included); ``original_of[s]`` is the inverse.
+    """
+
+    graph: DiGraph
+    local_of: array
+    original_of: array
+
+    def to_local(self, original: int) -> int:
+        """Subgraph id of ``original`` (-1 if it was not selected)."""
+        return self.local_of[original]
+
+    def to_original(self, local: int) -> int:
+        """Original id of subgraph vertex ``local``."""
+        return self.original_of[local]
+
+
+def induced_subgraph(
+    graph: DiGraph, vertices: Iterable[int], name: str = ""
+) -> SubgraphMapping:
+    """The subgraph induced on ``vertices`` (order defines the new ids).
+
+    Duplicate selections are rejected — a silent dedup would desynchronise
+    the caller's idea of the local numbering from ours.
+    """
+    selected = list(vertices)
+    local_of = array("l", [-1] * graph.num_vertices)
+    for local, original in enumerate(selected):
+        if not 0 <= original < graph.num_vertices:
+            raise GraphError(
+                f"vertex {original} out of range [0, {graph.num_vertices})"
+            )
+        if local_of[original] != -1:
+            raise GraphError(f"vertex {original} selected twice")
+        local_of[original] = local
+    edges = [
+        (local_of[u], local_of[v])
+        for u, v in graph.edges()
+        if local_of[u] != -1 and local_of[v] != -1
+    ]
+    sub = DiGraph(
+        len(selected),
+        edges,
+        name=name or (f"{graph.name}-sub" if graph.name else "subgraph"),
+    )
+    return SubgraphMapping(
+        graph=sub,
+        local_of=local_of,
+        original_of=array("l", selected),
+    )

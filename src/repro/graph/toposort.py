@@ -1,0 +1,191 @@
+"""Topological orderings of DAGs.
+
+FELINE's index is a *pair* of topological orderings, so this module is the
+heart of the substrate:
+
+* :func:`kahn_order` — classic Kahn peeling (FIFO), O(|V| + |E|).
+* :func:`dfs_post_order_ranks` — ranks from an iterative DFS post-order
+  (reversed post-order is a topological order); this is the ``X`` ordering
+  used by FELINE's Algorithm 1 in the paper's running example.
+* :func:`priority_kahn_order` — Kahn peeling where the next root is chosen
+  by a caller-supplied priority via a heap; Algorithm 1's ``Y`` ordering is
+  ``priority_kahn_order(g, key=lambda v: -X[v])`` (largest ``X`` rank
+  first), the Kornaropoulos locally-optimal heuristic.
+
+All functions raise :class:`~repro.exceptions.NotADAGError` when the graph
+has a cycle, identifying one offending vertex.
+
+Terminology: an *order* is a list ``order[rank] = vertex``; *ranks* is the
+inverse array ``ranks[vertex] = rank``.  :func:`ranks_from_order` converts.
+"""
+
+from __future__ import annotations
+
+import heapq
+from array import array
+from collections.abc import Callable, Sequence
+
+from repro.exceptions import NotADAGError
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "kahn_order",
+    "priority_kahn_order",
+    "dfs_post_order_ranks",
+    "dfs_topological_order",
+    "ranks_from_order",
+    "is_topological_order",
+]
+
+
+def ranks_from_order(order: Sequence[int]) -> array:
+    """Invert an order list into a rank array (``ranks[v] = position``)."""
+    ranks = array("l", [0] * len(order))
+    for rank, v in enumerate(order):
+        ranks[v] = rank
+    return ranks
+
+
+def is_topological_order(graph: DiGraph, order: Sequence[int]) -> bool:
+    """Whether ``order`` is a valid topological order of ``graph``.
+
+    Used pervasively by the test suite as the specification every ordering
+    function must satisfy.
+    """
+    if sorted(order) != list(range(graph.num_vertices)):
+        return False
+    ranks = ranks_from_order(order)
+    return all(ranks[u] < ranks[v] for u, v in graph.edges())
+
+
+def _initial_indegrees(graph: DiGraph) -> array:
+    n = graph.num_vertices
+    indptr = graph.in_indptr
+    return array("l", [indptr[v + 1] - indptr[v] for v in range(n)])
+
+
+def kahn_order(graph: DiGraph) -> list[int]:
+    """Kahn's algorithm with a LIFO worklist, O(|V| + |E|).
+
+    Any peeling discipline yields a valid topological order; LIFO keeps
+    memory locality and matches the paper's generic
+    ``TopologicalOrdering(V, E)`` step.
+    """
+    n = graph.num_vertices
+    indegree = _initial_indegrees(graph)
+    worklist = [v for v in range(n) if indegree[v] == 0]
+    indptr, indices = graph.out_indptr, graph.out_indices
+    order: list[int] = []
+    while worklist:
+        u = worklist.pop()
+        order.append(u)
+        for k in range(indptr[u], indptr[u + 1]):
+            w = indices[k]
+            indegree[w] -= 1
+            if indegree[w] == 0:
+                worklist.append(w)
+    if len(order) != n:
+        stuck = next(v for v in range(n) if indegree[v] > 0)
+        raise NotADAGError(
+            f"graph has a cycle (vertex {stuck} never became a root)",
+            cycle_hint=stuck,
+        )
+    return order
+
+
+def priority_kahn_order(
+    graph: DiGraph, key: Callable[[int], int]
+) -> list[int]:
+    """Kahn peeling that always pops the current root minimising ``key``.
+
+    This is the particular case of Kahn's algorithm FELINE's Algorithm 1
+    uses for the ``Y`` coordinates: with ``key = lambda v: -x_rank[v]`` the
+    root with the *highest* ``X`` rank is selected at every step, which
+    Kornaropoulos proved locally optimal for minimising falsely implied
+    paths.  Complexity O(|V| log |V| + |E|) — the heap term the paper cites.
+    """
+    n = graph.num_vertices
+    indegree = _initial_indegrees(graph)
+    heap = [(key(v), v) for v in range(n) if indegree[v] == 0]
+    heapq.heapify(heap)
+    indptr, indices = graph.out_indptr, graph.out_indices
+    order: list[int] = []
+    while heap:
+        _, u = heapq.heappop(heap)
+        order.append(u)
+        for k in range(indptr[u], indptr[u + 1]):
+            w = indices[k]
+            indegree[w] -= 1
+            if indegree[w] == 0:
+                heapq.heappush(heap, (key(w), w))
+    if len(order) != n:
+        stuck = next(v for v in range(n) if indegree[v] > 0)
+        raise NotADAGError(
+            f"graph has a cycle (vertex {stuck} never became a root)",
+            cycle_hint=stuck,
+        )
+    return order
+
+
+def dfs_post_order_ranks(
+    graph: DiGraph, root_order: Sequence[int] | None = None
+) -> array:
+    """Post-order DFS finish ranks, iterative, O(|V| + |E|).
+
+    ``ranks[v]`` is the position of ``v`` in DFS post-order.  The *reverse*
+    of a post-order is a topological order, so
+    ``n - 1 - ranks[v]`` gives topological ranks — see
+    :func:`dfs_topological_order`.
+
+    ``root_order`` optionally fixes the order in which DFS roots are tried
+    (GRAIL's randomized labellings shuffle it; FELINE uses the default).
+    """
+    n = graph.num_vertices
+    indptr, indices = graph.out_indptr, graph.out_indices
+    visited = bytearray(n)
+    ranks = array("l", [0] * n)
+    counter = 0
+    starts = root_order if root_order is not None else range(n)
+    for root in starts:
+        if visited[root]:
+            continue
+        visited[root] = 1
+        stack: list[tuple[int, int]] = [(root, indptr[root])]
+        while stack:
+            v, edge_pos = stack[-1]
+            if edge_pos < indptr[v + 1]:
+                stack[-1] = (v, edge_pos + 1)
+                w = indices[edge_pos]
+                if not visited[w]:
+                    visited[w] = 1
+                    stack.append((w, indptr[w]))
+            else:
+                stack.pop()
+                ranks[v] = counter
+                counter += 1
+    return ranks
+
+
+def dfs_topological_order(
+    graph: DiGraph, root_order: Sequence[int] | None = None
+) -> list[int]:
+    """A topological order from reversed DFS post-order.
+
+    Raises :class:`NotADAGError` on cyclic input (detected by checking one
+    witness edge per vertex against the candidate ranks would be costly, so
+    we verify via the cheaper full-edge sweep — still O(|V| + |E|)).
+    """
+    n = graph.num_vertices
+    post = dfs_post_order_ranks(graph, root_order=root_order)
+    order: list[int] = [0] * n
+    for v in range(n):
+        order[n - 1 - post[v]] = v
+    # A DFS post-order reversal is topological iff the graph is acyclic;
+    # verify with one sweep so cyclic inputs fail loudly, like kahn_order.
+    for u, v in graph.edges():
+        if post[u] <= post[v]:
+            raise NotADAGError(
+                f"graph has a cycle (edge ({u}, {v}) violates post-order)",
+                cycle_hint=u,
+            )
+    return order

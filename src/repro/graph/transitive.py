@@ -1,0 +1,60 @@
+"""Full transitive closure — the left end of the paper's Figure 1 spectrum.
+
+Pre-computing the closure gives O(1) queries at O(|V|²/8) bytes — exactly
+the trade-off the paper says is infeasible for very large graphs.  We keep
+it for three jobs:
+
+* ground truth in the test suites of every index;
+* the ``TransitiveClosureIndex`` baseline (``repro.baselines``);
+* the substrate of Nuutila's INTERVAL (which compresses per-vertex
+  successor sets into interval lists).
+
+The closure is stored as one Python ``int`` bitset per vertex — arbitrary
+precision integers give us fast bulk OR, which makes the reverse
+topological sweep ``closure[u] = bit(u) | OR(closure[w] for u -> w)`` run
+at C speed per word.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.graph.digraph import DiGraph
+from repro.graph.toposort import kahn_order
+
+__all__ = ["transitive_closure_bitsets", "closure_pairs", "count_reachable_pairs"]
+
+
+def transitive_closure_bitsets(graph: DiGraph) -> list[int]:
+    """Per-vertex reachability bitsets; bit ``v`` of ``closure[u]`` ⇔ r(u, v).
+
+    Processes vertices in reverse topological order so every successor's
+    set is complete before it is merged, O(|V| · |V|/w + |E| · |V|/w) time
+    with machine-word ``w``.  Raises on cyclic input (via the toposort).
+    """
+    order = kahn_order(graph)
+    closure = [0] * graph.num_vertices
+    indptr, indices = graph.out_indptr, graph.out_indices
+    for u in reversed(order):
+        bits = 1 << u
+        for k in range(indptr[u], indptr[u + 1]):
+            bits |= closure[indices[k]]
+        closure[u] = bits
+    return closure
+
+
+def closure_pairs(graph: DiGraph) -> Iterator[tuple[int, int]]:
+    """Yield every reachable pair ``(u, v)`` with ``u ≠ v``."""
+    closure = transitive_closure_bitsets(graph)
+    for u, bits in enumerate(closure):
+        bits &= ~(1 << u)
+        while bits:
+            low = bits & -bits
+            yield u, low.bit_length() - 1
+            bits ^= low
+
+
+def count_reachable_pairs(graph: DiGraph) -> int:
+    """Number of ordered reachable pairs ``u ≠ v`` — the closure's size."""
+    closure = transitive_closure_bitsets(graph)
+    return sum(bits.bit_count() - 1 for bits in closure)

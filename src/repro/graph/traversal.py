@@ -1,0 +1,144 @@
+"""Graph traversals and the naive online-search reachability checks.
+
+These functions are the right-hand end of the paper's Figure 1 spectrum:
+no index at all, O(|V| + |E|) per query.  They double as the ground-truth
+oracle for every index's test suite.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterator
+
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "dfs_preorder",
+    "bfs_order",
+    "dfs_reachable",
+    "bfs_reachable",
+    "bidirectional_reachable",
+    "descendants",
+    "ancestors",
+]
+
+
+def dfs_preorder(graph: DiGraph, source: int) -> Iterator[int]:
+    """Yield vertices in DFS preorder from ``source`` (iterative)."""
+    indptr, indices = graph.out_indptr, graph.out_indices
+    visited = bytearray(graph.num_vertices)
+    visited[source] = 1
+    stack = [source]
+    while stack:
+        u = stack.pop()
+        yield u
+        # Push in reverse so the first successor is explored first.
+        for k in range(indptr[u + 1] - 1, indptr[u] - 1, -1):
+            w = indices[k]
+            if not visited[w]:
+                visited[w] = 1
+                stack.append(w)
+
+
+def bfs_order(graph: DiGraph, source: int) -> Iterator[int]:
+    """Yield vertices in BFS order from ``source``."""
+    indptr, indices = graph.out_indptr, graph.out_indices
+    visited = bytearray(graph.num_vertices)
+    visited[source] = 1
+    queue: deque[int] = deque([source])
+    while queue:
+        u = queue.popleft()
+        yield u
+        for k in range(indptr[u], indptr[u + 1]):
+            w = indices[k]
+            if not visited[w]:
+                visited[w] = 1
+                queue.append(w)
+
+
+def dfs_reachable(graph: DiGraph, source: int, target: int) -> bool:
+    """Plain DFS reachability — the un-indexed online search."""
+    if source == target:
+        return True
+    indptr, indices = graph.out_indptr, graph.out_indices
+    visited = bytearray(graph.num_vertices)
+    visited[source] = 1
+    stack = [source]
+    while stack:
+        u = stack.pop()
+        for k in range(indptr[u], indptr[u + 1]):
+            w = indices[k]
+            if w == target:
+                return True
+            if not visited[w]:
+                visited[w] = 1
+                stack.append(w)
+    return False
+
+
+def bfs_reachable(graph: DiGraph, source: int, target: int) -> bool:
+    """Plain BFS reachability."""
+    if source == target:
+        return True
+    indptr, indices = graph.out_indptr, graph.out_indices
+    visited = bytearray(graph.num_vertices)
+    visited[source] = 1
+    queue: deque[int] = deque([source])
+    while queue:
+        u = queue.popleft()
+        for k in range(indptr[u], indptr[u + 1]):
+            w = indices[k]
+            if w == target:
+                return True
+            if not visited[w]:
+                visited[w] = 1
+                queue.append(w)
+    return False
+
+
+def bidirectional_reachable(graph: DiGraph, source: int, target: int) -> bool:
+    """Bidirectional BFS: forward from ``source``, backward from ``target``.
+
+    Alternates expanding whichever frontier is smaller; meets in the middle
+    on most positive queries, which makes it the strongest *un-indexed*
+    baseline.
+    """
+    if source == target:
+        return True
+    n = graph.num_vertices
+    fwd_seen = bytearray(n)
+    bwd_seen = bytearray(n)
+    fwd_seen[source] = 1
+    bwd_seen[target] = 1
+    fwd_frontier = [source]
+    bwd_frontier = [target]
+    out_indptr, out_indices = graph.out_indptr, graph.out_indices
+    in_indptr, in_indices = graph.in_indptr, graph.in_indices
+    while fwd_frontier and bwd_frontier:
+        if len(fwd_frontier) <= len(bwd_frontier):
+            frontier, seen, other = fwd_frontier, fwd_seen, bwd_seen
+            indptr, indices = out_indptr, out_indices
+            fwd_frontier = next_frontier = []
+        else:
+            frontier, seen, other = bwd_frontier, bwd_seen, fwd_seen
+            indptr, indices = in_indptr, in_indices
+            bwd_frontier = next_frontier = []
+        for u in frontier:
+            for k in range(indptr[u], indptr[u + 1]):
+                w = indices[k]
+                if other[w]:
+                    return True
+                if not seen[w]:
+                    seen[w] = 1
+                    next_frontier.append(w)
+    return False
+
+
+def descendants(graph: DiGraph, source: int) -> set[int]:
+    """All vertices reachable from ``source`` (including itself)."""
+    return set(dfs_preorder(graph, source))
+
+
+def ancestors(graph: DiGraph, source: int) -> set[int]:
+    """All vertices that reach ``source`` (including itself)."""
+    return set(dfs_preorder(graph.reversed(), source))

@@ -1,0 +1,16 @@
+"""SCARAB — the reachability-backbone boosting framework (Jin et al. 2012).
+
+SCARAB speeds up any base reachability method by extracting a *reachability
+backbone*: a reduced graph carrying the "main access routes", so most of a
+query runs on a much smaller graph.  The paper's §4.4 shows FELINE also
+benefits from it (FELINE-SCAR vs GRAIL-SCAR, Table 5 / Figure 17).
+
+* :func:`~repro.scarab.backbone.extract_backbone` builds the backbone;
+* :class:`~repro.scarab.scar.ScarabIndex` wraps a base method over it
+  (``FELINE-SCAR`` = ``ScarabIndex(graph, base_method="feline")``).
+"""
+
+from repro.scarab.backbone import Backbone, extract_backbone
+from repro.scarab.scar import ScarabIndex
+
+__all__ = ["Backbone", "extract_backbone", "ScarabIndex"]

@@ -1,0 +1,21 @@
+"""Statistical methodology of the paper's evaluation (Demšar-style)."""
+
+from repro.stats.friedman import FriedmanResult, friedman_test, rank_within_block
+from repro.stats.nemenyi import (
+    CDDiagram,
+    compute_cd_diagram,
+    critical_difference,
+    nemenyi_groups,
+    render_cd_diagram,
+)
+
+__all__ = [
+    "friedman_test",
+    "FriedmanResult",
+    "rank_within_block",
+    "critical_difference",
+    "nemenyi_groups",
+    "compute_cd_diagram",
+    "render_cd_diagram",
+    "CDDiagram",
+]

@@ -1,0 +1,96 @@
+"""The Friedman test over per-dataset method rankings.
+
+The paper applies the Friedman test to the construction-time and
+query-time tables "to obtain their statistical significance" (at
+confidence level 0.1), then proceeds to the Nemenyi post-hoc test for the
+critical-difference diagrams of Figures 10, 11 and 17.  This module
+implements the test exactly as in Demšar's methodology the paper follows:
+
+* within each dataset (block), methods are ranked 1 (best) .. k (worst),
+  average ranks on ties;
+* the χ² statistic is ``12N / (k(k+1)) · (Σ R_j² − k(k+1)²/4)`` with
+  ``k − 1`` degrees of freedom, where ``R_j`` is method ``j``'s average
+  rank over the ``N`` datasets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from scipy.stats import chi2
+
+from repro.exceptions import ReproError
+
+__all__ = ["rank_within_block", "friedman_test", "FriedmanResult"]
+
+
+def rank_within_block(values: Sequence[float]) -> list[float]:
+    """Ranks of ``values`` (1 = smallest), averaging tied positions.
+
+    Smaller is better throughout this library (times, sizes).
+    """
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    position = 0
+    while position < len(order):
+        tied_end = position
+        while (
+            tied_end + 1 < len(order)
+            and values[order[tied_end + 1]] == values[order[position]]
+        ):
+            tied_end += 1
+        average = (position + tied_end) / 2 + 1  # ranks are 1-based
+        for i in range(position, tied_end + 1):
+            ranks[order[i]] = average
+        position = tied_end + 1
+    return ranks
+
+
+@dataclass(frozen=True)
+class FriedmanResult:
+    """Outcome of a Friedman test over N blocks × k methods."""
+
+    statistic: float
+    p_value: float
+    average_ranks: list[float]
+    num_blocks: int
+    num_methods: int
+
+    def significant(self, alpha: float = 0.1) -> bool:
+        """Whether the null (all methods equivalent) is rejected at α."""
+        return self.p_value < alpha
+
+
+def friedman_test(table: Sequence[Sequence[float]]) -> FriedmanResult:
+    """Friedman test on a blocks × methods matrix of measurements.
+
+    ``table[b][m]`` is method ``m``'s measurement on dataset ``b``
+    (smaller is better).  Requires at least two methods and two blocks.
+    """
+    num_blocks = len(table)
+    if num_blocks < 2:
+        raise ReproError("Friedman test needs at least 2 blocks (datasets)")
+    num_methods = len(table[0])
+    if num_methods < 2:
+        raise ReproError("Friedman test needs at least 2 methods")
+    if any(len(row) != num_methods for row in table):
+        raise ReproError("all blocks must measure the same methods")
+
+    rank_sums = [0.0] * num_methods
+    for row in table:
+        for m, rank in enumerate(rank_within_block(row)):
+            rank_sums[m] += rank
+    average_ranks = [s / num_blocks for s in rank_sums]
+
+    k, n = num_methods, num_blocks
+    sum_squares = sum(r * r for r in average_ranks)
+    statistic = 12.0 * n / (k * (k + 1)) * (sum_squares - k * (k + 1) ** 2 / 4)
+    p_value = float(chi2.sf(statistic, k - 1))
+    return FriedmanResult(
+        statistic=statistic,
+        p_value=p_value,
+        average_ranks=average_ranks,
+        num_blocks=n,
+        num_methods=k,
+    )

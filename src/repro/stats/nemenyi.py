@@ -1,0 +1,135 @@
+"""Nemenyi post-hoc test and critical-difference diagram data.
+
+After a significant Friedman test, the Nemenyi test decides *which*
+methods differ: two methods are significantly different when their average
+ranks differ by at least the **critical difference**
+
+    CD = q_α · sqrt(k (k+1) / (6 N)),
+
+with ``q_α`` the Studentized-range quantile divided by √2 (Demšar 2006).
+The paper draws the outcome as CD diagrams (Figures 10, 11, 17): methods
+on a rank axis, a bold line connecting every group that is *not*
+significantly different.  :func:`critical_difference` computes CD,
+:func:`nemenyi_groups` the connected groups, and
+:func:`render_cd_diagram` an ASCII rendering of the figure.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from scipy.stats import studentized_range
+
+__all__ = [
+    "critical_difference",
+    "nemenyi_groups",
+    "CDDiagram",
+    "compute_cd_diagram",
+    "render_cd_diagram",
+]
+
+
+def critical_difference(
+    num_methods: int, num_blocks: int, alpha: float = 0.1
+) -> float:
+    """The Nemenyi critical difference for k methods over N datasets."""
+    q_alpha = float(
+        studentized_range.ppf(1 - alpha, num_methods, math.inf)
+    ) / math.sqrt(2)
+    return q_alpha * math.sqrt(num_methods * (num_methods + 1) / (6 * num_blocks))
+
+
+def nemenyi_groups(
+    average_ranks: Sequence[float], cd: float
+) -> list[tuple[int, ...]]:
+    """Maximal groups of methods not significantly different from each other.
+
+    A group is a maximal set of methods whose rank span is below ``cd``
+    (the bold lines of a CD diagram).  Groups nested inside another group
+    are dropped, matching how the diagrams are drawn.
+    """
+    order = sorted(range(len(average_ranks)), key=lambda i: average_ranks[i])
+    groups: list[tuple[int, ...]] = []
+    for start in range(len(order)):
+        end = start
+        while (
+            end + 1 < len(order)
+            and average_ranks[order[end + 1]] - average_ranks[order[start]] < cd
+        ):
+            end += 1
+        if end > start:
+            group = tuple(order[start : end + 1])
+            if not groups or set(group) - set(groups[-1]):
+                groups.append(group)
+    # Remove groups fully contained in another.
+    return [
+        g
+        for g in groups
+        if not any(set(g) < set(other) for other in groups if other != g)
+    ]
+
+
+@dataclass(frozen=True)
+class CDDiagram:
+    """Everything needed to draw one of the paper's CD figures."""
+
+    method_names: list[str]
+    average_ranks: list[float]
+    cd: float
+    groups: list[tuple[int, ...]]
+    alpha: float
+
+    def ordered_methods(self) -> list[tuple[str, float]]:
+        """(name, average rank) pairs, best rank first."""
+        order = sorted(
+            range(len(self.method_names)), key=lambda i: self.average_ranks[i]
+        )
+        return [(self.method_names[i], self.average_ranks[i]) for i in order]
+
+
+def compute_cd_diagram(
+    method_names: Sequence[str],
+    average_ranks: Sequence[float],
+    num_blocks: int,
+    alpha: float = 0.1,
+) -> CDDiagram:
+    """Bundle ranks, CD and groups for rendering/reporting."""
+    cd = critical_difference(len(method_names), num_blocks, alpha=alpha)
+    return CDDiagram(
+        method_names=list(method_names),
+        average_ranks=list(average_ranks),
+        cd=cd,
+        groups=nemenyi_groups(average_ranks, cd),
+        alpha=alpha,
+    )
+
+
+def render_cd_diagram(diagram: CDDiagram, width: int = 60) -> str:
+    """ASCII critical-difference diagram (the paper's Figures 10/11/17).
+
+    A rank axis from 1 to k, one line per method pointing at its average
+    rank, and one row of ``=`` per not-significantly-different group.
+    """
+    k = len(diagram.method_names)
+    lo, hi = 1.0, float(k)
+    span = hi - lo or 1.0
+
+    def column(rank: float) -> int:
+        return round((rank - lo) / span * (width - 1))
+
+    lines = [
+        f"CD = {diagram.cd:.3f} (alpha = {diagram.alpha})",
+        "rank  1" + "-" * (width - 2) + str(k),
+    ]
+    for name, rank in diagram.ordered_methods():
+        col = column(rank)
+        lines.append(" " * (6 + col) + f"^ {name} ({rank:.2f})")
+    for group in diagram.groups:
+        ranks = [diagram.average_ranks[i] for i in group]
+        left, right = column(min(ranks)), column(max(ranks))
+        names = ",".join(diagram.method_names[i] for i in group)
+        bar = " " * (6 + left) + "=" * max(1, right - left + 1)
+        lines.append(f"{bar}  [{names}]")
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Unit tests for the index interface and factory."""
+
+import pytest
+
+from repro.baselines.base import (
+    QueryStats,
+    ReachabilityIndex,
+    available_methods,
+    create_index,
+    register_index,
+)
+from repro.exceptions import DatasetError, IndexNotBuiltError
+
+
+class TestRegistry:
+    def test_all_builtins_registered(self):
+        expected = {
+            "dfs", "bfs", "bibfs", "tc", "grail", "ferrari", "interval",
+            "tf-label", "feline", "feline-i", "feline-b", "scarab",
+        }
+        assert expected <= set(available_methods())
+
+    def test_create_index_unknown_method(self, paper_dag):
+        with pytest.raises(DatasetError, match="unknown reachability method"):
+            create_index("nope", paper_dag)
+
+    def test_create_index_passes_params(self, paper_dag):
+        index = create_index("grail", paper_dag, num_labelings=5)
+        assert index.num_labelings == 5
+
+    def test_register_rejects_missing_name(self):
+        class Nameless(ReachabilityIndex):
+            def _build(self):
+                pass
+
+            def _query(self, u, v):
+                return False
+
+            def index_size_bytes(self):
+                return 0
+
+        with pytest.raises(ValueError):
+            register_index(Nameless)
+
+    def test_register_with_explicit_name(self, paper_dag):
+        class Custom(ReachabilityIndex):
+            method_name = "custom-test"
+
+            def _build(self):
+                pass
+
+            def _query(self, u, v):
+                return u == v
+
+            def index_size_bytes(self):
+                return 0
+
+        register_index(Custom)
+        index = create_index("custom-test", paper_dag).build()
+        assert index.query(1, 1) and not index.query(0, 1)
+
+
+class TestQueryStats:
+    def test_initial_zero(self):
+        stats = QueryStats()
+        assert all(v == 0 for v in stats.as_dict().values())
+
+    def test_reset(self):
+        stats = QueryStats(queries=5, negative_cuts=3, expanded=10)
+        stats.reset()
+        assert stats.queries == 0
+        assert stats.negative_cuts == 0
+        assert stats.expanded == 0
+
+    def test_as_dict_keys(self):
+        keys = set(QueryStats().as_dict())
+        assert keys == {
+            "queries", "equal_cuts", "negative_cuts", "positive_cuts",
+            "searches", "expanded", "pruned",
+        }
+
+
+class TestLifecycleGuards:
+    @pytest.mark.parametrize("method", ["feline", "grail", "ferrari", "tc"])
+    def test_query_before_build(self, paper_dag, method):
+        index = create_index(method, paper_dag)
+        with pytest.raises(IndexNotBuiltError):
+            index.query(0, 1)
+
+    def test_query_many_counts_stats(self, paper_dag):
+        index = create_index("dfs", paper_dag).build()
+        answers = index.query_many([(0, 7), (7, 0), (3, 3)])
+        assert answers == [True, False, True]
+        assert index.stats.queries == 3

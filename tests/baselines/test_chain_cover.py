@@ -1,0 +1,97 @@
+"""Unit tests for the chain-cover baseline."""
+
+import pytest
+
+from repro.baselines.chain_cover import (
+    ChainCoverIndex,
+    greedy_chain_decomposition,
+)
+from repro.exceptions import IndexBuildError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    complete_dag,
+    crown_graph,
+    path_graph,
+    random_dag,
+)
+
+from tests.conftest import assert_index_matches_oracle
+
+
+class TestDecomposition:
+    def test_chains_partition_vertices(self, any_dag):
+        chain_of, position_of, k = greedy_chain_decomposition(any_dag)
+        n = any_dag.num_vertices
+        assert all(0 <= chain_of[v] < max(k, 1) for v in range(n))
+        # Positions within a chain are unique and start at 0.
+        chains: dict[int, list[int]] = {}
+        for v in range(n):
+            chains.setdefault(chain_of[v], []).append(position_of[v])
+        for positions in chains.values():
+            assert sorted(positions) == list(range(len(positions)))
+
+    def test_chains_follow_edges(self, any_dag):
+        """Consecutive positions on a chain must be a real edge."""
+        chain_of, position_of, k = greedy_chain_decomposition(any_dag)
+        n = any_dag.num_vertices
+        by_slot = {
+            (chain_of[v], position_of[v]): v for v in range(n)
+        }
+        for (chain, position), v in by_slot.items():
+            successor = by_slot.get((chain, position + 1))
+            if successor is not None:
+                assert any_dag.has_edge(v, successor)
+
+    def test_path_is_one_chain(self):
+        _, _, k = greedy_chain_decomposition(path_graph(20))
+        assert k == 1
+
+    def test_antichain_needs_n_chains(self):
+        _, _, k = greedy_chain_decomposition(DiGraph(5, []))
+        assert k == 5
+
+    def test_crown_chain_count_bounded_by_width(self):
+        # Crown S0_k has width k, so at least k chains are needed.
+        _, _, k = greedy_chain_decomposition(crown_graph(4))
+        assert k >= 4
+
+
+class TestCorrectness:
+    def test_matches_oracle_on_zoo(self, any_dag):
+        index = ChainCoverIndex(any_dag).build()
+        assert_index_matches_oracle(index, any_dag)
+
+    def test_self_sufficient(self, paper_dag):
+        index = ChainCoverIndex(paper_dag).build()
+        for u in range(8):
+            for v in range(8):
+                index.query(u, v)
+        assert index.stats.searches == 0
+
+    def test_random_dags(self):
+        for seed in range(3):
+            g = random_dag(70, avg_degree=2.5, seed=seed)
+            assert_index_matches_oracle(ChainCoverIndex(g).build(), g)
+
+
+class TestShape:
+    def test_path_index_is_tiny(self):
+        index = ChainCoverIndex(path_graph(100)).build()
+        # One chain: the matrix is a single column.
+        assert index.num_chains == 1
+        assert index.index_size_bytes() < 100 * 32
+
+    def test_wide_graph_matrix_grows(self):
+        narrow = ChainCoverIndex(path_graph(64)).build()
+        wide = ChainCoverIndex(complete_dag(12)).build()  # still narrow
+        antichain = ChainCoverIndex(DiGraph(64, [])).build()
+        assert antichain.num_chains == 64
+        assert antichain.index_size_bytes() > narrow.index_size_bytes()
+        assert wide.num_chains == 1  # complete DAG peels into one chain
+
+    def test_memory_budget(self):
+        g = DiGraph(300, [])  # 300 chains -> 300x300 matrix
+        index = ChainCoverIndex(g, memory_budget_bytes=1000)
+        with pytest.raises(IndexBuildError) as excinfo:
+            index.build()
+        assert excinfo.value.reason == "memory-budget"

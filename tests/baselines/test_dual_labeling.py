@@ -1,0 +1,91 @@
+"""Unit tests for the Dual-Labeling baseline."""
+
+import pytest
+
+from repro.baselines.dual_labeling import DualLabelingIndex
+from repro.exceptions import IndexBuildError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    crown_graph,
+    path_graph,
+    random_dag,
+    tree_like_dag,
+)
+
+from tests.conftest import assert_index_matches_oracle
+
+
+class TestCorrectness:
+    def test_matches_oracle_on_zoo(self, any_dag):
+        index = DualLabelingIndex(any_dag).build()
+        assert_index_matches_oracle(index, any_dag)
+
+    def test_pure_tree_has_no_links(self):
+        index = DualLabelingIndex(tree_like_dag(200, seed=1)).build()
+        assert index.num_links == 0
+
+    def test_path_answers_via_tree_alone(self):
+        index = DualLabelingIndex(path_graph(30)).build()
+        assert index.query(0, 29)
+        assert not index.query(29, 0)
+        assert index.num_links == 0
+
+    def test_crown_is_all_links(self):
+        # Crown S0_k: the spanning forest takes one edge per source; the
+        # rest are links.
+        g = crown_graph(5)
+        index = DualLabelingIndex(g).build()
+        assert index.num_links == g.num_edges - 5
+        assert_index_matches_oracle(index, g)
+
+    def test_multi_hop_link_chains(self):
+        # u ->tree a, link (a,b), tree b->c, link (c,d), tree d->v:
+        # exercises the transitive part of the link closure.
+        g = DiGraph(8, [
+            (0, 1),          # tree: u -> a
+            (2, 3),          # tree: b -> c
+            (4, 5),          # tree: d -> v
+            (1, 2),          # link or tree depending on DFS: a -> b
+            (3, 4),          # c -> d
+            (6, 7),          # unrelated component
+        ])
+        index = DualLabelingIndex(g).build()
+        assert_index_matches_oracle(index, g)
+
+    def test_self_sufficient_no_searches(self, paper_dag):
+        index = DualLabelingIndex(paper_dag).build()
+        for u in range(8):
+            for v in range(8):
+                index.query(u, v)
+        assert index.stats.searches == 0
+
+    def test_random_dags(self):
+        for seed in range(4):
+            g = random_dag(60, avg_degree=2.5, seed=seed)
+            assert_index_matches_oracle(DualLabelingIndex(g).build(), g)
+
+
+class TestBudget:
+    def test_link_budget_failure(self):
+        g = random_dag(200, avg_degree=5.0, seed=1)
+        index = DualLabelingIndex(g, link_budget=10)
+        with pytest.raises(IndexBuildError) as excinfo:
+            index.build()
+        assert excinfo.value.reason == "link-budget"
+
+    def test_generous_budget_builds(self, paper_dag):
+        index = DualLabelingIndex(paper_dag, link_budget=10**6).build()
+        assert index.built
+
+
+class TestShape:
+    def test_sparse_graph_small_index(self):
+        """On near-trees the index is essentially the tree labels."""
+        g = tree_like_dag(500, extra_edge_fraction=0.02, seed=2)
+        index = DualLabelingIndex(g).build()
+        assert index.num_links <= 12  # ~2% of 500, minus tree-covered
+        assert index.index_size_bytes() < 500 * 40
+
+    def test_link_count_bounded_by_edges(self, any_dag):
+        index = DualLabelingIndex(any_dag).build()
+        assert 0 <= index.num_links <= any_dag.num_edges

@@ -1,0 +1,122 @@
+"""Unit tests for the FERRARI baseline."""
+
+from array import array
+
+import pytest
+
+from repro.baselines.ferrari import (
+    FerrariIndex,
+    IntervalSet,
+    merge_interval_lists,
+    restrict_to_budget,
+)
+from repro.graph.generators import crown_graph, random_dag
+
+from tests.conftest import all_pairs, assert_index_matches_oracle
+
+
+class TestIntervalSet:
+    def _make(self, triples):
+        return IntervalSet(
+            array("l", [lo for lo, _, _ in triples]),
+            array("l", [hi for _, hi, _ in triples]),
+            bytearray(1 if e else 0 for _, _, e in triples),
+        )
+
+    def test_probe_exact(self):
+        s = self._make([(0, 3, True), (7, 9, False)])
+        assert s.probe(2) == 2
+        assert s.probe(8) == 1
+        assert s.probe(5) == 0
+        assert s.probe(10) == 0
+
+    def test_probe_boundaries(self):
+        s = self._make([(4, 6, True)])
+        assert s.probe(4) == 2
+        assert s.probe(6) == 2
+        assert s.probe(3) == 0
+        assert s.probe(7) == 0
+
+    def test_intervals_round_trip(self):
+        triples = [(0, 2, True), (5, 5, False)]
+        assert self._make(triples).intervals() == triples
+
+
+class TestMerging:
+    def test_disjoint_preserved(self):
+        merged = merge_interval_lists([[(0, 1, True)], [(5, 6, True)]])
+        assert merged == [(0, 1, True), (5, 6, True)]
+
+    def test_adjacent_fused(self):
+        merged = merge_interval_lists([[(0, 2, True)], [(3, 5, True)]])
+        assert merged == [(0, 5, True)]
+
+    def test_overlap_fused(self):
+        merged = merge_interval_lists([[(0, 4, True)], [(2, 8, True)]])
+        assert merged == [(0, 8, True)]
+
+    def test_exactness_lost_on_mixed_merge(self):
+        merged = merge_interval_lists([[(0, 4, True)], [(2, 8, False)]])
+        assert merged == [(0, 8, False)]
+
+    def test_empty_input(self):
+        assert merge_interval_lists([]) == []
+
+    def test_budget_restriction_merges_smallest_gap(self):
+        intervals = [(0, 1, True), (3, 4, True), (10, 11, True)]
+        restricted = restrict_to_budget(intervals, 2)
+        assert restricted == [(0, 4, False), (10, 11, True)]
+
+    def test_budget_noop_when_under(self):
+        intervals = [(0, 1, True)]
+        assert restrict_to_budget(intervals, 3) == intervals
+
+
+class TestCorrectness:
+    def test_matches_oracle_on_zoo(self, any_dag):
+        index = FerrariIndex(any_dag).build()
+        assert_index_matches_oracle(index, any_dag)
+
+    @pytest.mark.parametrize("k", [1, 2, 8])
+    def test_any_budget_correct(self, k):
+        g = random_dag(80, avg_degree=2.5, seed=1)
+        index = FerrariIndex(g, max_intervals=k).build()
+        assert_index_matches_oracle(index, g)
+
+    def test_without_filters_correct(self, any_dag):
+        index = FerrariIndex(
+            any_dag, use_level_filter=False, use_positive_cut=False
+        ).build()
+        assert_index_matches_oracle(index, any_dag)
+
+    def test_invalid_budget_rejected(self, paper_dag):
+        with pytest.raises(ValueError):
+            FerrariIndex(paper_dag, max_intervals=0)
+
+
+class TestBehaviour:
+    def test_budget_respected(self):
+        g = random_dag(200, avg_degree=3.0, seed=2)
+        index = FerrariIndex(g, max_intervals=3).build()
+        assert all(len(s) <= 3 for s in index.interval_sets)
+
+    def test_bigger_budget_fewer_searches(self):
+        """More intervals = more exact coverage = fewer fallback DFS."""
+        g = random_dag(150, avg_degree=3.0, seed=3)
+        pairs = all_pairs(g)[:8000]
+        small = FerrariIndex(g, max_intervals=1).build()
+        large = FerrariIndex(g, max_intervals=16).build()
+        small.query_many(pairs)
+        large.query_many(pairs)
+        assert large.stats.searches <= small.stats.searches
+
+    def test_unbudgeted_sets_are_all_exact(self):
+        g = random_dag(60, avg_degree=1.5, seed=4)
+        index = FerrariIndex(g, max_intervals=10**6).build()
+        for s in index.interval_sets:
+            assert all(exact for _, _, exact in s.intervals())
+
+    def test_crown_correct_despite_approximation(self):
+        g = crown_graph(6)
+        index = FerrariIndex(g, max_intervals=1).build()
+        assert_index_matches_oracle(index, g)

@@ -1,0 +1,81 @@
+"""Unit tests for the GRAIL baseline."""
+
+import pytest
+
+from repro.baselines.grail import GrailIndex
+from repro.graph.generators import crown_graph, path_graph, random_dag
+
+from tests.conftest import all_pairs, assert_index_matches_oracle
+
+
+class TestCorrectness:
+    def test_matches_oracle_on_zoo(self, any_dag):
+        index = GrailIndex(any_dag).build()
+        assert_index_matches_oracle(index, any_dag)
+
+    @pytest.mark.parametrize("d", [1, 2, 5])
+    def test_any_labeling_count_correct(self, d):
+        g = random_dag(80, avg_degree=2.5, seed=1)
+        index = GrailIndex(g, num_labelings=d).build()
+        assert_index_matches_oracle(index, g)
+
+    def test_without_filters_correct(self, any_dag):
+        index = GrailIndex(
+            any_dag, use_level_filter=False, use_positive_cut=False
+        ).build()
+        assert_index_matches_oracle(index, any_dag)
+
+    def test_invalid_labeling_count_rejected(self, paper_dag):
+        with pytest.raises(ValueError):
+            GrailIndex(paper_dag, num_labelings=0)
+
+
+class TestIndexShape:
+    def test_index_grows_with_d(self):
+        g = random_dag(200, avg_degree=2.0, seed=2)
+        d3 = GrailIndex(g, num_labelings=3).build().index_size_bytes()
+        d5 = GrailIndex(g, num_labelings=5).build().index_size_bytes()
+        assert d5 > d3
+
+    def test_seed_controls_labelings(self):
+        g = random_dag(100, avg_degree=2.0, seed=3)
+        a = GrailIndex(g, seed=1).build()
+        b = GrailIndex(g, seed=1).build()
+        c = GrailIndex(g, seed=2).build()
+        assert [list(l.post) for l in a.labelings] == [
+            list(l.post) for l in b.labelings
+        ]
+        assert [list(l.post) for l in a.labelings] != [
+            list(l.post) for l in c.labelings
+        ]
+
+    def test_labelings_within_index_differ(self):
+        g = random_dag(150, avg_degree=2.0, seed=4)
+        index = GrailIndex(g, num_labelings=3, seed=0).build()
+        posts = [tuple(l.post) for l in index.labelings]
+        assert len(set(posts)) > 1
+
+
+class TestBehaviour:
+    def test_more_labelings_cut_no_fewer_queries(self):
+        """Extra labelings only tighten the negative cut."""
+        g = random_dag(150, avg_degree=2.0, seed=5)
+        pairs = all_pairs(g)[:8000]
+        d1 = GrailIndex(g, num_labelings=1, seed=0).build()
+        d4 = GrailIndex(g, num_labelings=4, seed=0).build()
+        d1.query_many(pairs)
+        d4.query_many(pairs)
+        assert d4.stats.negative_cuts >= d1.stats.negative_cuts
+
+    def test_positive_cut_on_path(self):
+        index = GrailIndex(path_graph(12)).build()
+        assert index.query(0, 11)
+        assert index.stats.searches == 0
+
+    def test_crown_forces_searches(self):
+        g = crown_graph(6)
+        index = GrailIndex(
+            g, num_labelings=2, use_positive_cut=False
+        ).build()
+        index.query_many(all_pairs(g))
+        assert index.stats.searches > 0

@@ -1,0 +1,125 @@
+"""Unit tests for Nuutila's INTERVAL baseline."""
+
+import pytest
+
+from repro.baselines.interval import NuutilaIntervalIndex, union_intervals
+from repro.baselines import pwah
+from repro.exceptions import IndexBuildError
+from repro.graph.generators import path_graph, random_dag
+
+from tests.conftest import assert_index_matches_oracle
+
+
+class TestUnionIntervals:
+    def test_empty(self):
+        assert union_intervals([]) == []
+
+    def test_disjoint_kept(self):
+        assert union_intervals([[(0, 1)], [(5, 6)]]) == [(0, 1), (5, 6)]
+
+    def test_adjacent_coalesced(self):
+        assert union_intervals([[(0, 2)], [(3, 4)]]) == [(0, 4)]
+
+    def test_overlap_coalesced(self):
+        assert union_intervals([[(0, 5)], [(3, 9)]]) == [(0, 9)]
+
+    def test_contained_absorbed(self):
+        assert union_intervals([[(0, 9)], [(3, 4)]]) == [(0, 9)]
+
+    def test_many_lists(self):
+        lists = [[(0, 0)], [(2, 2)], [(1, 1)], [(10, 12)]]
+        assert union_intervals(lists) == [(0, 2), (10, 12)]
+
+
+class TestCorrectness:
+    def test_matches_oracle_on_zoo(self, any_dag):
+        index = NuutilaIntervalIndex(any_dag).build()
+        assert_index_matches_oracle(index, any_dag)
+
+    def test_without_pwah_correct(self, any_dag):
+        index = NuutilaIntervalIndex(any_dag, compress_with_pwah=False).build()
+        assert_index_matches_oracle(index, any_dag)
+
+    def test_self_sufficient_no_search_counters(self, paper_dag):
+        """Every query resolves from the index alone: no graph search."""
+        index = NuutilaIntervalIndex(paper_dag).build()
+        for u in range(8):
+            for v in range(8):
+                index.query(u, v)
+        assert index.stats.searches == 0
+
+
+class TestCompression:
+    def test_subtree_compresses_to_single_interval(self):
+        """On a path, every closure is one contiguous interval."""
+        index = NuutilaIntervalIndex(path_graph(50)).build()
+        assert index.num_intervals() == 50
+
+    def test_pwah_streams_match_interval_lists(self):
+        g = random_dag(80, avg_degree=2.0, seed=1)
+        index = NuutilaIntervalIndex(g).build()
+        for v in range(80):
+            decoded = pwah.decompress_to_intervals(index.pwah_words[v])
+            expected = list(
+                zip(index.lists_lo[v], index.lists_hi[v])
+            )
+            assert decoded == expected
+
+    def test_pwah_beats_uncompressed_bitmaps(self):
+        """PWAH's win is against raw closure bitmaps (|V|²/8 bytes)."""
+        n = 1000
+        g = path_graph(n)
+        index = NuutilaIntervalIndex(g, compress_with_pwah=True).build()
+        raw_bitmap_bytes = n * n // 8
+        assert index.index_size_bytes() < raw_bitmap_bytes
+
+    def test_size_reported_for_both_modes(self, paper_dag):
+        with_pwah = NuutilaIntervalIndex(
+            paper_dag, compress_with_pwah=True
+        ).build()
+        without = NuutilaIntervalIndex(
+            paper_dag, compress_with_pwah=False
+        ).build()
+        assert with_pwah.index_size_bytes() > 0
+        assert without.index_size_bytes() > 0
+
+
+class TestMemoryBudget:
+    def test_budget_failure_reproduces_paper_behaviour(self):
+        """The paper: INTERVAL 'failed with these datasets' on large dense
+        graphs — the budget makes that deterministic."""
+        g = random_dag(2000, avg_degree=5.0, seed=2)
+        index = NuutilaIntervalIndex(g, memory_budget_bytes=10_000)
+        with pytest.raises(IndexBuildError) as excinfo:
+            index.build()
+        assert excinfo.value.reason == "memory-budget"
+
+    def test_generous_budget_builds(self, paper_dag):
+        index = NuutilaIntervalIndex(
+            paper_dag, memory_budget_bytes=10**9
+        ).build()
+        assert index.built
+
+
+class TestQueryModes:
+    def test_pwah_mode_matches_oracle(self, any_dag):
+        index = NuutilaIntervalIndex(any_dag, query_mode="pwah").build()
+        assert_index_matches_oracle(index, any_dag)
+
+    def test_modes_agree(self):
+        g = random_dag(90, avg_degree=2.5, seed=8)
+        by_intervals = NuutilaIntervalIndex(g).build()
+        by_pwah = NuutilaIntervalIndex(g, query_mode="pwah").build()
+        for u in range(90):
+            for v in range(90):
+                assert by_intervals.query(u, v) == by_pwah.query(u, v)
+
+    def test_invalid_mode_rejected(self, paper_dag):
+        with pytest.raises(ValueError, match="query_mode"):
+            NuutilaIntervalIndex(paper_dag, query_mode="bogus")
+
+    def test_pwah_mode_requires_compression(self, paper_dag):
+        with pytest.raises(ValueError, match="compress_with_pwah"):
+            NuutilaIntervalIndex(
+                paper_dag, compress_with_pwah=False, query_mode="pwah"
+            )

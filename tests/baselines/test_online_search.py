@@ -1,0 +1,32 @@
+"""Unit tests for the un-indexed online-search baselines."""
+
+import pytest
+
+from repro.baselines.online_search import (
+    BFSIndex,
+    BidirectionalBFSIndex,
+    DFSIndex,
+)
+
+from tests.conftest import assert_index_matches_oracle
+
+
+@pytest.mark.parametrize(
+    "index_cls", [DFSIndex, BFSIndex, BidirectionalBFSIndex]
+)
+class TestOnlineSearch:
+    def test_matches_oracle(self, any_dag, index_cls):
+        index = index_cls(any_dag).build()
+        assert_index_matches_oracle(index, any_dag)
+
+    def test_zero_index_size(self, paper_dag, index_cls):
+        index = index_cls(paper_dag).build()
+        assert index.index_size_bytes() == 0
+
+    def test_every_non_reflexive_query_searches(self, paper_dag, index_cls):
+        index = index_cls(paper_dag).build()
+        index.query(0, 7)
+        index.query(7, 0)
+        index.query(4, 4)
+        assert index.stats.searches == 2
+        assert index.stats.equal_cuts == 1

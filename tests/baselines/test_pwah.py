@@ -1,0 +1,86 @@
+"""Unit tests for the PWAH bit-vector compression."""
+
+from repro.baselines import pwah
+
+
+def _intervals_to_bits(intervals):
+    bits = set()
+    for lo, hi in intervals:
+        bits.update(range(lo, hi + 1))
+    return bits
+
+
+class TestRoundTrip:
+    def test_empty_set(self):
+        words = pwah.compress_intervals([], universe=1000)
+        assert pwah.decompress_to_intervals(words) == []
+
+    def test_single_bit(self):
+        words = pwah.compress_intervals([(5, 5)], universe=100)
+        assert pwah.decompress_to_intervals(words) == [(5, 5)]
+
+    def test_single_interval(self):
+        words = pwah.compress_intervals([(10, 200)], universe=300)
+        assert pwah.decompress_to_intervals(words) == [(10, 200)]
+
+    def test_many_intervals(self):
+        intervals = [(1, 4), (6, 9), (11, 12)]  # the paper's own example
+        words = pwah.compress_intervals(intervals, universe=20)
+        assert pwah.decompress_to_intervals(words) == intervals
+
+    def test_interval_spanning_group_boundary(self):
+        span = (pwah.GROUP_BITS - 2, pwah.GROUP_BITS + 2)
+        words = pwah.compress_intervals([span], universe=4 * pwah.GROUP_BITS)
+        assert pwah.decompress_to_intervals(words) == [span]
+
+    def test_full_universe(self):
+        universe = 5 * pwah.GROUP_BITS
+        words = pwah.compress_intervals([(0, universe - 1)], universe=universe)
+        assert pwah.decompress_to_intervals(words) == [(0, universe - 1)]
+
+    def test_universe_not_multiple_of_group(self):
+        universe = pwah.GROUP_BITS + 10
+        intervals = [(0, 3), (universe - 2, universe - 1)]
+        words = pwah.compress_intervals(intervals, universe=universe)
+        assert pwah.decompress_to_intervals(words) == intervals
+
+
+class TestContains:
+    def test_membership_matches_intervals(self):
+        intervals = [(3, 7), (100, 260), (400, 400)]
+        universe = 512
+        words = pwah.compress_intervals(intervals, universe=universe)
+        bits = _intervals_to_bits(intervals)
+        for position in range(universe):
+            assert pwah.contains(words, position) == (position in bits)
+
+    def test_position_beyond_stream_is_false(self):
+        words = pwah.compress_intervals([(0, 5)], universe=63)
+        assert not pwah.contains(words, 10_000)
+
+
+class TestCompression:
+    def test_long_runs_collapse(self):
+        """A single huge interval must take O(1) words, not O(n)."""
+        universe = 100_000
+        words = pwah.compress_intervals([(0, universe - 1)], universe=universe)
+        assert len(words) <= 3
+
+    def test_all_zero_collapses(self):
+        words = pwah.compress_intervals([], universe=100_000)
+        assert len(words) <= 2
+
+    def test_size_accounting(self):
+        words = pwah.compress_intervals([(0, 10)], universe=1000)
+        assert pwah.compressed_size_bytes(words) == 8 * len(words)
+
+    def test_alternating_bits_stay_literal(self):
+        intervals = [(i, i) for i in range(0, 62, 2)]
+        words = pwah.compress_intervals(intervals, universe=pwah.GROUP_BITS)
+        assert len(words) == 1  # one literal word
+        assert not words[0] >> 63  # literal flag clear
+
+    def test_words_fit_in_64_bits(self):
+        intervals = [(0, 1000), (5000, 5001), (9999, 19999)]
+        for word in pwah.compress_intervals(intervals, universe=20000):
+            assert 0 <= word < (1 << 64)

@@ -1,0 +1,81 @@
+"""Unit tests for the TF-Label baseline."""
+
+from array import array
+
+import pytest
+
+from repro.baselines.tflabel import TFLabelIndex, fold_rounds
+from repro.exceptions import IndexBuildError
+from repro.graph.generators import path_graph, random_dag
+
+from tests.conftest import assert_index_matches_oracle
+
+
+class TestFoldRounds:
+    def test_empty(self):
+        assert fold_rounds(array("l", [])) == []
+
+    def test_roots_get_highest_round(self):
+        levels = array("l", [0, 1, 2, 3, 4])
+        rounds = fold_rounds(levels)
+        assert rounds[0] == max(rounds)
+
+    def test_valuation_formula(self):
+        levels = array("l", [1, 2, 3, 4, 6, 8, 12])
+        assert fold_rounds(levels) == [0, 1, 0, 2, 1, 3, 2][: len(levels)]
+
+    def test_odd_levels_fold_first(self):
+        levels = array("l", [1, 3, 5, 7])
+        assert fold_rounds(levels) == [0, 0, 0, 0]
+
+
+class TestCorrectness:
+    def test_matches_oracle_on_zoo(self, any_dag):
+        index = TFLabelIndex(any_dag).build()
+        assert_index_matches_oracle(index, any_dag)
+
+    def test_self_sufficient_no_searches(self, paper_dag):
+        index = TFLabelIndex(paper_dag).build()
+        for u in range(8):
+            for v in range(8):
+                index.query(u, v)
+        assert index.stats.searches == 0
+
+    def test_labels_sorted_ascending(self):
+        g = random_dag(100, avg_degree=2.0, seed=1)
+        index = TFLabelIndex(g).build()
+        for labels in index.label_out + index.label_in:
+            assert list(labels) == sorted(labels)
+
+
+class TestLabelShape:
+    def test_path_labels_stay_small(self):
+        """Pruning must keep a path's labels near-constant, not linear."""
+        index = TFLabelIndex(path_graph(256)).build()
+        assert index.average_label_size() < 20
+
+    def test_average_label_size_empty_graph(self):
+        from repro.graph.digraph import DiGraph
+
+        index = TFLabelIndex(DiGraph(0, [])).build()
+        assert index.average_label_size() == 0.0
+
+    def test_index_size_counts_entries(self):
+        g = random_dag(50, avg_degree=2.0, seed=2)
+        index = TFLabelIndex(g).build()
+        entries = sum(len(l) for l in index.label_out)
+        entries += sum(len(l) for l in index.label_in)
+        assert index.index_size_bytes() == 8 * entries
+
+
+class TestBudget:
+    def test_label_budget_failure(self):
+        g = random_dag(500, avg_degree=3.0, seed=3)
+        index = TFLabelIndex(g, label_budget_entries=50)
+        with pytest.raises(IndexBuildError) as excinfo:
+            index.build()
+        assert excinfo.value.reason == "label-budget"
+
+    def test_generous_budget_builds(self, paper_dag):
+        index = TFLabelIndex(paper_dag, label_budget_entries=10**9).build()
+        assert index.built

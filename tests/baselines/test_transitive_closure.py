@@ -1,0 +1,42 @@
+"""Unit tests for the fully materialised TC baseline."""
+
+import pytest
+
+from repro.baselines.transitive_closure import TransitiveClosureIndex
+from repro.exceptions import IndexBuildError
+from repro.graph.generators import random_dag
+
+from tests.conftest import assert_index_matches_oracle
+
+
+class TestCorrectness:
+    def test_matches_oracle(self, any_dag):
+        index = TransitiveClosureIndex(any_dag).build()
+        assert_index_matches_oracle(index, any_dag)
+
+    def test_index_size_positive(self, paper_dag):
+        index = TransitiveClosureIndex(paper_dag).build()
+        assert index.index_size_bytes() > 0
+
+
+class TestMemoryBudget:
+    def test_budget_exceeded_raises_with_reason(self):
+        g = random_dag(2000, avg_degree=1.0, seed=1)
+        index = TransitiveClosureIndex(g, memory_budget_bytes=1000)
+        with pytest.raises(IndexBuildError) as excinfo:
+            index.build()
+        assert excinfo.value.reason == "memory-budget"
+
+    def test_generous_budget_builds(self, paper_dag):
+        index = TransitiveClosureIndex(
+            paper_dag, memory_budget_bytes=10**9
+        ).build()
+        assert index.built
+
+    def test_failed_build_leaves_index_unbuilt(self):
+        g = random_dag(2000, avg_degree=1.0, seed=1)
+        index = TransitiveClosureIndex(g, memory_budget_bytes=1000)
+        with pytest.raises(IndexBuildError):
+            index.build()
+        assert not index.built
+        assert index.index_size_bytes() == 0

@@ -1,0 +1,71 @@
+"""Unit tests for the measurement harness."""
+
+from repro.bench.harness import MethodSpec, measure_method, run_sweep
+from repro.datasets.queries import random_pairs
+from repro.graph.generators import random_dag
+
+
+def _graph(seed=0):
+    g = random_dag(100, avg_degree=2.0, seed=seed)
+    g.name = f"test-{seed}"
+    return g
+
+
+class TestMethodSpec:
+    def test_display_defaults_to_method(self):
+        assert MethodSpec("feline").display == "feline"
+
+    def test_display_uses_label(self):
+        assert MethodSpec("feline", "FELINE").display == "FELINE"
+
+
+class TestMeasureMethod:
+    def test_successful_measurement(self):
+        g = _graph()
+        pairs = random_pairs(g, 100, seed=1)
+        result = measure_method(g, MethodSpec("feline"), pairs, runs=2)
+        assert result.ok
+        assert result.construction_ms is not None and result.construction_ms > 0
+        assert result.query_ms is not None and result.query_ms >= 0
+        assert result.index_bytes is not None and result.index_bytes > 0
+        assert result.num_queries == 100
+        assert 0 <= result.positives <= 100
+
+    def test_failure_recorded_not_raised(self):
+        g = _graph()
+        pairs = random_pairs(g, 10, seed=1)
+        spec = MethodSpec("tc", params={"memory_budget_bytes": 1})
+        result = measure_method(g, spec, pairs)
+        assert not result.ok
+        assert result.failure == "memory-budget"
+        assert result.construction_ms is None
+        assert result.query_ms is None
+
+    def test_answers_consistent_across_methods(self):
+        g = _graph(3)
+        pairs = random_pairs(g, 300, seed=2)
+        feline = measure_method(g, MethodSpec("feline"), pairs, runs=1)
+        grail = measure_method(g, MethodSpec("grail"), pairs, runs=1)
+        assert feline.positives == grail.positives
+
+    def test_runs_floor_at_one(self):
+        g = _graph()
+        result = measure_method(
+            g, MethodSpec("feline"), random_pairs(g, 10, seed=0), runs=0
+        )
+        assert result.ok
+
+
+class TestRunSweep:
+    def test_cartesian_product(self):
+        graphs = [_graph(1), _graph(2)]
+        specs = [MethodSpec("feline"), MethodSpec("dfs")]
+        pairs = {
+            g.name: random_pairs(g, 50, seed=0) for g in graphs
+        }
+        results = run_sweep(graphs, specs, pairs, runs=1)
+        assert len(results) == 4
+        assert {(r.dataset, r.method) for r in results} == {
+            ("test-1", "feline"), ("test-1", "dfs"),
+            ("test-2", "feline"), ("test-2", "dfs"),
+        }

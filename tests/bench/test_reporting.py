@@ -1,0 +1,94 @@
+"""Unit tests for report rendering."""
+
+from repro.bench.reporting import (
+    format_bytes,
+    format_series,
+    format_table,
+    render_scatter,
+)
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "b"], [[1, 2.5], [3, 4.0]])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "2.500" in lines[2]
+
+    def test_title_prepended(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_best_highlighted_per_row(self):
+        text = format_table(
+            ["graph", "m1", "m2"],
+            [["g", 5.0, 3.0]],
+            highlight_best=[1, 2],
+        )
+        assert "3.000*" in text
+        assert "5.000*" not in text
+
+    def test_none_rendered_as_fail(self):
+        text = format_table(["m"], [[None]])
+        assert "FAIL" in text
+
+    def test_failures_not_highlighted(self):
+        text = format_table(
+            ["graph", "m1", "m2"],
+            [["g", None, 7.0]],
+            highlight_best=[1, 2],
+        )
+        assert "7.000*" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestFormatSeries:
+    def test_series_columns(self):
+        text = format_series(
+            "n", [10, 20], {"FELINE": [1.0, 2.0], "GRAIL": [3.0, 4.0]}
+        )
+        header = text.splitlines()[0]
+        assert "FELINE" in header and "GRAIL" in header
+        assert "10" in text and "4.000" in text
+
+
+class TestRenderScatter:
+    def test_empty_points(self):
+        assert "(empty)" in render_scatter([])
+
+    def test_dimensions(self):
+        points = [(i, i) for i in range(100)]
+        text = render_scatter(points, width=40, height=10)
+        grid_lines = [l for l in text.splitlines() if l.startswith("|")]
+        assert len(grid_lines) == 10
+        assert all(len(l) == 42 for l in grid_lines)
+
+    def test_diagonal_shape(self):
+        # A perfect diagonal: the top-right cell is populated, the
+        # top-left cell is not.
+        points = [(i, i) for i in range(100)]
+        text = render_scatter(points, width=20, height=10)
+        top = [l for l in text.splitlines() if l.startswith("|")][0]
+        assert top[1] == " "  # top-left empty
+        assert top[-2] != " "  # top-right occupied
+
+    def test_footer_mentions_ranges(self):
+        text = render_scatter([(0, 0), (5, 9)])
+        assert "x: [0, 5]" in text and "y: [0, 9]" in text and "n=2" in text
+
+
+class TestFormatBytes:
+    def test_small(self):
+        assert format_bytes(512) == "512B"
+
+    def test_kib(self):
+        assert format_bytes(2048) == "2.0KiB"
+
+    def test_mib(self):
+        assert format_bytes(3 * 1024 * 1024) == "3.0MiB"
+
+    def test_none_is_fail(self):
+        assert format_bytes(None) == "FAIL"

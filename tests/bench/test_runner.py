@@ -1,0 +1,137 @@
+"""Unit tests for the per-experiment drivers (tiny sizes)."""
+
+import pytest
+
+from repro.bench import runner
+
+SMALL = ["arxiv", "yago", "go"]
+TINY_KW = dict(names=SMALL, scale=0.02, num_queries=60, runs=1)
+
+
+class TestTables:
+    def test_table1_report(self):
+        report = runner.table1_datasets(scale=0.02, diameter_sample_size=8)
+        assert report.experiment_id == "T1"
+        assert "arxiv" in report.text and "uniprot150m" in report.text
+        assert len(report.data["summaries"]) == 11
+
+    def test_table2_report(self):
+        report = runner.table2_synthetic(scale=0.0002)
+        assert report.experiment_id == "T2"
+        assert "100M-10" in report.text
+        assert report.data["sizes"]["10M"][0] == 2000
+
+    def test_table3_report(self):
+        report = runner.table3_real(**TINY_KW)
+        assert "construction times" in report.text
+        assert "query times" in report.text
+        assert "FELINE" in report.text
+        results = report.data["results"]
+        assert len(results) == len(SMALL) * 5
+
+    def test_table4_report(self):
+        report = runner.table4_feline_variants(**TINY_KW)
+        assert "FELINE-I" in report.text and "FELINE-B" in report.text
+
+    def test_table5_report(self):
+        report = runner.table5_scarab(**TINY_KW)
+        assert "FELINE-SCAR" in report.text and "GRAIL-SCAR" in report.text
+
+
+class TestFigures:
+    def test_fig10_cd(self):
+        report = runner.fig10_cd_construction(
+            names=["arxiv", "yago", "go", "pubmed"], scale=0.02,
+            num_queries=40, runs=1,
+        )
+        assert "Friedman" in report.text and "CD =" in report.text
+
+    def test_fig11_cd(self):
+        report = runner.fig11_cd_query(
+            names=["arxiv", "yago", "go", "pubmed"], scale=0.02,
+            num_queries=40, runs=1,
+        )
+        assert report.experiment_id == "F11"
+
+    def test_fig12_scatter(self):
+        report = runner.fig12_index_plots(
+            names=("arxiv", "go"), scale=0.02
+        )
+        assert "arxiv (normal index)" in report.text
+        assert "go (reversed index)" in report.text
+        points = report.data["coordinates"][("arxiv", "normal")]
+        assert len(points) == 120  # 6000 * 0.02
+
+    def test_fig13_series(self):
+        report = runner.fig13_synthetic_construction(
+            names=["10M", "20M"], scale=0.0002, num_queries=40, runs=1
+        )
+        assert "10M" in report.text and "FELINE" in report.text
+
+    def test_fig14_includes_feline_b(self):
+        report = runner.fig14_synthetic_query(
+            names=["10M", "20M"], scale=0.0002, num_queries=40, runs=1
+        )
+        assert "FELINE-B" in report.text
+
+    def test_fig15_sizes(self):
+        report = runner.fig15_index_sizes_real(**TINY_KW)
+        assert "GRAIL-d5" in report.text
+
+    def test_fig16_sizes(self):
+        report = runner.fig16_index_sizes_synthetic(
+            names=["10M", "20M"], scale=0.0002
+        )
+        assert report.experiment_id == "F16"
+
+    def test_fig17_cd(self):
+        report = runner.fig17_cd_scarab(
+            names=["arxiv", "yago", "go", "pubmed"], scale=0.02,
+            num_queries=40, runs=1,
+        )
+        assert "CD =" in report.text
+
+
+class TestAblations:
+    def test_heuristic_ablation(self):
+        report = runner.ablation_y_heuristics(
+            names=SMALL, scale=0.02, num_queries=60, runs=1
+        )
+        assert "FELINE[max-x]" in report.text
+        assert "FELINE[min-x]" in report.text
+
+    def test_filter_ablation(self):
+        report = runner.ablation_filters(
+            names=SMALL, scale=0.02, num_queries=60, runs=1
+        )
+        assert "FELINE[bare]" in report.text
+
+
+class TestReportStr:
+    def test_str_includes_header(self):
+        report = runner.table2_synthetic(scale=0.0002)
+        assert str(report).startswith("== T2:")
+
+
+class TestCDFromResultsFailureHandling:
+    def test_failures_rank_worst(self):
+        from repro.bench.harness import MethodResult
+        from repro.bench.runner import _cd_from_results
+
+        results = []
+        for dataset in ("g1", "g2", "g3"):
+            results.append(MethodResult(
+                method="A", dataset=dataset, num_queries=10,
+                construction_ms=1.0, query_ms=1.0,
+            ))
+            results.append(MethodResult(
+                method="B", dataset=dataset, num_queries=10,
+                failure="memory-budget",
+            ))
+        report = _cd_from_results(
+            results, ["A", "B"], "query", "X", "test title"
+        )
+        friedman = report.data["friedman"]
+        # A always ranks 1, the failing B always ranks 2.
+        assert friedman.average_ranks == [1.0, 2.0]
+        assert report.data["results"] is results

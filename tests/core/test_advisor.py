@@ -1,0 +1,79 @@
+"""Unit tests for the method advisor."""
+
+from repro.baselines.base import available_methods, create_index
+from repro.core.advisor import (
+    describe_recommendation,
+    extract_features,
+    recommend_method,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    citation_dag,
+    path_graph,
+    random_dag,
+    tree_like_dag,
+)
+
+
+class TestFeatures:
+    def test_empty_graph(self):
+        features = extract_features(DiGraph(0, []))
+        assert features.num_vertices == 0
+        assert features.avg_degree == 0.0
+
+    def test_path_features(self):
+        features = extract_features(path_graph(10))
+        assert features.num_vertices == 10
+        assert features.root_fraction == 0.1
+        assert features.leaf_fraction == 0.1
+        assert features.non_tree_edge_fraction == 0.0
+
+    def test_dense_graph_has_non_tree_edges(self):
+        features = extract_features(citation_dag(500, seed=1))
+        assert features.non_tree_edge_fraction > 0.3
+
+
+class TestRules:
+    def test_tiny_graph_gets_tc(self):
+        assert recommend_method(random_dag(100, seed=1)) == "tc"
+
+    def test_near_tree_gets_dual_labeling(self):
+        g = tree_like_dag(2000, extra_edge_fraction=0.005, seed=2)
+        assert recommend_method(g) == "dual-labeling"
+
+    def test_medium_graph_gets_interval(self):
+        g = random_dag(2000, avg_degree=2.0, seed=3)
+        assert recommend_method(g) == "interval"
+
+    def test_query_heavy_gets_feline_b(self):
+        g = citation_dag(3000, avg_out_degree=5.0, seed=4)
+        assert recommend_method(g, expect_query_heavy=True) == "feline-b"
+
+    def test_huge_dense_gets_feline(self):
+        g = citation_dag(3000, avg_out_degree=5.0, seed=4)
+        assert recommend_method(g, interval_budget_bytes=1000) == "feline"
+
+    def test_recommendation_is_always_registered(self):
+        for seed in range(3):
+            g = random_dag(800, avg_degree=1.0 + seed, seed=seed)
+            for heavy in (False, True):
+                method = recommend_method(g, expect_query_heavy=heavy)
+                assert method in available_methods()
+
+    def test_recommended_index_actually_works(self):
+        g = tree_like_dag(1500, extra_edge_fraction=0.005, seed=5)
+        method = recommend_method(g)
+        index = create_index(method, g).build()
+        from repro.graph.traversal import dfs_reachable
+
+        for u, v in [(0, 1499), (1499, 0), (3, 3)]:
+            assert index.query(u, v) == dfs_reachable(g, u, v)
+
+
+class TestDescription:
+    def test_description_mentions_method_and_reason(self):
+        g = random_dag(100, seed=1)
+        text = describe_recommendation(g)
+        assert "recommended: tc" in text
+        assert "because:" in text
+        assert "|V|=100" in text

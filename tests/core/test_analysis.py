@@ -1,0 +1,90 @@
+"""Unit tests for index-quality analysis."""
+
+from repro.core.analysis import (
+    count_false_positives,
+    dominance_pair_count,
+    false_positive_pairs,
+    negative_cut_rate,
+)
+from repro.core.index import build_feline_index
+from repro.graph.generators import crown_graph, path_graph, random_dag
+from repro.graph.transitive import count_reachable_pairs
+
+from tests.conftest import all_pairs, reachability_oracle
+
+
+def _bare_index(graph):
+    return build_feline_index(
+        graph, with_level_filter=False, with_positive_cut=False
+    )
+
+
+class TestDominanceCount:
+    def test_counting_identity(self, any_dag):
+        """dominance pairs == reachable pairs + false positives."""
+        coords = _bare_index(any_dag)
+        dominance = dominance_pair_count(coords)
+        reachable = count_reachable_pairs(any_dag)
+        false_pos = count_false_positives(any_dag, coords)
+        assert dominance == reachable + false_pos
+
+    def test_path_graph_all_pairs_dominate(self):
+        g = path_graph(10)
+        coords = _bare_index(g)
+        assert dominance_pair_count(coords) == 45  # n(n-1)/2
+
+    def test_matches_naive_count(self):
+        g = random_dag(60, avg_degree=2.0, seed=1)
+        coords = _bare_index(g)
+        naive = sum(
+            1
+            for u in range(60)
+            for v in range(60)
+            if u != v and coords.dominates(u, v)
+        )
+        assert dominance_pair_count(coords) == naive
+
+
+class TestFalsePositives:
+    def test_tree_has_no_false_positives_possible(self):
+        """A path admits a perfect drawing, and Algorithm 1 finds it."""
+        g = path_graph(20)
+        coords = _bare_index(g)
+        assert count_false_positives(g, coords) == 0
+
+    def test_crown_must_have_false_positives(self):
+        """Paper Figure 4: S⁰ₖ (k ≥ 3) admits no 2D drawing free of
+        falsely implied paths — any valid index has at least one."""
+        g = crown_graph(4)
+        coords = _bare_index(g)
+        assert count_false_positives(g, coords) > 0
+
+    def test_pairs_are_really_false(self):
+        g = random_dag(50, avg_degree=2.0, seed=2)
+        coords = _bare_index(g)
+        oracle = reachability_oracle(g)
+        for u, v in false_positive_pairs(g, coords):
+            assert coords.dominates(u, v)
+            assert not oracle(u, v)
+
+
+class TestNegativeCutRate:
+    def test_rate_bounds(self, any_dag):
+        coords = _bare_index(any_dag)
+        pairs = all_pairs(any_dag)
+        if not pairs:
+            return
+        rate = negative_cut_rate(any_dag, coords, pairs)
+        assert 0.0 <= rate <= 1.0
+
+    def test_empty_workload_rate_zero(self, paper_dag):
+        coords = _bare_index(paper_dag)
+        assert negative_cut_rate(paper_dag, coords, []) == 0.0
+
+    def test_sparse_random_dag_cuts_most_pairs(self):
+        """The paper's headline: a significant portion of queries answered
+        in O(1).  On sparse random DAGs that portion is the majority."""
+        g = random_dag(300, avg_degree=1.0, seed=3)
+        coords = _bare_index(g)
+        rate = negative_cut_rate(g, coords, all_pairs(g))
+        assert rate > 0.5

@@ -1,0 +1,67 @@
+"""Unit tests for the vectorised batch query path."""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import query_batch
+from repro.core.query import FelineIndex
+from repro.datasets.queries import mixed_workload, random_pairs
+from repro.exceptions import IndexNotBuiltError
+from repro.graph.generators import crown_graph, random_dag
+
+from tests.conftest import all_pairs
+
+
+class TestBatchQueries:
+    def test_matches_scalar_path_on_zoo(self, any_dag):
+        index = FelineIndex(any_dag).build()
+        pairs = all_pairs(any_dag)
+        if not pairs:
+            return
+        scalar = index.query_many(pairs)
+        batch = query_batch(index, pairs)
+        assert batch.tolist() == scalar
+
+    def test_matches_scalar_without_filters(self):
+        g = random_dag(150, avg_degree=2.5, seed=1)
+        index = FelineIndex(
+            g, use_level_filter=False, use_positive_cut=False
+        ).build()
+        pairs = random_pairs(g, 4000, seed=2)
+        assert query_batch(index, pairs).tolist() == index.query_many(pairs)
+
+    def test_crown_graph_searches_still_exact(self):
+        g = crown_graph(7)
+        index = FelineIndex(g).build()
+        pairs = all_pairs(g)
+        assert query_batch(index, pairs).tolist() == index.query_many(pairs)
+
+    def test_empty_batch(self, paper_dag):
+        index = FelineIndex(paper_dag).build()
+        result = query_batch(index, [])
+        assert isinstance(result, np.ndarray) and len(result) == 0
+
+    def test_unbuilt_index_rejected(self, paper_dag):
+        with pytest.raises(IndexNotBuiltError):
+            query_batch(FelineIndex(paper_dag), [(0, 1)])
+
+    def test_stats_match_scalar_counters(self):
+        g = random_dag(120, avg_degree=2.0, seed=3)
+        workload = mixed_workload(g, 3000, positive_fraction=0.3, seed=4)
+
+        scalar = FelineIndex(g).build()
+        scalar.query_many(workload.pairs)
+        batch = FelineIndex(g).build()
+        query_batch(batch, workload.pairs)
+
+        s, b = scalar.stats, batch.stats
+        assert b.queries == s.queries
+        assert b.equal_cuts == s.equal_cuts
+        assert b.negative_cuts == s.negative_cuts
+        assert b.positive_cuts == s.positive_cuts
+        assert b.searches == s.searches
+
+    def test_accepts_numpy_input(self, paper_dag):
+        index = FelineIndex(paper_dag).build()
+        pairs = np.array([(0, 7), (7, 0), (3, 3)])
+        assert query_batch(index, pairs).tolist() == [True, False, True]

@@ -1,0 +1,86 @@
+"""Unit tests for FELINE-I and FELINE-B."""
+
+import pytest
+
+from repro.core.bidirectional import FelineBIndex, FelineIIndex
+from repro.core.query import FelineIndex
+from repro.exceptions import IndexNotBuiltError
+from repro.graph.generators import crown_graph, random_dag
+
+from tests.conftest import all_pairs, assert_index_matches_oracle
+
+
+class TestFelineI:
+    def test_matches_oracle_on_zoo(self, any_dag):
+        index = FelineIIndex(any_dag).build()
+        assert_index_matches_oracle(index, any_dag)
+
+    def test_coordinates_differ_from_normal_index(self):
+        g = random_dag(100, avg_degree=2.0, seed=1)
+        normal = FelineIndex(g).build()
+        reversed_ = FelineIIndex(g).build()
+        # The reversed drawing places vertices differently (paper Fig. 12).
+        assert list(normal.coordinates.x) != list(reversed_.coordinates.x)
+
+    def test_same_index_size_as_feline(self, paper_dag):
+        normal = FelineIndex(paper_dag).build()
+        reversed_ = FelineIIndex(paper_dag).build()
+        assert normal.index_size_bytes() == reversed_.index_size_bytes()
+
+    def test_query_before_build_raises(self, paper_dag):
+        with pytest.raises(IndexNotBuiltError):
+            FelineIIndex(paper_dag).query(0, 1)
+
+    def test_stats_recorded_on_wrapper(self, paper_dag):
+        index = FelineIIndex(paper_dag).build()
+        index.query(0, 7)
+        assert index.stats.queries == 1
+
+
+class TestFelineB:
+    def test_matches_oracle_on_zoo(self, any_dag):
+        index = FelineBIndex(any_dag).build()
+        assert_index_matches_oracle(index, any_dag)
+
+    def test_crown_graph_correct(self):
+        g = crown_graph(5)
+        index = FelineBIndex(g).build()
+        assert_index_matches_oracle(index, g)
+
+    def test_index_bigger_than_feline_but_less_than_double(self):
+        """Paper §4.3.5: FELINE-B's index is larger than FELINE's but not
+        twice as big, because the filters are built only once."""
+        g = random_dag(300, avg_degree=2.0, seed=2)
+        single = FelineIndex(g).build().index_size_bytes()
+        double = FelineBIndex(g).build().index_size_bytes()
+        assert single < double < 2 * single
+
+    def test_negative_cut_rate_at_least_feline(self):
+        """Two dominance tests cut at least as many queries as one."""
+        g = random_dag(150, avg_degree=1.5, seed=3)
+        pairs = all_pairs(g)[:8000]
+        feline = FelineIndex(g).build()
+        feline_b = FelineBIndex(g).build()
+        feline.query_many(pairs)
+        feline_b.query_many(pairs)
+        assert feline_b.stats.negative_cuts >= feline.stats.negative_cuts
+
+    def test_search_never_expands_more_than_feline(self):
+        """Intersecting admissible regions can only shrink the search."""
+        g = random_dag(200, avg_degree=3.0, seed=4)
+        pairs = all_pairs(g)[:6000]
+        feline = FelineIndex(g).build()
+        feline_b = FelineBIndex(g).build()
+        feline.query_many(pairs)
+        feline_b.query_many(pairs)
+        assert feline_b.stats.expanded <= feline.stats.expanded
+
+    def test_query_before_build_raises(self, paper_dag):
+        with pytest.raises(IndexNotBuiltError):
+            FelineBIndex(paper_dag).query(0, 1)
+
+    def test_backward_index_has_no_filters(self, paper_dag):
+        index = FelineBIndex(paper_dag).build()
+        assert index.backward.levels is None
+        assert index.backward.tree_intervals is None
+        assert index.forward.levels is not None

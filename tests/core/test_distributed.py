@@ -1,0 +1,130 @@
+"""Unit tests for the simulated distributed FELINE."""
+
+import pytest
+
+from repro.core.distributed import SimulatedCluster
+from repro.exceptions import ReproError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import crown_graph, path_graph, random_dag
+
+from tests.conftest import all_pairs, reachability_oracle
+
+
+class TestSetup:
+    def test_invalid_shard_count(self, paper_dag):
+        with pytest.raises(ReproError):
+            SimulatedCluster(paper_dag, num_shards=0)
+
+    def test_shards_cover_all_vertices(self):
+        g = random_dag(200, avg_degree=2.0, seed=1)
+        cluster = SimulatedCluster(g, num_shards=5)
+        assert sum(cluster.shard_sizes()) == 200
+
+    def test_slabs_are_contiguous_in_x(self):
+        g = random_dag(200, avg_degree=2.0, seed=1)
+        cluster = SimulatedCluster(g, num_shards=5)
+        x = cluster.coords.x
+        for u in range(200):
+            for v in range(200):
+                if x[u] < x[v]:
+                    assert cluster.shard_of(u) <= cluster.shard_of(v)
+
+    def test_more_shards_than_vertices_clamped(self):
+        cluster = SimulatedCluster(DiGraph(3, [(0, 1)]), num_shards=10)
+        assert cluster.num_shards == 3
+
+    def test_balanced_sizes(self):
+        g = random_dag(400, avg_degree=1.5, seed=2)
+        sizes = SimulatedCluster(g, num_shards=4).shard_sizes()
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("num_shards", [1, 2, 4, 7])
+    def test_matches_oracle_on_zoo(self, any_dag, num_shards):
+        cluster = SimulatedCluster(any_dag, num_shards=num_shards)
+        oracle = reachability_oracle(any_dag)
+        for u, v in all_pairs(any_dag):
+            assert cluster.query(u, v) == oracle(u, v), (u, v)
+
+    def test_crown_cross_shard_correct(self):
+        g = crown_graph(8)
+        cluster = SimulatedCluster(g, num_shards=4)
+        oracle = reachability_oracle(g)
+        for u, v in all_pairs(g):
+            assert cluster.query(u, v) == oracle(u, v)
+
+    def test_single_shard_equals_plain_feline(self):
+        from repro.core.query import FelineIndex
+
+        g = random_dag(120, avg_degree=2.5, seed=3)
+        cluster = SimulatedCluster(g, num_shards=1)
+        plain = FelineIndex(g).build()
+        for u, v in all_pairs(g)[:4000]:
+            assert cluster.query(u, v) == plain.query(u, v)
+
+
+class TestCostModel:
+    def test_negative_cuts_cost_no_messages(self):
+        g = random_dag(300, avg_degree=1.0, seed=4)
+        cluster = SimulatedCluster(g, num_shards=4)
+        cluster.stats.reset(cluster.num_shards)
+        for u, v in all_pairs(g)[:3000]:
+            cluster.query(u, v)
+        # Sparse random pairs: the dominance cut answers most queries
+        # with zero communication.
+        assert cluster.stats.negative_cuts > 0
+        assert cluster.stats.messages < cluster.stats.queries
+
+    def test_single_shard_never_messages(self):
+        g = random_dag(150, avg_degree=3.0, seed=5)
+        cluster = SimulatedCluster(g, num_shards=1)
+        for u, v in all_pairs(g)[:3000]:
+            cluster.query(u, v)
+        assert cluster.stats.messages == 0
+
+    def test_path_across_shards_messages(self):
+        # A 40-vertex path over 4 shards: querying end to end must cross
+        # shard boundaries (positive-cut disabled cannot happen here, so
+        # pick endpoints NOT connected by the spanning tree shortcut: on
+        # a path the tree answers it, so check messages via a crown).
+        g = crown_graph(20)
+        cluster = SimulatedCluster(g, num_shards=5)
+        for u, v in all_pairs(g):
+            cluster.query(u, v)
+        assert cluster.stats.rounds >= 1
+
+    def test_expansion_counters_populated(self):
+        g = random_dag(200, avg_degree=3.0, seed=6)
+        cluster = SimulatedCluster(g, num_shards=3)
+        for u, v in all_pairs(g)[:5000]:
+            cluster.query(u, v)
+        assert sum(cluster.stats.expansions_per_shard) > 0
+
+    def test_stats_reset(self):
+        g = random_dag(50, avg_degree=2.0, seed=7)
+        cluster = SimulatedCluster(g, num_shards=2)
+        cluster.query(0, 49)
+        cluster.stats.reset(cluster.num_shards)
+        assert cluster.stats.queries == 0
+        assert cluster.stats.expansions_per_shard == [0, 0]
+
+
+class TestReprAndEdgeCases:
+    def test_repr(self):
+        g = random_dag(50, avg_degree=1.0, seed=8)
+        cluster = SimulatedCluster(g, num_shards=2)
+        assert "shards=2" in repr(cluster)
+
+    def test_reflexive_query(self):
+        g = random_dag(30, avg_degree=1.0, seed=9)
+        cluster = SimulatedCluster(g, num_shards=3)
+        assert cluster.query(5, 5)
+
+    def test_positive_cut_avoids_search(self):
+        from repro.graph.generators import path_graph
+
+        cluster = SimulatedCluster(path_graph(40), num_shards=4)
+        cluster.stats.reset(cluster.num_shards)
+        assert cluster.query(0, 39)  # tree interval answers in O(1)
+        assert cluster.stats.rounds == 0

@@ -1,0 +1,166 @@
+"""Unit tests for the incremental FELINE index."""
+
+from random import Random
+
+import pytest
+
+from repro.core.incremental import IncrementalFelineIndex
+from repro.exceptions import NotADAGError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag
+from repro.graph.traversal import dfs_reachable
+
+
+class TestConstruction:
+    def test_empty_start(self):
+        index = IncrementalFelineIndex()
+        assert index.num_vertices == 0
+
+    def test_from_static_dag(self, paper_dag):
+        index = IncrementalFelineIndex(paper_dag)
+        assert index.num_vertices == 8
+        assert index.check_invariants()
+
+    def test_from_edges(self):
+        index = IncrementalFelineIndex.from_edges(3, [(0, 1), (1, 2)])
+        assert index.query(0, 2)
+
+
+class TestGrowth:
+    def test_add_vertex(self):
+        index = IncrementalFelineIndex.from_edges(2, [(0, 1)])
+        v = index.add_vertex()
+        assert v == 2
+        assert not index.query(0, 2)
+        index.add_edge(1, 2)
+        assert index.query(0, 2)
+
+    def test_add_edge_updates_queries(self):
+        index = IncrementalFelineIndex.from_edges(4, [(0, 1), (2, 3)])
+        assert not index.query(0, 3)
+        index.add_edge(1, 2)
+        assert index.query(0, 3)
+
+    def test_cycle_rejected_graph_unchanged(self):
+        index = IncrementalFelineIndex.from_edges(3, [(0, 1), (1, 2)])
+        with pytest.raises(NotADAGError):
+            index.add_edge(2, 0)
+        assert index.num_edges == 2
+        assert index.check_invariants()
+        assert index.query(0, 2) and not index.query(2, 0)
+
+    def test_self_loop_rejected(self):
+        index = IncrementalFelineIndex.from_edges(2, [(0, 1)])
+        with pytest.raises(NotADAGError):
+            index.add_edge(1, 1)
+
+    def test_counters(self):
+        index = IncrementalFelineIndex.from_edges(3, [])
+        index.add_edge(2, 0)  # backward: must reorder
+        index.add_edge(0, 1)  # may or may not reorder
+        assert index.edges_inserted == 2
+        assert index.reorders >= 1
+        assert "inserts=2" in repr(index)
+
+
+class TestCorrectnessUnderStreams:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_stream_matches_dfs_after_every_insert(self, seed):
+        """The strongest incremental test: replay a DAG edge by edge in a
+        shuffled order; after every insertion, the invariants hold and a
+        sample of queries matches a fresh DFS on the current graph."""
+        target = random_dag(40, avg_degree=2.0, seed=seed)
+        edges = list(target.edges())
+        Random(seed).shuffle(edges)
+        index = IncrementalFelineIndex(DiGraph(40, []))
+        current: list[tuple[int, int]] = []
+        rng = Random(seed + 100)
+        for u, v in edges:
+            index.add_edge(u, v)
+            current.append((u, v))
+            assert index.check_invariants()
+            snapshot = DiGraph(40, current)
+            for _ in range(15):
+                a, b = rng.randrange(40), rng.randrange(40)
+                assert index.query(a, b) == dfs_reachable(snapshot, a, b)
+
+    def test_final_state_matches_full_rebuild(self):
+        target = random_dag(80, avg_degree=2.5, seed=7)
+        edges = list(target.edges())
+        Random(3).shuffle(edges)
+        index = IncrementalFelineIndex(DiGraph(80, []))
+        for u, v in edges:
+            index.add_edge(u, v)
+        for u in range(80):
+            for v in range(80):
+                assert index.query(u, v) == dfs_reachable(target, u, v)
+
+    def test_vertex_growth_stream(self):
+        """Interleave vertex and edge insertions (citation-style growth)."""
+        rng = Random(11)
+        index = IncrementalFelineIndex()
+        first = index.add_vertex()
+        edges: list[tuple[int, int]] = []
+        for _ in range(60):
+            v = index.add_vertex()
+            for _ in range(rng.randrange(0, 3)):
+                target = rng.randrange(v)
+                index.add_edge(v, target)  # new cites old
+                edges.append((v, target))
+        assert index.check_invariants()
+        snapshot = DiGraph(index.num_vertices, edges)
+        for _ in range(400):
+            a = rng.randrange(index.num_vertices)
+            b = rng.randrange(index.num_vertices)
+            assert index.query(a, b) == dfs_reachable(snapshot, a, b)
+
+
+class TestSoundnessInvariant:
+    def test_dominance_always_necessary(self):
+        """Theorem 1 must hold after every insertion."""
+        target = random_dag(50, avg_degree=2.0, seed=13)
+        edges = list(target.edges())
+        Random(1).shuffle(edges)
+        index = IncrementalFelineIndex(DiGraph(50, []))
+        for u, v in edges:
+            index.add_edge(u, v)
+        for u, v in edges:
+            assert index.dominates(u, v)
+
+    def test_coordinate_accessor(self):
+        index = IncrementalFelineIndex.from_edges(2, [(0, 1)])
+        x0, y0 = index.coordinate(0)
+        x1, y1 = index.coordinate(1)
+        assert x0 < x1 and y0 < y1
+
+
+class TestLevelPropagation:
+    def test_levels_deepen_with_new_edges(self):
+        index = IncrementalFelineIndex.from_edges(4, [(0, 1), (2, 3)])
+        # Joining the two chains deepens 2 and 3.
+        index.add_edge(1, 2)
+        assert index._levels[2] == 2 and index._levels[3] == 3
+
+    def test_redundant_edge_no_level_change(self):
+        index = IncrementalFelineIndex.from_edges(3, [(0, 1), (1, 2)])
+        before = list(index._levels)
+        index.add_edge(0, 2)  # shortcut: levels already deeper
+        assert list(index._levels) == before
+
+
+class TestForwardOnlyGrowth:
+    def test_order_respecting_edges_never_reorder(self):
+        """Edges that already agree with the current coordinates must
+        insert without any Pearce-Kelly repair."""
+        index = IncrementalFelineIndex.from_edges(100, [])
+        from repro.graph.generators import random_dag
+
+        g = random_dag(100, avg_degree=2.0, seed=21)
+        # Relabel the whole DAG (one consistent bijection) so edges run
+        # down the *actual* initial ranks, whatever order the builder
+        # chose for the edgeless start.
+        by_rank = sorted(range(100), key=lambda v: index.coordinate(v))
+        for u, v in g.edges():
+            index.add_edge(by_rank[u], by_rank[v])
+        assert index.reorders == 0
+        assert index.check_invariants()

@@ -1,0 +1,101 @@
+"""Unit tests for FELINE index construction (Algorithm 1)."""
+
+import pytest
+
+from repro.core.index import build_feline_index
+from repro.exceptions import NotADAGError, ReproError
+from repro.graph.digraph import DiGraph
+from repro.graph.toposort import is_topological_order
+from repro.graph.traversal import dfs_reachable
+
+
+def _orders_from_coords(coords):
+    n = coords.num_vertices
+    x_order = [0] * n
+    y_order = [0] * n
+    for v in range(n):
+        x_order[coords.x[v]] = v
+        y_order[coords.y[v]] = v
+    return x_order, y_order
+
+
+class TestConstruction:
+    def test_coordinates_are_permutations(self, any_dag):
+        coords = build_feline_index(any_dag)
+        n = any_dag.num_vertices
+        assert sorted(coords.x) == list(range(n))
+        assert sorted(coords.y) == list(range(n))
+
+    def test_both_orderings_topological(self, any_dag):
+        coords = build_feline_index(any_dag)
+        x_order, y_order = _orders_from_coords(coords)
+        assert is_topological_order(any_dag, x_order)
+        assert is_topological_order(any_dag, y_order)
+
+    def test_theorem1_soundness(self, any_dag):
+        """r(u, v) ⇒ i(u) ≼ i(v) — the index's core invariant."""
+        coords = build_feline_index(any_dag)
+        n = any_dag.num_vertices
+        for u in range(n):
+            for v in range(n):
+                if dfs_reachable(any_dag, u, v):
+                    assert coords.dominates(u, v), (u, v)
+
+    def test_kahn_x_order_also_sound(self, any_dag):
+        coords = build_feline_index(any_dag, x_order="kahn")
+        for u, v in any_dag.edges():
+            assert coords.dominates(u, v)
+
+    def test_unknown_x_order_rejected(self, paper_dag):
+        with pytest.raises(ReproError, match="x_order"):
+            build_feline_index(paper_dag, x_order="bogus")
+
+    def test_cyclic_input_rejected(self):
+        with pytest.raises(NotADAGError):
+            build_feline_index(DiGraph(2, [(0, 1), (1, 0)]))
+
+    def test_empty_graph(self):
+        coords = build_feline_index(DiGraph(0, []))
+        assert coords.num_vertices == 0
+
+
+class TestFilters:
+    def test_filters_present_by_default(self, paper_dag):
+        coords = build_feline_index(paper_dag)
+        assert coords.levels is not None
+        assert coords.tree_intervals is not None
+
+    def test_filters_can_be_disabled(self, paper_dag):
+        coords = build_feline_index(
+            paper_dag, with_level_filter=False, with_positive_cut=False
+        )
+        assert coords.levels is None
+        assert coords.tree_intervals is None
+
+    def test_memory_reflects_filters(self, paper_dag):
+        bare = build_feline_index(
+            paper_dag, with_level_filter=False, with_positive_cut=False
+        )
+        full = build_feline_index(paper_dag)
+        assert full.memory_bytes() > bare.memory_bytes()
+        # Bare index is exactly two coordinate arrays.
+        assert bare.memory_bytes() == 2 * 8 * paper_dag.num_vertices
+
+
+class TestDominates:
+    def test_reflexive(self, paper_dag):
+        coords = build_feline_index(paper_dag)
+        for v in range(8):
+            assert coords.dominates(v, v)
+
+    def test_antisymmetric_for_distinct(self, paper_dag):
+        coords = build_feline_index(paper_dag)
+        for u in range(8):
+            for v in range(8):
+                if u != v and coords.dominates(u, v):
+                    assert not coords.dominates(v, u)
+
+    def test_coordinate_accessor(self, paper_dag):
+        coords = build_feline_index(paper_dag)
+        for v in range(8):
+            assert coords.coordinate(v) == (coords.x[v], coords.y[v])

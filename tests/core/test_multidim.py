@@ -1,0 +1,119 @@
+"""Unit tests for FELINE-K (the k-dimensional generalisation)."""
+
+import pytest
+
+from repro.core.analysis import count_false_positives
+from repro.core.index import build_feline_index
+from repro.core.multidim import MultiDimFelineIndex
+from repro.core.query import FelineIndex
+from repro.graph.generators import crown_graph, random_dag
+from repro.graph.toposort import is_topological_order
+from repro.graph.traversal import dfs_reachable
+
+from tests.conftest import all_pairs, assert_index_matches_oracle
+
+
+class TestCorrectness:
+    def test_matches_oracle_on_zoo(self, any_dag):
+        index = MultiDimFelineIndex(any_dag).build()
+        assert_index_matches_oracle(index, any_dag)
+
+    @pytest.mark.parametrize("d", [2, 3, 5])
+    def test_every_dimension_count_correct(self, d):
+        g = random_dag(80, avg_degree=2.5, seed=1)
+        index = MultiDimFelineIndex(g, dimensions=d).build()
+        assert_index_matches_oracle(index, g)
+
+    def test_too_few_dimensions_rejected(self, paper_dag):
+        with pytest.raises(ValueError):
+            MultiDimFelineIndex(paper_dag, dimensions=1)
+
+    def test_without_filters_correct(self, any_dag):
+        index = MultiDimFelineIndex(
+            any_dag, use_level_filter=False, use_positive_cut=False
+        ).build()
+        assert_index_matches_oracle(index, any_dag)
+
+
+class TestStructure:
+    def test_every_dimension_is_topological(self, any_dag):
+        index = MultiDimFelineIndex(any_dag, dimensions=4).build()
+        n = any_dag.num_vertices
+        for ranks in index.ranks:
+            order = [0] * n
+            for v in range(n):
+                order[ranks[v]] = v
+            assert is_topological_order(any_dag, order)
+
+    def test_two_dimensions_equal_plain_feline_coordinates(self):
+        g = random_dag(100, avg_degree=2.0, seed=2)
+        multi = MultiDimFelineIndex(g, dimensions=2).build()
+        plain = build_feline_index(g)
+        assert list(multi.ranks[0]) == list(plain.x)
+        assert list(multi.ranks[1]) == list(plain.y)
+
+    def test_index_grows_linearly_with_dimensions(self):
+        g = random_dag(200, avg_degree=2.0, seed=3)
+        d2 = MultiDimFelineIndex(g, dimensions=2).build().index_size_bytes()
+        d4 = MultiDimFelineIndex(g, dimensions=4).build().index_size_bytes()
+        assert d4 - d2 == 2 * 8 * 200  # two extra rank arrays
+
+    def test_soundness_in_every_dimension(self, any_dag):
+        index = MultiDimFelineIndex(any_dag, dimensions=3).build()
+        for u, v in any_dag.edges():
+            assert index.dominates(u, v)
+
+
+class TestPruningPower:
+    def test_more_dimensions_never_fewer_negative_cuts(self):
+        g = random_dag(150, avg_degree=2.0, seed=4)
+        pairs = all_pairs(g)[:8000]
+        d2 = MultiDimFelineIndex(g, dimensions=2).build()
+        d5 = MultiDimFelineIndex(g, dimensions=5).build()
+        d2.query_many(pairs)
+        d5.query_many(pairs)
+        assert d5.stats.negative_cuts >= d2.stats.negative_cuts
+
+    def test_extra_dimensions_reduce_false_positives_on_crown(self):
+        """Each added dimension intersects the dominance set, so the
+        falsely-implied-pair count is non-increasing."""
+        g = crown_graph(8)
+
+        def false_positive_count(index):
+            return sum(
+                1
+                for u in range(16)
+                for v in range(16)
+                if u != v
+                and index.dominates(u, v)
+                and not dfs_reachable(g, u, v)
+            )
+
+        counts = []
+        for d in (2, 3, 4):
+            index = MultiDimFelineIndex(
+                g, dimensions=d, use_level_filter=False,
+                use_positive_cut=False,
+            ).build()
+            counts.append(false_positive_count(index))
+        assert counts[0] >= counts[1] >= counts[2]
+
+    def test_expansions_never_exceed_plain_feline(self):
+        g = random_dag(150, avg_degree=3.0, seed=5)
+        pairs = all_pairs(g)[:8000]
+        plain = FelineIndex(g).build()
+        multi = MultiDimFelineIndex(g, dimensions=4).build()
+        plain.query_many(pairs)
+        multi.query_many(pairs)
+        assert multi.stats.expanded <= plain.stats.expanded
+
+
+class TestRegistry:
+    def test_feline_k_registered(self):
+        from repro.baselines.base import available_methods, create_index
+        from repro.graph.generators import diamond_graph
+
+        assert "feline-k" in available_methods()
+        index = create_index("feline-k", diamond_graph(), dimensions=3)
+        index.build()
+        assert index.query(0, 3) and not index.query(1, 2)

@@ -1,0 +1,131 @@
+"""The paper's own worked examples, verified against our implementation.
+
+Section 3.2 walks Algorithm 1 through the Figure 2 DAG step by step;
+Figures 3 and 4 make specific claims about dominance and falsely implied
+paths.  These tests pin our implementation to that prose.
+
+Vertex naming: a..h = 0..7, edges as in Figure 2(A):
+a→c, a→d, c→e, d→e, e→h, b→f, b→g, f→h.
+"""
+
+from array import array
+
+import pytest
+
+from repro.core.heuristics import compute_y_order
+from repro.core.index import build_feline_index
+from repro.core.query import FelineIndex
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import crown_graph
+from repro.core.analysis import count_false_positives
+
+A, B, C, D, E, F, G, H = range(8)
+NAMES = "abcdefgh"
+
+
+@pytest.fixture
+def fig2_dag(paper_dag) -> DiGraph:
+    return paper_dag
+
+
+class TestSection32Walkthrough:
+    """§3.2: 'A DFS-based topological ordering can generate the set X
+    with the vertices {a, c, d, e, b, f, h, g} associated with x
+    coordinates with rank values from 1 to 8. ... roots set with {a, b}
+    ... chooses the root vertex b (with the rank value 5) ... updated
+    with the new roots f and g ... as g has the higher rank ... inserted
+    into the second position of Y ... The vertex f is the next chosen
+    and Y = {b, g, f}.'"""
+
+    # The paper's X ordering (1-based ranks 1..8 -> 0-based 0..7).
+    PAPER_X_ORDER = [A, C, D, E, B, F, H, G]
+
+    def _paper_x_ranks(self) -> array:
+        ranks = array("l", [0] * 8)
+        for rank, v in enumerate(self.PAPER_X_ORDER):
+            ranks[v] = rank
+        return ranks
+
+    def test_paper_x_order_is_topological(self, fig2_dag):
+        from repro.graph.toposort import is_topological_order
+
+        assert is_topological_order(fig2_dag, self.PAPER_X_ORDER)
+
+    def test_y_heuristic_reproduces_the_papers_prefix(self, fig2_dag):
+        y_order = compute_y_order(
+            fig2_dag, self._paper_x_ranks(), heuristic="max-x"
+        )
+        assert y_order[:3] == [B, G, F], [NAMES[v] for v in y_order]
+
+    def test_full_y_order_continues_consistently(self, fig2_dag):
+        """After {b, g, f}, the remaining roots evolve as {a}, then
+        {c, d}, etc.; the max-x rule keeps picking the highest X rank:
+        a(1) -> roots {c(2), d(3)}: d, then c, then e(4), then h(7)."""
+        y_order = compute_y_order(
+            fig2_dag, self._paper_x_ranks(), heuristic="max-x"
+        )
+        assert y_order == [B, G, F, A, D, C, E, H]
+
+
+class TestFigure3Claims:
+    """Figure 3: 'for r(a, h) we necessarily have i(a) ≼ i(h)' and
+    'd is not in the upper-right quadrant of b ... d is not reachable
+    from b'."""
+
+    def test_reachable_pair_dominates(self, fig2_dag):
+        coords = build_feline_index(fig2_dag)
+        assert coords.dominates(A, H)
+
+    def test_b_does_not_dominate_unreachable_or_vice_versa(self, fig2_dag):
+        # The paper uses a specific drawing; ours may differ, but the
+        # contrapositive of Theorem 1 must hold in every drawing:
+        # whenever dominance fails, reachability must be absent.
+        coords = build_feline_index(fig2_dag)
+        from repro.graph.traversal import dfs_reachable
+
+        for u in range(8):
+            for v in range(8):
+                if not coords.dominates(u, v):
+                    assert not dfs_reachable(fig2_dag, u, v)
+
+    def test_false_positives_never_leak_into_answers(self, fig2_dag):
+        """Figure 3's point: some pairs dominate without being reachable
+        (the figure's exact pair depends on the original's edge set,
+        which the text does not fully specify — our reconstruction may
+        place the falsely implied pair elsewhere).  What must hold in
+        any drawing: every dominating-but-unreachable pair is still
+        answered *false*, via the refined search."""
+        from repro.graph.traversal import dfs_reachable
+
+        coords = build_feline_index(fig2_dag)
+        index = FelineIndex(fig2_dag).build()
+        for u in range(8):
+            for v in range(8):
+                if coords.dominates(u, v) and not dfs_reachable(
+                    fig2_dag, u, v
+                ):
+                    assert not index.query(u, v), (NAMES[u], NAMES[v])
+
+
+class TestFigure4CrownClaims:
+    """Figure 4: the crown S⁰ₖ 'do[es] not admit a 2D index which is
+    free of false-positives'."""
+
+    @pytest.mark.parametrize("k", [3, 4, 5, 6])
+    def test_any_drawing_of_the_crown_has_false_positives(self, k):
+        g = crown_graph(k)
+        for heuristic in ("max-x", "min-x", "fifo", "random"):
+            coords = build_feline_index(
+                g,
+                y_heuristic=heuristic,
+                with_level_filter=False,
+                with_positive_cut=False,
+            )
+            assert count_false_positives(g, coords) > 0, heuristic
+
+    def test_queries_on_the_crown_remain_exact(self):
+        index = FelineIndex(crown_graph(4)).build()
+        # a_i reaches b_j exactly when i != j.
+        for i in range(4):
+            for j in range(4):
+                assert index.query(i, 4 + j) == (i != j)

@@ -1,0 +1,132 @@
+"""Unit tests for FELINE query answering (Algorithms 2/3)."""
+
+import pytest
+
+from repro.core.query import FelineIndex
+from repro.exceptions import IndexNotBuiltError
+from repro.graph.generators import crown_graph, random_dag
+
+from tests.conftest import all_pairs, assert_index_matches_oracle
+
+
+class TestCorrectness:
+    def test_matches_oracle_on_zoo(self, any_dag):
+        index = FelineIndex(any_dag).build()
+        assert_index_matches_oracle(index, any_dag)
+
+    def test_matches_oracle_without_filters(self, any_dag):
+        index = FelineIndex(
+            any_dag, use_level_filter=False, use_positive_cut=False
+        ).build()
+        assert_index_matches_oracle(index, any_dag)
+
+    def test_matches_oracle_with_kahn_x(self, any_dag):
+        index = FelineIndex(any_dag, x_order="kahn").build()
+        assert_index_matches_oracle(index, any_dag)
+
+    @pytest.mark.parametrize("heuristic", ["max-x", "min-x", "fifo", "random"])
+    def test_soundness_never_depends_on_heuristic(self, heuristic):
+        g = random_dag(70, avg_degree=2.0, seed=3)
+        index = FelineIndex(g, y_heuristic=heuristic, seed=9).build()
+        assert_index_matches_oracle(index, g)
+
+    def test_crown_graph_forces_search_but_stays_correct(self):
+        """S⁰ₖ admits no false-positive-free 2D drawing (paper Fig. 4);
+        queries must still come out right via the search."""
+        g = crown_graph(6)
+        index = FelineIndex(g).build()
+        assert_index_matches_oracle(index, g)
+
+
+class TestLifecycle:
+    def test_query_before_build_raises(self, paper_dag):
+        index = FelineIndex(paper_dag)
+        with pytest.raises(IndexNotBuiltError):
+            index.query(0, 1)
+
+    def test_query_many_before_build_raises(self, paper_dag):
+        with pytest.raises(IndexNotBuiltError):
+            FelineIndex(paper_dag).query_many([(0, 1)])
+
+    def test_build_returns_self(self, paper_dag):
+        index = FelineIndex(paper_dag)
+        assert index.build() is index
+        assert index.built
+
+    def test_index_size_zero_before_build(self, paper_dag):
+        assert FelineIndex(paper_dag).index_size_bytes() == 0
+
+    def test_repr_shows_state(self, paper_dag):
+        index = FelineIndex(paper_dag)
+        assert "unbuilt" in repr(index)
+        index.build()
+        assert "built" in repr(index)
+
+
+class TestStatistics:
+    def test_queries_counted(self, paper_dag):
+        index = FelineIndex(paper_dag).build()
+        index.query_many(all_pairs(paper_dag))
+        assert index.stats.queries == 64
+
+    def test_equal_cut_counted(self, paper_dag):
+        index = FelineIndex(paper_dag).build()
+        index.query(3, 3)
+        assert index.stats.equal_cuts == 1
+
+    def test_negative_cut_dominates_most_random_pairs(self):
+        g = random_dag(200, avg_degree=1.0, seed=5)
+        index = FelineIndex(g).build()
+        index.query_many(all_pairs(g)[:5000])
+        # Sparse random DAGs: the vast majority of pairs are unreachable
+        # and most are cut in O(1) — the paper's headline claim.
+        assert index.stats.negative_cuts > index.stats.searches
+
+    def test_positive_cut_fires_on_tree_paths(self):
+        from repro.graph.generators import path_graph
+
+        index = FelineIndex(path_graph(10)).build()
+        assert index.query(0, 9)
+        assert index.stats.positive_cuts == 1
+        assert index.stats.searches == 0
+
+    def test_stats_reset(self, paper_dag):
+        index = FelineIndex(paper_dag).build()
+        index.query(0, 7)
+        index.stats.reset()
+        assert index.stats.queries == 0
+        assert index.stats.as_dict()["positive_cuts"] == 0
+
+
+class TestPruning:
+    def test_pruned_branches_counted_on_crown(self):
+        g = crown_graph(8)
+        index = FelineIndex(
+            g, use_level_filter=False, use_positive_cut=False
+        ).build()
+        for u, v in all_pairs(g):
+            index.query(u, v)
+        assert index.stats.pruned > 0
+
+    def test_search_space_bounded_by_target(self):
+        """Vertices after the target in either ordering are never expanded
+        (the paper's Figure 6 example behaviour)."""
+        g = random_dag(300, avg_degree=2.0, seed=11)
+        index = FelineIndex(
+            g, use_level_filter=False, use_positive_cut=False
+        ).build()
+        coords = index.coordinates
+        pairs = all_pairs(g)[:3000]
+        for u, v in pairs:
+            index.stats.reset()
+            index.query(u, v)
+            if index.stats.searches:
+                # Expansion count can never exceed the number of vertices
+                # inside the dominance rectangle between u and v.
+                admissible = sum(
+                    1
+                    for w in range(300)
+                    if coords.x[w] <= coords.x[v] and coords.y[w] <= coords.y[v]
+                    and coords.x[u] <= coords.x[w] and coords.y[u] <= coords.y[w]
+                )
+                assert index.stats.expanded <= max(1, admissible)

@@ -1,0 +1,127 @@
+"""Unit tests for query workload generation."""
+
+import pytest
+
+from repro.datasets.queries import (
+    equal_pairs,
+    mixed_workload,
+    negative_pairs,
+    positive_pairs,
+    random_pairs,
+)
+from repro.exceptions import WorkloadError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import complete_dag, random_dag
+from repro.graph.traversal import dfs_reachable
+
+
+@pytest.fixture
+def medium_dag():
+    return random_dag(120, avg_degree=2.0, seed=0)
+
+
+class TestRandomPairs:
+    def test_count_and_range(self, medium_dag):
+        pairs = random_pairs(medium_dag, 500, seed=1)
+        assert len(pairs) == 500
+        assert all(0 <= u < 120 and 0 <= v < 120 for u, v in pairs)
+
+    def test_deterministic(self, medium_dag):
+        assert random_pairs(medium_dag, 50, seed=2) == random_pairs(
+            medium_dag, 50, seed=2
+        )
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(WorkloadError):
+            random_pairs(DiGraph(0, []), 1)
+
+    def test_zero_count_on_empty_graph_ok(self):
+        assert random_pairs(DiGraph(0, []), 0) == []
+
+
+class TestPositivePairs:
+    def test_all_pairs_reachable(self, medium_dag):
+        for u, v in positive_pairs(medium_dag, 100, seed=3):
+            assert dfs_reachable(medium_dag, u, v)
+
+    def test_pairs_are_not_reflexive(self, medium_dag):
+        assert all(u != v for u, v in positive_pairs(medium_dag, 100, seed=4))
+
+    def test_edgeless_graph_rejected(self):
+        with pytest.raises(WorkloadError):
+            positive_pairs(DiGraph(5, []), 1)
+
+
+class TestNegativePairs:
+    def test_all_pairs_unreachable(self, medium_dag):
+        for u, v in negative_pairs(medium_dag, 60, seed=5):
+            assert not dfs_reachable(medium_dag, u, v)
+
+    def test_attempt_budget_enforced(self):
+        # Asking for more negatives than the attempt budget can find
+        # must fail loudly instead of looping forever.
+        g = complete_dag(2)
+        with pytest.raises(WorkloadError):
+            negative_pairs(g, 1000, seed=6, max_attempts_factor=1)
+
+    def test_too_small_graph_rejected(self):
+        with pytest.raises(WorkloadError):
+            negative_pairs(DiGraph(1, []), 1)
+
+
+class TestEqualPairs:
+    def test_reflexive(self, medium_dag):
+        assert all(u == v for u, v in equal_pairs(medium_dag, 30, seed=7))
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(WorkloadError):
+            equal_pairs(DiGraph(0, []), 1)
+
+
+class TestMixedWorkload:
+    def test_positive_fraction_realised(self, medium_dag):
+        workload = mixed_workload(
+            medium_dag, 200, positive_fraction=0.4, seed=8
+        )
+        assert len(workload) == 200
+        positives = sum(
+            1 for u, v in workload.pairs if dfs_reachable(medium_dag, u, v)
+        )
+        assert positives >= 80  # at least the guaranteed share
+
+    def test_name_mentions_fraction(self, medium_dag):
+        workload = mixed_workload(medium_dag, 10, positive_fraction=0.5, seed=9)
+        assert workload.name == "mixed-50%"
+
+
+class TestPairPersistence:
+    def test_round_trip(self, medium_dag, tmp_path):
+        from repro.datasets.queries import load_pairs, save_pairs
+
+        pairs = random_pairs(medium_dag, 200, seed=1)
+        path = tmp_path / "workload.pairs"
+        save_pairs(pairs, path, comment="test workload")
+        assert load_pairs(path) == pairs
+
+    def test_comment_written_and_skipped(self, tmp_path):
+        from repro.datasets.queries import load_pairs, save_pairs
+
+        path = tmp_path / "w.pairs"
+        save_pairs([(1, 2)], path, comment="hello")
+        assert path.read_text().startswith("# hello\n")
+        assert load_pairs(path) == [(1, 2)]
+
+    def test_malformed_line_rejected(self, tmp_path):
+        from repro.datasets.queries import load_pairs
+
+        path = tmp_path / "bad.pairs"
+        path.write_text("1 2 3\n")
+        with pytest.raises(WorkloadError, match="expected 'u v'"):
+            load_pairs(path)
+
+    def test_empty_file(self, tmp_path):
+        from repro.datasets.queries import load_pairs
+
+        path = tmp_path / "empty.pairs"
+        path.write_text("")
+        assert load_pairs(path) == []

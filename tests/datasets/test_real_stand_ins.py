@@ -1,0 +1,86 @@
+"""Unit tests for the real-dataset stand-ins."""
+
+import pytest
+
+from repro.datasets.real_stand_ins import (
+    REAL_GRAPH_SPECS,
+    large_real_graph_names,
+    load_real_stand_in,
+    real_graph_names,
+    small_real_graph_names,
+)
+from repro.exceptions import DatasetError
+from repro.graph.scc import is_dag
+
+
+class TestNames:
+    def test_eleven_datasets(self):
+        assert len(real_graph_names()) == 11
+
+    def test_small_plus_large_partition(self):
+        assert sorted(real_graph_names()) == sorted(
+            small_real_graph_names() + large_real_graph_names()
+        )
+
+    def test_paper_table_order_starts_small(self):
+        assert real_graph_names()[:5] == [
+            "arxiv", "yago", "go", "pubmed", "citeseer",
+        ]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            load_real_stand_in("nope")
+
+
+@pytest.mark.parametrize("name", real_graph_names())
+class TestEveryStandIn:
+    def test_is_dag(self, name):
+        assert is_dag(load_real_stand_in(name, scale=0.02))
+
+    def test_deterministic(self, name):
+        a = load_real_stand_in(name, scale=0.02, seed=3)
+        b = load_real_stand_in(name, scale=0.02, seed=3)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_named_after_dataset(self, name):
+        assert load_real_stand_in(name, scale=0.02).name == name
+
+
+class TestShapes:
+    def test_small_graphs_full_size_by_default(self):
+        for name in small_real_graph_names():
+            spec = REAL_GRAPH_SPECS[name]
+            graph = load_real_stand_in(name)
+            assert graph.num_vertices == spec.paper_vertices
+
+    def test_large_graphs_scaled_down_by_default(self):
+        for name in large_real_graph_names():
+            spec = REAL_GRAPH_SPECS[name]
+            graph = load_real_stand_in(name)
+            assert graph.num_vertices < spec.paper_vertices
+
+    def test_scale_parameter_obeyed(self):
+        g = load_real_stand_in("arxiv", scale=0.1)
+        assert g.num_vertices == 600
+
+    def test_minimum_size_floor(self):
+        g = load_real_stand_in("arxiv", scale=1e-9)
+        assert g.num_vertices == 16
+
+    def test_uniprot_shape_many_roots_few_leaves(self):
+        """The Uniprot rows of Table 1: roots ≫ leaves."""
+        g = load_real_stand_in("uniprot22m", scale=0.005)
+        assert len(g.roots()) > 10 * len(g.leaves())
+
+    def test_go_shape_few_roots_many_leaves(self):
+        g = load_real_stand_in("go")
+        assert len(g.leaves()) > 10 * len(g.roots())
+
+    def test_citation_graphs_denser_than_tree(self):
+        g = load_real_stand_in("arxiv")
+        assert g.num_edges > 3 * g.num_vertices
+
+    def test_scaled_vertices_helper(self):
+        spec = REAL_GRAPH_SPECS["citeseerx"]
+        assert spec.scaled_vertices(0.001) == round(6540400 * 0.001)
+        assert spec.scaled_vertices() == round(6540400 * spec.default_scale)

@@ -1,0 +1,35 @@
+"""Unit tests for the unified dataset registry."""
+
+import pytest
+
+from repro.datasets.registry import dataset_names, load_dataset
+from repro.exceptions import DatasetError
+
+
+class TestRegistry:
+    def test_names_cover_both_suites(self):
+        names = dataset_names()
+        assert "arxiv" in names and "100M-10" in names
+        assert len(names) == 11 + 16
+
+    def test_load_real(self):
+        g = load_dataset("go", scale=0.1)
+        assert g.name == "go"
+        assert g.num_vertices == round(6793 * 0.1)
+
+    def test_load_synthetic_with_default_scale(self):
+        g = load_dataset("10M")
+        assert g.num_vertices == 10_000
+
+    def test_load_synthetic_with_explicit_scale(self):
+        g = load_dataset("10M", scale=0.0001)
+        assert g.num_vertices == 1000
+
+    def test_unknown_raises(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            load_dataset("not-a-dataset")
+
+    def test_seed_threaded_through(self):
+        a = load_dataset("20M", scale=0.0005, seed=1)
+        b = load_dataset("20M", scale=0.0005, seed=2)
+        assert sorted(a.edges()) != sorted(b.edges())

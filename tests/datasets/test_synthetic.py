@@ -1,0 +1,53 @@
+"""Unit tests for the synthetic dataset suite (Table 2)."""
+
+import pytest
+
+from repro.datasets.synthetic import (
+    SYNTHETIC_SPECS,
+    load_synthetic,
+    synthetic_names,
+)
+from repro.exceptions import DatasetError
+from repro.graph.scc import is_dag
+
+
+class TestSpecs:
+    def test_sixteen_rows(self):
+        assert len(synthetic_names()) == 16
+
+    def test_sparse_sweep_present(self):
+        for n in (10, 50, 100, 200, 500):
+            assert f"{n}M" in SYNTHETIC_SPECS
+
+    def test_dense_variants_present(self):
+        assert {"50M-5", "50M-10", "100M-5", "100M-10"} <= set(SYNTHETIC_SPECS)
+
+    def test_paper_edges_formula(self):
+        assert SYNTHETIC_SPECS["50M-10"].paper_edges == 500_000_000
+        assert SYNTHETIC_SPECS["10M"].paper_edges == 10_000_000
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(DatasetError, match="unknown synthetic"):
+            load_synthetic("5M")
+
+
+class TestGeneration:
+    def test_default_scale_sizes(self):
+        g = load_synthetic("10M")
+        assert g.num_vertices == 10_000
+
+    def test_avg_degree_realised(self):
+        g = load_synthetic("50M-5", scale=0.0002)
+        assert g.num_edges == 5 * g.num_vertices
+
+    def test_is_dag(self):
+        for name in ("10M", "50M-5"):
+            assert is_dag(load_synthetic(name, scale=0.0002))
+
+    def test_deterministic(self):
+        a = load_synthetic("20M", scale=0.0005, seed=1)
+        b = load_synthetic("20M", scale=0.0005, seed=1)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_named_after_spec(self):
+        assert load_synthetic("10M", scale=0.0005).name == "10M"

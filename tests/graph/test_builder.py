@@ -1,0 +1,86 @@
+"""Unit tests for GraphBuilder."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.builder import GraphBuilder
+
+
+class TestBasics:
+    def test_empty_builder(self):
+        g = GraphBuilder().build()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_add_vertex_returns_sequential_ids(self):
+        b = GraphBuilder()
+        assert b.add_vertex() == 0
+        assert b.add_vertex() == 1
+        assert b.num_vertices == 2
+
+    def test_add_edge_within_bounds(self):
+        b = GraphBuilder(num_vertices=3)
+        b.add_edge(0, 2)
+        assert b.num_edges == 1
+        g = b.build()
+        assert g.has_edge(0, 2)
+
+    def test_add_edges_bulk(self):
+        b = GraphBuilder(num_vertices=4)
+        b.add_edges([(0, 1), (1, 2), (2, 3)])
+        assert b.num_edges == 3
+
+    def test_out_of_bounds_rejected_without_auto_grow(self):
+        b = GraphBuilder(num_vertices=2)
+        with pytest.raises(GraphError):
+            b.add_edge(0, 5)
+
+    def test_negative_id_rejected(self):
+        b = GraphBuilder(auto_grow=True)
+        with pytest.raises(GraphError):
+            b.add_edge(-1, 0)
+
+    def test_negative_initial_count_rejected(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(num_vertices=-2)
+
+
+class TestAutoGrow:
+    def test_auto_grow_extends_vertex_count(self):
+        b = GraphBuilder(auto_grow=True)
+        b.add_edge(0, 7)
+        assert b.num_vertices == 8
+
+    def test_ensure_vertices_grows(self):
+        b = GraphBuilder()
+        b.ensure_vertices(10)
+        assert b.num_vertices == 10
+
+    def test_ensure_vertices_never_shrinks(self):
+        b = GraphBuilder(num_vertices=5)
+        b.ensure_vertices(2)
+        assert b.num_vertices == 5
+
+
+class TestCleanups:
+    def test_dedup_drops_duplicates(self):
+        b = GraphBuilder(num_vertices=2, dedup=True)
+        b.add_edge(0, 1)
+        b.add_edge(0, 1)
+        assert b.num_edges == 1
+
+    def test_without_dedup_duplicates_kept(self):
+        b = GraphBuilder(num_vertices=2)
+        b.add_edge(0, 1)
+        b.add_edge(0, 1)
+        assert b.num_edges == 2
+
+    def test_drop_self_loops(self):
+        b = GraphBuilder(num_vertices=2, drop_self_loops=True)
+        b.add_edge(0, 0)
+        b.add_edge(0, 1)
+        assert b.num_edges == 1
+
+    def test_build_names_graph(self):
+        g = GraphBuilder(num_vertices=1).build(name="tiny")
+        assert g.name == "tiny"

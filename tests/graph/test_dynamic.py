@@ -1,0 +1,130 @@
+"""Unit tests for dynamic graphs and Pearce–Kelly online topological order."""
+
+from random import Random
+
+import pytest
+
+from repro.exceptions import GraphError, NotADAGError
+from repro.graph.dynamic import DynamicDiGraph, DynamicTopologicalOrder
+from repro.graph.generators import random_dag
+
+
+class TestDynamicDiGraph:
+    def test_empty(self):
+        g = DynamicDiGraph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_add_vertex_sequential(self):
+        g = DynamicDiGraph()
+        assert g.add_vertex() == 0
+        assert g.add_vertex() == 1
+
+    def test_add_edge_and_adjacency(self):
+        g = DynamicDiGraph(3)
+        g.add_edge_unchecked(0, 2)
+        assert g.successors(0) == [2]
+        assert g.predecessors(2) == [0]
+        assert g.num_edges == 1
+
+    def test_out_of_range_rejected(self):
+        g = DynamicDiGraph(2)
+        with pytest.raises(GraphError):
+            g.add_edge_unchecked(0, 5)
+
+    def test_remove_edge(self):
+        g = DynamicDiGraph(2)
+        g.add_edge_unchecked(0, 1)
+        g.remove_edge(0, 1)
+        assert g.num_edges == 0
+        assert g.successors(0) == []
+
+    def test_remove_missing_edge_raises(self):
+        g = DynamicDiGraph(2)
+        with pytest.raises(GraphError):
+            g.remove_edge(0, 1)
+
+    def test_from_edges(self):
+        g = DynamicDiGraph.from_edges(3, [(0, 1), (1, 2)])
+        assert list(g.edges()) == [(0, 1), (1, 2)]
+
+
+class TestDynamicTopologicalOrder:
+    def test_initial_order_validated(self):
+        g = DynamicDiGraph.from_edges(2, [(1, 0)])
+        with pytest.raises(GraphError, match="violates"):
+            DynamicTopologicalOrder(g, initial_order=[0, 1])
+
+    def test_bad_permutation_rejected(self):
+        g = DynamicDiGraph(2)
+        with pytest.raises(GraphError, match="permutation"):
+            DynamicTopologicalOrder(g, initial_order=[0, 0])
+
+    def test_forward_edge_no_reorder(self):
+        g = DynamicDiGraph(3)
+        order = DynamicTopologicalOrder(g)
+        assert order.insert_edge(0, 2) is False
+        assert order.is_consistent()
+
+    def test_backward_edge_reorders(self):
+        g = DynamicDiGraph(3)
+        order = DynamicTopologicalOrder(g)
+        assert order.insert_edge(2, 0) is True
+        assert order.is_consistent()
+        assert order.ranks[2] < order.ranks[0]
+
+    def test_cycle_rejected_and_graph_untouched(self):
+        g = DynamicDiGraph(3)
+        order = DynamicTopologicalOrder(g)
+        order.insert_edge(0, 1)
+        order.insert_edge(1, 2)
+        with pytest.raises(NotADAGError):
+            order.insert_edge(2, 0)
+        assert g.num_edges == 2
+        assert order.is_consistent()
+
+    def test_self_loop_rejected(self):
+        g = DynamicDiGraph(2)
+        order = DynamicTopologicalOrder(g)
+        with pytest.raises(NotADAGError):
+            order.insert_edge(1, 1)
+
+    def test_append_vertex(self):
+        g = DynamicDiGraph(2)
+        order = DynamicTopologicalOrder(g)
+        g.add_vertex()
+        v = order.append_vertex()
+        assert v == 2
+        order.insert_edge(2, 0)
+        assert order.is_consistent()
+
+    def test_random_insertion_stream_stays_consistent(self):
+        """Replay a random DAG edge by edge in random order: the order
+        must be valid after every single insertion."""
+        target = random_dag(60, avg_degree=2.5, seed=5)
+        edges = list(target.edges())
+        Random(9).shuffle(edges)
+        g = DynamicDiGraph(60)
+        order = DynamicTopologicalOrder(g)
+        for u, v in edges:
+            order.insert_edge(u, v)
+            assert order.is_consistent()
+        assert g.num_edges == target.num_edges
+
+    def test_order_method_matches_ranks(self):
+        g = DynamicDiGraph(4)
+        order = DynamicTopologicalOrder(g)
+        order.insert_edge(3, 1)
+        listed = order.order()
+        for rank, v in enumerate(listed):
+            assert order.ranks[v] == rank
+
+    def test_priority_biases_reorder(self):
+        # Two equivalent repairs exist; priority picks deterministically.
+        g1 = DynamicDiGraph(4)
+        a = DynamicTopologicalOrder(g1, priority=[0, 1, 2, 3])
+        a.insert_edge(3, 0)
+        g2 = DynamicDiGraph(4)
+        b = DynamicTopologicalOrder(g2, priority=[3, 2, 1, 0])
+        b.insert_edge(3, 0)
+        assert a.is_consistent() and b.is_consistent()

@@ -1,0 +1,191 @@
+"""Unit tests for the graph generators."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.generators import (
+    citation_dag,
+    complete_dag,
+    crown_graph,
+    diamond_graph,
+    layered_dag,
+    ontology_dag,
+    path_graph,
+    random_dag,
+    random_digraph,
+    tree_like_dag,
+)
+from repro.graph.scc import is_dag
+
+
+class TestRandomDag:
+    def test_is_dag(self):
+        assert is_dag(random_dag(200, avg_degree=3.0, seed=1))
+
+    def test_edge_count_from_avg_degree(self):
+        g = random_dag(500, avg_degree=2.0, seed=2)
+        assert g.num_edges == 1000
+
+    def test_explicit_edge_count(self):
+        g = random_dag(100, num_edges=321, seed=3)
+        assert g.num_edges == 321
+
+    def test_deterministic_given_seed(self):
+        a = random_dag(100, avg_degree=2.0, seed=7)
+        b = random_dag(100, avg_degree=2.0, seed=7)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = random_dag(100, avg_degree=2.0, seed=7)
+        b = random_dag(100, avg_degree=2.0, seed=8)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(GraphError):
+            random_dag(4, num_edges=100)
+
+    def test_no_duplicate_edges(self):
+        g = random_dag(50, avg_degree=4.0, seed=9)
+        edges = list(g.edges())
+        assert len(edges) == len(set(edges))
+
+
+class TestShapeFamilies:
+    def test_tree_like_edge_count(self):
+        g = tree_like_dag(300, seed=1)
+        assert g.num_edges == 299  # single tree: |E| = |V| - 1
+        assert is_dag(g)
+
+    def test_tree_like_extra_edges(self):
+        g = tree_like_dag(200, extra_edge_fraction=0.5, seed=2)
+        assert g.num_edges == 199 + 100
+
+    def test_citation_is_dag_and_dense(self):
+        g = citation_dag(300, avg_out_degree=5.0, seed=3)
+        assert is_dag(g)
+        assert g.num_edges > g.num_vertices  # denser than a tree
+
+    def test_ontology_root_count(self):
+        g = ontology_dag(200, num_roots=10, seed=4)
+        assert is_dag(g)
+        assert len(g.roots()) == 10
+
+    def test_ontology_many_leaves(self):
+        g = ontology_dag(300, num_roots=3, seed=5)
+        assert len(g.leaves()) > len(g.roots())
+
+    def test_layered_depth(self):
+        from repro.graph.levels import compute_levels
+
+        g = layered_dag(6, 4, edge_probability=1.0, seed=6)
+        assert max(compute_levels(g)) == 5
+
+
+class TestFixedShapes:
+    def test_crown_structure(self):
+        g = crown_graph(3)
+        assert g.num_vertices == 6
+        assert g.num_edges == 6  # k(k-1) for k = 3
+        # a_i never points at its own partner b_i.
+        for i in range(3):
+            assert not g.has_edge(i, 3 + i)
+
+    def test_crown_invalid_k(self):
+        with pytest.raises(GraphError):
+            crown_graph(0)
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert g.roots() == [0]
+        assert g.leaves() == [4]
+
+    def test_diamond(self):
+        g = diamond_graph()
+        assert g.num_vertices == 4
+        assert g.num_edges == 4
+
+    def test_complete_dag(self):
+        g = complete_dag(6)
+        assert g.num_edges == 15
+        assert is_dag(g)
+
+
+class TestRandomDigraph:
+    def test_cyclic_allowed(self):
+        g = random_digraph(50, 200, seed=1)
+        assert g.num_edges == 200
+
+    def test_no_self_loops(self):
+        g = random_digraph(30, 100, seed=2)
+        assert all(u != v for u, v in g.edges())
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(GraphError):
+            random_digraph(3, 100)
+
+
+class TestCitationKnobs:
+    def test_leaf_fraction_realised(self):
+        from repro.graph.generators import citation_dag
+
+        g = citation_dag(2000, leaf_fraction=0.5, seed=1)
+        leaf_share = len(g.leaves()) / g.num_vertices
+        assert 0.4 < leaf_share < 0.6
+
+    def test_zero_leaf_fraction_single_leaf(self):
+        from repro.graph.generators import citation_dag
+
+        g = citation_dag(500, leaf_fraction=0.0, seed=2)
+        assert len(g.leaves()) == 1  # only vertex 0 cites nothing
+
+    def test_triadic_probability_raises_clustering(self):
+        from repro.graph.generators import citation_dag
+        from repro.graph.properties import clustering_coefficient
+
+        flat = citation_dag(800, triadic_probability=0.0, seed=3)
+        closed = citation_dag(800, triadic_probability=0.8, seed=3)
+        assert clustering_coefficient(closed) > clustering_coefficient(flat)
+
+    def test_uniform_citations_spread_in_degree(self):
+        from repro.graph.generators import citation_dag
+
+        concentrated = citation_dag(
+            1000, preferential_probability=1.0, seed=4
+        )
+        spread = citation_dag(1000, preferential_probability=0.0, seed=4)
+        # Fewer never-cited papers when citations are uniform.
+        assert len(spread.roots()) < len(concentrated.roots())
+
+
+class TestFanInDag:
+    def test_root_fraction_realised(self):
+        from repro.graph.generators import fan_in_dag
+
+        g = fan_in_dag(2000, root_fraction=0.8, seed=1)
+        assert is_dag(g)
+        root_share = len(g.roots()) / g.num_vertices
+        assert 0.7 < root_share < 0.9
+
+    def test_core_receives_all_fringe_edges(self):
+        from repro.graph.generators import fan_in_dag
+
+        g = fan_in_dag(500, root_fraction=0.9, seed=2)
+        core_size = round(0.1 * 500)
+        for u, v in g.edges():
+            if u >= core_size:
+                assert v < core_size  # fringe only points into the core
+
+
+class TestHubBias:
+    def test_hub_bias_concentrates_leaves(self):
+        g_flat = tree_like_dag(3000, hub_bias=0.0, seed=1)
+        g_hub = tree_like_dag(3000, hub_bias=0.9, seed=1)
+        assert len(g_hub.leaves()) > len(g_flat.leaves())
+        # Leaf fraction converges to the bias.
+        assert len(g_hub.leaves()) / 3000 > 0.8
+
+    def test_hub_bias_still_single_tree(self):
+        g = tree_like_dag(1000, hub_bias=0.7, seed=2)
+        assert g.num_edges == 999
+        assert is_dag(g)

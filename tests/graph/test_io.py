@@ -1,0 +1,106 @@
+"""Unit tests for graph serialisation."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag
+from repro.graph.io import (
+    read_edge_list,
+    read_gra,
+    to_dot,
+    write_edge_list,
+    write_gra,
+)
+
+
+class TestEdgeList:
+    def test_round_trip(self, tmp_path, paper_dag):
+        path = tmp_path / "g.edges"
+        write_edge_list(paper_dag, path)
+        loaded = read_edge_list(path)
+        assert sorted(loaded.edges()) == sorted(paper_dag.edges())
+
+    def test_round_trip_gzip(self, tmp_path):
+        g = random_dag(50, avg_degree=2.0, seed=1)
+        path = tmp_path / "g.edges.gz"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path)
+        assert sorted(loaded.edges()) == sorted(g.edges())
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("# header\n\n0 1\n# mid comment\n1 2\n")
+        g = read_edge_list(path)
+        assert sorted(g.edges()) == [(0, 1), (1, 2)]
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("0\n")
+        with pytest.raises(GraphError, match="expected 'u v'"):
+            read_edge_list(path)
+
+    def test_non_integer_raises(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("a b\n")
+        with pytest.raises(GraphError, match="non-integer"):
+            read_edge_list(path)
+
+    def test_dedup_option(self, tmp_path):
+        path = tmp_path / "dup.edges"
+        path.write_text("0 1\n0 1\n")
+        assert read_edge_list(path, dedup=True).num_edges == 1
+        assert read_edge_list(path).num_edges == 2
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "mygraph.edges"
+        path.write_text("0 1\n")
+        assert read_edge_list(path).name == "mygraph"
+
+
+class TestGraFormat:
+    def test_round_trip(self, tmp_path, paper_dag):
+        path = tmp_path / "g.gra"
+        write_gra(paper_dag, path)
+        loaded = read_gra(path)
+        assert loaded.num_vertices == paper_dag.num_vertices
+        assert sorted(loaded.edges()) == sorted(paper_dag.edges())
+
+    def test_format_layout(self, tmp_path):
+        g = DiGraph(2, [(0, 1)])
+        path = tmp_path / "g.gra"
+        write_gra(g, path)
+        lines = path.read_text().splitlines()
+        assert lines[0] == "graph_for_greach"
+        assert lines[1] == "2"
+        assert lines[2] == "0: 1 #"
+        assert lines[3] == "1: #"
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.gra"
+        path.write_text("")
+        with pytest.raises(GraphError):
+            read_gra(path)
+
+    def test_bad_count_raises(self, tmp_path):
+        path = tmp_path / "bad.gra"
+        path.write_text("graph_for_greach\nnope\n")
+        with pytest.raises(GraphError):
+            read_gra(path)
+
+    def test_isolated_vertices_preserved(self, tmp_path):
+        g = DiGraph(5, [(0, 1)])
+        path = tmp_path / "g.gra"
+        write_gra(g, path)
+        assert read_gra(path).num_vertices == 5
+
+
+class TestDot:
+    def test_contains_all_edges(self, diamond):
+        dot = to_dot(diamond)
+        assert "0 -> 1;" in dot and "2 -> 3;" in dot
+        assert dot.startswith("digraph G {") and dot.endswith("}")
+
+    def test_labels_rendered(self, diamond):
+        dot = to_dot(diamond, labels={0: "root"})
+        assert '0 [label="root"];' in dot

@@ -1,0 +1,61 @@
+"""Unit tests for level (depth) computation."""
+
+import pytest
+
+from repro.exceptions import NotADAGError
+from repro.graph.digraph import DiGraph
+from repro.graph.levels import compute_levels, level_histogram
+from repro.graph.traversal import dfs_reachable
+
+
+class TestComputeLevels:
+    def test_roots_are_level_zero(self, any_dag):
+        levels = compute_levels(any_dag)
+        for v in any_dag.roots():
+            assert levels[v] == 0
+
+    def test_level_is_one_plus_max_predecessor(self, any_dag):
+        levels = compute_levels(any_dag)
+        for v in range(any_dag.num_vertices):
+            preds = list(any_dag.predecessors(v))
+            if preds:
+                assert levels[v] == 1 + max(levels[p] for p in preds)
+
+    def test_level_filter_invariant(self, any_dag):
+        """r(u, v) with u != v implies level(u) < level(v) — §3.4.2."""
+        levels = compute_levels(any_dag)
+        n = any_dag.num_vertices
+        for u in range(n):
+            for v in range(n):
+                if u != v and dfs_reachable(any_dag, u, v):
+                    assert levels[u] < levels[v]
+
+    def test_path_graph_levels(self):
+        g = DiGraph(4, [(0, 1), (1, 2), (2, 3)])
+        assert list(compute_levels(g)) == [0, 1, 2, 3]
+
+    def test_longest_path_not_shortest(self):
+        # 0 -> 3 directly and via 1 -> 2: level of 3 is the LONGEST path.
+        g = DiGraph(4, [(0, 3), (0, 1), (1, 2), (2, 3)])
+        assert compute_levels(g)[3] == 3
+
+    def test_cycle_raises(self):
+        with pytest.raises(NotADAGError):
+            compute_levels(DiGraph(2, [(0, 1), (1, 0)]))
+
+    def test_empty_graph(self):
+        assert list(compute_levels(DiGraph(0, []))) == []
+
+
+class TestHistogram:
+    def test_histogram_sums_to_vertex_count(self, any_dag):
+        levels = compute_levels(any_dag)
+        histogram = level_histogram(levels)
+        assert sum(histogram) == any_dag.num_vertices
+
+    def test_histogram_empty(self):
+        assert level_histogram(compute_levels(DiGraph(0, []))) == []
+
+    def test_histogram_path(self):
+        g = DiGraph(3, [(0, 1), (1, 2)])
+        assert level_histogram(compute_levels(g)) == [1, 1, 1]

@@ -1,0 +1,63 @@
+"""Unit tests for witness-path extraction."""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag, random_digraph
+from repro.graph.paths import find_path
+from repro.graph.traversal import dfs_reachable
+
+
+class TestFindPath:
+    def test_trivial_path(self, paper_dag):
+        assert find_path(paper_dag, 3, 3) == [3]
+
+    def test_direct_edge(self, paper_dag):
+        assert find_path(paper_dag, 0, 2) == [0, 2]
+
+    def test_multi_hop(self, paper_dag):
+        path = find_path(paper_dag, 0, 7)
+        assert path[0] == 0 and path[-1] == 7
+        for a, b in zip(path, path[1:]):
+            assert paper_dag.has_edge(a, b)
+
+    def test_unreachable_returns_none(self, paper_dag):
+        assert find_path(paper_dag, 7, 0) is None
+        assert find_path(paper_dag, 0, 6) is None
+
+    def test_path_is_shortest(self):
+        # 0 -> 3 directly and via 1 -> 2: BFS must take the direct edge.
+        g = DiGraph(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        assert find_path(g, 0, 3) == [0, 3]
+
+    def test_every_returned_path_is_valid(self, any_dag):
+        n = any_dag.num_vertices
+        for u in range(min(n, 10)):
+            for v in range(min(n, 10)):
+                path = find_path(any_dag, u, v)
+                if path is None:
+                    assert not dfs_reachable(any_dag, u, v)
+                else:
+                    assert path[0] == u and path[-1] == v
+                    for a, b in zip(path, path[1:]):
+                        assert any_dag.has_edge(a, b)
+
+    def test_works_on_cyclic_graphs(self):
+        g = random_digraph(40, 120, seed=1)
+        for u in range(10):
+            for v in range(10):
+                path = find_path(g, u, v)
+                assert (path is not None) == dfs_reachable(g, u, v)
+
+
+class TestFacadeWitness:
+    def test_witness_through_cycles(self):
+        import repro
+
+        r = repro.Reachability([(0, 1), (1, 0), (1, 2)])
+        path = r.witness_path(0, 2)
+        assert path[0] == 0 and path[-1] == 2
+
+    def test_witness_none_when_unreachable(self):
+        import repro
+
+        r = repro.Reachability([(0, 1)])
+        assert r.witness_path(1, 0) is None

@@ -1,0 +1,90 @@
+"""Unit tests for structural graph statistics (Table 1 columns)."""
+
+import math
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import complete_dag, path_graph, random_dag
+from repro.graph.properties import (
+    clustering_coefficient,
+    degree_statistics,
+    effective_diameter,
+    graph_summary,
+)
+
+
+class TestClustering:
+    def test_triangle_is_fully_clustered(self):
+        g = DiGraph(3, [(0, 1), (0, 2), (1, 2)])
+        assert clustering_coefficient(g) == 1.0
+
+    def test_path_has_zero_clustering(self):
+        assert clustering_coefficient(path_graph(10)) == 0.0
+
+    def test_complete_dag_fully_clustered(self):
+        assert clustering_coefficient(complete_dag(6)) == 1.0
+
+    def test_empty_graph(self):
+        assert clustering_coefficient(DiGraph(0, [])) == 0.0
+
+    def test_star_has_zero_clustering(self):
+        g = DiGraph(5, [(0, i) for i in range(1, 5)])
+        assert clustering_coefficient(g) == 0.0
+
+    def test_range(self):
+        g = random_dag(100, avg_degree=3.0, seed=1)
+        assert 0.0 <= clustering_coefficient(g) <= 1.0
+
+
+class TestEffectiveDiameter:
+    def test_path_diameter_close_to_percentile(self):
+        # On the 11-vertex path, pairwise distances are 1..10; the 90th
+        # percentile sits near 9.
+        d = effective_diameter(path_graph(11), sample_size=11)
+        assert 7.0 <= d <= 10.0
+
+    def test_complete_graph_diameter_one(self):
+        assert effective_diameter(complete_dag(8), sample_size=8) == 1.0
+
+    def test_empty_graph(self):
+        assert effective_diameter(DiGraph(0, [])) == 0.0
+
+    def test_edgeless_graph(self):
+        assert effective_diameter(DiGraph(5, [])) == 0.0
+
+    def test_deterministic_given_seed(self):
+        g = random_dag(200, avg_degree=2.0, seed=3)
+        assert effective_diameter(g, seed=1) == effective_diameter(g, seed=1)
+
+
+class TestDegreeStatistics:
+    def test_path(self):
+        stats = degree_statistics(path_graph(5))
+        assert stats.num_roots == 1
+        assert stats.num_leaves == 1
+        assert stats.max_out_degree == 1
+        assert stats.mean_degree == 4 / 5
+
+    def test_diamond(self, diamond):
+        stats = degree_statistics(diamond)
+        assert stats.num_roots == 1
+        assert stats.num_leaves == 1
+        assert stats.max_out_degree == 2
+        assert stats.max_in_degree == 2
+
+    def test_edgeless(self):
+        stats = degree_statistics(DiGraph(3, []))
+        assert stats.num_roots == 3
+        assert stats.num_leaves == 3
+        assert stats.mean_degree == 0.0
+
+
+class TestSummary:
+    def test_summary_fields(self, paper_dag):
+        summary = graph_summary(paper_dag)
+        assert summary.name == "paper-fig2"
+        assert summary.num_vertices == 8
+        assert summary.num_edges == 8
+        assert summary.num_roots == 2
+        assert summary.num_leaves == 2
+        assert summary.eff_diameter > 0
+        assert not math.isnan(summary.clustering)

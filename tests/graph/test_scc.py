@@ -1,0 +1,125 @@
+"""Unit tests for Tarjan SCC and condensation."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_digraph
+from repro.graph.scc import condense, is_dag, strongly_connected_components
+from repro.graph.traversal import dfs_reachable
+
+
+class TestSCC:
+    def test_single_vertex(self):
+        components = strongly_connected_components(DiGraph(1, []))
+        assert components == [[0]]
+
+    def test_dag_gives_singletons(self, paper_dag):
+        components = strongly_connected_components(paper_dag)
+        assert sorted(len(c) for c in components) == [1] * 8
+
+    def test_simple_cycle_is_one_component(self):
+        g = DiGraph(3, [(0, 1), (1, 2), (2, 0)])
+        components = strongly_connected_components(g)
+        assert len(components) == 1
+        assert sorted(components[0]) == [0, 1, 2]
+
+    def test_two_cycles_bridge(self):
+        # 0<->1 -> 2<->3
+        g = DiGraph(4, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)])
+        components = strongly_connected_components(g)
+        assert sorted(sorted(c) for c in components) == [[0, 1], [2, 3]]
+
+    def test_self_loop_is_its_own_component(self):
+        g = DiGraph(2, [(0, 0), (0, 1)])
+        components = strongly_connected_components(g)
+        assert sorted(sorted(c) for c in components) == [[0], [1]]
+
+    def test_every_vertex_appears_exactly_once(self):
+        g = random_digraph(200, 600, seed=11)
+        components = strongly_connected_components(g)
+        flattened = sorted(v for c in components for v in c)
+        assert flattened == list(range(200))
+
+    def test_agrees_with_mutual_reachability(self):
+        g = random_digraph(40, 90, seed=5)
+        components = strongly_connected_components(g)
+        component_of = {}
+        for cid, component in enumerate(components):
+            for v in component:
+                component_of[v] = cid
+        for u in range(40):
+            for v in range(40):
+                same = component_of[u] == component_of[v]
+                mutual = dfs_reachable(g, u, v) and dfs_reachable(g, v, u)
+                assert same == mutual
+
+    def test_deep_path_no_recursion_error(self):
+        n = 30000
+        g = DiGraph(n, [(i, i + 1) for i in range(n - 1)])
+        components = strongly_connected_components(g)
+        assert len(components) == n
+
+
+class TestCondense:
+    def test_condensation_is_dag(self):
+        g = random_digraph(100, 300, seed=3)
+        assert is_dag(condense(g).dag)
+
+    def test_condensation_preserves_reachability(self):
+        g = random_digraph(30, 70, seed=9)
+        result = condense(g)
+        for u in range(30):
+            for v in range(30):
+                original = dfs_reachable(g, u, v)
+                folded = dfs_reachable(
+                    result.dag, result.scc_of[u], result.scc_of[v]
+                )
+                assert original == folded, (u, v)
+
+    def test_members_partition_vertices(self):
+        g = random_digraph(50, 140, seed=4)
+        result = condense(g)
+        flattened = sorted(v for ms in result.members for v in ms)
+        assert flattened == list(range(50))
+
+    def test_scc_of_consistent_with_members(self):
+        g = random_digraph(50, 140, seed=4)
+        result = condense(g)
+        for cid, members in enumerate(result.members):
+            assert all(result.scc_of[v] == cid for v in members)
+
+    def test_components_numbered_topologically(self):
+        g = random_digraph(60, 150, seed=8)
+        result = condense(g)
+        for cu, cv in result.dag.edges():
+            assert cu < cv
+
+    def test_condensing_dag_keeps_all_vertices(self, paper_dag):
+        result = condense(paper_dag)
+        assert result.num_components == 8
+        assert result.dag.num_edges == paper_dag.num_edges
+
+    def test_self_loops_removed(self):
+        g = DiGraph(2, [(0, 0), (0, 1)])
+        result = condense(g)
+        assert result.dag.num_edges == 1
+
+    def test_parallel_scc_edges_merged(self):
+        # Two edges between the same pair of components collapse to one.
+        g = DiGraph(4, [(0, 1), (1, 0), (0, 2), (1, 2), (2, 3)])
+        result = condense(g)
+        assert result.dag.num_edges == 2
+
+
+class TestIsDag:
+    def test_dag_detected(self, paper_dag):
+        assert is_dag(paper_dag)
+
+    def test_cycle_detected(self):
+        assert not is_dag(DiGraph(2, [(0, 1), (1, 0)]))
+
+    def test_self_loop_detected(self):
+        assert not is_dag(DiGraph(1, [(0, 0)]))
+
+    def test_empty_graph_is_dag(self):
+        assert is_dag(DiGraph(0, []))

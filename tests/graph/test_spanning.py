@@ -1,0 +1,111 @@
+"""Unit tests for spanning forests and min-post interval labels."""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag
+from repro.graph.spanning import (
+    extract_spanning_forest,
+    minpost_intervals_dag,
+    minpost_intervals_tree,
+)
+from repro.graph.traversal import dfs_reachable
+
+from random import Random
+
+from tests.conftest import reachability_oracle
+
+
+class TestSpanningForest:
+    def test_every_vertex_covered(self, any_dag):
+        forest = extract_spanning_forest(any_dag)
+        assert forest.num_vertices == any_dag.num_vertices
+
+    def test_parents_are_graph_edges(self, any_dag):
+        forest = extract_spanning_forest(any_dag)
+        for v in range(any_dag.num_vertices):
+            parent = forest.parent[v]
+            if parent != -1:
+                assert any_dag.has_edge(parent, v)
+
+    def test_children_consistent_with_parent(self, any_dag):
+        forest = extract_spanning_forest(any_dag)
+        for v in range(any_dag.num_vertices):
+            for child in forest.children[v]:
+                assert forest.parent[child] == v
+
+    def test_forest_is_acyclic_and_connected_to_roots(self, any_dag):
+        forest = extract_spanning_forest(any_dag)
+        for v in range(any_dag.num_vertices):
+            seen = set()
+            node = v
+            while node != -1:
+                assert node not in seen  # no parent cycles
+                seen.add(node)
+                node = forest.parent[node]
+
+    def test_roots_have_no_graph_predecessor_or_were_cross_reached(self):
+        g = DiGraph(3, [(0, 1), (1, 2)])
+        forest = extract_spanning_forest(g)
+        assert forest.tree_roots() == [0]
+
+
+class TestTreeIntervals:
+    def test_containment_iff_tree_descendant(self, any_dag):
+        forest = extract_spanning_forest(any_dag)
+        labels = minpost_intervals_tree(forest)
+        # Build the tree's descendant sets explicitly.
+        n = any_dag.num_vertices
+        for u in range(n):
+            tree_desc = set()
+            stack = [u]
+            while stack:
+                w = stack.pop()
+                tree_desc.add(w)
+                stack.extend(forest.children[w])
+            for v in range(n):
+                assert labels.contains(u, v) == (v in tree_desc), (u, v)
+
+    def test_positive_cut_soundness(self, any_dag):
+        """Tree containment must imply real reachability (never lie)."""
+        forest = extract_spanning_forest(any_dag)
+        labels = minpost_intervals_tree(forest)
+        n = any_dag.num_vertices
+        for u in range(n):
+            for v in range(n):
+                if labels.contains(u, v):
+                    assert dfs_reachable(any_dag, u, v)
+
+    def test_memory_accounting(self, paper_dag):
+        forest = extract_spanning_forest(paper_dag)
+        labels = minpost_intervals_tree(forest)
+        assert labels.memory_bytes() == 2 * 8 * 8  # two arrays of 8 longs
+
+
+class TestDagIntervals:
+    def test_negative_cut_soundness(self, any_dag):
+        """Reachability must imply containment (non-containment is a cut)."""
+        labels = minpost_intervals_dag(any_dag)
+        oracle = reachability_oracle(any_dag)
+        n = any_dag.num_vertices
+        for u in range(n):
+            for v in range(n):
+                if oracle(u, v):
+                    assert labels.contains(u, v), (u, v)
+
+    def test_randomized_traversals_differ(self):
+        g = random_dag(80, avg_degree=2.0, seed=1)
+        a = minpost_intervals_dag(g, rng=Random(1))
+        b = minpost_intervals_dag(g, rng=Random(2))
+        assert list(a.post) != list(b.post) or list(a.start) != list(b.start)
+
+    def test_randomized_still_sound(self):
+        g = random_dag(60, avg_degree=2.5, seed=3)
+        labels = minpost_intervals_dag(g, rng=Random(7))
+        oracle = reachability_oracle(g)
+        for u in range(60):
+            for v in range(60):
+                if oracle(u, v):
+                    assert labels.contains(u, v)
+
+    def test_post_is_permutation(self, any_dag):
+        labels = minpost_intervals_dag(any_dag)
+        assert sorted(labels.post) == list(range(any_dag.num_vertices))

@@ -1,0 +1,60 @@
+"""Unit tests for induced-subgraph extraction."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag
+from repro.graph.subgraph import induced_subgraph
+from repro.graph.traversal import dfs_reachable
+
+
+class TestInducedSubgraph:
+    def test_empty_selection(self, paper_dag):
+        mapping = induced_subgraph(paper_dag, [])
+        assert mapping.graph.num_vertices == 0
+        assert mapping.graph.num_edges == 0
+
+    def test_full_selection_is_isomorphic(self, paper_dag):
+        mapping = induced_subgraph(paper_dag, range(8))
+        assert mapping.graph.num_edges == paper_dag.num_edges
+        assert sorted(mapping.graph.edges()) == sorted(paper_dag.edges())
+
+    def test_ids_follow_selection_order(self, paper_dag):
+        mapping = induced_subgraph(paper_dag, [7, 0, 4])
+        assert mapping.to_local(7) == 0
+        assert mapping.to_local(0) == 1
+        assert mapping.to_original(2) == 4
+        assert mapping.to_local(3) == -1
+
+    def test_only_internal_edges_kept(self, paper_dag):
+        # Select a -> c -> e chain members: edges among them survive.
+        mapping = induced_subgraph(paper_dag, [0, 2, 4])
+        assert sorted(mapping.graph.edges()) == [(0, 1), (1, 2)]
+
+    def test_duplicate_selection_rejected(self, paper_dag):
+        with pytest.raises(GraphError, match="twice"):
+            induced_subgraph(paper_dag, [1, 1])
+
+    def test_out_of_range_rejected(self, paper_dag):
+        with pytest.raises(GraphError, match="out of range"):
+            induced_subgraph(paper_dag, [99])
+
+    def test_name_default(self):
+        g = DiGraph(3, [(0, 1)], name="base")
+        assert induced_subgraph(g, [0, 1]).graph.name == "base-sub"
+
+    def test_reachability_preserved_on_closed_subsets(self):
+        """If the selection is closed under intermediate vertices of its
+        members' paths, reachability among members is preserved."""
+        g = random_dag(60, avg_degree=2.0, seed=1)
+        # Take a downward-closed set: everything reachable from vertex 0.
+        from repro.graph.traversal import descendants
+
+        selected = sorted(descendants(g, 0))
+        mapping = induced_subgraph(g, selected)
+        for u in selected:
+            for v in selected:
+                assert dfs_reachable(g, u, v) == dfs_reachable(
+                    mapping.graph, mapping.to_local(u), mapping.to_local(v)
+                )

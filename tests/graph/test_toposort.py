@@ -1,0 +1,101 @@
+"""Unit tests for topological orderings."""
+
+import pytest
+
+from repro.exceptions import NotADAGError
+from repro.graph.digraph import DiGraph
+from repro.graph.toposort import (
+    dfs_post_order_ranks,
+    dfs_topological_order,
+    is_topological_order,
+    kahn_order,
+    priority_kahn_order,
+    ranks_from_order,
+)
+
+
+class TestKahn:
+    def test_valid_order_on_zoo(self, any_dag):
+        order = kahn_order(any_dag)
+        assert is_topological_order(any_dag, order)
+
+    def test_cycle_raises(self):
+        g = DiGraph(3, [(0, 1), (1, 2), (2, 0)])
+        with pytest.raises(NotADAGError) as excinfo:
+            kahn_order(g)
+        assert excinfo.value.cycle_hint in (0, 1, 2)
+
+    def test_empty_graph(self):
+        assert kahn_order(DiGraph(0, [])) == []
+
+
+class TestPriorityKahn:
+    def test_valid_order_on_zoo(self, any_dag):
+        x_ranks = ranks_from_order(kahn_order(any_dag))
+        order = priority_kahn_order(any_dag, key=lambda v: -x_ranks[v])
+        assert is_topological_order(any_dag, order)
+
+    def test_priority_respected_among_simultaneous_roots(self):
+        # Two independent roots: priority alone decides who goes first.
+        g = DiGraph(4, [(0, 2), (1, 3)])
+        order = priority_kahn_order(g, key=lambda v: -v)
+        assert order[0] == 1  # highest id = lowest key
+
+    def test_ties_broken_deterministically(self):
+        g = DiGraph(3, [])
+        first = priority_kahn_order(g, key=lambda v: 0)
+        second = priority_kahn_order(g, key=lambda v: 0)
+        assert first == second
+
+    def test_cycle_raises(self):
+        g = DiGraph(2, [(0, 1), (1, 0)])
+        with pytest.raises(NotADAGError):
+            priority_kahn_order(g, key=lambda v: v)
+
+
+class TestDFSOrders:
+    def test_post_order_ranks_are_permutation(self, any_dag):
+        ranks = dfs_post_order_ranks(any_dag)
+        assert sorted(ranks) == list(range(any_dag.num_vertices))
+
+    def test_post_order_respects_edges(self, any_dag):
+        # In a DAG DFS, a target always finishes before its source.
+        ranks = dfs_post_order_ranks(any_dag)
+        for u, v in any_dag.edges():
+            assert ranks[v] < ranks[u]
+
+    def test_dfs_topological_order_valid(self, any_dag):
+        order = dfs_topological_order(any_dag)
+        assert is_topological_order(any_dag, order)
+
+    def test_dfs_topological_order_cycle_raises(self):
+        g = DiGraph(3, [(0, 1), (1, 2), (2, 0)])
+        with pytest.raises(NotADAGError):
+            dfs_topological_order(g)
+
+    def test_root_order_changes_result(self):
+        g = DiGraph(4, [(0, 2), (1, 2), (2, 3)])
+        default = dfs_post_order_ranks(g)
+        flipped = dfs_post_order_ranks(g, root_order=[1, 0, 2, 3])
+        assert list(default) != list(flipped)
+
+    def test_deep_path_no_recursion_error(self):
+        n = 30000
+        g = DiGraph(n, [(i, i + 1) for i in range(n - 1)])
+        order = dfs_topological_order(g)
+        assert order == list(range(n))
+
+
+class TestHelpers:
+    def test_ranks_from_order_inverts(self):
+        order = [2, 0, 1]
+        ranks = ranks_from_order(order)
+        assert list(ranks) == [1, 2, 0]
+
+    def test_is_topological_order_rejects_non_permutation(self, paper_dag):
+        assert not is_topological_order(paper_dag, [0] * 8)
+
+    def test_is_topological_order_rejects_edge_violation(self):
+        g = DiGraph(2, [(0, 1)])
+        assert not is_topological_order(g, [1, 0])
+        assert is_topological_order(g, [0, 1])

@@ -1,0 +1,62 @@
+"""Unit tests for the transitive closure substrate."""
+
+import pytest
+
+from repro.exceptions import NotADAGError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import complete_dag, path_graph
+from repro.graph.transitive import (
+    closure_pairs,
+    count_reachable_pairs,
+    transitive_closure_bitsets,
+)
+from repro.graph.traversal import dfs_reachable
+
+
+class TestClosure:
+    def test_matches_dfs_on_zoo(self, any_dag):
+        closure = transitive_closure_bitsets(any_dag)
+        n = any_dag.num_vertices
+        for u in range(n):
+            for v in range(n):
+                assert bool((closure[u] >> v) & 1) == dfs_reachable(
+                    any_dag, u, v
+                )
+
+    def test_reflexive_bits_set(self, any_dag):
+        closure = transitive_closure_bitsets(any_dag)
+        for v in range(any_dag.num_vertices):
+            assert (closure[v] >> v) & 1
+
+    def test_cycle_raises(self):
+        with pytest.raises(NotADAGError):
+            transitive_closure_bitsets(DiGraph(2, [(0, 1), (1, 0)]))
+
+
+class TestPairs:
+    def test_path_pair_count(self):
+        # n-vertex path: n(n-1)/2 ordered reachable pairs.
+        g = path_graph(6)
+        assert count_reachable_pairs(g) == 15
+
+    def test_complete_dag_pair_count(self):
+        g = complete_dag(5)
+        assert count_reachable_pairs(g) == 10
+
+    def test_edgeless_graph_no_pairs(self):
+        assert count_reachable_pairs(DiGraph(4, [])) == 0
+
+    def test_closure_pairs_excludes_reflexive(self, paper_dag):
+        pairs = list(closure_pairs(paper_dag))
+        assert all(u != v for u, v in pairs)
+
+    def test_closure_pairs_matches_count(self, any_dag):
+        assert len(list(closure_pairs(any_dag))) == count_reachable_pairs(
+            any_dag
+        )
+
+    def test_paper_dag_known_pairs(self, paper_dag):
+        pairs = set(closure_pairs(paper_dag))
+        assert (0, 7) in pairs  # a reaches h via c/d -> e
+        assert (1, 7) in pairs  # b reaches h via f
+        assert (0, 6) not in pairs  # a does not reach g

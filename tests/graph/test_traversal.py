@@ -1,0 +1,80 @@
+"""Unit tests for traversals and naive reachability."""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag
+from repro.graph.traversal import (
+    ancestors,
+    bfs_order,
+    bfs_reachable,
+    bidirectional_reachable,
+    descendants,
+    dfs_preorder,
+    dfs_reachable,
+)
+
+from tests.conftest import reachability_oracle
+
+
+class TestOrders:
+    def test_dfs_preorder_starts_at_source(self, paper_dag):
+        assert next(dfs_preorder(paper_dag, 0)) == 0
+
+    def test_dfs_preorder_visits_reachable_set(self, paper_dag):
+        visited = set(dfs_preorder(paper_dag, 0))
+        assert visited == {0, 2, 3, 4, 7}
+
+    def test_bfs_orders_by_distance(self):
+        g = DiGraph(4, [(0, 1), (1, 2), (0, 3)])
+        order = list(bfs_order(g, 0))
+        assert order[0] == 0
+        assert set(order[1:3]) == {1, 3}
+        assert order[3] == 2
+
+    def test_each_vertex_visited_once(self):
+        g = random_dag(100, avg_degree=3.0, seed=2)
+        visited = list(dfs_preorder(g, 0))
+        assert len(visited) == len(set(visited))
+
+
+class TestReachability:
+    def test_reflexive(self, paper_dag):
+        for v in paper_dag.vertices():
+            assert dfs_reachable(paper_dag, v, v)
+            assert bfs_reachable(paper_dag, v, v)
+            assert bidirectional_reachable(paper_dag, v, v)
+
+    def test_all_three_agree_with_oracle(self, any_dag):
+        oracle = reachability_oracle(any_dag)
+        n = any_dag.num_vertices
+        for u in range(n):
+            for v in range(n):
+                expected = oracle(u, v)
+                assert dfs_reachable(any_dag, u, v) == expected
+                assert bfs_reachable(any_dag, u, v) == expected
+                assert bidirectional_reachable(any_dag, u, v) == expected
+
+    def test_direct_edge(self, diamond):
+        assert dfs_reachable(diamond, 0, 1)
+        assert bidirectional_reachable(diamond, 0, 1)
+
+    def test_unreachable_sibling(self, diamond):
+        assert not dfs_reachable(diamond, 1, 2)
+        assert not bfs_reachable(diamond, 1, 2)
+        assert not bidirectional_reachable(diamond, 1, 2)
+
+
+class TestSets:
+    def test_descendants_includes_self(self, diamond):
+        assert descendants(diamond, 3) == {3}
+
+    def test_descendants_full(self, diamond):
+        assert descendants(diamond, 0) == {0, 1, 2, 3}
+
+    def test_ancestors_mirror_descendants(self, any_dag):
+        n = any_dag.num_vertices
+        if n == 0:
+            return
+        v = n // 2
+        assert ancestors(any_dag, v) == {
+            u for u in range(n) if v in descendants(any_dag, u)
+        }

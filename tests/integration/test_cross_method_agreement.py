@@ -1,0 +1,51 @@
+"""Integration: every registered method answers every query identically.
+
+This is the strongest correctness statement the library makes: on every
+graph family of the zoo and several larger random instances, all twelve
+registered methods (two of which are trivially correct searches) agree
+with the exact transitive-closure oracle on every pair.
+"""
+
+import pytest
+
+from repro.baselines.base import available_methods, create_index
+from repro.datasets.queries import mixed_workload
+from repro.datasets.real_stand_ins import load_real_stand_in
+from repro.graph.generators import random_dag
+
+from tests.conftest import assert_index_matches_oracle, reachability_oracle
+
+ALL_METHODS = sorted(available_methods())
+
+
+@pytest.mark.parametrize("method", ALL_METHODS)
+class TestZooAgreement:
+    def test_exhaustive_agreement(self, any_dag, method):
+        if method == "custom-test":  # registered by a unit test
+            pytest.skip("test-local registration")
+        index = create_index(method, any_dag).build()
+        assert_index_matches_oracle(index, any_dag)
+
+
+class TestLargerInstances:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_all_methods_agree_on_sampled_workload(self, seed):
+        g = random_dag(400, avg_degree=2.5, seed=seed)
+        workload = mixed_workload(g, 600, positive_fraction=0.3, seed=seed)
+        oracle = reachability_oracle(g)
+        expected = [oracle(u, v) for u, v in workload.pairs]
+        for method in ALL_METHODS:
+            if method == "custom-test":
+                continue
+            index = create_index(method, g).build()
+            answers = index.query_many(workload.pairs)
+            assert answers == expected, method
+
+    def test_stand_in_dataset_agreement(self):
+        g = load_real_stand_in("go", scale=0.05, seed=1)
+        workload = mixed_workload(g, 400, positive_fraction=0.25, seed=2)
+        oracle = reachability_oracle(g)
+        expected = [oracle(u, v) for u, v in workload.pairs]
+        for method in ("feline", "feline-b", "grail", "ferrari", "scarab"):
+            index = create_index(method, g).build()
+            assert index.query_many(workload.pairs) == expected, method

@@ -1,0 +1,42 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Only the fast examples run here (the full set is exercised manually /
+by CI at longer timeouts); each is executed in-process via runpy with
+stdout captured.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "social_network.py",
+    "index_drawing.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_all_examples_present():
+    expected = {
+        "quickstart.py",
+        "social_network.py",
+        "ontology_hierarchy.py",
+        "compare_methods.py",
+        "index_drawing.py",
+        "streaming_citations.py",
+        "distributed_cluster.py",
+    }
+    found = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert expected <= found

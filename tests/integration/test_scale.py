@@ -1,0 +1,48 @@
+"""Scale sanity: the library's headline claim is *very large* graphs.
+
+Pure Python caps what a test suite can chew through, but a 100k-vertex
+build plus sampled query validation must work and stay within sane time
+and memory — these tests guard against accidental quadratic behaviour
+sneaking into the hot paths.
+"""
+
+import time
+
+from repro.core.query import FelineIndex
+from repro.datasets.queries import random_pairs
+from repro.graph.generators import random_dag, tree_like_dag
+from repro.graph.traversal import dfs_reachable
+
+
+class TestScale:
+    def test_feline_on_100k_vertices(self):
+        g = random_dag(100_000, avg_degree=2.0, seed=1)
+        start = time.perf_counter()
+        index = FelineIndex(g).build()
+        build_s = time.perf_counter() - start
+        assert build_s < 30  # linearithmic construction, generous bound
+
+        pairs = random_pairs(g, 500, seed=2)
+        for u, v in pairs[:100]:
+            assert index.query(u, v) == dfs_reachable(g, u, v)
+
+        # Index stays linear: 5 arrays x 8 bytes per vertex.
+        assert index.index_size_bytes() <= 100_000 * 48
+
+    def test_deep_tree_no_recursion_issues(self):
+        # Hub-free recursive trees are the deepest family we generate.
+        g = tree_like_dag(50_000, seed=3)
+        index = FelineIndex(g).build()
+        assert index.query(0, 49_999) == dfs_reachable(g, 0, 49_999)
+
+    def test_batch_path_at_scale(self):
+        from repro.core.batch import query_batch
+
+        g = random_dag(50_000, avg_degree=1.5, seed=4)
+        index = FelineIndex(g).build()
+        pairs = random_pairs(g, 20_000, seed=5)
+        start = time.perf_counter()
+        answers = query_batch(index, pairs)
+        elapsed = time.perf_counter() - start
+        assert len(answers) == 20_000
+        assert elapsed < 20

@@ -1,0 +1,80 @@
+"""Stateful property test: the incremental FELINE vs a naive mirror.
+
+Hypothesis drives an arbitrary interleaving of vertex insertions, edge
+insertions (including attempts that would close cycles) and queries; a
+naive edge-list mirror provides ground truth via DFS.  After every step
+the index must agree with the mirror and keep its internal invariants.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.incremental import IncrementalFelineIndex
+from repro.exceptions import NotADAGError
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import dfs_reachable
+
+
+class IncrementalFelineMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.index = IncrementalFelineIndex()
+        self.index.add_vertex()  # always at least one vertex
+        self.edges: list[tuple[int, int]] = []
+
+    def _snapshot(self) -> DiGraph:
+        return DiGraph(self.index.num_vertices, self.edges)
+
+    @rule()
+    def add_vertex(self):
+        self.index.add_vertex()
+
+    @precondition(lambda self: self.index.num_vertices >= 2)
+    @rule(data=st.data())
+    def add_edge(self, data):
+        n = self.index.num_vertices
+        u = data.draw(st.integers(0, n - 1), label="u")
+        v = data.draw(st.integers(0, n - 1), label="v")
+        snapshot = self._snapshot()
+        creates_cycle = u == v or dfs_reachable(snapshot, v, u)
+        if creates_cycle:
+            try:
+                self.index.add_edge(u, v)
+            except NotADAGError:
+                pass  # expected: rejected, state must be unchanged
+            else:
+                raise AssertionError(
+                    f"cycle-closing edge ({u}, {v}) was accepted"
+                )
+        else:
+            self.index.add_edge(u, v)
+            self.edges.append((u, v))
+
+    @precondition(lambda self: self.index.num_vertices >= 2)
+    @rule(data=st.data())
+    def query(self, data):
+        n = self.index.num_vertices
+        u = data.draw(st.integers(0, n - 1), label="qu")
+        v = data.draw(st.integers(0, n - 1), label="qv")
+        expected = dfs_reachable(self._snapshot(), u, v)
+        assert self.index.query(u, v) == expected
+
+    @invariant()
+    def internal_invariants_hold(self):
+        assert self.index.check_invariants()
+
+    @invariant()
+    def counters_match_mirror(self):
+        assert self.index.num_edges == len(self.edges)
+
+
+TestIncrementalFelineStateful = IncrementalFelineMachine.TestCase
+TestIncrementalFelineStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

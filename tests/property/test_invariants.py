@@ -1,0 +1,225 @@
+"""Property-based tests (hypothesis) for the library's core invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import pwah
+from repro.baselines.ferrari import merge_interval_lists, restrict_to_budget
+from repro.baselines.interval import union_intervals
+from repro.core.index import build_feline_index
+from repro.graph.digraph import DiGraph
+from repro.graph.levels import compute_levels
+from repro.graph.scc import condense, is_dag
+from repro.graph.toposort import is_topological_order, kahn_order
+from repro.graph.traversal import dfs_reachable
+from repro.stats.friedman import rank_within_block
+
+
+# ---------------------------------------------------------------------------
+# Graph strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def dags(draw, max_vertices=24):
+    """Random DAGs: edges always go from a smaller to a larger id."""
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    if n < 2:
+        return DiGraph(n, [])
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 2), st.integers(1, n - 1)
+            ).map(lambda p: (min(p), max(p)))
+            .filter(lambda p: p[0] != p[1]),
+            max_size=3 * n,
+            unique=True,
+        )
+    )
+    return DiGraph(n, edges)
+
+
+@st.composite
+def digraphs(draw, max_vertices=16):
+    """Arbitrary digraphs (cycles allowed, no self loops)."""
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                lambda p: p[0] != p[1]
+            ),
+            max_size=3 * n,
+            unique=True,
+        )
+    )
+    return DiGraph(n, edges)
+
+
+@st.composite
+def interval_lists(draw):
+    """Sorted disjoint non-adjacent [lo, hi] interval lists."""
+    points = draw(
+        st.lists(st.integers(0, 400), min_size=0, max_size=12, unique=True)
+    )
+    points.sort()
+    intervals = []
+    i = 0
+    while i + 1 < len(points):
+        lo, hi = points[i], points[i + 1]
+        if intervals and lo <= intervals[-1][1] + 1:
+            i += 1
+            continue
+        intervals.append((lo, hi))
+        i += 2
+    return intervals
+
+
+# ---------------------------------------------------------------------------
+# FELINE invariants
+# ---------------------------------------------------------------------------
+class TestFelineInvariants:
+    @given(dags())
+    @settings(max_examples=60, deadline=None)
+    def test_theorem1_reachability_implies_dominance(self, g):
+        coords = build_feline_index(
+            g, with_level_filter=False, with_positive_cut=False
+        )
+        for u, v in g.edges():
+            assert coords.dominates(u, v)
+
+    @given(dags())
+    @settings(max_examples=40, deadline=None)
+    def test_coordinates_are_permutations(self, g):
+        coords = build_feline_index(g)
+        n = g.num_vertices
+        assert sorted(coords.x) == list(range(n))
+        assert sorted(coords.y) == list(range(n))
+
+    @given(dags(max_vertices=14))
+    @settings(max_examples=30, deadline=None)
+    def test_feline_query_matches_dfs(self, g):
+        from repro.core.query import FelineIndex
+
+        index = FelineIndex(g).build()
+        for u in range(g.num_vertices):
+            for v in range(g.num_vertices):
+                assert index.query(u, v) == dfs_reachable(g, u, v)
+
+
+# ---------------------------------------------------------------------------
+# Substrate invariants
+# ---------------------------------------------------------------------------
+class TestSubstrateInvariants:
+    @given(dags())
+    @settings(max_examples=60, deadline=None)
+    def test_kahn_produces_topological_order(self, g):
+        assert is_topological_order(g, kahn_order(g))
+
+    @given(digraphs())
+    @settings(max_examples=60, deadline=None)
+    def test_condensation_always_dag(self, g):
+        assert is_dag(condense(g).dag)
+
+    @given(digraphs(max_vertices=10))
+    @settings(max_examples=30, deadline=None)
+    def test_condensation_preserves_reachability(self, g):
+        result = condense(g)
+        for u in range(g.num_vertices):
+            for v in range(g.num_vertices):
+                assert dfs_reachable(g, u, v) == dfs_reachable(
+                    result.dag, result.scc_of[u], result.scc_of[v]
+                )
+
+    @given(dags())
+    @settings(max_examples=60, deadline=None)
+    def test_levels_strictly_increase_along_edges(self, g):
+        levels = compute_levels(g)
+        for u, v in g.edges():
+            assert levels[u] < levels[v]
+
+
+# ---------------------------------------------------------------------------
+# Compression invariants
+# ---------------------------------------------------------------------------
+class TestCompressionInvariants:
+    @given(interval_lists(), st.integers(401, 600))
+    @settings(max_examples=80, deadline=None)
+    def test_pwah_round_trip(self, intervals, universe):
+        words = pwah.compress_intervals(intervals, universe=universe)
+        assert pwah.decompress_to_intervals(words) == intervals
+
+    @given(interval_lists(), st.integers(401, 600))
+    @settings(max_examples=40, deadline=None)
+    def test_pwah_membership(self, intervals, universe):
+        words = pwah.compress_intervals(intervals, universe=universe)
+        bits = {
+            p for lo, hi in intervals for p in range(lo, hi + 1)
+        }
+        for probe in range(0, universe, 7):
+            assert pwah.contains(words, probe) == (probe in bits)
+
+    @given(st.lists(interval_lists(), max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_union_intervals_is_set_union(self, lists):
+        merged = union_intervals(lists)
+        expected = set()
+        for lst in lists:
+            for lo, hi in lst:
+                expected.update(range(lo, hi + 1))
+        got = set()
+        for lo, hi in merged:
+            assert lo <= hi
+            got.update(range(lo, hi + 1))
+        assert got == expected
+        # Result is sorted, disjoint and non-adjacent.
+        for (alo, ahi), (blo, bhi) in zip(merged, merged[1:]):
+            assert ahi + 1 < blo
+
+    @given(st.lists(interval_lists(), max_size=3))
+    @settings(max_examples=40, deadline=None)
+    def test_ferrari_merge_covers_union(self, lists):
+        flagged = [
+            [(lo, hi, True) for lo, hi in lst] for lst in lists
+        ]
+        merged = merge_interval_lists(flagged)
+        expected = set()
+        for lst in lists:
+            for lo, hi in lst:
+                expected.update(range(lo, hi + 1))
+        got = set()
+        for lo, hi, _ in merged:
+            got.update(range(lo, hi + 1))
+        assert got == expected
+
+    @given(interval_lists(), st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_budget_restriction_never_loses_coverage(self, intervals, budget):
+        flagged = [(lo, hi, True) for lo, hi in intervals]
+        restricted = restrict_to_budget(flagged, budget)
+        assert len(restricted) <= max(budget, len(flagged) and 1)
+        before = {
+            p for lo, hi in intervals for p in range(lo, hi + 1)
+        }
+        after = set()
+        for lo, hi, _ in restricted:
+            after.update(range(lo, hi + 1))
+        assert before <= after  # merging only ever widens
+
+
+# ---------------------------------------------------------------------------
+# Statistics invariants
+# ---------------------------------------------------------------------------
+class TestStatsInvariants:
+    @given(st.lists(st.floats(0, 1e6, allow_nan=False), min_size=1, max_size=12))
+    @settings(max_examples=80, deadline=None)
+    def test_ranks_sum_to_triangular_number(self, values):
+        ranks = rank_within_block(values)
+        k = len(values)
+        assert abs(sum(ranks) - k * (k + 1) / 2) < 1e-9
+
+    @given(st.lists(st.floats(0, 1e6, allow_nan=False), min_size=2, max_size=12))
+    @settings(max_examples=80, deadline=None)
+    def test_ranks_respect_order(self, values):
+        ranks = rank_within_block(values)
+        for i in range(len(values)):
+            for j in range(len(values)):
+                if values[i] < values[j]:
+                    assert ranks[i] < ranks[j]

@@ -1,0 +1,69 @@
+"""Unit tests for reachability-backbone extraction."""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import path_graph, random_dag, tree_like_dag
+from repro.graph.scc import is_dag
+from repro.graph.traversal import dfs_reachable
+from repro.scarab.backbone import extract_backbone
+
+
+class TestSelection:
+    def test_backbone_is_internal_vertices(self, paper_dag):
+        backbone = extract_backbone(paper_dag)
+        internal = {
+            v
+            for v in range(8)
+            if paper_dag.in_degree(v) > 0 and paper_dag.out_degree(v) > 0
+        }
+        selected = {
+            v for v in range(8) if backbone.backbone_id[v] != -1
+        }
+        assert selected == internal
+
+    def test_mappings_are_inverse(self, any_dag):
+        backbone = extract_backbone(any_dag)
+        for b, original in enumerate(backbone.original_id):
+            assert backbone.backbone_id[original] == b
+
+    def test_edgeless_graph_empty_backbone(self):
+        backbone = extract_backbone(DiGraph(5, []))
+        assert backbone.size == 0
+
+    def test_path_keeps_middle(self):
+        backbone = extract_backbone(path_graph(5))
+        assert backbone.size == 3  # endpoints are root/leaf
+
+
+class TestReducedGraph:
+    def test_backbone_graph_is_dag(self, any_dag):
+        assert is_dag(extract_backbone(any_dag).graph)
+
+    def test_backbone_preserves_reachability_between_members(self, any_dag):
+        """Paths between internal vertices use only internal vertices, so
+        the induced subgraph must preserve their reachability exactly."""
+        backbone = extract_backbone(any_dag)
+        members = list(backbone.original_id)
+        for u in members:
+            for v in members:
+                original = dfs_reachable(any_dag, u, v)
+                reduced = dfs_reachable(
+                    backbone.graph,
+                    backbone.backbone_id[u],
+                    backbone.backbone_id[v],
+                )
+                assert original == reduced, (u, v)
+
+    def test_reduction_dramatic_on_tree_like_graphs(self):
+        """The Uniprot motivation: almost everything is a root or leaf."""
+        g = tree_like_dag(2000, seed=1).reversed()
+        backbone = extract_backbone(g)
+        assert backbone.reduction_ratio(g) < 0.6
+
+    def test_reduction_ratio_range(self):
+        g = random_dag(200, avg_degree=2.0, seed=2)
+        ratio = extract_backbone(g).reduction_ratio(g)
+        assert 0.0 <= ratio <= 1.0
+
+    def test_reduction_ratio_empty_graph(self):
+        g = DiGraph(0, [])
+        assert extract_backbone(g).reduction_ratio(g) == 0.0

@@ -1,0 +1,76 @@
+"""Unit tests for the Friedman test."""
+
+import pytest
+from scipy.stats import friedmanchisquare
+
+from repro.exceptions import ReproError
+from repro.stats.friedman import friedman_test, rank_within_block
+
+
+class TestRanking:
+    def test_simple_order(self):
+        assert rank_within_block([3.0, 1.0, 2.0]) == [3.0, 1.0, 2.0]
+
+    def test_ties_averaged(self):
+        assert rank_within_block([1.0, 1.0, 2.0]) == [1.5, 1.5, 3.0]
+
+    def test_all_tied(self):
+        assert rank_within_block([5.0, 5.0, 5.0]) == [2.0, 2.0, 2.0]
+
+    def test_single_value(self):
+        assert rank_within_block([42.0]) == [1.0]
+
+    def test_infinity_ranks_last(self):
+        assert rank_within_block([1.0, float("inf"), 2.0]) == [1.0, 3.0, 2.0]
+
+
+class TestFriedman:
+    def test_matches_scipy(self):
+        table = [
+            [1.0, 2.0, 3.0],
+            [1.1, 2.5, 2.9],
+            [0.9, 2.2, 3.3],
+            [1.3, 1.9, 3.1],
+        ]
+        ours = friedman_test(table)
+        columns = list(zip(*table))
+        reference = friedmanchisquare(*columns)
+        assert ours.statistic == pytest.approx(reference.statistic)
+        assert ours.p_value == pytest.approx(reference.pvalue)
+
+    def test_clear_winner_significant(self):
+        # Method 0 always best, method 2 always worst, 8 datasets.
+        table = [[1.0, 2.0, 3.0] for _ in range(8)]
+        result = friedman_test(table)
+        assert result.significant(alpha=0.1)
+        assert result.average_ranks == [1.0, 2.0, 3.0]
+
+    def test_random_noise_not_significant(self):
+        from random import Random
+
+        rng = Random(0)
+        table = [
+            [rng.random() for _ in range(3)] for _ in range(6)
+        ]
+        result = friedman_test(table)
+        # With pure noise the p-value is large virtually always for this
+        # seed; assert the mechanism rather than a probabilistic law.
+        assert 0.0 <= result.p_value <= 1.0
+
+    def test_too_few_blocks_rejected(self):
+        with pytest.raises(ReproError, match="blocks"):
+            friedman_test([[1.0, 2.0]])
+
+    def test_too_few_methods_rejected(self):
+        with pytest.raises(ReproError, match="methods"):
+            friedman_test([[1.0], [2.0]])
+
+    def test_ragged_table_rejected(self):
+        with pytest.raises(ReproError, match="same methods"):
+            friedman_test([[1.0, 2.0], [1.0]])
+
+    def test_average_ranks_sum_invariant(self):
+        table = [[4.0, 1.0, 3.0, 2.0] for _ in range(5)]
+        result = friedman_test(table)
+        k = result.num_methods
+        assert sum(result.average_ranks) == pytest.approx(k * (k + 1) / 2)

@@ -1,0 +1,76 @@
+"""Unit tests for the Nemenyi post-hoc test and CD diagrams."""
+
+import pytest
+
+from repro.stats.nemenyi import (
+    compute_cd_diagram,
+    critical_difference,
+    nemenyi_groups,
+    render_cd_diagram,
+)
+
+
+class TestCriticalDifference:
+    def test_known_value_demsar(self):
+        """Demšar (2006): q_0.05 for k = 5 is 2.728, so over N = 14
+        datasets CD = 2.728 · sqrt(5·6 / (6·14)) ≈ 1.63."""
+        cd = critical_difference(5, 14, alpha=0.05)
+        assert cd == pytest.approx(1.63, abs=0.02)
+
+    def test_cd_shrinks_with_more_datasets(self):
+        assert critical_difference(4, 50) < critical_difference(4, 5)
+
+    def test_cd_grows_with_more_methods(self):
+        assert critical_difference(6, 10) > critical_difference(3, 10)
+
+    def test_alpha_monotone(self):
+        assert critical_difference(4, 10, alpha=0.1) < critical_difference(
+            4, 10, alpha=0.01
+        )
+
+
+class TestGroups:
+    def test_all_apart_no_groups(self):
+        assert nemenyi_groups([1.0, 3.0, 5.0], cd=1.5) == []
+
+    def test_all_together_one_group(self):
+        groups = nemenyi_groups([1.0, 1.2, 1.4], cd=1.0)
+        assert groups == [(0, 1, 2)]
+
+    def test_chain_of_overlapping_groups(self):
+        # ranks 1, 2, 3 with cd = 1.5: {0,1} and {1,2} but not {0,1,2}.
+        groups = nemenyi_groups([1.0, 2.0, 3.0], cd=1.5)
+        assert (0, 1) in groups and (1, 2) in groups
+        assert (0, 1, 2) not in groups
+
+    def test_nested_groups_dropped(self):
+        groups = nemenyi_groups([1.0, 1.1, 1.2, 4.0], cd=0.5)
+        assert groups == [(0, 1, 2)]
+
+    def test_unsorted_input_handled(self):
+        groups = nemenyi_groups([3.0, 1.0, 1.2], cd=0.5)
+        assert groups == [(1, 2)]
+
+
+class TestDiagram:
+    def test_compute_bundles_everything(self):
+        diagram = compute_cd_diagram(
+            ["A", "B", "C"], [1.0, 2.0, 2.2], num_blocks=10
+        )
+        assert diagram.cd > 0
+        assert diagram.ordered_methods()[0] == ("A", 1.0)
+
+    def test_render_mentions_methods_and_cd(self):
+        diagram = compute_cd_diagram(
+            ["FELINE", "GRAIL"], [1.0, 2.0], num_blocks=11
+        )
+        text = render_cd_diagram(diagram)
+        assert "FELINE" in text and "GRAIL" in text
+        assert "CD =" in text
+
+    def test_render_shows_group_bars(self):
+        diagram = compute_cd_diagram(
+            ["A", "B", "C"], [1.0, 1.1, 3.0], num_blocks=4
+        )
+        text = render_cd_diagram(diagram)
+        assert "=" in text  # at least one group bar

@@ -1,0 +1,132 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph.generators import random_dag
+from repro.graph.io import write_edge_list
+
+
+class TestListing:
+    def test_methods_listed(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        assert "feline" in out and "grail" in out
+
+    def test_datasets_listed(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "arxiv" in out and "100M-10" in out
+
+
+class TestQuery:
+    @pytest.fixture
+    def graph_file(self, tmp_path):
+        g = random_dag(30, avg_degree=2.0, seed=1)
+        path = tmp_path / "g.edges"
+        write_edge_list(g, path)
+        return path, g
+
+    def test_reachable_exit_zero(self, graph_file, capsys):
+        path, g = graph_file
+        u, v = next(iter(g.edges()))
+        assert main(["query", str(path), str(u), str(v)]) == 0
+        assert "reachable" in capsys.readouterr().out
+
+    def test_unreachable_exit_one(self, graph_file, capsys):
+        path, g = graph_file
+        u, v = next(iter(g.edges()))
+        assert main(["query", str(path), str(v), str(u)]) == 1
+        assert "not reachable" in capsys.readouterr().out
+
+    def test_method_flag(self, graph_file):
+        path, g = graph_file
+        u, v = next(iter(g.edges()))
+        assert main(["query", str(path), str(u), str(v), "--method", "grail"]) == 0
+
+
+class TestBench:
+    def test_t2_runs(self, capsys):
+        assert main(["bench", "t2", "--scale", "0.0002"]) == 0
+        out = capsys.readouterr().out
+        assert "T2" in out and "100M-10" in out
+
+    def test_t3_with_knobs(self, capsys):
+        code = main([
+            "bench", "t3", "--scale", "0.02", "--queries", "20",
+            "--runs", "1", "--datasets", "arxiv,go",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FELINE" in out
+        assert "yago" not in out
+
+    def test_f12_dataset_restriction(self, capsys):
+        code = main([
+            "bench", "f12", "--scale", "0.02", "--datasets", "go",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "go (normal index)" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "t99"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestBuildAndIndexReuse:
+    @pytest.fixture
+    def dag_file(self, tmp_path):
+        g = random_dag(40, avg_degree=2.0, seed=3)
+        path = tmp_path / "dag.edges"
+        write_edge_list(g, path)
+        return path, g
+
+    def test_build_writes_index(self, dag_file, tmp_path, capsys):
+        path, _ = dag_file
+        out = tmp_path / "dag.feline"
+        assert main(["build", str(path), str(out)]) == 0
+        assert out.exists() and out.stat().st_size > 0
+        assert "built FELINE index" in capsys.readouterr().out
+
+    def test_query_with_saved_index(self, dag_file, tmp_path):
+        path, g = dag_file
+        out = tmp_path / "dag.feline"
+        main(["build", str(path), str(out)])
+        u, v = next(iter(g.edges()))
+        assert main([
+            "query", str(path), str(u), str(v), "--index", str(out),
+        ]) == 0
+        assert main([
+            "query", str(path), str(v), str(u), "--index", str(out),
+            "--mmap",
+        ]) == 1
+
+
+class TestValidateAndRecommend:
+    @pytest.fixture
+    def dag_file(self, tmp_path):
+        g = random_dag(60, avg_degree=2.0, seed=5)
+        path = tmp_path / "dag.edges"
+        write_edge_list(g, path)
+        return path
+
+    def test_validate_all_agree(self, dag_file, capsys):
+        assert main(["validate", str(dag_file), "--queries", "100"]) == 0
+        assert "ALL AGREE" in capsys.readouterr().out
+
+    def test_recommend_prints_choice(self, dag_file, capsys):
+        assert main(["recommend", str(dag_file)]) == 0
+        out = capsys.readouterr().out
+        assert "recommended:" in out and "because:" in out
+
+    def test_recommend_query_heavy_flag(self, tmp_path, capsys):
+        g = random_dag(2000, avg_degree=5.0, seed=6)
+        path = tmp_path / "big.edges"
+        write_edge_list(g, path)
+        assert main(["recommend", str(path), "--query-heavy"]) == 0
+        assert "recommended: feline-b" in capsys.readouterr().out

@@ -1,0 +1,30 @@
+"""Run the doc-comment examples as tests (the docs must not rot)."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.distributed
+import repro.core.incremental
+import repro.core.query
+import repro.graph.builder
+import repro.scarab.scar
+
+MODULES_WITH_EXAMPLES = [
+    repro,
+    repro.graph.builder,
+    repro.core.query,
+    repro.core.incremental,
+    repro.core.distributed,
+    repro.scarab.scar,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_EXAMPLES, ids=lambda m: m.__name__
+)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} failures"
+    assert results.attempted > 0, f"{module.__name__} lost its examples"

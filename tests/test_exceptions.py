@@ -1,0 +1,50 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    DatasetError,
+    GraphError,
+    IndexBuildError,
+    IndexNotBuiltError,
+    NotADAGError,
+    ReproError,
+    WorkloadError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_cls",
+        [
+            GraphError,
+            NotADAGError,
+            IndexNotBuiltError,
+            IndexBuildError,
+            DatasetError,
+            WorkloadError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc_cls):
+        assert issubclass(exc_cls, ReproError)
+
+    def test_not_a_dag_is_graph_error(self):
+        assert issubclass(NotADAGError, GraphError)
+
+    def test_not_a_dag_carries_cycle_hint(self):
+        exc = NotADAGError("cycle", cycle_hint=7)
+        assert exc.cycle_hint == 7
+
+    def test_not_a_dag_hint_optional(self):
+        assert NotADAGError("cycle").cycle_hint is None
+
+    def test_index_build_error_reason(self):
+        exc = IndexBuildError("too big", reason="memory-budget")
+        assert exc.reason == "memory-budget"
+
+    def test_index_build_error_default_reason(self):
+        assert IndexBuildError("boom").reason == "error"
+
+    def test_one_catch_for_everything(self):
+        with pytest.raises(ReproError):
+            raise WorkloadError("no pairs")

@@ -1,0 +1,56 @@
+"""Unit tests for the top-level Reachability facade."""
+
+import pytest
+
+import repro
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_digraph
+from repro.graph.traversal import dfs_reachable
+
+
+class TestFacade:
+    def test_edge_list_input(self):
+        r = repro.Reachability([(0, 1), (1, 2)])
+        assert r.reachable(0, 2)
+        assert not r.reachable(2, 0)
+
+    def test_digraph_input(self, paper_dag):
+        r = repro.Reachability(paper_dag)
+        assert r.reachable(0, 7)
+        assert not r.reachable(0, 6)
+
+    def test_cycles_condensed(self):
+        r = repro.Reachability([(0, 1), (1, 0), (1, 2)])
+        assert r.reachable(0, 1) and r.reachable(1, 0)
+        assert r.reachable(0, 2)
+        assert not r.reachable(2, 0)
+
+    def test_same_scc_always_reachable(self):
+        g = random_digraph(60, 180, seed=1)
+        r = repro.Reachability(g)
+        for u in range(60):
+            for v in range(60):
+                assert r.reachable(u, v) == dfs_reachable(g, u, v)
+
+    @pytest.mark.parametrize("method", ["grail", "tc", "bibfs", "scarab"])
+    def test_method_selection(self, method):
+        r = repro.Reachability([(0, 1), (1, 2)], method=method)
+        assert r.index.method_name == method
+        assert r.reachable(0, 2)
+
+    def test_params_forwarded(self):
+        r = repro.Reachability([(0, 1)], method="grail", num_labelings=2)
+        assert r.index.num_labelings == 2
+
+    def test_repr(self):
+        r = repro.Reachability([(0, 1), (1, 0)])
+        text = repr(r)
+        assert "feline" in text and "sccs=1" in text
+
+    def test_version_exposed(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_isolated_vertices(self):
+        r = repro.Reachability(DiGraph(5, []))
+        assert r.reachable(3, 3)
+        assert not r.reachable(0, 1)
