@@ -25,9 +25,11 @@ registry (:func:`repro.baselines.create_index`).
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 
+from repro import obs
 from repro.baselines.base import (
+    QueryStats,
     ReachabilityIndex,
     available_methods,
     create_index,
@@ -48,7 +50,9 @@ __all__ = [
     "DiGraph",
     "available_methods",
     "create_index",
+    "QueryStats",
     "ReproError",
+    "obs",
     "__version__",
 ]
 
@@ -84,7 +88,9 @@ class Reachability:
         if not isinstance(graph, DiGraph):
             graph = DiGraph.from_edges(graph)
         self.graph = graph
-        self.condensation = condense(graph)
+        registry = obs.get_registry()
+        with registry.phase("facade.init", "condense"):
+            self.condensation = condense(graph)
         self.index: ReachabilityIndex = create_index(
             method, self.condensation.dag, **params
         ).build()
@@ -93,6 +99,30 @@ class Reachability:
         """Whether there is a directed path from ``u`` to ``v``."""
         scc_of = self.condensation.scc_of
         return self.index.query(scc_of[u], scc_of[v])
+
+    def reachable_many(
+        self, pairs: Sequence[tuple[int, int]] | Iterable[tuple[int, int]]
+    ) -> list[bool]:
+        """Answer a batch of ``(u, v)`` pairs; aligned list of answers.
+
+        Pairs are mapped through the SCC condensation once and routed to
+        the index's batch path (:meth:`ReachabilityIndex.query_many`), so
+        indexes with a vectorized implementation — FELINE's numpy cuts —
+        answer the whole batch without per-pair Python dispatch.
+        Equivalent to ``[self.reachable(u, v) for u, v in pairs]``.
+        """
+        scc_of = self.condensation.scc_of
+        mapped = [(scc_of[u], scc_of[v]) for u, v in pairs]
+        return list(self.index.query_many(mapped))
+
+    @property
+    def stats(self) -> QueryStats:
+        """The underlying index's :class:`QueryStats` counters.
+
+        Facade users read cut/search breakdowns here instead of reaching
+        into ``.index.stats``.
+        """
+        return self.index.stats
 
     def witness_path(self, u: int, v: int) -> list[int] | None:
         """An actual path from ``u`` to ``v`` in the *original* graph.

@@ -14,11 +14,13 @@ automatically by the :class:`repro.Reachability` facade.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections.abc import Callable, Iterable
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
+from time import perf_counter
 
-from repro.exceptions import DatasetError, IndexNotBuiltError
+from repro.exceptions import IndexNotBuiltError, UnknownMethodError
 from repro.graph.digraph import DiGraph
+from repro.obs.metrics import COUNT_BUCKETS, MetricsRegistry, get_registry
 
 __all__ = [
     "QueryStats",
@@ -96,13 +98,115 @@ class ReachabilityIndex(ABC):
         self.graph = graph
         self.stats = QueryStats()
         self._built = False
+        # Observability handles, resolved at build() time.  They stay
+        # None while the global registry is the no-op default, so the
+        # query hot path pays a single `is None` check when metrics are
+        # off (the zero-cost-when-disabled contract of repro.obs).
+        self._latency_hist = None
+        self._batch_hist = None
+        self._batch_size_hist = None
 
     # -- lifecycle ------------------------------------------------------
     def build(self) -> "ReachabilityIndex":
-        """Construct the index; returns ``self`` for chaining."""
+        """Construct the index; returns ``self`` for chaining.
+
+        With metrics enabled (:func:`repro.obs.enable_metrics` *before*
+        this call) the build is timed into
+        ``repro_index_build_seconds{method}``, a trace event records the
+        graph dimensions, and per-query instruments are armed.
+        """
+        registry = get_registry()
+        if not registry.enabled:
+            self._build()
+            self._built = True
+            return self
+
+        method = self.method_name
+        start = perf_counter()
         self._build()
+        elapsed = perf_counter() - start
+        registry.counter(
+            "repro_index_builds_total",
+            help="Number of index builds per method.",
+            method=method,
+        ).inc()
+        registry.histogram(
+            "repro_index_build_seconds",
+            help="Index construction wall time.",
+            method=method,
+        ).observe(elapsed)
+        registry.trace(
+            "index.build",
+            duration_s=elapsed,
+            method=method,
+            vertices=self.graph.num_vertices,
+            edges=self.graph.num_edges,
+        )
+        self._latency_hist = registry.histogram(
+            "repro_query_latency_seconds",
+            help="Per-query latency of the scalar query path.",
+            method=method,
+        )
+        self._batch_hist = registry.histogram(
+            "repro_query_batch_seconds",
+            help="Whole-batch latency of query_many.",
+            method=method,
+        )
+        self._batch_size_hist = registry.histogram(
+            "repro_query_batch_size",
+            buckets=COUNT_BUCKETS,
+            help="Number of pairs per query_many batch.",
+            method=method,
+        )
+        self._install_observers(registry)
         self._built = True
         return self
+
+    def _install_observers(self, registry: MetricsRegistry) -> None:
+        """Hook: attach extra instruments when metrics are enabled.
+
+        Called from :meth:`build` after :meth:`_build`, only when the
+        active registry is live.  The default wraps the index's pruned
+        DFS (any subclass defining ``_search``) with per-search timing
+        and expansion-count histograms; subclasses can extend or replace
+        this.
+        """
+        self._observe_searches(registry)
+
+    def _observe_searches(self, registry: MetricsRegistry) -> None:
+        """Wrap ``self._search`` with expansion and latency observers.
+
+        The wrapper is installed as an *instance* attribute, so with
+        metrics off the original method is untouched (true zero cost).
+        Works for any search signature (``(u, v, *bounds)``); the
+        vectorized batch fallback calls ``self._search`` too, so scalar
+        and batch searches land in the same histograms.
+        """
+        inner = getattr(self, "_search", None)
+        if inner is None:
+            return
+        expanded_hist = registry.histogram(
+            "repro_search_expanded_vertices",
+            buckets=COUNT_BUCKETS,
+            help="Vertices expanded per online search.",
+            method=self.method_name,
+        )
+        search_hist = registry.histogram(
+            "repro_search_seconds",
+            help="Wall time per online search.",
+            method=self.method_name,
+        )
+        stats = self.stats
+
+        def observed_search(u, v, *bounds):
+            before = stats.expanded
+            start = perf_counter()
+            answer = inner(u, v, *bounds)
+            search_hist.observe(perf_counter() - start)
+            expanded_hist.observe(stats.expanded - before)
+            return answer
+
+        self._search = observed_search
 
     @property
     def built(self) -> bool:
@@ -117,14 +221,44 @@ class ReachabilityIndex(ABC):
                 f"{self.method_name}: call build() before query()"
             )
         self.stats.queries += 1
-        return self._query(u, v)
+        hist = self._latency_hist
+        if hist is None:
+            return self._query(u, v)
+        start = perf_counter()
+        answer = self._query(u, v)
+        hist.observe(perf_counter() - start)
+        return answer
 
     def query_many(self, pairs: Iterable[tuple[int, int]]) -> list[bool]:
-        """Answer a batch of queries (harness convenience)."""
+        """Answer a batch of queries.
+
+        Dispatches to the overridable :meth:`_query_many`, so indexes
+        with a vectorized path (FELINE's numpy cuts) answer batches
+        without per-pair Python dispatch while every subclass keeps this
+        exact entry point.  Statistics counters update identically to
+        the scalar path.
+        """
         if not self._built:
             raise IndexNotBuiltError(
                 f"{self.method_name}: call build() before query_many()"
             )
+        hist = self._batch_hist
+        if hist is None:
+            return self._query_many(pairs)
+        pairs = pairs if isinstance(pairs, Sequence) else list(pairs)
+        start = perf_counter()
+        answers = self._query_many(pairs)
+        hist.observe(perf_counter() - start)
+        self._batch_size_hist.observe(len(pairs))
+        return answers
+
+    def _query_many(self, pairs: Iterable[tuple[int, int]]) -> list[bool]:
+        """Batch implementation; override for a vectorized fast path.
+
+        Implementations own the ``stats.queries`` accounting (the base
+        loop counts per pair; a vectorized override counts the batch),
+        so the public wrapper adds no double counting.
+        """
         query = self._query
         stats = self.stats
         answers = []
@@ -132,6 +266,26 @@ class ReachabilityIndex(ABC):
             stats.queries += 1
             answers.append(query(u, v))
         return answers
+
+    # -- observability ----------------------------------------------------
+    def publish_stats(self, registry: MetricsRegistry | None = None) -> None:
+        """Snapshot :attr:`stats` into ``repro_query_stats`` gauges.
+
+        The counters accrue in plain Python ints (hot path); this
+        publishes them to the metrics registry at a natural boundary —
+        the bench harness calls it after each measured workload, the
+        ``repro stats`` CLI after its run.  No-op when metrics are off.
+        """
+        registry = registry if registry is not None else get_registry()
+        if not registry.enabled:
+            return
+        for counter, value in self.stats.as_dict().items():
+            registry.gauge(
+                "repro_query_stats",
+                help="QueryStats counters snapshotted per method.",
+                method=self.method_name,
+                counter=counter,
+            ).set(value)
 
     # -- introspection ----------------------------------------------------
     @abstractmethod
@@ -180,13 +334,20 @@ def register_index(
 
 
 def create_index(method: str, graph: DiGraph, **params) -> ReachabilityIndex:
-    """Instantiate a registered index by name (does not build it)."""
+    """Instantiate a registered index by name (does not build it).
+
+    Raises :class:`~repro.exceptions.UnknownMethodError` for a name not
+    in the registry (a :class:`~repro.exceptions.DatasetError` subclass,
+    so pre-existing handlers keep working).
+    """
     try:
         factory = _REGISTRY[method]
     except KeyError:
-        known = ", ".join(sorted(_REGISTRY))
-        raise DatasetError(
-            f"unknown reachability method {method!r}; known: {known}"
+        known = sorted(_REGISTRY)
+        raise UnknownMethodError(
+            f"unknown reachability method {method!r}; known: {', '.join(known)}",
+            method=method,
+            known=known,
         ) from None
     return factory(graph, **params)
 

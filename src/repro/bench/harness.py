@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from repro.baselines.base import ReachabilityIndex, create_index
 from repro.exceptions import IndexBuildError
 from repro.graph.digraph import DiGraph
+from repro.obs.metrics import LATENCY_BUCKETS_S, Histogram, get_registry
 
 __all__ = ["MethodResult", "MethodSpec", "measure_method", "run_sweep"]
 
@@ -80,7 +81,11 @@ def measure_method(
     records the failure reason (other exceptions propagate — they are
     bugs, not resource exhaustion).  With ``percentiles=True`` the last
     run additionally times every query individually and fills the
-    ``query_p50/p95/p99_us`` tail-latency fields.
+    ``query_p50/p95/p99_us`` tail-latency fields from a
+    :class:`repro.obs.metrics.Histogram`.  When the global metrics
+    registry is enabled the per-query pass runs regardless, so exports
+    always carry latency distributions, and the index's ``QueryStats``
+    are published as gauges.
     """
     result = MethodResult(
         method=spec.display,
@@ -109,26 +114,25 @@ def measure_method(
     result.query_ms = 1000 * sum(query_times) / len(query_times)
     result.index_bytes = index.index_size_bytes() if index else None
 
-    if percentiles and pairs and index is not None:
-        latencies = []
+    registry = get_registry()
+    if (percentiles or registry.enabled) and pairs and index is not None:
+        # Per-query latencies go through a fixed-bucket histogram — the
+        # same estimator the observability exporters use — instead of a
+        # bespoke sorted-sample percentile.  index.query() additionally
+        # feeds the registry's repro_query_latency_seconds when enabled.
+        histogram = Histogram(LATENCY_BUCKETS_S)
         query = index.query
+        observe = histogram.observe
         for u, v in pairs:
             start = time.perf_counter()
             query(u, v)
-            latencies.append(time.perf_counter() - start)
-        latencies.sort()
-        result.query_p50_us = 1e6 * _percentile(latencies, 0.50)
-        result.query_p95_us = 1e6 * _percentile(latencies, 0.95)
-        result.query_p99_us = 1e6 * _percentile(latencies, 0.99)
+            observe(time.perf_counter() - start)
+        result.query_p50_us = 1e6 * histogram.p50
+        result.query_p95_us = 1e6 * histogram.p95
+        result.query_p99_us = 1e6 * histogram.p99
+    if registry.enabled and index is not None:
+        index.publish_stats(registry)
     return result
-
-
-def _percentile(sorted_values: list[float], fraction: float) -> float:
-    """Nearest-rank percentile of an already-sorted sample."""
-    if not sorted_values:
-        return 0.0
-    rank = min(len(sorted_values) - 1, round(fraction * (len(sorted_values) - 1)))
-    return sorted_values[rank]
 
 
 def run_sweep(

@@ -14,9 +14,17 @@ Commands
     Build a FELINE index for an edge-list graph (must be a DAG after
     condensation is *not* applied here — build works on DAGs) and save
     it in the binary format of :mod:`repro.core.persistence`.
-``bench EXPERIMENT [--scale S] [--queries N] [--runs R]``
+``bench EXPERIMENT [--scale S] [--queries N] [--runs R] [--metrics-out P]``
     Regenerate a paper artifact (``t1``..``t5``, ``f10``..``f17``,
-    ``ablation-heuristics``, ``ablation-filters``, or ``all``).
+    ``ablation-heuristics``, ``ablation-filters``, or ``all``); with
+    ``--metrics-out PATH`` the run executes with metrics enabled and
+    writes a JSON-lines export to ``PATH`` plus a Prometheus text export
+    next to it (``.prom`` suffix).
+``stats GRAPH.edges [--method M] [--queries N] [--seed S] [--metrics-out P]``
+    Build an index, answer a random workload, and print the query-stats
+    breakdown (which cut answered how many queries), build-phase
+    timings, and query-latency percentiles; optionally export the
+    metrics like ``bench --metrics-out``.
 ``validate GRAPH.edges [--queries N]``
     Cross-check several index methods against DFS ground truth on the
     given graph; exits non-zero on any disagreement.
@@ -31,7 +39,7 @@ import argparse
 import sys
 from collections.abc import Callable
 
-from repro import Reachability, available_methods
+from repro import Reachability, available_methods, obs
 from repro.bench import runner
 from repro.datasets.registry import dataset_names
 from repro.graph.io import read_edge_list
@@ -97,6 +105,27 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated dataset names to restrict the sweep to",
     )
+    bench.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="enable metrics and write JSON-lines to PATH plus a "
+        "Prometheus text export with a .prom suffix",
+    )
+
+    stats = sub.add_parser(
+        "stats", help="run a workload and print the query-stats breakdown"
+    )
+    stats.add_argument("graph", help="edge-list file (u v per line)")
+    stats.add_argument("--method", default="feline")
+    stats.add_argument("--queries", type=int, default=2000)
+    stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="also write JSON-lines + Prometheus exports (like bench)",
+    )
 
     validate = sub.add_parser(
         "validate", help="cross-check index methods against DFS truth"
@@ -128,6 +157,69 @@ def _bench_kwargs(args: argparse.Namespace, experiment: str) -> dict:
     if experiment in ("t2",) and "scale" not in kwargs:
         kwargs["scale"] = 0.001
     return kwargs
+
+
+def _write_metrics(registry, path: str) -> None:
+    """Write the JSON-lines export to ``path`` and a sibling ``.prom``."""
+    from pathlib import Path
+
+    from repro.obs.export import write_jsonl, write_prometheus
+
+    jsonl_path = Path(path)
+    prom_path = jsonl_path.with_suffix(".prom")
+    write_jsonl(registry, jsonl_path)
+    write_prometheus(registry, prom_path)
+    print(f"metrics written: {jsonl_path} (JSON lines), {prom_path} (Prometheus)")
+
+
+def _run_stats(args: argparse.Namespace) -> int:
+    """The ``stats`` subcommand: cut breakdown + latency percentiles."""
+    from repro.datasets.queries import random_pairs
+
+    with obs.metrics_enabled() as registry:
+        graph = read_edge_list(args.graph)
+        oracle = Reachability(graph, method=args.method)
+        pairs = random_pairs(graph, args.queries, seed=args.seed)
+        positives = 0
+        for u, v in pairs:
+            positives += oracle.reachable(u, v)
+        oracle.index.publish_stats(registry)
+
+        stats = oracle.stats
+        print(f"graph: {args.graph}  method: {oracle.index.method_name}  "
+              f"|V|={graph.num_vertices} |E|={graph.num_edges}")
+        print(f"queries: {stats.queries}  positive: {positives}")
+        total = max(1, stats.queries)
+        for counter, value in stats.as_dict().items():
+            if counter == "queries":
+                continue
+            print(f"  {counter:<14} {value:>10}  ({100 * value / total:5.1f}%)")
+
+        latency = registry.histogram(
+            "repro_query_latency_seconds", method=oracle.index.method_name
+        )
+        if latency.count:
+            print(
+                "query latency (us): "
+                f"p50={1e6 * latency.p50:.2f}  "
+                f"p95={1e6 * latency.p95:.2f}  "
+                f"p99={1e6 * latency.p99:.2f}  "
+                f"mean={1e6 * latency.mean:.2f}"
+            )
+        phase_events = [
+            event for event in registry.trace_log
+            if "phase" in event.fields and event.duration_s is not None
+        ]
+        if phase_events:
+            print("build phases:")
+            for event in phase_events:
+                print(
+                    f"  {event.name}/{event.fields['phase']:<20} "
+                    f"{1e3 * event.duration_s:8.3f} ms"
+                )
+        if args.metrics_out:
+            _write_metrics(registry, args.metrics_out)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -185,16 +277,26 @@ def main(argv: list[str] | None = None) -> int:
         print(describe_recommendation(graph, expect_query_heavy=args.query_heavy))
         return 0
 
+    if args.command == "stats":
+        return _run_stats(args)
+
     if args.command == "bench":
         wanted = (
             sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
         )
-        for experiment in wanted:
-            report = _EXPERIMENTS[experiment](
-                **_bench_kwargs(args, experiment)
-            )
-            print(report)
-            print()
+        registry = obs.enable_metrics() if args.metrics_out else None
+        try:
+            for experiment in wanted:
+                report = _EXPERIMENTS[experiment](
+                    **_bench_kwargs(args, experiment)
+                )
+                print(report)
+                print()
+            if registry is not None:
+                _write_metrics(registry, args.metrics_out)
+        finally:
+            if registry is not None:
+                obs.disable_metrics()
         return 0
 
     return 2  # pragma: no cover - argparse enforces the choices

@@ -7,9 +7,11 @@ vectorised pass classifies every pair as equal / negative-cut /
 positive-cut / needs-search — and only the survivors run the per-query
 pruned DFS.
 
-The answers are bit-identical to :meth:`FelineIndex.query_many`; the win
-is constant-factor (no Python interpreter work for the cut majority),
-typically 3-10x on negative-heavy workloads.
+The answers are bit-identical to the scalar loop; the win is
+constant-factor (no Python interpreter work for the cut majority),
+typically 3-10x on negative-heavy workloads.  This is the implementation
+behind :meth:`FelineIndex.query_many` — call that; the module-level
+:func:`query_batch` remains only for back-compat.
 """
 
 from __future__ import annotations
@@ -21,10 +23,10 @@ import numpy as np
 from repro.core.query import FelineIndex
 from repro.exceptions import IndexNotBuiltError
 
-__all__ = ["query_batch"]
+__all__ = ["feline_query_many", "query_batch"]
 
 
-def query_batch(
+def feline_query_many(
     index: FelineIndex, pairs: Sequence[tuple[int, int]]
 ) -> np.ndarray:
     """Answer ``pairs`` on a built :class:`FelineIndex`, vectorised.
@@ -34,8 +36,6 @@ def query_batch(
     ``negative_cuts``, ``positive_cuts``, ``searches`` — per-search
     ``expanded``/``pruned`` still accrue inside the fallback DFS).
     """
-    if not index.built:
-        raise IndexNotBuiltError("feline: call build() before query_batch()")
     coords = index.coordinates
     stats = index.stats
     if len(pairs) == 0:
@@ -86,3 +86,20 @@ def query_batch(
         v = int(targets[i])
         answers[i] = index._search(u, v, xs[v], ys[v])
     return answers
+
+
+def query_batch(
+    index: FelineIndex, pairs: Sequence[tuple[int, int]]
+) -> np.ndarray:
+    """Back-compat wrapper over the vectorised batch path.
+
+    .. deprecated:: 1.1
+        Use :meth:`FelineIndex.query_many` (or
+        :meth:`repro.Reachability.reachable_many` on the facade), which
+        routes through the same vectorised cuts and also feeds the
+        observability layer's batch instruments.  This wrapper stays for
+        callers that want the raw :class:`numpy.ndarray`.
+    """
+    if not index.built:
+        raise IndexNotBuiltError("feline: call build() before query_batch()")
+    return feline_query_many(index, pairs)

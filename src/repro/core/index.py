@@ -39,6 +39,7 @@ from repro.graph.toposort import (
     kahn_order,
     ranks_from_order,
 )
+from repro.obs.metrics import get_registry
 
 __all__ = ["FelineCoordinates", "build_feline_index"]
 
@@ -122,18 +123,28 @@ def build_feline_index(
     NotADAGError
         If ``graph`` has a directed cycle.
     """
-    if x_order == "dfs":
-        order_x = dfs_topological_order(graph)
-    elif x_order == "kahn":
-        order_x = kahn_order(graph)
-    else:
-        raise ReproError(f"unknown x_order {x_order!r}; use 'dfs' or 'kahn'")
-    x_ranks = ranks_from_order(order_x)
+    registry = get_registry()
+    with registry.phase("feline.build", "x-order"):
+        if x_order == "dfs":
+            order_x = dfs_topological_order(graph)
+        elif x_order == "kahn":
+            order_x = kahn_order(graph)
+        else:
+            raise ReproError(
+                f"unknown x_order {x_order!r}; use 'dfs' or 'kahn'"
+            )
+        x_ranks = ranks_from_order(order_x)
 
-    order_y = compute_y_order(graph, x_ranks, heuristic=y_heuristic, seed=seed)
-    y_ranks = ranks_from_order(order_y)
+    with registry.phase("feline.build", "y-heuristic", heuristic=y_heuristic):
+        order_y = compute_y_order(
+            graph, x_ranks, heuristic=y_heuristic, seed=seed
+        )
+        y_ranks = ranks_from_order(order_y)
 
-    levels = compute_levels(graph) if with_level_filter else None
+    levels = None
+    if with_level_filter:
+        with registry.phase("feline.build", "level-filter"):
+            levels = compute_levels(graph)
 
     tree_intervals = None
     if with_positive_cut:
@@ -141,8 +152,9 @@ def build_feline_index(
         # paper: the tree "may be performed by the topological ordering in
         # line 2").  Seeding the forest DFS with the X order keeps the two
         # structures consistent.
-        forest = extract_spanning_forest(graph, root_order=order_x)
-        tree_intervals = minpost_intervals_tree(forest)
+        with registry.phase("feline.build", "positive-cut-forest"):
+            forest = extract_spanning_forest(graph, root_order=order_x)
+            tree_intervals = minpost_intervals_tree(forest)
 
     return FelineCoordinates(
         x=x_ranks,

@@ -90,6 +90,17 @@ class FelineIndex(ReachabilityIndex):
             return 0
         return self.coordinates.memory_bytes()
 
+    def _query_many(self, pairs):
+        """Vectorized batch path: numpy cuts, scalar search fallback.
+
+        Answers and statistics are bit-identical to the scalar loop (see
+        :mod:`repro.core.batch`); returned as a plain ``list[bool]`` to
+        honour the base-class contract.
+        """
+        from repro.core.batch import feline_query_many
+
+        return feline_query_many(self, pairs).tolist()
+
     # ------------------------------------------------------------------
     def _query(self, u: int, v: int) -> bool:
         stats = self.stats

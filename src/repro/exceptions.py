@@ -15,6 +15,9 @@ subclasses communicate *what* went wrong:
   the emulated INTERVAL memory exhaustion from the paper's evaluation).
 * :class:`DatasetError` — an unknown dataset name or unusable dataset
   parameters.
+* :class:`UnknownMethodError` — a method name not present in the index
+  registry (subclasses :class:`DatasetError` for back-compat: older code
+  caught that type around :func:`repro.baselines.base.create_index`).
 * :class:`WorkloadError` — a query workload could not be generated (e.g.
   asking for positive-only pairs on an edgeless graph).
 """
@@ -61,6 +64,21 @@ class IndexBuildError(ReproError):
 
 class DatasetError(ReproError):
     """An unknown dataset name or invalid dataset parameters."""
+
+
+class UnknownMethodError(DatasetError):
+    """A reachability-method name is not in the index registry.
+
+    ``method`` is the offending name, ``known`` the sorted registry keys
+    at raise time.  Subclasses :class:`DatasetError` only because
+    :func:`~repro.baselines.base.create_index` historically raised that
+    (misleading) type; catch :class:`UnknownMethodError` in new code.
+    """
+
+    def __init__(self, message: str, method: str, known: list[str]) -> None:
+        super().__init__(message)
+        self.method = method
+        self.known = known
 
 
 class WorkloadError(ReproError):

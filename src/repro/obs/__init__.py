@@ -1,0 +1,80 @@
+"""Observability: metrics, timers, trace events, exporters.
+
+The production north star needs more than the ad-hoc ``QueryStats``
+counters: latency distributions per method, build-phase timings, and
+machine-readable exports.  This package provides them with a strict
+zero-cost-when-disabled contract — the process-wide default registry is
+a no-op, and instrumented hot paths guard on it with a single cheap
+check, so benchmark numbers with metrics off match uninstrumented code.
+
+Typical use::
+
+    from repro import obs
+
+    registry = obs.enable_metrics()        # before building indexes
+    oracle = repro.Reachability(edges)
+    oracle.reachable_many(pairs)
+    print(obs.to_prometheus(registry))     # or obs.write_jsonl(registry, path)
+
+Metric families emitted by the built-in instrumentation:
+
+* ``repro_index_builds_total{method}`` — builds per method (counter);
+* ``repro_index_build_seconds{method}`` — build wall time (histogram);
+* ``repro_build_phase_seconds{builder,phase}`` — per-phase build time
+  (histogram; FELINE phases: ``x-order``, ``y-heuristic``,
+  ``level-filter``, ``positive-cut-forest``);
+* ``repro_query_latency_seconds{method}`` — scalar query latency
+  (histogram; p50/p95/p99 derived);
+* ``repro_query_batch_seconds{method}`` / ``repro_query_batch_size{method}``
+  — whole-batch latency and size (histograms);
+* ``repro_search_expanded_vertices{method}`` — vertices expanded per
+  pruned DFS (histogram);
+* ``repro_query_stats{method,counter}`` — the ``QueryStats`` counters as
+  gauges (published by ``ReachabilityIndex.publish_stats``).
+"""
+
+from repro.obs.export import (
+    to_jsonl,
+    to_prometheus,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    metrics_enabled,
+    set_registry,
+)
+from repro.obs.timing import Timer, timed
+from repro.obs.trace import TraceEvent, TraceLog
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "LATENCY_BUCKETS_S",
+    "COUNT_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "enable_metrics",
+    "disable_metrics",
+    "metrics_enabled",
+    "Timer",
+    "timed",
+    "TraceEvent",
+    "TraceLog",
+    "to_jsonl",
+    "write_jsonl",
+    "to_prometheus",
+    "write_prometheus",
+]

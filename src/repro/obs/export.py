@@ -1,0 +1,158 @@
+"""Exporters: JSON-lines and the Prometheus text exposition format.
+
+Two consumers, two formats:
+
+* **JSON-lines** (:func:`to_jsonl` / :func:`write_jsonl`) — one JSON
+  object per line, ``type`` discriminated (``counter`` / ``gauge`` /
+  ``histogram`` / ``trace``), for offline analysis of a bench run.
+  Histogram lines carry the derived p50/p95/p99 so a consumer needs no
+  bucket math.
+* **Prometheus text format** (:func:`to_prometheus` /
+  :func:`write_prometheus`) — the ``# HELP`` / ``# TYPE`` exposition
+  format, scrape-ready.  Histogram buckets are emitted *cumulatively*
+  with the mandatory ``+Inf`` bound and ``_sum`` / ``_count`` series, as
+  the format requires.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["to_jsonl", "write_jsonl", "to_prometheus", "write_prometheus"]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+# ---------------------------------------------------------------------------
+# JSON lines
+# ---------------------------------------------------------------------------
+def to_jsonl(registry: MetricsRegistry) -> str:
+    """Serialize every instrument and trace event, one JSON object per line."""
+    lines: list[str] = []
+    for inst in registry.instruments():
+        if isinstance(inst, Counter):
+            record: dict = {"type": "counter", "value": inst.value}
+        elif isinstance(inst, Gauge):
+            record = {"type": "gauge", "value": inst.value}
+        elif isinstance(inst, Histogram):
+            record = {
+                "type": "histogram",
+                "count": inst.count,
+                "sum": inst.sum,
+                "min": inst.min if inst.count else None,
+                "max": inst.max if inst.count else None,
+                "p50": inst.p50,
+                "p95": inst.p95,
+                "p99": inst.p99,
+                "buckets": [
+                    {"le": bound, "count": count}
+                    for bound, count in zip(
+                        list(inst.bucket_bounds) + [float("inf")],
+                        inst.bucket_counts,
+                    )
+                    if count
+                ],
+            }
+        else:  # pragma: no cover - registry only stores the three kinds
+            continue
+        record["name"] = inst.name
+        if inst.labels:
+            record["labels"] = dict(inst.labels)
+        lines.append(json.dumps(record, default=str))
+    for event in registry.trace_log:
+        lines.append(json.dumps({"type": "trace", **event.as_dict()}, default=str))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(registry: MetricsRegistry, path: str | Path) -> Path:
+    """Write :func:`to_jsonl` output to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(to_jsonl(registry), encoding="utf-8")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text format
+# ---------------------------------------------------------------------------
+def _metric_name(name: str) -> str:
+    """Coerce ``name`` into the Prometheus metric-name alphabet."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not _NAME_OK.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _label_str(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    merged = {**labels, **(extra or {})}
+    if not merged:
+        return ""
+    parts = []
+    for key, value in merged.items():
+        text = str(value)
+        for raw, escaped in _LABEL_ESCAPES.items():
+            text = text.replace(raw, escaped)
+        parts.append(f'{_metric_name(key)}="{text}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    # Group instruments by (kind, name): HELP/TYPE headers are emitted
+    # once per family even when many label sets exist.
+    families: dict[tuple[str, str], list] = {}
+    for inst in registry.instruments():
+        if isinstance(inst, Counter):
+            kind = "counter"
+        elif isinstance(inst, Gauge):
+            kind = "gauge"
+        elif isinstance(inst, Histogram):
+            kind = "histogram"
+        else:  # pragma: no cover
+            continue
+        families.setdefault((kind, inst.name), []).append(inst)
+
+    lines: list[str] = []
+    for (kind, raw_name), instruments in families.items():
+        name = _metric_name(raw_name)
+        help_text = next((i.help for i in instruments if i.help), "")
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for inst in instruments:
+            if kind in ("counter", "gauge"):
+                lines.append(
+                    f"{name}{_label_str(inst.labels)} {_format_value(inst.value)}"
+                )
+                continue
+            cumulative = 0
+            bounds = list(inst.bucket_bounds) + [float("inf")]
+            for bound, bucket_count in zip(bounds, inst.bucket_counts):
+                cumulative += bucket_count
+                label = _label_str(inst.labels, {"le": _format_value(bound)})
+                lines.append(f"{name}_bucket{label} {cumulative}")
+            base = _label_str(inst.labels)
+            lines.append(f"{name}_sum{base} {_format_value(inst.sum)}")
+            lines.append(f"{name}_count{base} {inst.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(registry: MetricsRegistry, path: str | Path) -> Path:
+    """Write :func:`to_prometheus` output to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(to_prometheus(registry), encoding="utf-8")
+    return path

@@ -1,0 +1,83 @@
+"""Monotonic timing helpers: :class:`Timer` and :func:`timed`.
+
+Thin wrappers over :func:`time.perf_counter` so instrumented code never
+spells out the start/stop arithmetic — and so tests can assert on one
+well-defined behaviour (monotonic, reentrant-safe, exception-safe).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+
+__all__ = ["Timer", "timed"]
+
+
+class Timer:
+    """A stopwatch over the monotonic clock.
+
+    >>> t = Timer().start()
+    >>> elapsed = t.stop()   # seconds, >= 0
+    >>> t.elapsed == elapsed
+    True
+
+    While running, ``elapsed`` reads the live value without stopping.
+    ``start()`` returns ``self`` so construction chains; calling it again
+    restarts the measurement.
+    """
+
+    __slots__ = ("_start", "_elapsed", "running")
+
+    def __init__(self) -> None:
+        self._start = 0.0
+        self._elapsed = 0.0
+        self.running = False
+
+    def start(self) -> "Timer":
+        self._start = perf_counter()
+        self.running = True
+        return self
+
+    def stop(self) -> float:
+        """Stop and return the elapsed seconds."""
+        if not self.running:
+            raise RuntimeError("Timer.stop() called before start()")
+        self._elapsed = perf_counter() - self._start
+        self.running = False
+        return self._elapsed
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds measured so far (live while running, frozen after stop)."""
+        if self.running:
+            return perf_counter() - self._start
+        return self._elapsed
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+
+@contextmanager
+def timed(observe):
+    """Time a block and pass the elapsed seconds to ``observe``.
+
+    ``observe`` is any callable taking one float — typically a bound
+    ``Histogram.observe`` — called even when the block raises, so error
+    paths stay visible in latency distributions:
+
+    >>> from repro.obs.metrics import Histogram
+    >>> h = Histogram()
+    >>> with timed(h.observe):
+    ...     _ = sum(range(10))
+    >>> h.count
+    1
+    """
+    start = perf_counter()
+    try:
+        yield
+    finally:
+        observe(perf_counter() - start)

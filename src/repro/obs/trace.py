@@ -1,0 +1,82 @@
+"""Structured trace events for index-build phases and other milestones.
+
+A trace event is a named, ordered record with an optional duration and
+arbitrary scalar fields — "X-order computed in 1.2 ms on 50k vertices".
+Events accumulate in a :class:`TraceLog` owned by the metrics registry
+and ship out through the JSON-lines exporter, one object per line, so a
+build can be replayed phase by phase from the artifact alone.
+
+Sequence numbers, not wall-clock timestamps, order the log: the registry
+is process-local and monotonic ordering is what consumers need; durations
+are measured with :func:`time.perf_counter` where they matter.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["TraceEvent", "TraceLog"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured event: sequence number, name, duration, fields."""
+
+    seq: int
+    name: str
+    duration_s: float | None = None
+    fields: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Flat dict for the JSON-lines exporter."""
+        out: dict = {"seq": self.seq, "name": self.name}
+        if self.duration_s is not None:
+            out["duration_s"] = self.duration_s
+        out.update(self.fields)
+        return out
+
+
+class TraceLog:
+    """Append-only, thread-safe event log with a bounded length.
+
+    ``capacity`` caps memory for long-lived services: beyond it the log
+    drops the *oldest* events (ring-buffer semantics) while ``total``
+    keeps counting, so truncation is detectable.
+    """
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.total = 0
+        self._events: list[TraceEvent] = []
+        self._lock = threading.Lock()
+
+    def record(
+        self, name: str, duration_s: float | None = None, **fields
+    ) -> TraceEvent:
+        """Append an event; returns it (handy for tests)."""
+        with self._lock:
+            event = TraceEvent(
+                seq=self.total, name=name, duration_s=duration_s, fields=fields
+            )
+            self.total += 1
+            self._events.append(event)
+            if len(self._events) > self.capacity:
+                del self._events[: len(self._events) - self.capacity]
+            return event
+
+    @property
+    def truncated(self) -> bool:
+        return self.total > len(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(list(self._events))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()

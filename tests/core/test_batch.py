@@ -65,3 +65,37 @@ class TestBatchQueries:
         index = FelineIndex(paper_dag).build()
         pairs = np.array([(0, 7), (7, 0), (3, 3)])
         assert query_batch(index, pairs).tolist() == [True, False, True]
+
+
+class TestQueryManyDispatch:
+    """FelineIndex.query_many routes through the vectorized batch path."""
+
+    def test_query_many_matches_query_batch(self):
+        g = random_dag(100, avg_degree=2.0, seed=5)
+        pairs = random_pairs(g, 1000, seed=6)
+        a = FelineIndex(g).build()
+        b = FelineIndex(g).build()
+        assert a.query_many(pairs) == query_batch(b, pairs).tolist()
+        assert a.stats.as_dict() == b.stats.as_dict()
+
+    def test_query_many_returns_list_of_bools(self, paper_dag):
+        index = FelineIndex(paper_dag).build()
+        answers = index.query_many([(0, 7), (7, 0)])
+        assert isinstance(answers, list)
+        assert all(isinstance(a, bool) for a in answers)
+
+    def test_query_many_counts_stats_once(self, paper_dag):
+        index = FelineIndex(paper_dag).build()
+        index.query_many([(0, 7), (7, 0), (3, 3)])
+        assert index.stats.queries == 3
+
+    def test_query_batch_is_backcompat_wrapper(self):
+        assert "deprecated" in query_batch.__doc__.lower()
+        from repro.core.batch import feline_query_many
+
+        g = random_dag(50, avg_degree=2.0, seed=7)
+        index = FelineIndex(g).build()
+        pairs = random_pairs(g, 200, seed=8)
+        assert np.array_equal(
+            query_batch(index, pairs), feline_query_many(index, pairs)
+        )

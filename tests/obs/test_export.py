@@ -1,0 +1,115 @@
+"""Unit tests for the JSON-lines and Prometheus exporters."""
+
+import json
+
+from repro.obs.export import (
+    to_jsonl,
+    to_prometheus,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.metrics import COUNT_BUCKETS, MetricsRegistry
+
+
+def _populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("repro_queries_total", help="Total queries.", method="feline").inc(7)
+    reg.gauge("repro_index_bytes", method="feline").set(1024)
+    hist = reg.histogram(
+        "repro_query_batch_size", buckets=COUNT_BUCKETS, method="feline"
+    )
+    hist.observe(3)
+    hist.observe(100)
+    reg.trace("index.build", duration_s=0.25, method="feline", vertices=10)
+    return reg
+
+
+class TestJsonl:
+    def test_every_line_parses(self):
+        lines = to_jsonl(_populated_registry()).splitlines()
+        records = [json.loads(line) for line in lines]
+        assert {r["type"] for r in records} == {
+            "counter", "gauge", "histogram", "trace",
+        }
+
+    def test_counter_line(self):
+        records = [
+            json.loads(line)
+            for line in to_jsonl(_populated_registry()).splitlines()
+        ]
+        counter = next(r for r in records if r["type"] == "counter")
+        assert counter["name"] == "repro_queries_total"
+        assert counter["value"] == 7
+        assert counter["labels"] == {"method": "feline"}
+
+    def test_histogram_line_carries_percentiles(self):
+        records = [
+            json.loads(line)
+            for line in to_jsonl(_populated_registry()).splitlines()
+        ]
+        hist = next(r for r in records if r["type"] == "histogram")
+        assert hist["count"] == 2
+        assert hist["p50"] <= hist["p95"] <= hist["p99"]
+        assert all(b["count"] for b in hist["buckets"])  # empty buckets elided
+
+    def test_trace_line(self):
+        records = [
+            json.loads(line)
+            for line in to_jsonl(_populated_registry()).splitlines()
+        ]
+        trace = next(r for r in records if r["type"] == "trace")
+        assert trace["name"] == "index.build"
+        assert trace["duration_s"] == 0.25
+        assert trace["vertices"] == 10
+
+    def test_empty_registry_empty_output(self):
+        assert to_jsonl(MetricsRegistry()) == ""
+
+    def test_write_jsonl(self, tmp_path):
+        path = write_jsonl(_populated_registry(), tmp_path / "m.jsonl")
+        assert path.exists()
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+
+class TestPrometheus:
+    def test_help_and_type_headers(self):
+        text = to_prometheus(_populated_registry())
+        assert "# HELP repro_queries_total Total queries." in text
+        assert "# TYPE repro_queries_total counter" in text
+        assert "# TYPE repro_index_bytes gauge" in text
+        assert "# TYPE repro_query_batch_size histogram" in text
+
+    def test_sample_lines(self):
+        text = to_prometheus(_populated_registry())
+        assert 'repro_queries_total{method="feline"} 7' in text
+        assert 'repro_index_bytes{method="feline"} 1024' in text
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        text = to_prometheus(_populated_registry())
+        assert 'le="+Inf"} 2' in text
+        assert 'repro_query_batch_size_count{method="feline"} 2' in text
+        assert 'repro_query_batch_size_sum{method="feline"} 103' in text
+        # cumulative counts never decrease along the bucket series
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_query_batch_size_bucket")
+        ]
+        assert counts == sorted(counts)
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c", path='a"b\\c\nd').inc()
+        text = to_prometheus(reg)
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+
+    def test_metric_names_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter("weird.name-with chars").inc()
+        text = to_prometheus(reg)
+        assert "weird_name_with_chars 1" in text
+
+    def test_write_prometheus(self, tmp_path):
+        path = write_prometheus(_populated_registry(), tmp_path / "m.prom")
+        assert path.exists() and "# TYPE" in path.read_text()

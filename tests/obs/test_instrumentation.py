@@ -1,0 +1,169 @@
+"""End-to-end tests: the built-in instrumentation of indexes and facade."""
+
+import repro
+from repro.baselines.base import create_index
+from repro.core.query import FelineIndex
+from repro.obs.metrics import MetricsRegistry, metrics_enabled
+from repro.graph.generators import crown_graph, random_dag
+
+
+class TestBuildInstrumentation:
+    def test_build_counter_timer_and_trace(self):
+        g = random_dag(60, avg_degree=2.0, seed=1)
+        with metrics_enabled() as reg:
+            FelineIndex(g).build()
+        assert reg.counter("repro_index_builds_total", method="feline").value == 1
+        build_hist = reg.histogram("repro_index_build_seconds", method="feline")
+        assert build_hist.count == 1
+        builds = [e for e in reg.trace_log if e.name == "index.build"]
+        assert builds and builds[0].fields["vertices"] == 60
+
+    def test_feline_build_phases_traced(self):
+        g = random_dag(40, avg_degree=2.0, seed=2)
+        with metrics_enabled() as reg:
+            FelineIndex(g).build()
+        phases = {
+            e.fields["phase"]
+            for e in reg.trace_log
+            if e.name == "feline.build"
+        }
+        assert phases == {
+            "x-order", "y-heuristic", "level-filter", "positive-cut-forest",
+        }
+
+    def test_disabled_registry_leaves_index_clean(self):
+        g = random_dag(30, avg_degree=2.0, seed=3)
+        index = FelineIndex(g).build()
+        assert index._latency_hist is None
+        # the bound _search is the plain method, not an observer wrapper
+        assert index._search.__func__ is FelineIndex._search
+
+
+class TestQueryInstrumentation:
+    def test_scalar_latency_histogram_counts_queries(self):
+        g = random_dag(50, avg_degree=2.0, seed=4)
+        with metrics_enabled() as reg:
+            index = FelineIndex(g).build()
+            for u in range(10):
+                index.query(u, (u + 7) % 50)
+        hist = reg.histogram("repro_query_latency_seconds", method="feline")
+        assert hist.count == 10
+        assert hist.p50 <= hist.p99
+
+    def test_batch_histograms(self):
+        g = random_dag(50, avg_degree=2.0, seed=5)
+        pairs = [(u, (u + 3) % 50) for u in range(20)]
+        with metrics_enabled() as reg:
+            index = FelineIndex(g).build()
+            index.query_many(pairs)
+        assert reg.histogram("repro_query_batch_seconds", method="feline").count == 1
+        size_hist = reg.histogram("repro_query_batch_size", method="feline")
+        assert size_hist.count == 1 and size_hist.sum == 20
+
+    def test_search_observer_counts_expansions(self):
+        # crown graphs defeat the cuts, forcing real searches
+        g = crown_graph(6)
+        with metrics_enabled() as reg:
+            index = FelineIndex(g).build()
+            for u in range(g.num_vertices):
+                for v in range(g.num_vertices):
+                    index.query(u, v)
+        hist = reg.histogram("repro_search_expanded_vertices", method="feline")
+        assert hist.count == index.stats.searches > 0
+        assert hist.sum == index.stats.expanded
+
+    def test_search_observer_applies_to_grail(self):
+        g = crown_graph(5)
+        with metrics_enabled() as reg:
+            index = create_index("grail", g, num_labelings=2).build()
+            index.query_many(
+                [(u, v) for u in range(g.num_vertices) for v in range(g.num_vertices)]
+            )
+        hist = reg.histogram("repro_search_expanded_vertices", method="grail")
+        assert hist.count == index.stats.searches
+
+    def test_vectorized_batch_feeds_search_observer(self):
+        g = crown_graph(6)
+        with metrics_enabled() as reg:
+            index = FelineIndex(g).build()
+            pairs = [
+                (u, v)
+                for u in range(g.num_vertices)
+                for v in range(g.num_vertices)
+            ]
+            index.query_many(pairs)  # vectorized path, scalar search fallback
+        hist = reg.histogram("repro_search_expanded_vertices", method="feline")
+        assert hist.count == index.stats.searches > 0
+
+
+class TestPublishStats:
+    def test_gauges_mirror_query_stats(self):
+        g = random_dag(40, avg_degree=2.0, seed=6)
+        with metrics_enabled() as reg:
+            index = FelineIndex(g).build()
+            index.query_many([(u, (u + 1) % 40) for u in range(40)])
+            index.publish_stats(reg)
+        for counter, value in index.stats.as_dict().items():
+            gauge = reg.gauge("repro_query_stats", method="feline", counter=counter)
+            assert gauge.value == value
+
+    def test_noop_when_disabled(self):
+        g = random_dag(20, avg_degree=1.5, seed=7)
+        index = FelineIndex(g).build()
+        index.query(0, 1)
+        index.publish_stats()  # default registry is the null one
+
+    def test_explicit_registry(self):
+        g = random_dag(20, avg_degree=1.5, seed=8)
+        index = FelineIndex(g).build()
+        index.query(0, 1)
+        reg = MetricsRegistry()
+        index.publish_stats(reg)
+        assert (
+            reg.gauge("repro_query_stats", method="feline", counter="queries").value
+            == 1
+        )
+
+
+class TestFacadeInstrumentation:
+    def test_condense_phase_traced(self):
+        with metrics_enabled() as reg:
+            repro.Reachability([(0, 1), (1, 0), (1, 2)])
+        phases = [e for e in reg.trace_log if e.name == "facade.init"]
+        assert phases and phases[0].fields["phase"] == "condense"
+
+    def test_facade_queries_feed_method_histogram(self):
+        g = random_dag(30, avg_degree=2.0, seed=9)
+        with metrics_enabled() as reg:
+            oracle = repro.Reachability(g)
+            oracle.reachable(0, 1)
+            oracle.reachable_many([(0, 1), (1, 2)])
+        assert (
+            reg.histogram("repro_query_latency_seconds", method="feline").count == 1
+        )
+        assert (
+            reg.histogram("repro_query_batch_seconds", method="feline").count == 1
+        )
+
+
+class TestHarnessIntegration:
+    def test_measure_method_publishes_when_enabled(self):
+        from repro.bench.harness import MethodSpec, measure_method
+
+        g = random_dag(40, avg_degree=2.0, seed=10)
+        pairs = [(u, (u + 3) % 40) for u in range(30)]
+        with metrics_enabled() as reg:
+            result = measure_method(g, MethodSpec("feline"), pairs, runs=1)
+        # percentile pass forced on by the live registry
+        assert result.query_p50_us is not None
+        assert result.query_p50_us <= result.query_p95_us <= result.query_p99_us
+        # per-query latencies landed in the registry histogram too
+        assert (
+            reg.histogram("repro_query_latency_seconds", method="feline").count
+            == len(pairs)
+        )
+        # QueryStats published as gauges
+        assert (
+            reg.gauge("repro_query_stats", method="feline", counter="queries").value
+            > 0
+        )

@@ -1,0 +1,181 @@
+"""Unit tests for the metrics primitives and the registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    metrics_enabled,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("c", {})
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_decrement_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c", {}).inc(-1)
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        g = Gauge("g", {})
+        g.set(10.5)
+        g.inc(-0.5)
+        assert g.value == 10.0
+
+
+class TestHistogram:
+    def test_counts_sum_min_max(self):
+        h = Histogram((1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == 105.0
+        assert h.min == 0.5 and h.max == 100.0
+        # buckets: <=1, <=2, <=4, +Inf
+        assert h.bucket_counts == [1, 1, 1, 1]
+
+    def test_boundary_lands_in_lower_bucket(self):
+        h = Histogram((1.0, 2.0))
+        h.observe(1.0)
+        assert h.bucket_counts == [1, 0, 0]
+
+    def test_percentiles_single_value_exact(self):
+        h = Histogram(LATENCY_BUCKETS_S)
+        h.observe(3e-4)
+        assert h.p50 == h.p95 == h.p99 == pytest.approx(3e-4)
+
+    def test_percentiles_monotone(self):
+        h = Histogram(LATENCY_BUCKETS_S)
+        for k in range(1, 1001):
+            h.observe(k * 1e-6)
+        assert h.p50 <= h.p95 <= h.p99 <= h.max
+
+    def test_percentile_tracks_distribution(self):
+        h = Histogram(COUNT_BUCKETS)
+        for _ in range(99):
+            h.observe(3.0)
+        h.observe(1000.0)
+        assert h.p50 == pytest.approx(3.0, rel=0.5)
+        assert h.p99 >= 3.0
+
+    def test_empty_histogram(self):
+        h = Histogram((1.0,))
+        assert h.count == 0 and h.p50 == 0.0 and h.mean == 0.0
+
+    def test_time_context_manager(self):
+        h = Histogram(LATENCY_BUCKETS_S)
+        with h.time():
+            pass
+        assert h.count == 1 and h.sum >= 0.0
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram((2.0, 1.0))
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram((1.0,)).percentile(1.5)
+
+
+class TestRegistry:
+    def test_instruments_memoized_by_name_and_labels(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits", method="feline")
+        b = reg.counter("hits", method="feline")
+        c = reg.counter("hits", method="grail")
+        assert a is b and a is not c
+
+    def test_kinds_do_not_collide(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("x")
+        gauge = reg.gauge("x")
+        assert counter is not gauge
+
+    def test_phase_records_trace_and_histogram(self):
+        reg = MetricsRegistry()
+        with reg.phase("feline.build", "x-order"):
+            pass
+        events = list(reg.trace_log)
+        assert len(events) == 1
+        assert events[0].name == "feline.build"
+        assert events[0].fields["phase"] == "x-order"
+        assert events[0].duration_s >= 0.0
+        hist = reg.histogram(
+            "repro_build_phase_seconds", builder="feline.build", phase="x-order"
+        )
+        assert hist.count == 1
+
+    def test_phase_records_even_on_exception(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.phase("feline.build", "x-order"):
+                raise RuntimeError("boom")
+        assert len(list(reg.trace_log)) == 1
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(2)
+        reg.histogram("h").observe(0.001)
+        reg.trace("event", note="hi")
+        snap = reg.snapshot()
+        assert snap["counters"]["c"] == 1
+        assert snap["gauges"]["g"] == 2
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["traces"][0]["note"] == "hi"
+
+
+class TestNullRegistry:
+    def test_disabled_and_inert(self):
+        reg = NullRegistry()
+        assert not reg.enabled
+        reg.counter("c").inc()
+        reg.gauge("g").set(1)
+        reg.histogram("h").observe(1.0)
+        with reg.phase("x", "y"):
+            pass
+        assert reg.trace("e") is None
+        assert reg.instruments() == []
+
+    def test_null_instrument_shared(self):
+        reg = NullRegistry()
+        assert reg.counter("a") is reg.histogram("b")
+
+
+class TestGlobalRegistry:
+    def test_default_is_null(self):
+        assert not get_registry().enabled
+
+    def test_enable_disable_roundtrip(self):
+        reg = enable_metrics()
+        try:
+            assert get_registry() is reg and reg.enabled
+        finally:
+            disable_metrics()
+        assert not get_registry().enabled
+
+    def test_metrics_enabled_scoped(self):
+        before = get_registry()
+        with metrics_enabled() as reg:
+            assert get_registry() is reg
+        assert get_registry() is before
+
+    def test_metrics_enabled_accepts_custom_registry(self):
+        mine = MetricsRegistry()
+        with metrics_enabled(mine) as reg:
+            assert reg is mine

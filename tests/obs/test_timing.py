@@ -1,0 +1,82 @@
+"""Unit tests for Timer / timed and the trace log."""
+
+import pytest
+
+from repro.obs.metrics import Histogram
+from repro.obs.timing import Timer, timed
+from repro.obs.trace import TraceLog
+
+
+class TestTimer:
+    def test_start_stop(self):
+        t = Timer().start()
+        elapsed = t.stop()
+        assert elapsed >= 0.0
+        assert t.elapsed == elapsed
+        assert not t.running
+
+    def test_stop_before_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_live_elapsed_while_running(self):
+        t = Timer().start()
+        assert t.elapsed >= 0.0
+        assert t.running
+
+    def test_context_manager(self):
+        with Timer() as t:
+            assert t.running
+        assert not t.running and t.elapsed >= 0.0
+
+    def test_restart_overwrites(self):
+        t = Timer().start()
+        t.stop()
+        t.start()
+        assert t.running
+
+
+class TestTimed:
+    def test_observes_elapsed(self):
+        h = Histogram((1.0,))
+        with timed(h.observe):
+            pass
+        assert h.count == 1
+
+    def test_observes_on_exception(self):
+        seen = []
+        with pytest.raises(ValueError):
+            with timed(seen.append):
+                raise ValueError("x")
+        assert len(seen) == 1 and seen[0] >= 0.0
+
+
+class TestTraceLog:
+    def test_ordered_sequence_numbers(self):
+        log = TraceLog()
+        log.record("a")
+        log.record("b", duration_s=0.5, phase="p")
+        events = list(log)
+        assert [e.seq for e in events] == [0, 1]
+        assert events[1].as_dict() == {
+            "seq": 1, "name": "b", "duration_s": 0.5, "phase": "p",
+        }
+
+    def test_capacity_drops_oldest(self):
+        log = TraceLog(capacity=3)
+        for i in range(5):
+            log.record(f"e{i}")
+        assert len(log) == 3
+        assert log.total == 5
+        assert log.truncated
+        assert [e.name for e in log] == ["e2", "e3", "e4"]
+
+    def test_clear(self):
+        log = TraceLog()
+        log.record("a")
+        log.clear()
+        assert len(log) == 0
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceLog(capacity=0)

@@ -77,6 +77,68 @@ class TestBench:
         with pytest.raises(SystemExit):
             main([])
 
+    def test_metrics_out_writes_both_exports(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.metrics import get_registry
+
+        out = tmp_path / "metrics.jsonl"
+        code = main([
+            "bench", "t3", "--scale", "0.02", "--queries", "20",
+            "--runs", "1", "--datasets", "arxiv",
+            "--metrics-out", str(out),
+        ])
+        assert code == 0
+        prom = tmp_path / "metrics.prom"
+        assert out.exists() and prom.exists()
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        names = {r.get("name") for r in records}
+        assert "repro_index_build_seconds" in names
+        assert "repro_query_latency_seconds" in names
+        latency = next(
+            r for r in records if r.get("name") == "repro_query_latency_seconds"
+        )
+        assert latency["p50"] <= latency["p95"] <= latency["p99"]
+        prom_text = prom.read_text()
+        assert "# TYPE repro_query_latency_seconds histogram" in prom_text
+        assert "repro_build_phase_seconds" in prom_text
+        # the metrics run must not leave the global registry enabled
+        assert not get_registry().enabled
+
+
+class TestStatsCommand:
+    @pytest.fixture
+    def dag_file(self, tmp_path):
+        g = random_dag(80, avg_degree=2.5, seed=11)
+        path = tmp_path / "dag.edges"
+        write_edge_list(g, path)
+        return path
+
+    def test_prints_breakdown_and_latency(self, dag_file, capsys):
+        assert main(["stats", str(dag_file), "--queries", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "queries: 200" in out
+        assert "negative_cuts" in out and "searches" in out
+        assert "query latency (us):" in out and "p99=" in out
+        assert "build phases:" in out and "x-order" in out
+
+    def test_method_flag(self, dag_file, capsys):
+        assert main([
+            "stats", str(dag_file), "--queries", "50", "--method", "grail",
+        ]) == 0
+        assert "method: grail" in capsys.readouterr().out
+
+    def test_metrics_out(self, dag_file, tmp_path, capsys):
+        out = tmp_path / "stats.jsonl"
+        assert main([
+            "stats", str(dag_file), "--queries", "50",
+            "--metrics-out", str(out),
+        ]) == 0
+        assert out.exists() and (tmp_path / "stats.prom").exists()
+        from repro.obs.metrics import get_registry
+
+        assert not get_registry().enabled
+
 
 class TestBuildAndIndexReuse:
     @pytest.fixture

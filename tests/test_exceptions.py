@@ -9,6 +9,7 @@ from repro.exceptions import (
     IndexNotBuiltError,
     NotADAGError,
     ReproError,
+    UnknownMethodError,
     WorkloadError,
 )
 
@@ -22,6 +23,7 @@ class TestHierarchy:
             IndexNotBuiltError,
             IndexBuildError,
             DatasetError,
+            UnknownMethodError,
             WorkloadError,
         ],
     )
@@ -48,3 +50,29 @@ class TestHierarchy:
     def test_one_catch_for_everything(self):
         with pytest.raises(ReproError):
             raise WorkloadError("no pairs")
+
+
+class TestUnknownMethodError:
+    def test_is_dataset_error_for_back_compat(self):
+        assert issubclass(UnknownMethodError, DatasetError)
+
+    def test_carries_method_and_known(self):
+        exc = UnknownMethodError("nope", method="magic", known=["feline"])
+        assert exc.method == "magic"
+        assert exc.known == ["feline"]
+
+    def test_raised_by_create_index(self):
+        from repro.baselines.base import create_index
+        from repro.graph.digraph import DiGraph
+
+        with pytest.raises(UnknownMethodError) as excinfo:
+            create_index("no-such-method", DiGraph(1, []))
+        assert excinfo.value.method == "no-such-method"
+        assert "feline" in excinfo.value.known
+
+    def test_create_index_still_catchable_as_dataset_error(self):
+        from repro.baselines.base import create_index
+        from repro.graph.digraph import DiGraph
+
+        with pytest.raises(DatasetError):
+            create_index("no-such-method", DiGraph(1, []))

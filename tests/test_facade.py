@@ -54,3 +54,50 @@ class TestFacade:
         r = repro.Reachability(DiGraph(5, []))
         assert r.reachable(3, 3)
         assert not r.reachable(0, 1)
+
+
+class TestReachableMany:
+    def test_matches_scalar_on_cyclic_graph(self):
+        g = random_digraph(40, 120, seed=2)
+        r = repro.Reachability(g)
+        pairs = [(u, v) for u in range(40) for v in range(40)]
+        assert r.reachable_many(pairs) == [r.reachable(u, v) for u, v in pairs]
+
+    def test_same_scc_pairs_answered_positively(self):
+        r = repro.Reachability([(0, 1), (1, 0), (1, 2)])
+        assert r.reachable_many([(0, 1), (1, 0), (2, 0)]) == [True, True, False]
+
+    @pytest.mark.parametrize("method", ["feline", "feline-b", "grail", "bibfs"])
+    def test_every_method(self, method):
+        r = repro.Reachability([(0, 1), (1, 2), (3, 2)], method=method)
+        assert r.reachable_many([(0, 2), (2, 0), (3, 3)]) == [True, False, True]
+
+    def test_accepts_iterables_and_empty(self):
+        r = repro.Reachability([(0, 1)])
+        assert r.reachable_many(iter([(0, 1)])) == [True]
+        assert r.reachable_many([]) == []
+
+    def test_returns_plain_list(self):
+        r = repro.Reachability([(0, 1), (1, 2)])
+        answers = r.reachable_many([(0, 2)])
+        assert isinstance(answers, list) and answers == [True]
+
+
+class TestStatsProperty:
+    def test_stats_exposes_underlying_counters(self):
+        r = repro.Reachability([(0, 1), (1, 2)])
+        assert r.stats is r.index.stats
+        r.reachable(0, 2)
+        r.reachable_many([(0, 1), (2, 0)])
+        assert r.stats.queries == 3
+
+    def test_stats_invariant_after_mixed_workload(self):
+        g = random_digraph(30, 90, seed=5)
+        r = repro.Reachability(g)
+        r.reachable_many([(u, v) for u in range(30) for v in range(30)])
+        for u in range(10):
+            r.reachable(u, 29 - u)
+        s = r.stats
+        assert s.queries == (
+            s.equal_cuts + s.negative_cuts + s.positive_cuts + s.searches
+        )
