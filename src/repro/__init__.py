@@ -34,9 +34,10 @@ from repro.baselines.base import (
     available_methods,
     create_index,
 )
-from repro.exceptions import ReproError
+from repro.exceptions import InvalidVertexError, ReproError
 from repro.graph.digraph import DiGraph
 from repro.graph.scc import condense
+from repro.resilience import UNKNOWN, QueryBudget
 
 # Importing these modules registers every built-in method in the factory.
 import repro.baselines  # noqa: F401  (registration side effect)
@@ -51,6 +52,8 @@ __all__ = [
     "available_methods",
     "create_index",
     "QueryStats",
+    "QueryBudget",
+    "UNKNOWN",
     "ReproError",
     "obs",
     "__version__",
@@ -95,25 +98,40 @@ class Reachability:
             method, self.condensation.dag, **params
         ).build()
 
-    def reachable(self, u: int, v: int) -> bool:
-        """Whether there is a directed path from ``u`` to ``v``."""
-        scc_of = self.condensation.scc_of
-        return self.index.query(scc_of[u], scc_of[v])
+    def _map_vertex(self, vertex: int) -> int:
+        if vertex < 0 or vertex >= self.graph.num_vertices:
+            raise InvalidVertexError(vertex, self.graph.num_vertices)
+        return self.condensation.scc_of[vertex]
+
+    def reachable(self, u: int, v: int, budget: QueryBudget | None = None):
+        """Whether there is a directed path from ``u`` to ``v``.
+
+        With a :class:`QueryBudget`, the answer may degrade to
+        :data:`UNKNOWN` (or raise) per the budget's policy — it is never
+        a wrong ``True``/``False``.
+        """
+        return self.index.query(
+            self._map_vertex(u), self._map_vertex(v), budget=budget
+        )
 
     def reachable_many(
-        self, pairs: Sequence[tuple[int, int]] | Iterable[tuple[int, int]]
-    ) -> list[bool]:
+        self,
+        pairs: Sequence[tuple[int, int]] | Iterable[tuple[int, int]],
+        budget: QueryBudget | None = None,
+    ) -> list:
         """Answer a batch of ``(u, v)`` pairs; aligned list of answers.
 
         Pairs are mapped through the SCC condensation once and routed to
         the index's batch path (:meth:`ReachabilityIndex.query_many`), so
         indexes with a vectorized implementation — FELINE's numpy cuts —
         answer the whole batch without per-pair Python dispatch.
-        Equivalent to ``[self.reachable(u, v) for u, v in pairs]``.
+        Equivalent to ``[self.reachable(u, v) for u, v in pairs]``; the
+        optional ``budget`` applies per query, as in :meth:`reachable`.
         """
-        scc_of = self.condensation.scc_of
-        mapped = [(scc_of[u], scc_of[v]) for u, v in pairs]
-        return list(self.index.query_many(mapped))
+        mapped = [
+            (self._map_vertex(u), self._map_vertex(v)) for u, v in pairs
+        ]
+        return list(self.index.query_many(mapped, budget=budget))
 
     @property
     def stats(self) -> QueryStats:

@@ -18,9 +18,16 @@ from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 from time import perf_counter
 
-from repro.exceptions import IndexNotBuiltError, UnknownMethodError
+from repro.exceptions import (
+    IndexNotBuiltError,
+    InvalidVertexError,
+    QueryBudgetExceeded,
+    UnknownMethodError,
+)
 from repro.graph.digraph import DiGraph
 from repro.obs.metrics import COUNT_BUCKETS, MetricsRegistry, get_registry
+from repro.resilience import chaos
+from repro.resilience.budget import UNKNOWN, QueryBudget, bounded_fallback
 
 __all__ = [
     "QueryStats",
@@ -48,6 +55,15 @@ class QueryStats:
     * ``searches`` — queries that needed a graph search;
     * ``expanded`` — total vertices expanded across all searches;
     * ``pruned`` — search branches cut by the index during searches.
+
+    The resilience layer (``repro.resilience``) adds three degradation
+    counters:
+
+    * ``budget_exhausted`` — budgeted queries whose search hit its step
+      or deadline limit;
+    * ``fallbacks`` — exhausted queries answered by the bounded
+      bidirectional-BFS fallback;
+    * ``unknowns`` — queries that degraded all the way to ``UNKNOWN``.
     """
 
     queries: int = 0
@@ -57,6 +73,9 @@ class QueryStats:
     searches: int = 0
     expanded: int = 0
     pruned: int = 0
+    budget_exhausted: int = 0
+    fallbacks: int = 0
+    unknowns: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""
@@ -67,6 +86,9 @@ class QueryStats:
         self.searches = 0
         self.expanded = 0
         self.pruned = 0
+        self.budget_exhausted = 0
+        self.fallbacks = 0
+        self.unknowns = 0
 
     def as_dict(self) -> dict[str, int]:
         """Counters as a plain dict (for reports)."""
@@ -78,6 +100,9 @@ class QueryStats:
             "searches": self.searches,
             "expanded": self.expanded,
             "pruned": self.pruned,
+            "budget_exhausted": self.budget_exhausted,
+            "fallbacks": self.fallbacks,
+            "unknowns": self.unknowns,
         }
 
 
@@ -98,6 +123,10 @@ class ReachabilityIndex(ABC):
         self.graph = graph
         self.stats = QueryStats()
         self._built = False
+        # The active per-query budget guard (see repro.resilience.budget);
+        # None on the unbudgeted hot path, so every _search loop pays a
+        # single `is not None` check.
+        self._guard = None
         # Observability handles, resolved at build() time.  They stay
         # None while the global registry is the no-op default, so the
         # query hot path pays a single `is None` check when metrics are
@@ -115,6 +144,7 @@ class ReachabilityIndex(ABC):
         ``repro_index_build_seconds{method}``, a trace event records the
         graph dimensions, and per-query instruments are armed.
         """
+        chaos.fire("index.build.start", method=self.method_name)
         registry = get_registry()
         if not registry.enabled:
             self._build()
@@ -214,22 +244,106 @@ class ReachabilityIndex(ABC):
         return self._built
 
     # -- queries --------------------------------------------------------
-    def query(self, u: int, v: int) -> bool:
-        """Whether ``v`` is reachable from ``u`` (``r(u, v)``)."""
+    def _check_vertex(self, vertex: int) -> None:
+        """Reject out-of-range ids with the uniform exception type."""
+        if not 0 <= vertex < self.graph.num_vertices:
+            raise InvalidVertexError(vertex, self.graph.num_vertices)
+
+    def query(
+        self, u: int, v: int, budget: QueryBudget | None = None
+    ) -> bool:
+        """Whether ``v`` is reachable from ``u`` (``r(u, v)``).
+
+        Every index validates ``u``/``v`` identically
+        (:class:`~repro.exceptions.InvalidVertexError` when out of range)
+        and answers ``r(u, u)`` as ``True``.
+
+        With a :class:`~repro.resilience.budget.QueryBudget`, the online
+        search is step/deadline-guarded; on exhaustion the budget's
+        policy decides between raising
+        :class:`~repro.exceptions.QueryBudgetExceeded`, returning the
+        three-valued :data:`~repro.resilience.budget.UNKNOWN`, or falling
+        back to a bounded bidirectional BFS.  Boolean answers are always
+        exact — only ``UNKNOWN`` may replace one.
+        """
         if not self._built:
             raise IndexNotBuiltError(
                 f"{self.method_name}: call build() before query()"
             )
+        self._check_vertex(u)
+        self._check_vertex(v)
         self.stats.queries += 1
+        if u == v:
+            self.stats.equal_cuts += 1
+            return True
         hist = self._latency_hist
-        if hist is None:
-            return self._query(u, v)
-        start = perf_counter()
-        answer = self._query(u, v)
-        hist.observe(perf_counter() - start)
+        if budget is None:
+            if hist is None:
+                return self._query(u, v)
+            start = perf_counter()
+            answer = self._query(u, v)
+            hist.observe(perf_counter() - start)
+            return answer
+        start = perf_counter() if hist is not None else 0.0
+        self._set_guard(budget.new_guard())
+        try:
+            answer = self._query(u, v)
+        except QueryBudgetExceeded as exc:
+            answer = self._degrade(u, v, budget, exc)
+        finally:
+            self._set_guard(None)
+        if hist is not None:
+            hist.observe(perf_counter() - start)
         return answer
 
-    def query_many(self, pairs: Iterable[tuple[int, int]]) -> list[bool]:
+    def _set_guard(self, guard) -> None:
+        """Install the active search guard (hook for delegating indexes)."""
+        self._guard = guard
+
+    def _degrade(self, u: int, v: int, budget: QueryBudget, exc):
+        """Apply the budget's exhaustion policy; maintains all counters."""
+        stats = self.stats
+        stats.budget_exhausted += 1
+        registry = get_registry()
+        registry.counter(
+            "repro_budget_exhausted_total",
+            help="Budgeted queries that hit their step/deadline limit.",
+            method=self.method_name,
+            resource=exc.resource,
+        ).inc()
+        policy = budget.policy
+        if policy == "raise":
+            outcome = "raised"
+        elif policy == "unknown":
+            stats.unknowns += 1
+            outcome = "unknown"
+        else:  # fallback
+            stats.fallbacks += 1
+            answer = bounded_fallback(
+                self.graph, u, v, budget.resolved_fallback_nodes
+            )
+            if answer is UNKNOWN:
+                stats.unknowns += 1
+                outcome = "fallback_unknown"
+            else:
+                outcome = "fallback_true" if answer else "fallback_false"
+        registry.counter(
+            "repro_degraded_total",
+            help="Outcomes of budget-exhausted queries, per policy.",
+            method=self.method_name,
+            outcome=outcome,
+        ).inc()
+        if policy == "raise":
+            raise exc
+        if policy == "unknown":
+            return UNKNOWN
+        return answer
+
+    def query_many(
+        self,
+        pairs: Iterable[tuple[int, int]],
+        budget: QueryBudget | None = None,
+    ) -> list[bool]:
         """Answer a batch of queries.
 
         Dispatches to the overridable :meth:`_query_many`, so indexes
@@ -237,15 +351,29 @@ class ReachabilityIndex(ABC):
         without per-pair Python dispatch while every subclass keeps this
         exact entry point.  Statistics counters update identically to
         the scalar path.
+
+        All pairs are validated upfront (uniform
+        :class:`~repro.exceptions.InvalidVertexError`).  With a
+        ``budget``, each pair is answered through the guarded scalar
+        path — the budget applies *per query*, and answers may contain
+        :data:`~repro.resilience.budget.UNKNOWN` depending on policy.
         """
         if not self._built:
             raise IndexNotBuiltError(
                 f"{self.method_name}: call build() before query_many()"
             )
+        pairs = pairs if isinstance(pairs, Sequence) else list(pairs)
+        n = self.graph.num_vertices
+        for u, v in pairs:
+            if not 0 <= u < n:
+                raise InvalidVertexError(u, n)
+            if not 0 <= v < n:
+                raise InvalidVertexError(v, n)
+        if budget is not None:
+            return [self.query(u, v, budget=budget) for u, v in pairs]
         hist = self._batch_hist
         if hist is None:
             return self._query_many(pairs)
-        pairs = pairs if isinstance(pairs, Sequence) else list(pairs)
         start = perf_counter()
         answers = self._query_many(pairs)
         hist.observe(perf_counter() - start)

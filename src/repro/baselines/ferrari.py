@@ -240,6 +240,7 @@ class FerrariIndex(ReachabilityIndex):
         levels = self.levels
         level_v = levels[v] if levels is not None else 0
         stats = self.stats
+        guard = self._guard
 
         self._stamp += 1
         stamp = self._stamp
@@ -249,6 +250,8 @@ class FerrariIndex(ReachabilityIndex):
         while stack:
             w = stack.pop()
             stats.expanded += 1
+            if guard is not None:
+                guard.step()
             for k in range(indptr[w], indptr[w + 1]):
                 child = indices[k]
                 if child == v:

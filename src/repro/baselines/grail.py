@@ -131,6 +131,7 @@ class GrailIndex(ReachabilityIndex):
         level_v = levels[v] if levels is not None else 0
         stats = self.stats
         contains_all = self._contains_all
+        guard = self._guard
 
         self._stamp += 1
         stamp = self._stamp
@@ -140,6 +141,8 @@ class GrailIndex(ReachabilityIndex):
         while stack:
             w = stack.pop()
             stats.expanded += 1
+            if guard is not None:
+                guard.step()
             for k in range(indptr[w], indptr[w + 1]):
                 child = indices[k]
                 if child == v:

@@ -33,7 +33,7 @@ class DFSIndex(ReachabilityIndex):
             self.stats.equal_cuts += 1
             return True
         self.stats.searches += 1
-        return dfs_reachable(self.graph, u, v)
+        return dfs_reachable(self.graph, u, v, guard=self._guard)
 
 
 class BFSIndex(ReachabilityIndex):
@@ -52,7 +52,7 @@ class BFSIndex(ReachabilityIndex):
             self.stats.equal_cuts += 1
             return True
         self.stats.searches += 1
-        return bfs_reachable(self.graph, u, v)
+        return bfs_reachable(self.graph, u, v, guard=self._guard)
 
 
 class BidirectionalBFSIndex(ReachabilityIndex):
@@ -71,7 +71,7 @@ class BidirectionalBFSIndex(ReachabilityIndex):
             self.stats.equal_cuts += 1
             return True
         self.stats.searches += 1
-        return bidirectional_reachable(self.graph, u, v)
+        return bidirectional_reachable(self.graph, u, v, guard=self._guard)
 
 
 register_index(DFSIndex)

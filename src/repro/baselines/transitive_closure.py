@@ -50,6 +50,9 @@ class TransitiveClosureIndex(ReachabilityIndex):
         return sum(max(1, bits.bit_length() + 7 >> 3) for bits in self._closure)
 
     def _query(self, u: int, v: int) -> bool:
+        if u == v:
+            self.stats.equal_cuts += 1
+            return True
         return bool((self._closure[u] >> v) & 1)
 
 

@@ -9,11 +9,19 @@ Commands
 ``query GRAPH.edges u v [--method M] [--index FILE]``
     Load an edge-list file and answer one reachability query; with
     ``--index`` the FELINE coordinates are loaded from ``FILE`` instead
-    of rebuilt (pass ``--mmap`` to page them in lazily).
+    of rebuilt (pass ``--mmap`` to page them in lazily).  ``--max-steps``
+    / ``--deadline-ms`` attach a query budget, with ``--on-budget``
+    choosing the degradation (``raise``, ``unknown``, ``fallback``); an
+    unanswered query prints ``unknown`` and exits 3.
 ``build GRAPH.edges INDEX.feline``
     Build a FELINE index for an edge-list graph (must be a DAG after
     condensation is *not* applied here — build works on DAGs) and save
     it in the binary format of :mod:`repro.core.persistence`.
+``verify-index GRAPH.edges INDEX.feline [--sample N] [--mmap]``
+    Load a saved index (checksums verified for v2 files) and check the
+    Theorem 1 soundness invariants against the graph; exits 0 when the
+    index is sound, 1 on an integrity violation, 2 when the file itself
+    is unreadable (bad magic, truncation, checksum mismatch).
 ``bench EXPERIMENT [--scale S] [--queries N] [--runs R] [--metrics-out P]``
     Regenerate a paper artifact (``t1``..``t5``, ``f10``..``f17``,
     ``ablation-heuristics``, ``ablation-filters``, or ``all``); with
@@ -85,12 +93,47 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--mmap", action="store_true", help="memory-map the saved index"
     )
+    query.add_argument(
+        "--max-steps",
+        type=int,
+        default=None,
+        help="budget: cap the online search at this many expanded vertices",
+    )
+    query.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="budget: wall-clock deadline for the query, in milliseconds",
+    )
+    query.add_argument(
+        "--on-budget",
+        choices=["raise", "unknown", "fallback"],
+        default="unknown",
+        help="what budget exhaustion degrades to (default: unknown)",
+    )
 
     build = sub.add_parser(
         "build", help="build and save a FELINE index for a DAG"
     )
     build.add_argument("graph", help="edge-list file of a DAG")
     build.add_argument("output", help="destination .feline index file")
+
+    verify = sub.add_parser(
+        "verify-index",
+        help="check a saved index's soundness invariants against a graph",
+    )
+    verify.add_argument("graph", help="edge-list file of the indexed DAG")
+    verify.add_argument("index", help="saved .feline index file")
+    verify.add_argument(
+        "--sample",
+        type=int,
+        default=10_000,
+        help="edges sampled on large graphs (default 10000)",
+    )
+    verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument(
+        "--mmap", action="store_true", help="memory-map the saved index"
+    )
 
     bench = sub.add_parser("bench", help="regenerate a paper artifact")
     bench.add_argument(
@@ -193,7 +236,7 @@ def _run_stats(args: argparse.Namespace) -> int:
         for counter, value in stats.as_dict().items():
             if counter == "queries":
                 continue
-            print(f"  {counter:<14} {value:>10}  ({100 * value / total:5.1f}%)")
+            print(f"  {counter:<16} {value:>10}  ({100 * value / total:5.1f}%)")
 
         latency = registry.histogram(
             "repro_query_latency_seconds", method=oracle.index.method_name
@@ -235,15 +278,31 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "query":
+        from repro.resilience import UNKNOWN, QueryBudget
+
+        budget = None
+        if args.max_steps is not None or args.deadline_ms is not None:
+            budget = QueryBudget(
+                max_steps=args.max_steps,
+                deadline_s=(
+                    args.deadline_ms / 1000.0
+                    if args.deadline_ms is not None
+                    else None
+                ),
+                policy=args.on_budget,
+            )
         graph = read_edge_list(args.graph)
         if args.index is not None:
             from repro.core.persistence import load_index
 
             index = load_index(graph, args.index, mmap=args.mmap)
-            answer = index.query(args.source, args.target)
+            answer = index.query(args.source, args.target, budget=budget)
         else:
             oracle = Reachability(graph, method=args.method)
-            answer = oracle.reachable(args.source, args.target)
+            answer = oracle.reachable(args.source, args.target, budget=budget)
+        if answer is UNKNOWN:
+            print("unknown (query budget exhausted)")
+            return 3
         print("reachable" if answer else "not reachable")
         return 0 if answer else 1
 
@@ -259,6 +318,23 @@ def main(argv: list[str] | None = None) -> int:
             f"{index.index_size_bytes()} bytes -> {args.output}"
         )
         return 0
+
+    if args.command == "verify-index":
+        from repro.core.persistence import load_index
+        from repro.exceptions import PersistenceError
+        from repro.resilience import verify_index
+
+        graph = read_edge_list(args.graph)
+        try:
+            index = load_index(graph, args.index, mmap=args.mmap)
+        except PersistenceError as exc:
+            print(f"verify-index: UNREADABLE — {exc}", file=sys.stderr)
+            return 2
+        report = verify_index(
+            graph, index, sample=args.sample, seed=args.seed
+        )
+        print(report.summary())
+        return 0 if report.ok else 1
 
     if args.command == "validate":
         from repro.bench.validate import cross_validate

@@ -44,6 +44,11 @@ class FelineIIndex(ReachabilityIndex):
         # Share one stats object so counters land in the usual place.
         self._inner.stats = self.stats
 
+    def _set_guard(self, guard) -> None:
+        # Budget guards must reach the delegate's _search loop.
+        self._guard = guard
+        self._inner._guard = guard
+
     def _build(self) -> None:
         self._inner.build()
 
@@ -164,6 +169,7 @@ class FelineBIndex(ReachabilityIndex):
         indptr = self.graph.out_indptr
         indices = self.graph.out_indices
         stats = self.stats
+        guard = self._guard
 
         self._stamp += 1
         stamp = self._stamp
@@ -173,6 +179,8 @@ class FelineBIndex(ReachabilityIndex):
         while stack:
             w = stack.pop()
             stats.expanded += 1
+            if guard is not None:
+                guard.step()
             for k in range(indptr[w], indptr[w + 1]):
                 child = indices[k]
                 if child == v:

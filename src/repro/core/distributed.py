@@ -40,8 +40,10 @@ from array import array
 from dataclasses import dataclass, field
 
 from repro.core.index import FelineCoordinates, build_feline_index
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, WorkerError
 from repro.graph.digraph import DiGraph
+from repro.resilience import chaos
+from repro.resilience.retry import RetryPolicy
 
 __all__ = ["ShardWorker", "SimulatedCluster", "ClusterStats"]
 
@@ -56,6 +58,10 @@ class ClusterStats:
     rounds: int = 0
     messages: int = 0
     forwarded_vertices: int = 0
+    #: Worker dispatches that raised a (transient) WorkerError ...
+    worker_failures: int = 0
+    #: ... and how many of those were retried (with jittered backoff).
+    retries: int = 0
     #: Cumulative expansions per worker since *cluster construction*
     #: (workers keep their own lifetime counters; reset() zeroes the
     #: query/message counters but snapshots, not rewinds, the workers).
@@ -68,6 +74,8 @@ class ClusterStats:
         self.rounds = 0
         self.messages = 0
         self.forwarded_vertices = 0
+        self.worker_failures = 0
+        self.retries = 0
         self.expansions_per_shard = [0] * num_shards
 
 
@@ -152,6 +160,12 @@ class SimulatedCluster:
     num_shards:
         Number of workers; vertices are split into contiguous X-rank
         slabs of near-equal size.
+    retry_policy:
+        How transient :class:`~repro.exceptions.WorkerError` dispatches
+        are retried; defaults to three attempts with jittered exponential
+        backoff (recorded, not slept — the simulation stays instant).
+        Non-transient failures and exhausted retries propagate: a query
+        fails loudly rather than answering from a partial expansion.
 
     Examples
     --------
@@ -164,10 +178,16 @@ class SimulatedCluster:
     True
     """
 
-    def __init__(self, graph: DiGraph, num_shards: int = 4) -> None:
+    def __init__(
+        self,
+        graph: DiGraph,
+        num_shards: int = 4,
+        retry_policy: RetryPolicy | None = None,
+    ) -> None:
         if num_shards < 1:
             raise ReproError(f"num_shards must be >= 1, got {num_shards}")
         self.graph = graph
+        self.retry_policy = retry_policy or RetryPolicy()
         self.coords = build_feline_index(graph)
         n = graph.num_vertices
         self.num_shards = min(num_shards, n) if n else 1
@@ -221,8 +241,8 @@ class SimulatedCluster:
             next_frontiers: dict[int, list[int]] = {}
             for shard_id, frontier in frontiers.items():
                 worker = self.workers[shard_id]
-                found, outbox = worker.expand(
-                    query_id, frontier, v, xv, yv
+                found, outbox = self._dispatch(
+                    worker, query_id, frontier, v, xv, yv
                 )
                 stats.expansions_per_shard[shard_id] = worker.expanded
                 if found:
@@ -238,6 +258,42 @@ class SimulatedCluster:
         if not crossed_shards:
             stats.local_only_queries += 1
         return False
+
+    def _dispatch(
+        self,
+        worker,
+        query_id: int,
+        frontier: list[int],
+        target: int,
+        xv: int,
+        yv: int,
+    ):
+        """One worker dispatch, retried on transient failure.
+
+        Workers fail atomically (no partial side effects before the
+        raise — :class:`~repro.resilience.chaos.FlakyWorker` keeps that
+        contract), so a retry simply re-sends the same frontier.
+        """
+        policy = self.retry_policy
+        retries_before = policy.retries
+
+        def attempt():
+            chaos.fire(
+                "distributed.expand",
+                shard_id=worker.shard_id,
+                query_id=query_id,
+                frontier_size=len(frontier),
+            )
+            try:
+                return worker.expand(query_id, frontier, target, xv, yv)
+            except WorkerError:
+                self.stats.worker_failures += 1
+                raise
+
+        try:
+            return policy.call(attempt)
+        finally:
+            self.stats.retries += policy.retries - retries_before
 
     def shard_of(self, v: int) -> int:
         """The worker owning vertex ``v``."""

@@ -135,6 +135,7 @@ class MultiDimFelineIndex(ReachabilityIndex):
         indptr = self.graph.out_indptr
         indices = self.graph.out_indices
         stats = self.stats
+        guard = self._guard
 
         self._stamp += 1
         stamp = self._stamp
@@ -144,6 +145,8 @@ class MultiDimFelineIndex(ReachabilityIndex):
         while stack:
             w = stack.pop()
             stats.expanded += 1
+            if guard is not None:
+                guard.step()
             for k in range(indptr[w], indptr[w + 1]):
                 child = indices[k]
                 if child == v:

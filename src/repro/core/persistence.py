@@ -12,7 +12,7 @@ loading modes:
   touched), the out-of-core access pattern (queries only touch the
   coordinates of vertices the pruned DFS actually visits).
 
-Format (little-endian)::
+Two on-disk versions exist.  v1 (little-endian)::
 
     magic     8 bytes  b"FELINEi1"
     n         u64      vertex count
@@ -23,6 +23,22 @@ Format (little-endian)::
     [start    n × i64]
     [post     n × i64]
 
+v2 — the default written format — adds integrity checksums so silent
+bit-rot is detected at load time instead of surfacing as wrong answers::
+
+    magic       8 bytes  b"FELINEi2"
+    n           u64
+    flags       u64
+    header_crc  u32      CRC32 over magic ‖ n ‖ flags
+    crc[i]      u32 × S  CRC32 of each section payload (S from flags)
+    sections    n × i64 each, same order as v1
+
+Every load failure raises a structured :class:`PersistenceError` (with
+``path`` and the byte ``offset`` where the problem was detected) or its
+subclass :class:`ChecksumError` (with the failing ``section``) — never a
+raw :class:`struct.error` or numpy exception.  v1 files remain readable;
+they simply carry no checksums to verify.
+
 The graph itself is *not* stored — FELINE is an online-search index, so
 the caller keeps the graph (e.g. via :mod:`repro.graph.io`) and pairs it
 with the loaded coordinates.
@@ -31,6 +47,7 @@ with the loaded coordinates.
 from __future__ import annotations
 
 import struct
+import zlib
 from array import array
 from pathlib import Path
 
@@ -38,67 +55,194 @@ import numpy as np
 
 from repro.core.index import FelineCoordinates
 from repro.core.query import FelineIndex
-from repro.exceptions import ReproError
+from repro.exceptions import ChecksumError, PersistenceError
 from repro.graph.digraph import DiGraph
 from repro.graph.spanning import IntervalLabels
+from repro.resilience import chaos
 
-__all__ = ["save_coordinates", "load_coordinates", "save_index", "load_index"]
+__all__ = [
+    "FORMAT_VERSIONS",
+    "save_coordinates",
+    "load_coordinates",
+    "save_index",
+    "load_index",
+]
 
-_MAGIC = b"FELINEi1"
+_MAGIC_V1 = b"FELINEi1"
+_MAGIC_V2 = b"FELINEi2"
 _FLAG_LEVELS = 1
 _FLAG_INTERVALS = 2
+_KNOWN_FLAGS = _FLAG_LEVELS | _FLAG_INTERVALS
+_CRC_CHUNK = 1 << 20
+
+FORMAT_VERSIONS = (1, 2)
 
 
 def _array_bytes(values) -> bytes:
     return np.asarray(values, dtype="<i8").tobytes()
 
 
-def save_coordinates(coords: FelineCoordinates, path: str | Path) -> None:
-    """Write a :class:`FelineCoordinates` to ``path`` in the v1 format."""
+def _section_names(flags: int) -> list[str]:
+    names = ["x", "y"]
+    if flags & _FLAG_LEVELS:
+        names.append("levels")
+    if flags & _FLAG_INTERVALS:
+        names.extend(["start", "post"])
+    return names
+
+
+def _read_exact(handle, count: int, path: Path, what: str) -> bytes:
+    data = handle.read(count)
+    if len(data) != count:
+        raise PersistenceError(
+            f"{path}: truncated index file while reading {what} "
+            f"(wanted {count} bytes, got {len(data)})",
+            path=path,
+            offset=handle.tell() - len(data),
+        )
+    return data
+
+
+def _crc_range(handle, offset: int, length: int) -> int:
+    """CRC32 of ``length`` bytes at ``offset``, streamed in chunks."""
+    handle.seek(offset)
+    crc = 0
+    remaining = length
+    while remaining:
+        chunk = handle.read(min(_CRC_CHUNK, remaining))
+        if not chunk:
+            break
+        crc = zlib.crc32(chunk, crc)
+        remaining -= len(chunk)
+    return crc
+
+
+def save_coordinates(
+    coords: FelineCoordinates, path: str | Path, version: int = 2
+) -> None:
+    """Write a :class:`FelineCoordinates` to ``path``.
+
+    ``version=2`` (the default) writes the checksummed format; ``version=1``
+    writes the legacy format for interchange with older readers.
+    """
+    if version not in FORMAT_VERSIONS:
+        raise PersistenceError(
+            f"unsupported index format version {version}", path=path
+        )
+    path = Path(path)
+    chaos.fire("persistence.save", path=str(path), version=version)
     flags = 0
     if coords.levels is not None:
         flags |= _FLAG_LEVELS
     if coords.tree_intervals is not None:
         flags |= _FLAG_INTERVALS
+
+    payloads = [_array_bytes(coords.x), _array_bytes(coords.y)]
+    if coords.levels is not None:
+        payloads.append(_array_bytes(coords.levels))
+    if coords.tree_intervals is not None:
+        payloads.append(_array_bytes(coords.tree_intervals.start))
+        payloads.append(_array_bytes(coords.tree_intervals.post))
+
+    magic = _MAGIC_V1 if version == 1 else _MAGIC_V2
+    header = struct.pack("<QQ", coords.num_vertices, flags)
     with open(path, "wb") as handle:
-        handle.write(_MAGIC)
-        handle.write(struct.pack("<QQ", coords.num_vertices, flags))
-        handle.write(_array_bytes(coords.x))
-        handle.write(_array_bytes(coords.y))
-        if coords.levels is not None:
-            handle.write(_array_bytes(coords.levels))
-        if coords.tree_intervals is not None:
-            handle.write(_array_bytes(coords.tree_intervals.start))
-            handle.write(_array_bytes(coords.tree_intervals.post))
+        handle.write(magic)
+        handle.write(header)
+        if version == 2:
+            handle.write(struct.pack("<I", zlib.crc32(magic + header)))
+            for payload in payloads:
+                handle.write(struct.pack("<I", zlib.crc32(payload)))
+        for payload in payloads:
+            handle.write(payload)
 
 
 def load_coordinates(
     path: str | Path, mmap: bool = False
 ) -> FelineCoordinates:
-    """Read coordinates back; ``mmap=True`` pages them in lazily."""
-    path = Path(path)
-    header_size = len(_MAGIC) + 16
-    with open(path, "rb") as handle:
-        magic = handle.read(len(_MAGIC))
-        if magic != _MAGIC:
-            raise ReproError(
-                f"{path}: not a FELINE index file (bad magic {magic!r})"
-            )
-        n, flags = struct.unpack("<QQ", handle.read(16))
+    """Read coordinates back; ``mmap=True`` pages them in lazily.
 
-    num_arrays = 2 + bool(flags & _FLAG_LEVELS) + 2 * bool(
-        flags & _FLAG_INTERVALS
-    )
-    expected = header_size + 8 * n * num_arrays
-    actual = path.stat().st_size
-    if actual != expected:
-        raise ReproError(
-            f"{path}: truncated or corrupt index "
-            f"(expected {expected} bytes, found {actual})"
-        )
+    Both v1 and v2 files are accepted (the magic selects the decoder).
+    For v2 files every section checksum is verified up front — also in
+    mmap mode, where verification streams the file once so later page-ins
+    are known-good.
+    """
+    path = Path(path)
+    chaos.fire("persistence.load", path=str(path), mmap=mmap)
+    with open(path, "rb") as handle:
+        magic = handle.read(len(_MAGIC_V2))
+        if len(magic) < len(_MAGIC_V2):
+            raise PersistenceError(
+                f"{path}: truncated index file (no complete magic; "
+                f"got {len(magic)} bytes)",
+                path=path,
+                offset=0,
+            )
+        if magic == _MAGIC_V1:
+            version = 1
+        elif magic == _MAGIC_V2:
+            version = 2
+        else:
+            raise PersistenceError(
+                f"{path}: not a FELINE index file (bad magic {magic!r})",
+                path=path,
+                offset=0,
+            )
+        header = _read_exact(handle, 16, path, "header")
+        n, flags = struct.unpack("<QQ", header)
+        if flags & ~_KNOWN_FLAGS:
+            raise PersistenceError(
+                f"{path}: unknown flag bits {flags:#x} in index header",
+                path=path,
+                offset=len(magic) + 8,
+            )
+        sections = _section_names(flags)
+        section_crcs: tuple[int, ...] | None = None
+        if version == 2:
+            stored = struct.unpack(
+                "<I", _read_exact(handle, 4, path, "header checksum")
+            )[0]
+            if stored != zlib.crc32(magic + header):
+                raise ChecksumError(
+                    f"{path}: header checksum mismatch "
+                    f"(file is corrupt or was partially written)",
+                    path=path,
+                    offset=len(magic) + 16,
+                    section="header",
+                )
+            table = _read_exact(
+                handle, 4 * len(sections), path, "section checksum table"
+            )
+            section_crcs = struct.unpack(f"<{len(sections)}I", table)
+        data_start = handle.tell()
+
+        expected = data_start + 8 * n * len(sections)
+        actual = path.stat().st_size
+        if actual != expected:
+            raise PersistenceError(
+                f"{path}: truncated or corrupt index "
+                f"(expected {expected} bytes, found {actual})",
+                path=path,
+                offset=min(actual, expected),
+            )
+
+        if section_crcs is not None:
+            for i, name in enumerate(sections):
+                offset = data_start + 8 * n * i
+                chaos.fire(
+                    "persistence.load.section", path=str(path), section=name
+                )
+                if _crc_range(handle, offset, 8 * n) != section_crcs[i]:
+                    raise ChecksumError(
+                        f"{path}: checksum mismatch in section {name!r} "
+                        f"(corrupt index data)",
+                        path=path,
+                        offset=offset,
+                        section=name,
+                    )
 
     def segment(index: int):
-        offset = header_size + 8 * n * index
+        offset = data_start + 8 * n * index
         if mmap:
             return np.memmap(
                 path, dtype="<i8", mode="r", offset=offset, shape=(n,)
@@ -126,11 +270,15 @@ def load_coordinates(
     )
 
 
-def save_index(index: FelineIndex, path: str | Path) -> None:
+def save_index(
+    index: FelineIndex, path: str | Path, version: int = 2
+) -> None:
     """Persist a built :class:`FelineIndex`'s coordinate structure."""
     if index.coordinates is None:
-        raise ReproError("cannot save an unbuilt index; call build() first")
-    save_coordinates(index.coordinates, path)
+        raise PersistenceError(
+            "cannot save an unbuilt index; call build() first", path=path
+        )
+    save_coordinates(index.coordinates, path, version=version)
 
 
 def load_index(
@@ -140,14 +288,15 @@ def load_index(
 
     The caller is responsible for pairing the file with the same graph it
     was built on; a vertex-count mismatch is rejected, anything subtler
-    is undetectable by design (the format stores no graph fingerprint to
-    stay O(index) on disk).
+    is caught by :func:`repro.resilience.verify_index` (the format stores
+    no graph fingerprint to stay O(index) on disk).
     """
     coords = load_coordinates(path, mmap=mmap)
     if coords.num_vertices != graph.num_vertices:
-        raise ReproError(
+        raise PersistenceError(
             f"index file covers {coords.num_vertices} vertices but the "
-            f"graph has {graph.num_vertices}"
+            f"graph has {graph.num_vertices}",
+            path=path,
         )
     index = FelineIndex(graph)
     index.coordinates = coords

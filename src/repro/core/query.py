@@ -129,7 +129,11 @@ class FelineIndex(ReachabilityIndex):
         return self._search(u, v, xv, yv)
 
     def _search(self, u: int, v: int, xv: int, yv: int) -> bool:
-        """Iterative DFS from ``u`` restricted to ``{w : i(w) ≼ i(v)}``."""
+        """Iterative DFS from ``u`` restricted to ``{w : i(w) ≼ i(v)}``.
+
+        Honours the active :class:`~repro.resilience.budget.SearchGuard`
+        (one step per expanded vertex) when a query budget is set.
+        """
         coords = self.coordinates
         x, y = coords.x, coords.y
         levels = coords.levels
@@ -138,6 +142,7 @@ class FelineIndex(ReachabilityIndex):
         indptr = self.graph.out_indptr
         indices = self.graph.out_indices
         stats = self.stats
+        guard = self._guard
 
         self._stamp += 1
         stamp = self._stamp
@@ -147,6 +152,8 @@ class FelineIndex(ReachabilityIndex):
         while stack:
             w = stack.pop()
             stats.expanded += 1
+            if guard is not None:
+                guard.step()
             for k in range(indptr[w], indptr[w + 1]):
                 child = indices[k]
                 if child == v:

@@ -8,11 +8,24 @@ subclasses communicate *what* went wrong:
   malformed edge lists, ...).
 * :class:`NotADAGError` — an algorithm that requires a DAG received a graph
   with at least one directed cycle.
+* :class:`CycleError` — a :class:`NotADAGError` that names a concrete
+  witness cycle, raised by the strict ingestion paths.
+* :class:`InvalidVertexError` — a query mentioned a vertex id outside
+  ``0 .. n-1``; raised uniformly by every index class.
 * :class:`IndexNotBuiltError` — a query was issued against an index whose
   :meth:`build` method has not run yet.
 * :class:`IndexBuildError` — index construction failed; the ``reason``
   attribute carries a machine-readable cause (e.g. ``"memory-budget"`` for
   the emulated INTERVAL memory exhaustion from the paper's evaluation).
+* :class:`IndexIntegrityError` — a persisted or in-memory index violates
+  the Theorem 1 soundness invariants (see ``repro.resilience.verify``).
+* :class:`QueryBudgetExceeded` — a budgeted query ran out of search steps
+  or wall-clock time (see ``repro.resilience.budget``).
+* :class:`PersistenceError` — an index file is unreadable: wrong magic,
+  truncated, or failing its checksums; ``path`` and ``offset`` locate the
+  damage.  :class:`ChecksumError` is the CRC-mismatch subclass.
+* :class:`WorkerError` — a (simulated) distributed worker failed; the
+  dispatch layer retries these with jittered backoff.
 * :class:`DatasetError` — an unknown dataset name or unusable dataset
   parameters.
 * :class:`UnknownMethodError` — a method name not present in the index
@@ -45,6 +58,36 @@ class NotADAGError(GraphError):
         self.cycle_hint = cycle_hint
 
 
+class CycleError(NotADAGError):
+    """A DAG was required but the input contains a directed cycle.
+
+    Unlike the plain :class:`NotADAGError` hint, ``cycle`` is a complete
+    witness: a vertex list ``[v0, v1, ..., vk]`` where each consecutive
+    pair is an edge and ``(vk, v0)`` closes the loop.
+    """
+
+    def __init__(self, message: str, cycle: list[int]) -> None:
+        super().__init__(message, cycle_hint=cycle[0] if cycle else None)
+        self.cycle = cycle
+
+
+class InvalidVertexError(ReproError):
+    """A query referenced a vertex id outside the graph's ``0 .. n-1``.
+
+    ``vertex`` is the offending id, ``num_vertices`` the graph size.
+    Every index class raises this same type from ``query`` and
+    ``query_many``, so callers validate once, uniformly.
+    """
+
+    def __init__(self, vertex: int, num_vertices: int) -> None:
+        super().__init__(
+            f"vertex {vertex} out of range for a graph with "
+            f"{num_vertices} vertices (valid ids: 0..{num_vertices - 1})"
+        )
+        self.vertex = vertex
+        self.num_vertices = num_vertices
+
+
 class IndexNotBuiltError(ReproError):
     """A reachability query was issued before the index was built."""
 
@@ -60,6 +103,91 @@ class IndexBuildError(ReproError):
     def __init__(self, message: str, reason: str = "error") -> None:
         super().__init__(message)
         self.reason = reason
+
+
+class IndexIntegrityError(ReproError):
+    """A FELINE index violates its soundness invariants.
+
+    Raised by ``VerificationReport.raise_if_failed``; ``violations`` is
+    the list of human-readable findings from the failed checks.
+    """
+
+    def __init__(self, message: str, violations: list[str]) -> None:
+        super().__init__(message)
+        self.violations = violations
+
+
+class QueryBudgetExceeded(ReproError):
+    """A budgeted query exhausted its step or wall-clock allowance.
+
+    ``resource`` is ``"steps"`` or ``"deadline"``; ``steps`` counts the
+    vertices expanded before exhaustion; ``elapsed_s`` is the wall time
+    spent in the guarded search.  Only surfaced to callers when the
+    budget's policy is ``"raise"`` — the ``"unknown"`` and ``"fallback"``
+    policies absorb it (see ``repro.resilience.budget``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        resource: str = "steps",
+        steps: int = 0,
+        elapsed_s: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.resource = resource
+        self.steps = steps
+        self.elapsed_s = elapsed_s
+
+
+class PersistenceError(ReproError):
+    """An index file could not be read back safely.
+
+    ``path`` is the offending file; ``offset`` (when known) is the byte
+    position where the damage was detected.  Raised instead of raw
+    ``struct.error`` / numpy reshape errors for empty, truncated or
+    wrong-magic files, in both read and ``mmap`` modes.
+    """
+
+    def __init__(
+        self, message: str, path: str | None = None, offset: int | None = None
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.offset = offset
+
+
+class ChecksumError(PersistenceError):
+    """A v2 index section failed its CRC32 check.
+
+    ``section`` names the damaged array (``"x"``, ``"y"``, ``"levels"``,
+    ``"start"``, ``"post"``, or ``"header"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        path: str | None = None,
+        offset: int | None = None,
+        section: str = "",
+    ) -> None:
+        super().__init__(message, path=path, offset=offset)
+        self.section = section
+
+
+class WorkerError(ReproError):
+    """A distributed worker failed to serve a dispatch.
+
+    ``shard_id`` identifies the worker; ``transient`` signals whether the
+    dispatch layer should retry (with jittered backoff) or fail fast.
+    """
+
+    def __init__(
+        self, message: str, shard_id: int = -1, transient: bool = True
+    ) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.transient = transient
 
 
 class DatasetError(ReproError):

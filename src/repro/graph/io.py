@@ -20,7 +20,7 @@ import gzip
 from pathlib import Path
 from typing import IO
 
-from repro.exceptions import GraphError
+from repro.exceptions import CycleError, GraphError
 from repro.graph.builder import GraphBuilder
 from repro.graph.digraph import DiGraph
 
@@ -41,24 +41,61 @@ def _open_text(path: str | Path, mode: str) -> IO[str]:
     return open(path, mode, encoding="utf-8")
 
 
+def _check_dag(graph: DiGraph, path: str | Path) -> DiGraph:
+    """Raise :class:`CycleError` with a witness cycle if ``graph`` is cyclic."""
+    from repro.graph.traversal import find_cycle
+
+    cycle = find_cycle(graph)
+    if cycle is not None:
+        raise CycleError(
+            f"{path}: graph contains a directed cycle "
+            f"({' -> '.join(map(str, cycle))} -> {cycle[0]})",
+            cycle=cycle,
+        )
+    return graph
+
+
 def read_edge_list(
     path: str | Path,
     dedup: bool = False,
     name: str = "",
+    strict: bool = False,
+    on_duplicate: str | None = None,
+    on_self_loop: str | None = None,
+    max_vertices: int | None = None,
+    require_dag: bool = False,
 ) -> DiGraph:
     """Load a whitespace edge list: one ``u v`` pair per line.
 
     Blank lines and lines starting with ``#`` are skipped.  Vertex count is
     inferred from the largest id mentioned.
+
+    ``strict=True`` turns tolerated irregularities into line-numbered
+    :class:`GraphError`\\ s: trailing tokens after ``u v``, duplicate edges
+    and self loops all fail (the latter two overridable via the explicit
+    ``on_duplicate`` / ``on_self_loop`` policies).  ``max_vertices`` caps
+    the inferred vertex count so one corrupt id cannot balloon the CSR
+    arrays.  ``require_dag=True`` additionally rejects cyclic inputs with
+    a :class:`~repro.exceptions.CycleError` carrying a witness cycle.
     """
-    builder = GraphBuilder(dedup=dedup, auto_grow=True)
+    if on_duplicate is None and strict:
+        on_duplicate = "error"
+    if on_self_loop is None and strict:
+        on_self_loop = "error"
+    builder = GraphBuilder(
+        dedup=dedup,
+        auto_grow=True,
+        on_duplicate=on_duplicate,
+        on_self_loop=on_self_loop,
+        max_vertices=max_vertices,
+    )
     with _open_text(path, "r") as handle:
         for line_no, line in enumerate(handle, start=1):
             stripped = line.strip()
             if not stripped or stripped.startswith("#"):
                 continue
             parts = stripped.split()
-            if len(parts) < 2:
+            if len(parts) < 2 or (strict and len(parts) != 2):
                 raise GraphError(
                     f"{path}:{line_no}: expected 'u v', got {stripped!r}"
                 )
@@ -68,8 +105,14 @@ def read_edge_list(
                 raise GraphError(
                     f"{path}:{line_no}: non-integer vertex id in {stripped!r}"
                 ) from exc
-            builder.add_edge(u, v)
-    return builder.build(name=name or Path(path).stem)
+            try:
+                builder.add_edge(u, v)
+            except GraphError as exc:
+                raise GraphError(f"{path}:{line_no}: {exc}") from exc
+    graph = builder.build(name=name or Path(path).stem)
+    if require_dag:
+        _check_dag(graph, path)
+    return graph
 
 
 def write_edge_list(graph: DiGraph, path: str | Path) -> None:
@@ -80,8 +123,26 @@ def write_edge_list(graph: DiGraph, path: str | Path) -> None:
             handle.write(f"{u} {v}\n")
 
 
-def read_gra(path: str | Path, name: str = "") -> DiGraph:
-    """Load a graph in GRAIL's ``.gra`` adjacency format."""
+def read_gra(
+    path: str | Path,
+    name: str = "",
+    strict: bool = False,
+    on_duplicate: str | None = None,
+    on_self_loop: str | None = None,
+    require_dag: bool = False,
+) -> DiGraph:
+    """Load a graph in GRAIL's ``.gra`` adjacency format.
+
+    Every malformed token raises a line-numbered :class:`GraphError` (never
+    a bare :class:`ValueError`).  ``strict=True`` additionally requires the
+    ``#`` terminator on each adjacency line and makes duplicate edges and
+    self loops errors; ``require_dag=True`` rejects cyclic inputs with a
+    :class:`~repro.exceptions.CycleError` carrying a witness cycle.
+    """
+    if on_duplicate is None and strict:
+        on_duplicate = "error"
+    if on_self_loop is None and strict:
+        on_self_loop = "error"
     with _open_text(path, "r") as handle:
         header = handle.readline()
         if not header:
@@ -93,7 +154,15 @@ def read_gra(path: str | Path, name: str = "") -> DiGraph:
             raise GraphError(
                 f"{path}: expected vertex count on line 2, got {count_line!r}"
             ) from exc
-        builder = GraphBuilder(num_vertices=num_vertices)
+        if num_vertices < 0:
+            raise GraphError(
+                f"{path}: negative vertex count {num_vertices} on line 2"
+            )
+        builder = GraphBuilder(
+            num_vertices=num_vertices,
+            on_duplicate=on_duplicate,
+            on_self_loop=on_self_loop,
+        )
         for line_no, line in enumerate(handle, start=3):
             stripped = line.strip()
             if not stripped:
@@ -105,11 +174,31 @@ def read_gra(path: str | Path, name: str = "") -> DiGraph:
                 raise GraphError(
                     f"{path}:{line_no}: bad vertex id {head!r}"
                 ) from exc
-            for token in tail.split():
+            tokens = tail.split()
+            terminated = False
+            for token in tokens:
                 if token == "#":
+                    terminated = True
                     break
-                builder.add_edge(u, int(token))
-    return builder.build(name=name or Path(path).stem)
+                try:
+                    v = int(token)
+                except ValueError as exc:
+                    raise GraphError(
+                        f"{path}:{line_no}: non-integer successor {token!r}"
+                    ) from exc
+                try:
+                    builder.add_edge(u, v)
+                except GraphError as exc:
+                    raise GraphError(f"{path}:{line_no}: {exc}") from exc
+            if strict and not terminated:
+                raise GraphError(
+                    f"{path}:{line_no}: adjacency line missing the '#' "
+                    f"terminator"
+                )
+    graph = builder.build(name=name or Path(path).stem)
+    if require_dag:
+        _check_dag(graph, path)
+    return graph
 
 
 def write_gra(graph: DiGraph, path: str | Path) -> None:

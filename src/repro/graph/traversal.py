@@ -18,6 +18,8 @@ __all__ = [
     "dfs_reachable",
     "bfs_reachable",
     "bidirectional_reachable",
+    "bounded_bidirectional_reachable",
+    "find_cycle",
     "descendants",
     "ancestors",
 ]
@@ -56,8 +58,14 @@ def bfs_order(graph: DiGraph, source: int) -> Iterator[int]:
                 queue.append(w)
 
 
-def dfs_reachable(graph: DiGraph, source: int, target: int) -> bool:
-    """Plain DFS reachability — the un-indexed online search."""
+def dfs_reachable(
+    graph: DiGraph, source: int, target: int, guard=None
+) -> bool:
+    """Plain DFS reachability — the un-indexed online search.
+
+    ``guard`` is an optional :class:`repro.resilience.budget.SearchGuard`
+    charged one step per expanded vertex (budgeted queries).
+    """
     if source == target:
         return True
     indptr, indices = graph.out_indptr, graph.out_indices
@@ -66,6 +74,8 @@ def dfs_reachable(graph: DiGraph, source: int, target: int) -> bool:
     stack = [source]
     while stack:
         u = stack.pop()
+        if guard is not None:
+            guard.step()
         for k in range(indptr[u], indptr[u + 1]):
             w = indices[k]
             if w == target:
@@ -76,8 +86,10 @@ def dfs_reachable(graph: DiGraph, source: int, target: int) -> bool:
     return False
 
 
-def bfs_reachable(graph: DiGraph, source: int, target: int) -> bool:
-    """Plain BFS reachability."""
+def bfs_reachable(
+    graph: DiGraph, source: int, target: int, guard=None
+) -> bool:
+    """Plain BFS reachability (optionally budget-guarded)."""
     if source == target:
         return True
     indptr, indices = graph.out_indptr, graph.out_indices
@@ -86,6 +98,8 @@ def bfs_reachable(graph: DiGraph, source: int, target: int) -> bool:
     queue: deque[int] = deque([source])
     while queue:
         u = queue.popleft()
+        if guard is not None:
+            guard.step()
         for k in range(indptr[u], indptr[u + 1]):
             w = indices[k]
             if w == target:
@@ -96,7 +110,9 @@ def bfs_reachable(graph: DiGraph, source: int, target: int) -> bool:
     return False
 
 
-def bidirectional_reachable(graph: DiGraph, source: int, target: int) -> bool:
+def bidirectional_reachable(
+    graph: DiGraph, source: int, target: int, guard=None
+) -> bool:
     """Bidirectional BFS: forward from ``source``, backward from ``target``.
 
     Alternates expanding whichever frontier is smaller; meets in the middle
@@ -124,6 +140,8 @@ def bidirectional_reachable(graph: DiGraph, source: int, target: int) -> bool:
             indptr, indices = in_indptr, in_indices
             bwd_frontier = next_frontier = []
         for u in frontier:
+            if guard is not None:
+                guard.step()
             for k in range(indptr[u], indptr[u + 1]):
                 w = indices[k]
                 if other[w]:
@@ -132,6 +150,92 @@ def bidirectional_reachable(graph: DiGraph, source: int, target: int) -> bool:
                     seen[w] = 1
                     next_frontier.append(w)
     return False
+
+
+def bounded_bidirectional_reachable(
+    graph: DiGraph, source: int, target: int, max_nodes: int
+) -> bool | None:
+    """Bidirectional BFS capped at ``max_nodes`` *expanded* vertices.
+
+    The graceful-degradation fallback of ``repro.resilience``: returns
+    ``True``/``False`` when the search concludes within budget, ``None``
+    when the cap is hit first.  A ``False`` is definitive — a frontier
+    drained — so callers may trust boolean answers unconditionally.
+    """
+    if source == target:
+        return True
+    n = graph.num_vertices
+    fwd_seen = bytearray(n)
+    bwd_seen = bytearray(n)
+    fwd_seen[source] = 1
+    bwd_seen[target] = 1
+    fwd_frontier = [source]
+    bwd_frontier = [target]
+    out_indptr, out_indices = graph.out_indptr, graph.out_indices
+    in_indptr, in_indices = graph.in_indptr, graph.in_indices
+    expanded = 0
+    while fwd_frontier and bwd_frontier:
+        if len(fwd_frontier) <= len(bwd_frontier):
+            frontier, seen, other = fwd_frontier, fwd_seen, bwd_seen
+            indptr, indices = out_indptr, out_indices
+            fwd_frontier = next_frontier = []
+        else:
+            frontier, seen, other = bwd_frontier, bwd_seen, fwd_seen
+            indptr, indices = in_indptr, in_indices
+            bwd_frontier = next_frontier = []
+        for u in frontier:
+            expanded += 1
+            if expanded > max_nodes:
+                return None
+            for k in range(indptr[u], indptr[u + 1]):
+                w = indices[k]
+                if other[w]:
+                    return True
+                if not seen[w]:
+                    seen[w] = 1
+                    next_frontier.append(w)
+    return False
+
+
+def find_cycle(graph: DiGraph) -> list[int] | None:
+    """A witness directed cycle, or ``None`` when the graph is a DAG.
+
+    Iterative white/grey/black DFS, O(|V| + |E|).  The returned list
+    ``[v0, ..., vk]`` has an edge between each consecutive pair and an
+    edge ``(vk, v0)`` closing the loop — ready for an actionable
+    :class:`~repro.exceptions.CycleError` message.
+    """
+    n = graph.num_vertices
+    indptr, indices = graph.out_indptr, graph.out_indices
+    color = bytearray(n)  # 0 white, 1 grey (on stack), 2 black
+    parent = [-1] * n
+    for root in range(n):
+        if color[root]:
+            continue
+        stack: list[tuple[int, int]] = [(root, indptr[root])]
+        color[root] = 1
+        while stack:
+            v, edge_pos = stack[-1]
+            if edge_pos < indptr[v + 1]:
+                stack[-1] = (v, edge_pos + 1)
+                w = indices[edge_pos]
+                if color[w] == 1:
+                    # Grey-to-grey edge closes a cycle: walk parents back.
+                    cycle = [v]
+                    node = v
+                    while node != w:
+                        node = parent[node]
+                        cycle.append(node)
+                    cycle.reverse()
+                    return cycle
+                if color[w] == 0:
+                    color[w] = 1
+                    parent[w] = v
+                    stack.append((w, indptr[w]))
+            else:
+                color[v] = 2
+                stack.pop()
+    return None
 
 
 def descendants(graph: DiGraph, source: int) -> set[int]:

@@ -1,0 +1,61 @@
+"""repro.resilience — bound, verify, and degrade; never answer wrongly.
+
+The robustness counterpart to :mod:`repro.obs`: where observability lets
+you *see* the system, this subsystem lets you *bound* it (query budgets
+with graceful degradation), *verify* it (index integrity checks, v2
+checksummed persistence), and *prove* it (a deterministic fault-injection
+harness whose tests demonstrate that every injected fault is detected or
+survived — never a silent wrong answer).
+
+Public surface
+--------------
+* :class:`QueryBudget`, :data:`UNKNOWN`, :class:`SearchGuard` — per-query
+  step/deadline limits, accepted by ``ReachabilityIndex.query`` /
+  ``Reachability.reachable`` and honoured inside every ``_search`` loop.
+* :func:`verify_index`, :class:`VerificationReport` — Theorem 1 soundness
+  invariants, exhaustive or seeded-sampled; CLI: ``repro verify-index``.
+* :mod:`repro.resilience.chaos` — seeded injectors (coordinate
+  corruption, file truncation/bit-flips, named hook points, flaky/slow
+  workers).
+* :class:`RetryPolicy` — jittered-exponential-backoff retry used by the
+  distributed worker dispatch.
+"""
+
+from repro.exceptions import (
+    ChecksumError,
+    IndexIntegrityError,
+    InvalidVertexError,
+    PersistenceError,
+    QueryBudgetExceeded,
+    WorkerError,
+)
+from repro.resilience import chaos
+from repro.resilience.budget import (
+    POLICIES,
+    UNKNOWN,
+    QueryBudget,
+    SearchGuard,
+    Ternary,
+)
+from repro.resilience.chaos import InjectedFault
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.verify import VerificationReport, verify_index
+
+__all__ = [
+    "QueryBudget",
+    "SearchGuard",
+    "UNKNOWN",
+    "Ternary",
+    "POLICIES",
+    "verify_index",
+    "VerificationReport",
+    "RetryPolicy",
+    "chaos",
+    "InjectedFault",
+    "QueryBudgetExceeded",
+    "InvalidVertexError",
+    "PersistenceError",
+    "ChecksumError",
+    "IndexIntegrityError",
+    "WorkerError",
+]

@@ -1,0 +1,271 @@
+"""Index integrity verification — check the Theorem 1 soundness invariants.
+
+A FELINE index is *sound* iff its two orderings are topological (every
+edge strictly increases both coordinates), its levels are monotone along
+edges, and its positive-cut tree intervals form a properly nested (laminar)
+family whose containments only claim true reachability.  DAGGER's lesson
+is that an index is mutable state whose invariants must be checkable;
+:func:`verify_index` makes that one call:
+
+* **exhaustively** on small graphs — every edge, every structural
+  property, and (below ``deep_limit`` vertices) the full positive-cut
+  soundness sweep against a DFS oracle;
+* **by seeded edge-sampling** on large ones — the permutation and
+  laminarity checks stay O(n log n), and a deterministic sample of edges
+  is checked for coordinate/level monotonicity.
+
+A corrupted coordinate is overwhelmingly likely to break one of these
+checks: a permutation violation is caught unconditionally, and any
+swapped/overwritten rank that matters to correctness inverts some edge.
+The ``repro verify-index`` CLI subcommand wires this to saved index files
+(whose v2 checksums catch on-disk damage before this layer even runs).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from random import Random
+
+from repro.exceptions import IndexIntegrityError
+
+__all__ = ["VerificationReport", "verify_index"]
+
+#: Below this edge count every edge is checked; above it, a seeded sample.
+EXHAUSTIVE_EDGE_LIMIT = 200_000
+
+#: Below this vertex count the positive-cut filter is checked against a
+#: full DFS reachability oracle.
+DEEP_LIMIT = 500
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of :func:`verify_index`.
+
+    ``violations`` is empty iff the index passed; ``mode`` records whether
+    edges were checked exhaustively or sampled; ``edges_checked`` how many.
+    """
+
+    violations: list[str] = field(default_factory=list)
+    checks: list[str] = field(default_factory=list)
+    mode: str = "exhaustive"
+    edges_checked: int = 0
+    deep: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`~repro.exceptions.IndexIntegrityError` on failure."""
+        if not self.ok:
+            raise IndexIntegrityError(
+                f"index failed integrity verification "
+                f"({len(self.violations)} violation(s)); first: "
+                f"{self.violations[0]}",
+                violations=list(self.violations),
+            )
+
+    def summary(self) -> str:
+        """Human-readable multi-line report (the CLI prints this)."""
+        lines = [
+            f"verify-index: {'OK' if self.ok else 'FAILED'} "
+            f"({self.mode}, {self.edges_checked} edges checked"
+            f"{', deep positive-cut sweep' if self.deep else ''})"
+        ]
+        for check in self.checks:
+            lines.append(f"  [pass] {check}")
+        for violation in self.violations:
+            lines.append(f"  [FAIL] {violation}")
+        return "\n".join(lines)
+
+
+def _is_permutation(values, n: int) -> bool:
+    if len(values) != n:
+        return False
+    seen = bytearray(n)
+    for value in values:
+        if value < 0 or value >= n or seen[value]:
+            return False
+        seen[value] = 1
+    return True
+
+
+def _check_laminar(start, post, report: VerificationReport) -> None:
+    """Tree intervals must form a laminar family: nest or be disjoint."""
+    n = len(start)
+    order = sorted(range(n), key=lambda v: (start[v], -post[v]))
+    stack: list[int] = []
+    for v in order:
+        if start[v] > post[v]:
+            report.violations.append(
+                f"tree interval of vertex {v} is inverted "
+                f"([{start[v]}, {post[v]}])"
+            )
+            return
+        while stack and post[stack[-1]] < start[v]:
+            stack.pop()
+        if stack and post[v] > post[stack[-1]]:
+            report.violations.append(
+                f"tree intervals of vertices {stack[-1]} and {v} cross "
+                f"([{start[stack[-1]]}, {post[stack[-1]]}] vs "
+                f"[{start[v]}, {post[v]}]) — not a laminar family"
+            )
+            return
+        stack.append(v)
+    report.checks.append("tree intervals form a laminar (nested) family")
+
+
+def _sample_edges(graph, k: int, seed: int):
+    """``k`` distinct seeded edges as ``(u, v)`` pairs, O(k log n)."""
+    rng = Random(seed)
+    indptr = list(graph.out_indptr)
+    indices = graph.out_indices
+    m = graph.num_edges
+    picks = rng.sample(range(m), min(k, m))
+    for position in picks:
+        u = bisect_right(indptr, position) - 1
+        yield u, indices[position]
+
+
+def verify_index(
+    graph,
+    index,
+    *,
+    mode: str = "auto",
+    sample: int = 10_000,
+    seed: int = 0,
+    deep: bool | None = None,
+) -> VerificationReport:
+    """Verify that a FELINE index is sound for ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The DAG the index claims to describe.
+    index:
+        A :class:`~repro.core.index.FelineCoordinates`, or anything with a
+        ``coordinates`` attribute holding one (e.g. a built
+        :class:`~repro.core.query.FelineIndex`).
+    mode:
+        ``"auto"`` (exhaustive below :data:`EXHAUSTIVE_EDGE_LIMIT` edges,
+        sampled above), ``"exhaustive"``, or ``"sample"``.
+    sample, seed:
+        Sample size and RNG seed for the sampled mode.
+    deep:
+        Force (or suppress) the positive-cut-vs-DFS-oracle sweep; the
+        default runs it below :data:`DEEP_LIMIT` vertices.
+
+    Returns a :class:`VerificationReport`; call ``raise_if_failed()`` to
+    turn violations into :class:`~repro.exceptions.IndexIntegrityError`.
+    """
+    coords = getattr(index, "coordinates", index)
+    if coords is None:
+        report = VerificationReport()
+        report.violations.append("index has no coordinates (not built?)")
+        return report
+    report = VerificationReport()
+    n = graph.num_vertices
+
+    if coords.num_vertices != n:
+        report.violations.append(
+            f"index covers {coords.num_vertices} vertices but the graph "
+            f"has {n}"
+        )
+        return report
+
+    # -- permutation checks -------------------------------------------------
+    for name, values in (("x", coords.x), ("y", coords.y)):
+        if _is_permutation(values, n):
+            report.checks.append(f"{name} ranks are a permutation of 0..n-1")
+        else:
+            report.violations.append(
+                f"{name} ranks are not a permutation of 0..{n - 1}"
+            )
+
+    levels = coords.levels
+    if levels is not None:
+        bad = next(
+            (v for v in range(n) if levels[v] < 0 or levels[v] >= max(1, n)),
+            None,
+        )
+        if bad is None:
+            report.checks.append("levels are within [0, n)")
+        else:
+            report.violations.append(
+                f"level of vertex {bad} is {levels[bad]}, outside [0, {n})"
+            )
+
+    # -- edge monotonicity (topological orders + level filter) -------------
+    exhaustive = mode == "exhaustive" or (
+        mode == "auto" and graph.num_edges <= EXHAUSTIVE_EDGE_LIMIT
+    )
+    if mode not in ("auto", "exhaustive", "sample"):
+        raise ValueError(f"unknown verify mode {mode!r}")
+    edges = (
+        graph.edges() if exhaustive else _sample_edges(graph, sample, seed)
+    )
+    report.mode = "exhaustive" if exhaustive else f"sampled(seed={seed})"
+    x, y = coords.x, coords.y
+    edge_ok = True
+    for u, v in edges:
+        report.edges_checked += 1
+        if x[u] >= x[v]:
+            report.violations.append(
+                f"edge ({u}, {v}) violates the X topological order "
+                f"(x[{u}]={x[u]} >= x[{v}]={x[v]})"
+            )
+            edge_ok = False
+            break
+        if y[u] >= y[v]:
+            report.violations.append(
+                f"edge ({u}, {v}) violates the Y topological order "
+                f"(y[{u}]={y[u]} >= y[{v}]={y[v]})"
+            )
+            edge_ok = False
+            break
+        if levels is not None and levels[u] >= levels[v]:
+            report.violations.append(
+                f"edge ({u}, {v}) violates level monotonicity "
+                f"(l[{u}]={levels[u]} >= l[{v}]={levels[v]})"
+            )
+            edge_ok = False
+            break
+    if edge_ok:
+        report.checks.append(
+            "edges increase X, Y"
+            + (" and levels" if levels is not None else "")
+        )
+
+    # -- positive-cut structure --------------------------------------------
+    intervals = coords.tree_intervals
+    if intervals is not None:
+        if _is_permutation(intervals.post, n):
+            report.checks.append("interval posts are a permutation of 0..n-1")
+            _check_laminar(intervals.start, intervals.post, report)
+        else:
+            report.violations.append(
+                f"interval posts are not a permutation of 0..{n - 1}"
+            )
+
+        # -- deep sweep: containment must imply true reachability ----------
+        run_deep = deep if deep is not None else n <= DEEP_LIMIT
+        if run_deep and report.ok:
+            from repro.graph.traversal import descendants
+
+            report.deep = True
+            for u in range(n):
+                reachable = descendants(graph, u)
+                for v in range(n):
+                    if intervals.contains(u, v) and v not in reachable:
+                        report.violations.append(
+                            f"positive-cut filter claims r({u}, {v}) but "
+                            f"{v} is not reachable from {u}"
+                        )
+                        return report
+            report.checks.append(
+                "positive-cut containments all imply true reachability"
+            )
+
+    return report

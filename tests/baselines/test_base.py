@@ -77,6 +77,7 @@ class TestQueryStats:
         assert keys == {
             "queries", "equal_cuts", "negative_cuts", "positive_cuts",
             "searches", "expanded", "pruned",
+            "budget_exhausted", "fallbacks", "unknowns",
         }
 
 

@@ -1,0 +1,80 @@
+"""Property: a budgeted query never returns a wrong boolean.
+
+The resilience contract (see ``repro.resilience.budget``): under any
+budget and any policy, the only thing that may replace an exact answer is
+``UNKNOWN`` (or a raised ``QueryBudgetExceeded``).  Booleans are always
+equal to the ground-truth oracle.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.base import create_index
+from repro.exceptions import QueryBudgetExceeded
+from repro.graph.transitive import transitive_closure_bitsets
+from repro.resilience import UNKNOWN, QueryBudget
+
+from tests.property.test_invariants import dags
+
+METHODS = ["feline", "feline-i", "feline-b", "grail", "ferrari", "bibfs"]
+
+
+def budgets():
+    return st.builds(
+        QueryBudget,
+        max_steps=st.integers(min_value=1, max_value=12),
+        policy=st.sampled_from(["unknown", "fallback"]),
+        fallback_nodes=st.integers(min_value=1, max_value=12),
+    )
+
+
+class TestBudgetedAnswersAreSound:
+    @given(
+        g=dags(max_vertices=18),
+        budget=budgets(),
+        method=st.sampled_from(METHODS),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_boolean_answers_match_oracle(self, g, budget, method):
+        index = create_index(method, g).build()
+        closure = transitive_closure_bitsets(g)
+        for u in range(g.num_vertices):
+            for v in range(g.num_vertices):
+                answer = index.query(u, v, budget=budget)
+                assert answer is True or answer is False or answer is UNKNOWN
+                if answer is not UNKNOWN:
+                    expected = bool((closure[u] >> v) & 1)
+                    assert answer == expected, (
+                        f"{method} with {budget} answered {answer} for "
+                        f"r({u}, {v}), oracle says {expected}"
+                    )
+
+    @given(g=dags(max_vertices=16), max_steps=st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_raise_policy_never_lies(self, g, max_steps):
+        index = create_index(
+            "feline", g, use_level_filter=False, use_positive_cut=False
+        ).build()
+        closure = transitive_closure_bitsets(g)
+        budget = QueryBudget(max_steps=max_steps, policy="raise")
+        for u in range(g.num_vertices):
+            for v in range(g.num_vertices):
+                try:
+                    answer = index.query(u, v, budget=budget)
+                except QueryBudgetExceeded:
+                    continue  # allowed: no answer at all
+                assert answer == bool((closure[u] >> v) & 1)
+
+    @given(g=dags(max_vertices=14), budget=budgets())
+    @settings(max_examples=30, deadline=None)
+    def test_batch_matches_scalar(self, g, budget):
+        index = create_index("feline", g).build()
+        n = g.num_vertices
+        pairs = [(u, v) for u in range(n) for v in range(n)]
+        batch = index.query_many(pairs, budget=budget)
+        for (u, v), answer in zip(pairs, batch):
+            assert answer is index.query(u, v, budget=budget) or (
+                answer == index.query(u, v, budget=budget)
+            )

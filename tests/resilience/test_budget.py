@@ -1,0 +1,283 @@
+"""Query budgets and graceful degradation across every search-based index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Reachability
+from repro.baselines.base import create_index
+from repro.exceptions import (
+    InvalidVertexError,
+    QueryBudgetExceeded,
+    ReproError,
+)
+from repro.graph.generators import path_graph, random_dag
+from repro.obs import disable_metrics, enable_metrics
+from repro.resilience import POLICIES, UNKNOWN, QueryBudget
+from tests.conftest import reachability_oracle
+
+# Search-based methods whose DFS a deep path forces into the guard.
+# FERRARI is covered separately: its interval set answers a path exactly
+# in O(log k), so its search only triggers on fragmented reachable sets.
+# Label-only methods (tc, interval, tf-label, ...) answer in O(label)
+# and cannot trip a step guard.
+SEARCH_METHODS = [
+    "feline", "feline-i", "feline-b", "feline-k",
+    "grail", "dfs", "bfs", "bibfs",
+]
+
+
+def adversarial_graph():
+    """A deep path with no filters: every positive query must search."""
+    return path_graph(600)
+
+
+def ferrari_adversarial():
+    """A random DAG + 1-interval budget: approximate coverage forces the
+    FERRARI DFS (pair (15, 492) expands ~77 vertices unbudgeted)."""
+    graph = random_dag(600, avg_degree=2.0, seed=3)
+    index = create_index(
+        "ferrari",
+        graph,
+        max_intervals=1,
+        use_level_filter=False,
+        use_positive_cut=False,
+    ).build()
+    return index
+
+
+def build(method, graph, **params):
+    if method in (
+        "feline", "feline-i", "feline-b", "grail", "ferrari", "feline-k"
+    ):
+        params.setdefault("use_level_filter", False)
+        params.setdefault("use_positive_cut", False)
+    return create_index(method, graph, **params).build()
+
+
+class TestQueryBudgetValidation:
+    def test_needs_some_limit(self):
+        with pytest.raises(ReproError):
+            QueryBudget()
+
+    def test_rejects_bad_policy(self):
+        with pytest.raises(ReproError):
+            QueryBudget(max_steps=10, policy="shrug")
+
+    def test_rejects_nonpositive_limits(self):
+        with pytest.raises(ReproError):
+            QueryBudget(max_steps=0)
+        with pytest.raises(ReproError):
+            QueryBudget(deadline_s=0.0)
+
+    def test_policies_constant(self):
+        assert POLICIES == ("raise", "unknown", "fallback")
+
+    def test_fallback_nodes_resolution(self):
+        assert QueryBudget(max_steps=100).resolved_fallback_nodes == 400
+        assert QueryBudget(deadline_s=1.0).resolved_fallback_nodes == 4096
+        assert (
+            QueryBudget(max_steps=10, fallback_nodes=7).resolved_fallback_nodes
+            == 7
+        )
+
+
+class TestUnknownSentinel:
+    def test_refuses_bool(self):
+        with pytest.raises(TypeError):
+            bool(UNKNOWN)
+
+    def test_singleton(self):
+        import pickle
+
+        from repro.resilience import Ternary
+
+        assert Ternary() is UNKNOWN
+        assert pickle.loads(pickle.dumps(UNKNOWN)) is UNKNOWN
+
+    def test_repr(self):
+        assert repr(UNKNOWN) == "UNKNOWN"
+
+
+class TestRaisePolicy:
+    @pytest.mark.parametrize("method", SEARCH_METHODS)
+    def test_deep_search_raises(self, method):
+        index = build(method, adversarial_graph())
+        budget = QueryBudget(max_steps=5, policy="raise")
+        with pytest.raises(QueryBudgetExceeded) as excinfo:
+            index.query(0, 599, budget=budget)
+        assert excinfo.value.resource == "steps"
+        assert excinfo.value.steps > 5
+        assert index.stats.budget_exhausted == 1
+
+    def test_ferrari_search_raises(self):
+        index = ferrari_adversarial()
+        budget = QueryBudget(max_steps=5, policy="raise")
+        with pytest.raises(QueryBudgetExceeded):
+            index.query(15, 492, budget=budget)
+        assert index.stats.budget_exhausted == 1
+
+    def test_guard_cleared_after_exhaustion(self):
+        index = build("feline", adversarial_graph())
+        with pytest.raises(QueryBudgetExceeded):
+            index.query(0, 599, budget=QueryBudget(max_steps=5))
+        # The next unbudgeted query must run unguarded and answer exactly.
+        assert index._guard is None
+        assert index.query(0, 599) is True
+
+
+class TestUnknownPolicy:
+    @pytest.mark.parametrize("method", SEARCH_METHODS)
+    def test_deep_search_degrades_to_unknown(self, method):
+        index = build(method, adversarial_graph())
+        budget = QueryBudget(max_steps=5, policy="unknown")
+        assert index.query(0, 599, budget=budget) is UNKNOWN
+        assert index.stats.unknowns == 1
+
+    def test_ferrari_search_degrades_to_unknown(self):
+        index = ferrari_adversarial()
+        budget = QueryBudget(max_steps=5, policy="unknown")
+        assert index.query(15, 492, budget=budget) is UNKNOWN
+        assert index.stats.unknowns == 1
+
+    def test_cheap_queries_unaffected(self):
+        graph = adversarial_graph()
+        index = build("feline", graph)
+        budget = QueryBudget(max_steps=5, policy="unknown")
+        # Negative cut answers without any search; reflexivity likewise.
+        assert index.query(599, 0, budget=budget) is False
+        assert index.query(5, 5, budget=budget) is True
+
+
+class TestFallbackPolicy:
+    def test_fallback_answers_exactly_when_affordable(self):
+        graph = adversarial_graph()
+        index = build("feline", graph)
+        budget = QueryBudget(
+            max_steps=5, policy="fallback", fallback_nodes=10_000
+        )
+        assert index.query(0, 599, budget=budget) is True
+        assert index.stats.fallbacks == 1
+        assert index.stats.unknowns == 0
+
+    def test_fallback_cap_degrades_to_unknown(self):
+        graph = adversarial_graph()
+        index = build("feline", graph)
+        budget = QueryBudget(max_steps=5, policy="fallback", fallback_nodes=8)
+        assert index.query(0, 599, budget=budget) is UNKNOWN
+        assert index.stats.fallbacks == 1
+        assert index.stats.unknowns == 1
+
+    def test_fallback_false_is_definitive(self):
+        # Two disjoint deep paths: fallback biBFS drains the small side.
+        from repro.graph.digraph import DiGraph
+
+        edges = [(i, i + 1) for i in range(299)]
+        edges += [(300 + i, 300 + i + 1) for i in range(299)]
+        graph = DiGraph(600, edges, name="two-paths")
+        index = build("feline", graph)
+        budget = QueryBudget(
+            max_steps=2, policy="fallback", fallback_nodes=100_000
+        )
+        assert index.query(598, 0, budget=budget) is False
+
+
+class TestBudgetedBatch:
+    def test_query_many_mixed_answers(self):
+        graph = adversarial_graph()
+        index = build("feline", graph)
+        budget = QueryBudget(max_steps=5, policy="unknown")
+        answers = index.query_many(
+            [(0, 599), (599, 0), (3, 3)], budget=budget
+        )
+        assert answers[0] is UNKNOWN
+        assert answers[1] is False
+        assert answers[2] is True
+
+    def test_facade_budget(self):
+        graph = adversarial_graph()
+        oracle = Reachability(
+            graph, use_level_filter=False, use_positive_cut=False
+        )
+        budget = QueryBudget(max_steps=5, policy="unknown")
+        assert oracle.reachable(0, 599, budget=budget) is UNKNOWN
+        answers = oracle.reachable_many([(0, 599), (599, 0)], budget=budget)
+        assert answers[0] is UNKNOWN and answers[1] is False
+
+
+class TestVertexValidationUniform:
+    ALL_METHODS = SEARCH_METHODS + [
+        "ferrari", "tc", "interval", "tf-label", "chain-cover",
+        "dual-labeling",
+    ]
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_out_of_range_raises_invalid_vertex(self, method, paper_dag):
+        index = create_index(method, paper_dag).build()
+        for u, v in [(-1, 0), (0, -1), (8, 0), (0, 8)]:
+            with pytest.raises(InvalidVertexError):
+                index.query(u, v)
+        with pytest.raises(InvalidVertexError):
+            index.query_many([(0, 1), (99, 0)])
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_reflexive_true_everywhere(self, method, paper_dag):
+        index = create_index(method, paper_dag).build()
+        for v in range(paper_dag.num_vertices):
+            assert index.query(v, v) is True
+
+    def test_facade_validates(self):
+        oracle = Reachability([(0, 1), (1, 2)])
+        with pytest.raises(InvalidVertexError) as excinfo:
+            oracle.reachable(0, 99)
+        assert excinfo.value.vertex == 99
+
+
+class TestDeadlineBudget:
+    def test_deadline_trips_on_slow_search(self):
+        # An impossible deadline: the first stride of steps exceeds it.
+        index = build("feline", adversarial_graph())
+        budget = QueryBudget(deadline_s=1e-9, policy="unknown")
+        answer = index.query(0, 599, budget=budget)
+        # Path length 600 > clock stride 256, so the deadline is observed.
+        assert answer is UNKNOWN
+        assert index.stats.budget_exhausted == 1
+
+
+class TestObservabilityCounters:
+    def test_budget_counters_emitted(self):
+        graph = adversarial_graph()
+        registry = enable_metrics()
+        try:
+            index = build("feline", graph)
+            budget = QueryBudget(max_steps=5, policy="unknown")
+            assert index.query(0, 599, budget=budget) is UNKNOWN
+            exhausted = registry.counter(
+                "repro_budget_exhausted_total",
+                method="feline",
+                resource="steps",
+            )
+            degraded = registry.counter(
+                "repro_degraded_total", method="feline", outcome="unknown"
+            )
+            assert exhausted.value == 1
+            assert degraded.value == 1
+        finally:
+            disable_metrics()
+
+
+class TestBudgetSoundnessSweep:
+    """Every budgeted boolean equals the oracle on a random DAG."""
+
+    @pytest.mark.parametrize("method", ["feline", "feline-b", "grail"])
+    @pytest.mark.parametrize("policy", ["unknown", "fallback"])
+    def test_booleans_match_oracle(self, method, policy):
+        graph = random_dag(120, avg_degree=2.5, seed=11)
+        index = build(method, graph)
+        oracle = reachability_oracle(graph)
+        budget = QueryBudget(max_steps=3, policy=policy, fallback_nodes=16)
+        for u in range(0, 120, 7):
+            for v in range(0, 120, 5):
+                answer = index.query(u, v, budget=budget)
+                if answer is not UNKNOWN:
+                    assert answer == oracle(u, v), (method, policy, u, v)

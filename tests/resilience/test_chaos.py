@@ -1,0 +1,221 @@
+"""The fault-injection harness: every injected fault is detected or
+survived — never a silent wrong answer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.distributed import SimulatedCluster
+from repro.core.query import FelineIndex
+from repro.exceptions import WorkerError
+from repro.graph.generators import random_dag
+from repro.resilience import RetryPolicy, chaos
+from repro.resilience.chaos import (
+    FlakyWorker,
+    InjectedFault,
+    SlowWorker,
+    injected,
+)
+from tests.conftest import reachability_oracle
+
+
+@pytest.fixture(autouse=True)
+def _clean_hooks():
+    chaos.clear()
+    yield
+    chaos.clear()
+
+
+class TestHookPoints:
+    def test_fire_without_hooks_is_noop(self):
+        chaos.fire("nonexistent.point", anything=1)
+
+    def test_injected_context_manager(self):
+        with injected("some.point"):
+            assert chaos.active_hooks() == ["some.point"]
+            with pytest.raises(InjectedFault) as excinfo:
+                chaos.fire("some.point")
+            assert excinfo.value.point == "some.point"
+        assert chaos.active_hooks() == []
+
+    def test_custom_hook_receives_context(self):
+        seen = {}
+        chaos.install("p", lambda **ctx: seen.update(ctx))
+        chaos.fire("p", a=1, b="x")
+        assert seen == {"a": 1, "b": "x"}
+        chaos.uninstall("p")
+
+    def test_build_hook_point(self, paper_dag):
+        with injected("index.build.start"):
+            with pytest.raises(InjectedFault):
+                FelineIndex(paper_dag).build()
+        # After the fault, a clean build still works.
+        assert FelineIndex(paper_dag).build().query(0, 4) is True
+
+    def test_persistence_hook_points(self, paper_dag, tmp_path):
+        from repro.core.persistence import load_coordinates, save_coordinates
+
+        index = FelineIndex(paper_dag).build()
+        target = tmp_path / "idx.feline"
+        with injected("persistence.save"):
+            with pytest.raises(InjectedFault):
+                save_coordinates(index.coordinates, target)
+        save_coordinates(index.coordinates, target)
+        with injected("persistence.load.section"):
+            with pytest.raises(InjectedFault):
+                load_coordinates(target)
+
+
+class TestCorruptors:
+    def test_corrupt_is_pure(self, paper_dag):
+        index = FelineIndex(paper_dag).build()
+        before = list(index.coordinates.x)
+        chaos.corrupt_coordinates(index.coordinates, seed=0)
+        assert list(index.coordinates.x) == before
+
+    def test_corrupt_is_deterministic(self, paper_dag):
+        index = FelineIndex(paper_dag).build()
+        a = chaos.corrupt_coordinates(index.coordinates, seed=5)
+        b = chaos.corrupt_coordinates(index.coordinates, seed=5)
+        assert list(a.x) == list(b.x) and list(a.y) == list(b.y)
+
+    def test_flip_bytes_deterministic(self, tmp_path):
+        f1 = tmp_path / "a.bin"
+        f2 = tmp_path / "b.bin"
+        f1.write_bytes(bytes(range(256)))
+        f2.write_bytes(bytes(range(256)))
+        assert chaos.flip_bytes(f1, seed=3) == chaos.flip_bytes(f2, seed=3)
+        assert f1.read_bytes() == f2.read_bytes()
+
+    def test_truncate_file(self, tmp_path):
+        f = tmp_path / "t.bin"
+        f.write_bytes(b"0123456789")
+        chaos.truncate_file(f, 4)
+        assert f.read_bytes() == b"0123"
+
+
+class TestRetryPolicy:
+    def test_retries_transient_then_succeeds(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise WorkerError("boom", transient=True)
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=3, seed=1)
+        assert policy.call(flaky) == "ok"
+        assert policy.retries == 2
+        assert policy.total_delay_s >= 0.0
+
+    def test_non_transient_fails_fast(self):
+        def fatal():
+            raise WorkerError("dead", transient=False)
+
+        policy = RetryPolicy(max_attempts=5)
+        with pytest.raises(WorkerError):
+            policy.call(fatal)
+        assert policy.retries == 0
+
+    def test_exhausted_retries_propagate(self):
+        def always():
+            raise WorkerError("still down", transient=True)
+
+        policy = RetryPolicy(max_attempts=2)
+        with pytest.raises(WorkerError):
+            policy.call(always)
+        assert policy.retries == 1
+
+    def test_backoff_is_seeded(self):
+        a = RetryPolicy(seed=9)
+        b = RetryPolicy(seed=9)
+        assert [a.backoff(i) for i in range(3)] == [
+            b.backoff(i) for i in range(3)
+        ]
+
+    def test_backoff_respects_ceiling(self):
+        policy = RetryPolicy(
+            base_delay_s=0.5, multiplier=10.0, max_delay_s=1.0, seed=2
+        )
+        for i in range(6):
+            assert policy.backoff(i) <= 1.0
+
+    def test_recorded_sleep(self):
+        slept = []
+        policy = RetryPolicy(seed=0, sleep=slept.append)
+        delay = policy.backoff(0)
+        assert slept == [delay]
+
+
+class TestClusterFaults:
+    def make_cluster(self, **kwargs):
+        graph = random_dag(200, avg_degree=2.0, seed=7)
+        return graph, SimulatedCluster(graph, num_shards=4, **kwargs)
+
+    def test_flaky_worker_survived(self):
+        graph, cluster = self.make_cluster()
+        cluster.workers = [FlakyWorker(w, fail_times=1) for w in cluster.workers]
+        oracle = reachability_oracle(graph)
+        for u in range(0, 200, 13):
+            for v in range(0, 200, 17):
+                assert cluster.query(u, v) == oracle(u, v), (u, v)
+        assert cluster.stats.worker_failures > 0
+        assert cluster.stats.retries >= cluster.stats.worker_failures > 0
+
+    def test_worker_outage_surfaces_not_silences(self):
+        graph, cluster = self.make_cluster(
+            retry_policy=RetryPolicy(max_attempts=2)
+        )
+        # More failures than the retry budget: the query must fail loudly.
+        cluster.workers = [
+            FlakyWorker(w, fail_times=10) for w in cluster.workers
+        ]
+        with pytest.raises(WorkerError):
+            # A cross-shard positive query must dispatch to some worker.
+            for u in range(200):
+                cluster.query(u, (u + 97) % 200)
+
+    def test_slow_worker_accumulates_delay(self):
+        graph, cluster = self.make_cluster()
+        cluster.workers = [
+            SlowWorker(w, delay_s=0.01) for w in cluster.workers
+        ]
+        oracle = reachability_oracle(graph)
+        for u in range(0, 200, 29):
+            for v in range(0, 200, 31):
+                assert cluster.query(u, v) == oracle(u, v)
+        assert sum(w.simulated_delay_s for w in cluster.workers) > 0
+
+    def test_expand_hook_fires(self):
+        graph, cluster = self.make_cluster()
+        fired = []
+        chaos.install(
+            "distributed.expand", lambda **ctx: fired.append(ctx["shard_id"])
+        )
+        for u in range(0, 200, 41):
+            cluster.query(u, (u + 83) % 200)
+        chaos.uninstall("distributed.expand")
+        assert fired  # at least one dispatch went through the hook
+
+    def test_injected_transient_fault_at_dispatch_is_retried(self):
+        graph, cluster = self.make_cluster()
+        state = {"left": 2}
+
+        def hook(**ctx):
+            if state["left"] > 0:
+                state["left"] -= 1
+                raise WorkerError(
+                    "chaos dispatch", shard_id=ctx["shard_id"], transient=True
+                )
+
+        chaos.install("distributed.expand", hook)
+        oracle = reachability_oracle(graph)
+        try:
+            for u in range(0, 200, 19):
+                for v in range(0, 200, 23):
+                    assert cluster.query(u, v) == oracle(u, v)
+        finally:
+            chaos.uninstall("distributed.expand")
+        assert state["left"] == 0
+        assert cluster.stats.retries >= 2

@@ -1,0 +1,101 @@
+"""verify_index: clean indexes pass; injected corruption is caught."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.index import build_feline_index
+from repro.core.query import FelineIndex
+from repro.exceptions import IndexIntegrityError
+from repro.graph.generators import path_graph, random_dag
+from repro.resilience import chaos, verify_index
+
+
+class TestCleanIndexesPass:
+    def test_built_index_verifies(self, any_dag):
+        index = FelineIndex(any_dag).build()
+        report = verify_index(any_dag, index)
+        assert report.ok, report.summary()
+
+    def test_accepts_raw_coordinates(self, paper_dag):
+        coords = build_feline_index(paper_dag)
+        assert verify_index(paper_dag, coords).ok
+
+    def test_no_filters_variant(self, paper_dag):
+        coords = build_feline_index(
+            paper_dag, with_level_filter=False, with_positive_cut=False
+        )
+        report = verify_index(paper_dag, coords)
+        assert report.ok
+
+    def test_raise_if_failed_is_noop_when_ok(self, paper_dag):
+        index = FelineIndex(paper_dag).build()
+        verify_index(paper_dag, index).raise_if_failed()
+
+    def test_summary_mentions_mode(self, paper_dag):
+        index = FelineIndex(paper_dag).build()
+        assert "exhaustive" in verify_index(paper_dag, index).summary()
+
+
+class TestDetectsCorruption:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_seeded_corruption_caught(self, seed):
+        graph = random_dag(150, avg_degree=2.0, seed=3)
+        index = FelineIndex(graph).build()
+        damaged = chaos.corrupt_coordinates(
+            index.coordinates, seed=seed, mutations=2
+        )
+        report = verify_index(graph, damaged)
+        # A mutation may occasionally be a no-op swap of equal values,
+        # but with 2 mutations on permutation arrays it is detectable.
+        assert not report.ok, (
+            f"seed {seed}: corruption not detected\n{report.summary()}"
+        )
+
+    def test_raise_if_failed_raises(self, paper_dag):
+        index = FelineIndex(paper_dag).build()
+        damaged = chaos.corrupt_coordinates(index.coordinates, seed=1)
+        report = verify_index(paper_dag, damaged)
+        if not report.ok:
+            with pytest.raises(IndexIntegrityError) as excinfo:
+                report.raise_if_failed()
+            assert excinfo.value.violations
+
+    def test_vertex_count_mismatch(self, paper_dag):
+        other = path_graph(4)
+        coords = build_feline_index(other)
+        report = verify_index(paper_dag, coords)
+        assert not report.ok
+        assert "vertices" in report.violations[0]
+
+    def test_unbuilt_index_fails(self, paper_dag):
+        report = verify_index(paper_dag, FelineIndex(paper_dag))
+        assert not report.ok
+
+
+class TestModes:
+    def test_sampled_mode_on_clean_index(self):
+        graph = random_dag(200, avg_degree=2.0, seed=9)
+        index = FelineIndex(graph).build()
+        report = verify_index(graph, index, mode="sample", sample=50, seed=4)
+        assert report.ok
+        assert report.mode.startswith("sampled")
+        assert 0 < report.edges_checked <= 50
+
+    def test_sampling_is_deterministic(self):
+        graph = random_dag(200, avg_degree=2.0, seed=9)
+        index = FelineIndex(graph).build()
+        r1 = verify_index(graph, index, mode="sample", sample=30, seed=7)
+        r2 = verify_index(graph, index, mode="sample", sample=30, seed=7)
+        assert r1.edges_checked == r2.edges_checked
+        assert r1.ok and r2.ok
+
+    def test_unknown_mode_rejected(self, paper_dag):
+        index = FelineIndex(paper_dag).build()
+        with pytest.raises(ValueError):
+            verify_index(paper_dag, index, mode="psychic")
+
+    def test_deep_sweep_flag(self, paper_dag):
+        index = FelineIndex(paper_dag).build()
+        assert verify_index(paper_dag, index, deep=True).deep
+        assert not verify_index(paper_dag, index, deep=False).deep

@@ -169,6 +169,97 @@ class TestBuildAndIndexReuse:
         ]) == 1
 
 
+class TestVerifyIndexCommand:
+    @pytest.fixture
+    def built(self, tmp_path):
+        g = random_dag(120, avg_degree=2.5, seed=7)
+        graph_path = tmp_path / "dag.edges"
+        index_path = tmp_path / "dag.feline"
+        write_edge_list(g, graph_path)
+        main(["build", str(graph_path), str(index_path)])
+        return graph_path, index_path
+
+    def test_clean_index_exits_zero(self, built, capsys):
+        graph_path, index_path = built
+        assert main(["verify-index", str(graph_path), str(index_path)]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "[pass]" in out
+
+    def test_mmap_flag(self, built):
+        graph_path, index_path = built
+        assert main([
+            "verify-index", str(graph_path), str(index_path), "--mmap",
+        ]) == 0
+
+    def test_corrupt_file_exits_two(self, built, capsys):
+        from repro.resilience import chaos
+
+        graph_path, index_path = built
+        chaos.flip_bytes(index_path, seed=3, flips=4)
+        assert main(["verify-index", str(graph_path), str(index_path)]) == 2
+        assert "UNREADABLE" in capsys.readouterr().err
+
+    def test_truncated_file_exits_two(self, built, capsys):
+        from repro.resilience import chaos
+
+        graph_path, index_path = built
+        chaos.truncate_file(index_path, index_path.stat().st_size // 2)
+        assert main(["verify-index", str(graph_path), str(index_path)]) == 2
+        assert "UNREADABLE" in capsys.readouterr().err
+
+    def test_unsound_index_exits_one(self, built, capsys):
+        """A readable file whose coordinates violate Theorem 1 fails with
+        exit 1 (integrity), not 2 (unreadable)."""
+        from repro.core.persistence import load_coordinates, save_coordinates
+        from repro.resilience import chaos as chaos_mod
+
+        graph_path, index_path = built
+        coords = load_coordinates(index_path)
+        bad = chaos_mod.corrupt_coordinates(coords, seed=1, mutations=3)
+        save_coordinates(bad, index_path)
+        assert main(["verify-index", str(graph_path), str(index_path)]) == 1
+        assert "[FAIL]" in capsys.readouterr().out
+
+
+class TestBudgetedQueryCommand:
+    # Pair (460, 1876) on this DAG dodges both cuts and expands ~100
+    # vertices of pruned DFS, so a 5-step budget trips; a bounded biBFS
+    # answers it within 40 visited nodes, so fallback recovers at
+    # --max-steps 10 (fallback_nodes defaults to 4x the step cap).
+    @pytest.fixture(scope="class")
+    def hard_dag(self, tmp_path_factory):
+        g = random_dag(2000, avg_degree=2.5, seed=1)
+        path = tmp_path_factory.mktemp("cli-budget") / "hard.edges"
+        write_edge_list(g, path)
+        return path
+
+    def test_exhausted_budget_exits_three(self, hard_dag, capsys):
+        code = main([
+            "query", str(hard_dag), "460", "1876",
+            "--max-steps", "5", "--on-budget", "unknown",
+        ])
+        assert code == 3
+        assert "unknown" in capsys.readouterr().out
+
+    def test_fallback_recovers_answer(self, hard_dag, capsys):
+        code = main([
+            "query", str(hard_dag), "460", "1876",
+            "--max-steps", "10", "--on-budget", "fallback",
+        ])
+        assert code == 0
+        assert "reachable" in capsys.readouterr().out
+
+    def test_generous_budget_exits_zero(self, hard_dag):
+        assert main([
+            "query", str(hard_dag), "460", "1876", "--max-steps", "100000",
+        ]) == 0
+
+    def test_deadline_flag_accepted(self, hard_dag):
+        assert main([
+            "query", str(hard_dag), "1876", "460", "--deadline-ms", "5000",
+        ]) == 1
+
+
 class TestValidateAndRecommend:
     @pytest.fixture
     def dag_file(self, tmp_path):
