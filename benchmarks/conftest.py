@@ -13,6 +13,11 @@ assembled from those files).
 Sizing: scales are chosen so the whole suite runs in a few minutes in
 pure Python.  Crank ``REPRO_BENCH_SCALE`` (a multiplier on each bench's
 default scale) for bigger runs.
+
+Pass ``--bench-trace`` to collect hierarchical spans for the whole run and
+write them as Chrome ``trace_event`` JSON to
+``benchmarks/results/bench_trace.json`` (open at https://ui.perfetto.dev).
+Tracing is off by default — the opt-in keeps the timing tables honest.
 """
 
 from __future__ import annotations
@@ -44,6 +49,41 @@ def save_report(report) -> None:
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--bench-trace",
+        action="store_true",
+        default=False,
+        help="collect spans and write a Chrome trace to "
+        "benchmarks/results/bench_trace.json",
+    )
+
+
+def pytest_configure(config) -> None:
+    if config.getoption("--bench-trace"):
+        from repro.obs.spans import Tracer, enable_tracing
+
+        # A large ring so multi-minute runs keep their early spans too.
+        enable_tracing(Tracer(capacity=200_000))
+
+
+def pytest_unconfigure(config) -> None:
+    if config.getoption("--bench-trace"):
+        from repro.obs.spans import (
+            disable_tracing,
+            get_tracer,
+            write_chrome_trace,
+        )
+
+        tracer = get_tracer()
+        if tracer.enabled:
+            RESULTS_DIR.mkdir(exist_ok=True)
+            path = RESULTS_DIR / "bench_trace.json"
+            write_chrome_trace(tracer, path)
+            print(f"\nbench trace written: {path} ({tracer.total} spans)")
+        disable_tracing()
 
 
 def pytest_collection_modifyitems(items) -> None:

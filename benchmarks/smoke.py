@@ -1,0 +1,92 @@
+"""CI bench smoke: a fixed-seed micro-benchmark with trace artifact.
+
+Runs FELINE and FELINE-B over a small synthetic DAG (fixed seed, so the
+workload is identical across CI runs), records build/query timings to
+``BENCH_pr4.json``, and writes a sample Chrome ``trace_event`` file from
+the same run.  Both files are uploaded as CI artifacts — the JSON gives
+a coarse perf trend line, the trace a clickable span tree for one run.
+
+Not collected by pytest (no ``bench_`` prefix, no test functions); run as
+
+    PYTHONPATH=src python benchmarks/smoke.py [OUT_DIR]
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+
+from repro.bench.harness import MethodSpec, measure_method
+from repro.datasets.queries import random_pairs
+from repro.graph.generators import random_dag
+from repro.obs.spans import disable_tracing, enable_tracing, write_chrome_trace
+
+SEED = 42
+VERTICES = 5_000
+AVG_DEGREE = 2.0
+NUM_QUERIES = 2_000
+SPECS = [
+    MethodSpec("feline", "FELINE"),
+    MethodSpec("feline-b", "FELINE-B"),
+]
+
+
+def run(out_dir: Path) -> dict:
+    graph = random_dag(VERTICES, avg_degree=AVG_DEGREE, seed=SEED)
+    graph.name = f"random_dag(n={VERTICES}, d={AVG_DEGREE}, seed={SEED})"
+    pairs = random_pairs(graph, NUM_QUERIES, seed=SEED)
+
+    tracer = enable_tracing()
+    try:
+        results = [
+            measure_method(graph, spec, pairs, runs=3, percentiles=True)
+            for spec in SPECS
+        ]
+        trace_path = out_dir / "smoke_trace.json"
+        write_chrome_trace(tracer, trace_path)
+    finally:
+        disable_tracing()
+
+    report = {
+        "bench": "pr4-smoke",
+        "python": platform.python_version(),
+        "seed": SEED,
+        "graph": {
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+            "queries": NUM_QUERIES,
+        },
+        "results": [
+            {
+                "method": r.method,
+                "construction_ms": r.construction_ms,
+                "query_ms": r.query_ms,
+                "index_bytes": r.index_bytes,
+                "positives": r.positives,
+                "query_p50_us": r.query_p50_us,
+                "query_p95_us": r.query_p95_us,
+                "query_p99_us": r.query_p99_us,
+            }
+            for r in results
+        ],
+        "trace_spans": tracer.total,
+    }
+    (out_dir / "BENCH_pr4.json").write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+    return report
+
+
+def main(argv: list[str]) -> int:
+    out_dir = Path(argv[1]) if len(argv) > 1 else Path("benchmarks/results")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    report = run(out_dir)
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten: {out_dir / 'BENCH_pr4.json'}, {out_dir / 'smoke_trace.json'}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

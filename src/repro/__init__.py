@@ -133,6 +133,56 @@ class Reachability:
         ]
         return list(self.index.query_many(mapped, budget=budget))
 
+    def explain(self, u: int, v: int, budget: QueryBudget | None = None):
+        """Answer ``r(u, v)`` with full provenance — why this verdict?
+
+        Returns a :class:`repro.obs.QueryExplanation`: the verdict
+        (always equal to :meth:`reachable` on the same pair), which O(1)
+        cut fired or how far the online search went, the structures
+        consulted, the elapsed time, and any budget consumption.  Two
+        distinct vertices in one strongly connected component report the
+        ``same-scc`` cut; the condensed ids appear under
+        ``details["scc(u)"]`` / ``details["scc(v)"]``.
+        """
+        mu, mv = self._map_vertex(u), self._map_vertex(v)
+        explanation = self.index.explain(mu, mv, budget=budget)
+        explanation.details["scc(u)"] = mu
+        explanation.details["scc(v)"] = mv
+        explanation.u, explanation.v = u, v
+        if u != v and explanation.cut == "equal":
+            explanation.cut = "same-scc"
+        return explanation
+
+    def enable_slow_log(
+        self,
+        threshold_ms: float = 1.0,
+        capacity: int = 128,
+        mode: str = "threshold",
+        seed: int = 0,
+    ):
+        """Attach a slow-query log to the underlying index; returns it.
+
+        Scalar and batch queries are then timed per pair and queries at
+        or above ``threshold_ms`` retained in a bounded ring buffer
+        (``mode="reservoir"`` samples everything uniformly instead) —
+        see :class:`repro.obs.SlowQueryLog`.  Serve it live with
+        :class:`repro.obs.ObsServer` or read ``slow_log.records()``.
+        """
+        from repro.obs.slowlog import SlowQueryLog
+
+        log = SlowQueryLog(
+            capacity=capacity,
+            threshold_ns=int(threshold_ms * 1e6),
+            mode=mode,
+            seed=seed,
+        )
+        return self.index.attach_slow_log(log)
+
+    @property
+    def slow_log(self):
+        """The attached :class:`repro.obs.SlowQueryLog`, or ``None``."""
+        return self.index.slow_log
+
     @property
     def stats(self) -> QueryStats:
         """The underlying index's :class:`QueryStats` counters.

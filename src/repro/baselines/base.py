@@ -25,7 +25,11 @@ from repro.exceptions import (
     UnknownMethodError,
 )
 from repro.graph.digraph import DiGraph
+from repro.obs.explain import BudgetReport, QueryExplanation
 from repro.obs.metrics import COUNT_BUCKETS, MetricsRegistry, get_registry
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.spans import get_tracer
+from repro.obs.timing import elapsed_ns, elapsed_s, now_ns
 from repro.resilience import chaos
 from repro.resilience.budget import UNKNOWN, QueryBudget, bounded_fallback
 
@@ -134,6 +138,13 @@ class ReachabilityIndex(ABC):
         self._latency_hist = None
         self._batch_hist = None
         self._batch_size_hist = None
+        # The serving surfaces: a SlowQueryLog (attach_slow_log) and the
+        # span tracer (resolved at build() when tracing is enabled).
+        # _hot_obs folds all per-query observers into ONE handle so the
+        # scalar hot path keeps its single `is None` guard check.
+        self._slow_log = None
+        self._query_tracer = None
+        self._hot_obs = None
 
     # -- lifecycle ------------------------------------------------------
     def build(self) -> "ReachabilityIndex":
@@ -142,14 +153,32 @@ class ReachabilityIndex(ABC):
         With metrics enabled (:func:`repro.obs.enable_metrics` *before*
         this call) the build is timed into
         ``repro_index_build_seconds{method}``, a trace event records the
-        graph dimensions, and per-query instruments are armed.
+        graph dimensions, and per-query instruments are armed.  With
+        tracing enabled (:func:`repro.obs.enable_tracing` *before* this
+        call) the build runs inside an ``index.build`` span and per-query
+        spans are armed.
         """
         chaos.fire("index.build.start", method=self.method_name)
+        tracer = get_tracer()
+        with tracer.span(
+            "index.build",
+            method=self.method_name,
+            vertices=self.graph.num_vertices,
+            edges=self.graph.num_edges,
+        ):
+            self._build_instrumented()
+        if tracer.enabled:
+            self._query_tracer = tracer
+        self._refresh_hot_obs()
+        self._built = True
+        return self
+
+    def _build_instrumented(self) -> None:
+        """Run :meth:`_build`, timed into the metrics registry when live."""
         registry = get_registry()
         if not registry.enabled:
             self._build()
-            self._built = True
-            return self
+            return
 
         method = self.method_name
         start = perf_counter()
@@ -189,8 +218,41 @@ class ReachabilityIndex(ABC):
             method=method,
         )
         self._install_observers(registry)
-        self._built = True
-        return self
+
+    def _refresh_hot_obs(self) -> None:
+        """Fold the per-query observers into the single hot-path handle.
+
+        ``_hot_obs`` is ``None`` when nothing per-query is armed — the
+        scalar hot path then pays exactly one ``is None`` check — and a
+        ``(latency_hist, slow_log, tracer)`` triple otherwise.
+        """
+        if (
+            self._latency_hist is None
+            and self._slow_log is None
+            and self._query_tracer is None
+        ):
+            self._hot_obs = None
+        else:
+            self._hot_obs = (
+                self._latency_hist, self._slow_log, self._query_tracer
+            )
+
+    def attach_slow_log(self, log: SlowQueryLog | None) -> SlowQueryLog | None:
+        """Attach (or with ``None`` detach) a slow-query log; returns it.
+
+        Once attached, every scalar query is timed and offered to the
+        log, and :meth:`query_many` answers pair by pair through the
+        scalar path so slow pairs inside batches are caught individually
+        (trading the vectorized batch cut for per-pair visibility).
+        """
+        self._slow_log = log
+        self._refresh_hot_obs()
+        return log
+
+    @property
+    def slow_log(self) -> SlowQueryLog | None:
+        """The attached slow-query log, if any."""
+        return self._slow_log
 
     def _install_observers(self, registry: MetricsRegistry) -> None:
         """Hook: attach extra instruments when metrics are enabled.
@@ -276,25 +338,49 @@ class ReachabilityIndex(ABC):
         if u == v:
             self.stats.equal_cuts += 1
             return True
-        hist = self._latency_hist
-        if budget is None:
-            if hist is None:
+        obs = self._hot_obs
+        if obs is None:
+            if budget is None:
                 return self._query(u, v)
-            start = perf_counter()
-            answer = self._query(u, v)
-            hist.observe(perf_counter() - start)
-            return answer
-        start = perf_counter() if hist is not None else 0.0
+            return self._budgeted_query(u, v, budget)
+
+        hist, slow, tracer = obs
+        span = None
+        if tracer is not None:
+            span = tracer.span("query", method=self.method_name, u=u, v=v)
+            span.__enter__()
+        start = now_ns()
+        try:
+            if budget is None:
+                answer = self._query(u, v)
+            else:
+                answer = self._budgeted_query(u, v, budget)
+        except BaseException as exc:
+            if span is not None:
+                span.__exit__(type(exc), exc, None)
+            raise
+        duration = elapsed_ns(start)
+        if span is not None:
+            span.set_attribute(
+                "verdict",
+                answer if isinstance(answer, bool) else str(answer),
+            )
+            span.__exit__(None, None, None)
+        if hist is not None:
+            hist.observe(duration * 1e-9)
+        if slow is not None:
+            slow.record(u, v, answer, duration, self.method_name)
+        return answer
+
+    def _budgeted_query(self, u: int, v: int, budget: QueryBudget):
+        """One guarded query: install the guard, degrade on exhaustion."""
         self._set_guard(budget.new_guard())
         try:
-            answer = self._query(u, v)
+            return self._query(u, v)
         except QueryBudgetExceeded as exc:
-            answer = self._degrade(u, v, budget, exc)
+            return self._degrade(u, v, budget, exc)
         finally:
             self._set_guard(None)
-        if hist is not None:
-            hist.observe(perf_counter() - start)
-        return answer
 
     def _set_guard(self, guard) -> None:
         """Install the active search guard (hook for delegating indexes)."""
@@ -304,14 +390,15 @@ class ReachabilityIndex(ABC):
         """Apply the budget's exhaustion policy; maintains all counters."""
         stats = self.stats
         stats.budget_exhausted += 1
+        policy = budget.policy
         registry = get_registry()
         registry.counter(
             "repro_budget_exhausted_total",
             help="Budgeted queries that hit their step/deadline limit.",
             method=self.method_name,
             resource=exc.resource,
+            policy=policy,
         ).inc()
-        policy = budget.policy
         if policy == "raise":
             outcome = "raised"
         elif policy == "unknown":
@@ -332,6 +419,7 @@ class ReachabilityIndex(ABC):
             help="Outcomes of budget-exhausted queries, per policy.",
             method=self.method_name,
             outcome=outcome,
+            policy=policy,
         ).inc()
         if policy == "raise":
             raise exc
@@ -371,13 +459,45 @@ class ReachabilityIndex(ABC):
                 raise InvalidVertexError(v, n)
         if budget is not None:
             return [self.query(u, v, budget=budget) for u, v in pairs]
+        slow = self._slow_log
+        tracer = self._query_tracer
         hist = self._batch_hist
-        if hist is None:
-            return self._query_many(pairs)
-        start = perf_counter()
-        answers = self._query_many(pairs)
-        hist.observe(perf_counter() - start)
-        self._batch_size_hist.observe(len(pairs))
+        if slow is None and tracer is None:
+            if hist is None:
+                return self._query_many(pairs)
+            start = now_ns()
+            answers = self._query_many(pairs)
+            hist.observe(elapsed_s(start))
+            self._batch_size_hist.observe(len(pairs))
+            return answers
+
+        # Per-pair visibility requested: a slow log needs each pair
+        # timed individually (scalar path), and a tracer gets one batch
+        # span that per-query spans parent under via the ambient span.
+        span = None
+        if tracer is not None:
+            span = tracer.span(
+                "query_many", method=self.method_name, size=len(pairs)
+            )
+            span.__enter__()
+        start = now_ns()
+        try:
+            if slow is not None:
+                answers = [self.query(u, v) for u, v in pairs]
+            else:
+                answers = self._query_many(pairs)
+        except BaseException as exc:
+            if span is not None:
+                span.__exit__(type(exc), exc, None)
+            raise
+        if span is not None:
+            span.set_attribute(
+                "positives", sum(1 for answer in answers if answer is True)
+            )
+            span.__exit__(None, None, None)
+        if hist is not None:
+            hist.observe(elapsed_s(start))
+            self._batch_size_hist.observe(len(pairs))
         return answers
 
     def _query_many(self, pairs: Iterable[tuple[int, int]]) -> list[bool]:
@@ -394,6 +514,125 @@ class ReachabilityIndex(ABC):
             stats.queries += 1
             answers.append(query(u, v))
         return answers
+
+    # -- explain -----------------------------------------------------------
+    def explain(
+        self, u: int, v: int, budget: QueryBudget | None = None
+    ) -> QueryExplanation:
+        """Answer ``r(u, v)`` *and* report how the answer was produced.
+
+        Returns a :class:`~repro.obs.explain.QueryExplanation` whose
+        ``verdict`` always equals what :meth:`query` would return for the
+        same arguments (the property suite asserts this for every
+        registered method), plus the provenance: which O(1) cut fired or
+        whether the online search ran, how many vertices it expanded and
+        pruned, the wall time, and — under a budget — the consumption and
+        degradation outcome.
+
+        The classification is generic (derived from the per-method
+        :class:`QueryStats` accounting every ``_query`` maintains);
+        index families refine it through :meth:`_explain_details` —
+        FELINE distinguishes the coordinate cut from the level filter
+        and attaches the coordinates it consulted.
+
+        Unlike :meth:`query`, ``explain`` never raises on budget
+        exhaustion: under ``policy="raise"`` the explanation carries
+        ``verdict=UNKNOWN`` with ``budget.outcome == "raised"`` so the
+        provenance survives to the caller.
+        """
+        if not self._built:
+            raise IndexNotBuiltError(
+                f"{self.method_name}: call build() before explain()"
+            )
+        self._check_vertex(u)
+        self._check_vertex(v)
+        stats = self.stats
+        base = (
+            stats.equal_cuts, stats.negative_cuts, stats.positive_cuts,
+            stats.searches, stats.expanded, stats.pruned,
+        )
+        budget_report = None
+        stats.queries += 1
+        start = now_ns()
+        if u == v:
+            stats.equal_cuts += 1
+            verdict = True
+        elif budget is None:
+            verdict = self._query(u, v)
+        else:
+            guard = budget.new_guard()
+            self._set_guard(guard)
+            exhausted = False
+            outcome = "completed"
+            try:
+                verdict = self._query(u, v)
+            except QueryBudgetExceeded as exc:
+                exhausted = True
+                try:
+                    verdict = self._degrade(u, v, budget, exc)
+                except QueryBudgetExceeded:
+                    verdict = UNKNOWN
+                    outcome = "raised"
+                else:
+                    if budget.policy == "unknown":
+                        outcome = "unknown"
+                    elif verdict is UNKNOWN:
+                        outcome = "fallback_unknown"
+                    else:
+                        outcome = (
+                            "fallback_true" if verdict else "fallback_false"
+                        )
+            finally:
+                self._set_guard(None)
+            budget_report = BudgetReport(
+                policy=budget.policy,
+                max_steps=budget.max_steps,
+                deadline_s=budget.deadline_s,
+                steps_used=guard.steps,
+                exhausted=exhausted,
+                outcome=outcome,
+            )
+        elapsed = elapsed_ns(start)
+
+        # Exactly one cut counter moved (each _query's contract); label-
+        # lookup methods that count nothing (e.g. the materialized
+        # transitive closure) classify by the verdict's sign.
+        if stats.equal_cuts > base[0]:
+            cut = "equal"
+        elif stats.searches > base[3]:
+            cut = "search"
+        elif stats.positive_cuts > base[2]:
+            cut = "positive-cut"
+        elif stats.negative_cuts > base[1]:
+            cut = "negative-cut"
+        else:
+            cut = "positive-cut" if verdict is True else "negative-cut"
+
+        explanation = QueryExplanation(
+            method=self.method_name,
+            u=u,
+            v=v,
+            verdict=verdict,
+            cut=cut,
+            expanded=stats.expanded - base[4],
+            pruned=stats.pruned - base[5],
+            elapsed_ns=elapsed,
+            budget=budget_report,
+        )
+        self._explain_details(u, v, explanation)
+        return explanation
+
+    def _explain_details(
+        self, u: int, v: int, explanation: QueryExplanation
+    ) -> None:
+        """Hook: enrich (and refine) an explanation with index internals.
+
+        Called once per :meth:`explain` with the generically-classified
+        explanation; subclasses add the structures they consulted to
+        ``explanation.details`` and may sharpen ``explanation.cut``
+        (FELINE splits ``negative-cut`` into the coordinate cut vs the
+        level filter).  The default adds nothing.
+        """
 
     # -- observability ----------------------------------------------------
     def publish_stats(self, registry: MetricsRegistry | None = None) -> None:

@@ -122,6 +122,24 @@ class GrailIndex(ReachabilityIndex):
         stats.searches += 1
         return self._search(u, v)
 
+    def _explain_details(self, u: int, v: int, explanation) -> None:
+        """The d interval labels consulted; splits interval cut vs level."""
+        details = explanation.details
+        details["labels(u)"] = tuple(
+            (labels.start[u], labels.post[u]) for labels in self.labelings
+        )
+        details["labels(v)"] = tuple(
+            (labels.start[v], labels.post[v]) for labels in self.labelings
+        )
+        if self.levels is not None:
+            details["level(u)"] = self.levels[u]
+            details["level(v)"] = self.levels[v]
+        if explanation.cut == "negative-cut":
+            if not self._contains_all(u, v):
+                details["containment"] = False
+            else:
+                explanation.cut = "level-filter"
+
     def _search(self, u: int, v: int) -> bool:
         """DFS pruned by interval containment (no target-position bound)."""
         indptr = self.graph.out_indptr

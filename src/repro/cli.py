@@ -22,12 +22,26 @@ Commands
     Theorem 1 soundness invariants against the graph; exits 0 when the
     index is sound, 1 on an integrity violation, 2 when the file itself
     is unreadable (bad magic, truncation, checksum mismatch).
-``bench EXPERIMENT [--scale S] [--queries N] [--runs R] [--metrics-out P]``
+``bench EXPERIMENT [--scale S] [--queries N] [--runs R] [--metrics-out P] [--trace-out P]``
     Regenerate a paper artifact (``t1``..``t5``, ``f10``..``f17``,
     ``ablation-heuristics``, ``ablation-filters``, or ``all``); with
     ``--metrics-out PATH`` the run executes with metrics enabled and
     writes a JSON-lines export to ``PATH`` plus a Prometheus text export
-    next to it (``.prom`` suffix).
+    next to it (``.prom`` suffix); with ``--trace-out PATH`` spans are
+    collected and written as Chrome ``trace_event`` JSON that
+    https://ui.perfetto.dev opens directly.
+``explain GRAPH.edges u v [--method M]``
+    Answer one query *with provenance*: which O(1) cut fired (negative
+    coordinate cut, level filter, positive-cut interval) or how far the
+    refined online search went, the structures consulted, and the
+    elapsed time.  Budget flags as in ``query``.  Exit codes mirror
+    ``query`` (0 reachable, 1 not, 3 unknown).
+``serve GRAPH.edges [--method M] [--port P] [--warm N] [--slow-ms T]``
+    Build an index with metrics on, warm it with ``N`` random queries,
+    and serve ``/metrics`` (Prometheus), ``/healthz`` and ``/slow``
+    (the slow-query log, JSON) from a stdlib HTTP server until
+    interrupted; ``--once`` scrapes each endpoint once and exits (CI
+    smoke).
 ``stats GRAPH.edges [--method M] [--queries N] [--seed S] [--metrics-out P]``
     Build an index, answer a random workload, and print the query-stats
     breakdown (which cut answered how many queries), build-phase
@@ -82,6 +96,26 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("methods", help="list registered reachability methods")
     sub.add_parser("datasets", help="list dataset names")
 
+    def add_budget_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--max-steps",
+            type=int,
+            default=None,
+            help="budget: cap the online search at this many expanded vertices",
+        )
+        p.add_argument(
+            "--deadline-ms",
+            type=float,
+            default=None,
+            help="budget: wall-clock deadline for the query, in milliseconds",
+        )
+        p.add_argument(
+            "--on-budget",
+            choices=["raise", "unknown", "fallback"],
+            default="unknown",
+            help="what budget exhaustion degrades to (default: unknown)",
+        )
+
     query = sub.add_parser("query", help="answer one reachability query")
     query.add_argument("graph", help="edge-list file (u v per line)")
     query.add_argument("source", type=int)
@@ -93,23 +127,46 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--mmap", action="store_true", help="memory-map the saved index"
     )
-    query.add_argument(
-        "--max-steps",
+    add_budget_args(query)
+
+    explain = sub.add_parser(
+        "explain", help="answer one query with verdict provenance"
+    )
+    explain.add_argument("graph", help="edge-list file (u v per line)")
+    explain.add_argument("source", type=int)
+    explain.add_argument("target", type=int)
+    explain.add_argument("--method", default="feline")
+    explain.add_argument(
+        "--json", action="store_true", help="print the explanation as JSON"
+    )
+    add_budget_args(explain)
+
+    serve = sub.add_parser(
+        "serve", help="serve /metrics, /healthz and /slow over HTTP"
+    )
+    serve.add_argument("graph", help="edge-list file (u v per line)")
+    serve.add_argument("--method", default="feline")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="0 (default) picks a free port"
+    )
+    serve.add_argument(
+        "--warm",
         type=int,
-        default=None,
-        help="budget: cap the online search at this many expanded vertices",
+        default=1000,
+        help="random queries answered before serving (default 1000)",
     )
-    query.add_argument(
-        "--deadline-ms",
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--slow-ms",
         type=float,
-        default=None,
-        help="budget: wall-clock deadline for the query, in milliseconds",
+        default=1.0,
+        help="slow-query log threshold in milliseconds (default 1.0)",
     )
-    query.add_argument(
-        "--on-budget",
-        choices=["raise", "unknown", "fallback"],
-        default="unknown",
-        help="what budget exhaustion degrades to (default: unknown)",
+    serve.add_argument(
+        "--once",
+        action="store_true",
+        help="scrape each endpoint once, print, and exit (smoke tests)",
     )
 
     build = sub.add_parser(
@@ -154,6 +211,13 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="enable metrics and write JSON-lines to PATH plus a "
         "Prometheus text export with a .prom suffix",
+    )
+    bench.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="enable span tracing and write Chrome trace_event JSON to "
+        "PATH (open it at https://ui.perfetto.dev)",
     )
 
     stats = sub.add_parser(
@@ -265,6 +329,53 @@ def _run_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: warm an index, expose the obs triad."""
+    from repro.datasets.queries import random_pairs
+    from repro.obs.server import ObsServer
+
+    registry = obs.enable_metrics()
+    try:
+        graph = read_edge_list(args.graph)
+        oracle = Reachability(graph, method=args.method)
+        oracle.enable_slow_log(threshold_ms=args.slow_ms)
+        if args.warm > 0:
+            pairs = random_pairs(graph, args.warm, seed=args.seed)
+            oracle.reachable_many(pairs)
+        server = ObsServer(
+            registry=registry,
+            slow_log=oracle.slow_log,
+            host=args.host,
+            port=args.port,
+        )
+        server.start()
+        try:
+            print(
+                f"serving {oracle.index.method_name} metrics on "
+                f"{server.url} (/metrics, /healthz, /slow)"
+            )
+            if args.once:
+                from urllib.request import urlopen
+
+                for endpoint in ("/healthz", "/metrics", "/slow"):
+                    with urlopen(server.url + endpoint) as response:
+                        body = response.read().decode("utf-8")
+                    print(f"--- GET {endpoint} [{response.status}]")
+                    print(body if len(body) < 2000 else body[:2000] + "...")
+                return 0
+            try:
+                import threading
+
+                threading.Event().wait()  # serve until interrupted
+            except KeyboardInterrupt:
+                print("interrupted, shutting down")
+            return 0
+        finally:
+            server.stop()
+    finally:
+        obs.disable_metrics()
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -305,6 +416,36 @@ def main(argv: list[str] | None = None) -> int:
             return 3
         print("reachable" if answer else "not reachable")
         return 0 if answer else 1
+
+    if args.command == "explain":
+        import json
+
+        from repro.resilience import UNKNOWN, QueryBudget
+
+        budget = None
+        if args.max_steps is not None or args.deadline_ms is not None:
+            budget = QueryBudget(
+                max_steps=args.max_steps,
+                deadline_s=(
+                    args.deadline_ms / 1000.0
+                    if args.deadline_ms is not None
+                    else None
+                ),
+                policy=args.on_budget,
+            )
+        graph = read_edge_list(args.graph)
+        oracle = Reachability(graph, method=args.method)
+        explanation = oracle.explain(args.source, args.target, budget=budget)
+        if args.json:
+            print(json.dumps(explanation.as_dict(), indent=2, default=str))
+        else:
+            print(explanation.render())
+        if explanation.verdict is UNKNOWN:
+            return 3
+        return 0 if explanation.verdict else 1
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     if args.command == "build":
         from repro.core.persistence import save_index
@@ -361,6 +502,11 @@ def main(argv: list[str] | None = None) -> int:
             sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
         )
         registry = obs.enable_metrics() if args.metrics_out else None
+        tracer = None
+        if args.trace_out:
+            from repro.obs.spans import disable_tracing, enable_tracing
+
+            tracer = enable_tracing()
         try:
             for experiment in wanted:
                 report = _EXPERIMENTS[experiment](
@@ -370,9 +516,19 @@ def main(argv: list[str] | None = None) -> int:
                 print()
             if registry is not None:
                 _write_metrics(registry, args.metrics_out)
+            if tracer is not None:
+                from repro.obs.spans import write_chrome_trace
+
+                write_chrome_trace(tracer, args.trace_out)
+                print(
+                    f"trace written: {args.trace_out} "
+                    f"({tracer.total} spans; open at https://ui.perfetto.dev)"
+                )
         finally:
             if registry is not None:
                 obs.disable_metrics()
+            if tracer is not None:
+                disable_tracing()
         return 0
 
     return 2  # pragma: no cover - argparse enforces the choices

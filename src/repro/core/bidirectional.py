@@ -64,6 +64,12 @@ class FelineIIndex(ReachabilityIndex):
         # r(u, v) on G  ⇔  r(v, u) on reversed(G).
         return self._inner._query(v, u)
 
+    def _explain_details(self, u: int, v: int, explanation) -> None:
+        # Provenance comes from the reversed-graph index with the
+        # arguments swapped, exactly like the query itself.
+        self._inner._explain_details(v, u, explanation)
+        explanation.details["reversed_index"] = True
+
 
 class FelineBIndex(ReachabilityIndex):
     """FELINE-B: bidirectional pruning with normal + reversed coordinates.
@@ -155,6 +161,31 @@ class FelineBIndex(ReachabilityIndex):
 
         stats.searches += 1
         return self._search(u, v, xv, yv, rxv, ryv)
+
+    def _explain_details(self, u: int, v: int, explanation) -> None:
+        """Both coordinate sets; splits the three negative cuts apart."""
+        fwd, bwd = self.forward, self.backward
+        details = explanation.details
+        details["i(u)"] = (fwd.x[u], fwd.y[u])
+        details["i(v)"] = (fwd.x[v], fwd.y[v])
+        details["i'(u)"] = (bwd.x[u], bwd.y[u])
+        details["i'(v)"] = (bwd.x[v], bwd.y[v])
+        levels = fwd.levels
+        if levels is not None:
+            details["level(u)"] = levels[u]
+            details["level(v)"] = levels[v]
+        if explanation.cut == "negative-cut":
+            if not fwd.dominates(u, v):
+                details["dominates"] = False
+            elif not bwd.dominates(v, u):
+                explanation.cut = "negative-cut-reversed"
+                details["reversed_dominates"] = False
+            else:
+                explanation.cut = "level-filter"
+        elif explanation.cut == "positive-cut":
+            intervals = fwd.tree_intervals
+            details["interval(u)"] = (intervals.start[u], intervals.post[u])
+            details["interval(v)"] = (intervals.start[v], intervals.post[v])
 
     def _search(
         self, u: int, v: int, xv: int, yv: int, rxv: int, ryv: int

@@ -42,6 +42,9 @@ from dataclasses import dataclass, field
 from repro.core.index import FelineCoordinates, build_feline_index
 from repro.exceptions import ReproError, WorkerError
 from repro.graph.digraph import DiGraph
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.spans import get_tracer
+from repro.obs.timing import elapsed_ns, now_ns
 from repro.resilience import chaos
 from repro.resilience.retry import RetryPolicy
 
@@ -183,7 +186,9 @@ class SimulatedCluster:
         graph: DiGraph,
         num_shards: int = 4,
         retry_policy: RetryPolicy | None = None,
+        slow_log: SlowQueryLog | None = None,
     ) -> None:
+        self.slow_log = slow_log
         if num_shards < 1:
             raise ReproError(f"num_shards must be >= 1, got {num_shards}")
         self.graph = graph
@@ -212,8 +217,37 @@ class SimulatedCluster:
         self._query_counter = 0
 
     # ------------------------------------------------------------------
+    def attach_slow_log(self, log: SlowQueryLog | None) -> SlowQueryLog | None:
+        """Attach (or with ``None`` detach) a slow-query log; returns it."""
+        self.slow_log = log
+        return log
+
     def query(self, u: int, v: int) -> bool:
-        """Answer ``r(u, v)`` through the cluster protocol."""
+        """Answer ``r(u, v)`` through the cluster protocol.
+
+        With tracing enabled the whole query runs inside a
+        ``cluster.query`` span and every worker dispatch becomes a
+        ``cluster.expand`` child span (parented through the ambient
+        span), so a trace shows exactly which shards a query touched and
+        for how long.  An attached slow log records per-query wall time.
+        """
+        tracer = get_tracer()
+        slow = self.slow_log
+        if not tracer.enabled and slow is None:
+            return self._query_impl(u, v)
+        span = tracer.span(
+            "cluster.query", u=u, v=v, shards=self.num_shards
+        )
+        start = now_ns()
+        with span:
+            answer = self._query_impl(u, v)
+            span.set_attribute("verdict", answer)
+            span.set_attribute("rounds", self.stats.rounds)
+        if slow is not None:
+            slow.record(u, v, answer, elapsed_ns(start), "cluster")
+        return answer
+
+    def _query_impl(self, u: int, v: int) -> bool:
         stats = self.stats
         stats.queries += 1
         if u == v:
@@ -290,8 +324,24 @@ class SimulatedCluster:
                 self.stats.worker_failures += 1
                 raise
 
+        tracer = get_tracer()
+        if not tracer.enabled:
+            try:
+                return policy.call(attempt)
+            finally:
+                self.stats.retries += policy.retries - retries_before
+        # Child span per dispatch, parented under the cluster.query span
+        # through the ambient contextvar.
         try:
-            return policy.call(attempt)
+            with tracer.span(
+                "cluster.expand",
+                shard=worker.shard_id,
+                frontier=len(frontier),
+            ) as span:
+                found, outbox = policy.call(attempt)
+                span.set_attribute("found", found)
+                span.set_attribute("forwarded", sum(map(len, outbox.values())))
+                return found, outbox
         finally:
             self.stats.retries += policy.retries - retries_before
 

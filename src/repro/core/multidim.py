@@ -125,6 +125,20 @@ class MultiDimFelineIndex(ReachabilityIndex):
         stats.searches += 1
         return self._search(u, v)
 
+    def _explain_details(self, u: int, v: int, explanation) -> None:
+        """Per-dimension coordinates; splits coordinate cut from level."""
+        details = explanation.details
+        details["i(u)"] = tuple(r[u] for r in self.ranks)
+        details["i(v)"] = tuple(r[v] for r in self.ranks)
+        if self.levels is not None:
+            details["level(u)"] = self.levels[u]
+            details["level(v)"] = self.levels[v]
+        if explanation.cut == "negative-cut":
+            if not self.dominates(u, v):
+                details["dominates"] = False
+            else:
+                explanation.cut = "level-filter"
+
     def _search(self, u: int, v: int) -> bool:
         """DFS pruned by the target's bound in every dimension."""
         ranks = self.ranks

@@ -128,6 +128,32 @@ class FelineIndex(ReachabilityIndex):
         stats.searches += 1
         return self._search(u, v, xv, yv)
 
+    def _explain_details(self, u: int, v: int, explanation) -> None:
+        """FELINE provenance: coordinates, levels, intervals consulted.
+
+        Refines the generic ``negative-cut`` classification into the
+        coordinate cut (``i(u) ⋠ i(v)``, Theorem 1) versus the level
+        filter (``l_u ≥ l_v``, §3.4.2) — the :class:`QueryStats`
+        counters lump both as ``negative_cuts``.
+        """
+        coords = self.coordinates
+        details = explanation.details
+        details["i(u)"] = coords.coordinate(u)
+        details["i(v)"] = coords.coordinate(v)
+        levels = coords.levels
+        if levels is not None:
+            details["level(u)"] = levels[u]
+            details["level(v)"] = levels[v]
+        if explanation.cut == "negative-cut":
+            if not coords.dominates(u, v):
+                details["dominates"] = False
+            else:
+                explanation.cut = "level-filter"
+        elif explanation.cut == "positive-cut":
+            intervals = coords.tree_intervals
+            details["interval(u)"] = (intervals.start[u], intervals.post[u])
+            details["interval(v)"] = (intervals.start[v], intervals.post[v])
+
     def _search(self, u: int, v: int, xv: int, yv: int) -> bool:
         """Iterative DFS from ``u`` restricted to ``{w : i(w) ≼ i(v)}``.
 

@@ -30,9 +30,28 @@ Metric families emitted by the built-in instrumentation:
 * ``repro_search_expanded_vertices{method}`` — vertices expanded per
   pruned DFS (histogram);
 * ``repro_query_stats{method,counter}`` — the ``QueryStats`` counters as
-  gauges (published by ``ReachabilityIndex.publish_stats``).
+  gauges (published by ``ReachabilityIndex.publish_stats``);
+* ``repro_budget_exhausted_total{method,resource,policy}`` /
+  ``repro_degraded_total{method,outcome,policy}`` — budget exhaustion
+  and degradation outcomes, split by degradation policy.
+
+Beyond metrics, the package provides the serving triad (see
+docs/OBSERVABILITY.md):
+
+* **spans** (:mod:`repro.obs.spans`) — hierarchical start/end intervals
+  with parent links and a contextvar ambient span; enable with
+  :func:`enable_tracing`, export with :func:`write_chrome_trace`
+  (Perfetto-loadable) or :func:`write_spans_jsonl`;
+* **explain** (:mod:`repro.obs.explain`) — per-query verdict provenance
+  (:class:`QueryExplanation`), produced by ``Reachability.explain`` and
+  ``ReachabilityIndex.explain``;
+* **slow-query log** (:mod:`repro.obs.slowlog`) — a bounded ring buffer
+  with threshold or reservoir sampling;
+* **scrape endpoint** (:mod:`repro.obs.server`) — a stdlib HTTP server
+  exposing ``/metrics``, ``/healthz``, and ``/slow``.
 """
 
+from repro.obs.explain import CUTS, BudgetReport, QueryExplanation
 from repro.obs.export import (
     to_jsonl,
     to_prometheus,
@@ -53,7 +72,24 @@ from repro.obs.metrics import (
     metrics_enabled,
     set_registry,
 )
-from repro.obs.timing import Timer, timed
+from repro.obs.server import ObsServer
+from repro.obs.slowlog import SlowQueryLog, SlowQueryRecord
+from repro.obs.spans import (
+    NullTracer,
+    Span,
+    Tracer,
+    current_span,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+    spans_to_chrome_trace,
+    spans_to_jsonl,
+    tracing_enabled,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.obs.timing import Timer, elapsed_ns, elapsed_s, now_ns, timed
 from repro.obs.trace import TraceEvent, TraceLog
 
 __all__ = [
@@ -71,10 +107,35 @@ __all__ = [
     "metrics_enabled",
     "Timer",
     "timed",
+    "now_ns",
+    "elapsed_ns",
+    "elapsed_s",
     "TraceEvent",
     "TraceLog",
     "to_jsonl",
     "write_jsonl",
     "to_prometheus",
     "write_prometheus",
+    # spans
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "get_tracer",
+    "set_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "current_span",
+    "spans_to_jsonl",
+    "write_spans_jsonl",
+    "spans_to_chrome_trace",
+    "write_chrome_trace",
+    # explain
+    "CUTS",
+    "BudgetReport",
+    "QueryExplanation",
+    # slow-query log + serving
+    "SlowQueryRecord",
+    "SlowQueryLog",
+    "ObsServer",
 ]

@@ -23,8 +23,8 @@ import threading
 from bisect import bisect_left
 from contextlib import contextmanager
 from math import inf
-from time import perf_counter
 
+from repro.obs.timing import elapsed_s, now_ns
 from repro.obs.trace import TraceLog
 
 __all__ = [
@@ -141,11 +141,11 @@ class Histogram:
     @contextmanager
     def time(self):
         """Context manager observing the elapsed wall time, in seconds."""
-        start = perf_counter()
+        start = now_ns()
         try:
             yield self
         finally:
-            self.observe(perf_counter() - start)
+            self.observe(elapsed_s(start))
 
     @property
     def mean(self) -> float:
@@ -280,11 +280,11 @@ class MetricsRegistry:
         Also feeds the ``repro_build_phase_seconds`` histogram so phase
         timings show up in both exporters.
         """
-        start = perf_counter()
+        start = now_ns()
         try:
             yield
         finally:
-            elapsed = perf_counter() - start
+            elapsed = elapsed_s(start)
             self.trace(name, duration_s=elapsed, phase=phase, **fields)
             self.histogram(
                 "repro_build_phase_seconds",

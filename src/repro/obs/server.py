@@ -1,0 +1,151 @@
+"""A stdlib scrape endpoint: ``/metrics``, ``/healthz``, ``/slow``.
+
+The serving triad's live surface — a background-thread
+:class:`http.server.ThreadingHTTPServer` exposing:
+
+* ``GET /metrics`` — the active metrics registry in the Prometheus text
+  exposition format (scrape-ready);
+* ``GET /healthz`` — ``ok`` with a 200, for load-balancer liveness;
+* ``GET /slow`` — the attached :class:`~repro.obs.slowlog.SlowQueryLog`
+  as a JSON document (records plus sampling metadata).
+
+No dependencies beyond the standard library, by design — the container
+bakes in no web framework, and a reachability service needs nothing
+fancier than a scrape target.  Start with::
+
+    server = ObsServer(slow_log=log).start()   # port=0 picks a free port
+    print(server.url)
+    ...
+    server.stop()
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.export import to_prometheus
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.slowlog import SlowQueryLog
+
+__all__ = ["ObsServer"]
+
+
+class ObsServer:
+    """Serve observability endpoints from a daemon thread.
+
+    Parameters
+    ----------
+    registry:
+        Metrics registry backing ``/metrics``; defaults to the live
+        process-wide registry *at scrape time*, so a server started
+        before :func:`repro.obs.enable_metrics` still scrapes correctly.
+    slow_log:
+        The log backing ``/slow``; ``None`` serves an empty document.
+    host, port:
+        Bind address; ``port=0`` (default) lets the OS pick a free port,
+        readable as :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        slow_log: SlowQueryLog | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._registry = registry
+        self.slow_log = slow_log
+        obs_server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, fmt, *args):  # silence per-request stderr
+                pass
+
+            def do_GET(self):
+                path = self.path.split("?", 1)[0]
+                if path == "/metrics":
+                    body = to_prometheus(obs_server.registry)
+                    self._reply(200, body, "text/plain; version=0.0.4")
+                elif path == "/healthz":
+                    self._reply(200, "ok\n", "text/plain")
+                elif path == "/slow":
+                    body = json.dumps(obs_server.slow_payload(), indent=2)
+                    self._reply(200, body + "\n", "application/json")
+                else:
+                    self._reply(404, "not found\n", "text/plain")
+
+            def _reply(self, status: int, body: str, content_type: str):
+                payload = body.encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The registry ``/metrics`` serves (live lookup when unset)."""
+        return self._registry if self._registry is not None else get_registry()
+
+    def slow_payload(self) -> dict:
+        """The ``/slow`` JSON document."""
+        log = self.slow_log
+        if log is None:
+            return {"records": [], "observed": 0}
+        return {
+            "mode": log.mode,
+            "capacity": log.capacity,
+            "threshold_ns": log.threshold_ns,
+            "observed": log.observed,
+            "records": log.as_dicts(),
+        }
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ObsServer":
+        """Begin serving from a daemon thread; returns ``self``."""
+        if self._thread is not None:
+            raise RuntimeError("ObsServer is already running")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-obs-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread (idempotent)."""
+        if self._thread is None:
+            return
+        self._httpd.shutdown()
+        self._thread.join(timeout=5)
+        self._httpd.server_close()
+        self._thread = None
+
+    def __enter__(self) -> "ObsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+    def __repr__(self) -> str:
+        state = "running" if self._thread is not None else "stopped"
+        return f"<ObsServer {self.url} {state}>"

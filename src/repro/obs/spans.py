@@ -1,0 +1,371 @@
+"""Hierarchical spans: start/end intervals with parent links and attributes.
+
+Where :mod:`repro.obs.trace` records flat build milestones, a *span* is a
+timed interval in a tree: an index build is a span, each build phase a
+child span, a batch query a span with one child per worker dispatch.  The
+tree is reconstructed from ``parent_id`` links; the *ambient* current span
+lives in a :mod:`contextvars` context variable, so nesting works across
+helper functions (and per-``contextvars``-semantics, across threads that
+copy the context) without threading span objects through every signature.
+
+The subsystem follows the same zero-cost-when-disabled contract as the
+metrics registry: the process-wide default tracer is a :class:`NullTracer`
+whose :meth:`~Tracer.span` returns one shared no-op context manager —
+instrumented code pays an attribute load and a truthiness check, never an
+allocation.  Enable with :func:`enable_tracing` (or the scoped
+:func:`tracing_enabled`) *before* building indexes, mirroring
+:func:`repro.obs.enable_metrics`.
+
+Finished spans export two ways:
+
+* :func:`spans_to_jsonl` — one JSON object per span, for offline joins
+  against the metrics JSONL;
+* :func:`spans_to_chrome_trace` — the Chrome ``trace_event`` JSON format
+  (``ph: "X"`` complete events, microsecond timestamps), which
+  https://ui.perfetto.dev and ``chrome://tracing`` open directly.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from contextvars import ContextVar
+from pathlib import Path
+
+from repro.obs.timing import elapsed_ns, now_ns
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "get_tracer",
+    "set_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "current_span",
+    "spans_to_jsonl",
+    "write_spans_jsonl",
+    "spans_to_chrome_trace",
+    "write_chrome_trace",
+]
+
+#: The ambient span: children created while it is active parent to it.
+_CURRENT_SPAN: ContextVar["Span | None"] = ContextVar(
+    "repro_current_span", default=None
+)
+
+
+class Span:
+    """One timed interval in the trace tree.
+
+    Created by :meth:`Tracer.span`; use as a context manager.  Attributes
+    are arbitrary scalar fields (``sp.set_attribute("verdict", True)``)
+    that ride along into both exporters.  ``end_ns`` is ``None`` while
+    the span is open; ``duration_ns`` is clamped non-negative (see
+    :func:`repro.obs.timing.elapsed_ns`).
+    """
+
+    __slots__ = (
+        "span_id", "parent_id", "name", "start_ns", "end_ns",
+        "attributes", "thread_id", "_tracer", "_token",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        span_id: int,
+        parent_id: int | None,
+        name: str,
+        attributes: dict,
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.attributes = attributes
+        self.start_ns = now_ns()
+        self.end_ns: int | None = None
+        self.thread_id = threading.get_ident()
+        self._tracer = tracer
+        self._token = None
+
+    def set_attribute(self, key: str, value) -> "Span":
+        """Attach one attribute; returns ``self`` for chaining."""
+        self.attributes[key] = value
+        return self
+
+    def end(self) -> "Span":
+        """Close the span and hand it to the tracer (idempotent)."""
+        if self.end_ns is None:
+            self.end_ns = self.start_ns + elapsed_ns(self.start_ns)
+            self._tracer._finish(self)
+        return self
+
+    @property
+    def duration_ns(self) -> int:
+        """Span length so far (live while open), never negative."""
+        if self.end_ns is None:
+            return elapsed_ns(self.start_ns)
+        return self.end_ns - self.start_ns
+
+    def __enter__(self) -> "Span":
+        self._token = _CURRENT_SPAN.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._token is not None:
+            _CURRENT_SPAN.reset(self._token)
+            self._token = None
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self.end()
+        return False
+
+    def as_dict(self) -> dict:
+        """Flat dict for the JSONL exporter."""
+        out: dict = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+            "thread_id": self.thread_id,
+        }
+        if self.attributes:
+            out["attributes"] = dict(self.attributes)
+        return out
+
+    def __repr__(self) -> str:
+        state = "open" if self.end_ns is None else f"{self.duration_ns}ns"
+        return f"<Span #{self.span_id} {self.name!r} {state}>"
+
+
+class _NullSpan:
+    """Shared no-op span: what the disabled tracer hands out."""
+
+    __slots__ = ()
+
+    def set_attribute(self, key: str, value) -> "_NullSpan":
+        return self
+
+    def end(self) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects finished spans in a bounded ring buffer.
+
+    ``capacity`` caps memory for long-lived services: beyond it the
+    oldest finished spans are dropped while ``total`` keeps counting, so
+    truncation is detectable (same semantics as
+    :class:`repro.obs.trace.TraceLog`).
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.total = 0
+        self._spans: list[Span] = []
+        self._lock = threading.Lock()
+        self._next_id = 0
+
+    def span(self, name: str, **attributes) -> Span:
+        """Open a span parented to the ambient current span.
+
+        Use as a context manager — entering makes the new span ambient,
+        exiting restores the parent and records the finished span::
+
+            with tracer.span("query", method="feline") as sp:
+                ...
+                sp.set_attribute("verdict", answer)
+        """
+        parent = _CURRENT_SPAN.get()
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return Span(
+            self,
+            span_id,
+            parent.span_id if parent is not None else None,
+            name,
+            attributes,
+        )
+
+    def _finish(self, span: Span) -> None:
+        with self._lock:
+            self.total += 1
+            self._spans.append(span)
+            if len(self._spans) > self.capacity:
+                del self._spans[: len(self._spans) - self.capacity]
+
+    @property
+    def truncated(self) -> bool:
+        return self.total > len(self._spans)
+
+    def spans(self) -> list[Span]:
+        """Finished spans, oldest first."""
+        return list(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+
+class NullTracer(Tracer):
+    """The default tracer: disabled, hands out one shared no-op span."""
+
+    enabled = False
+
+    def span(self, name: str, **attributes):
+        return _NULL_SPAN
+
+    def _finish(self, span) -> None:  # pragma: no cover - nothing finishes
+        pass
+
+
+_tracer: Tracer = NullTracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (a no-op :class:`NullTracer` by default)."""
+    return _tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process-wide tracer; returns it."""
+    global _tracer
+    _tracer = tracer
+    return _tracer
+
+
+def enable_tracing(tracer: Tracer | None = None) -> Tracer:
+    """Turn span collection on; returns the active tracer.
+
+    Like :func:`repro.obs.enable_metrics`, call *before* building
+    indexes — the query hot path resolves its tracer handle at
+    :meth:`~repro.baselines.base.ReachabilityIndex.build` time.
+    """
+    return set_tracer(tracer if tracer is not None else Tracer())
+
+
+def disable_tracing() -> None:
+    """Restore the zero-cost no-op tracer."""
+    set_tracer(NullTracer())
+
+
+class tracing_enabled:
+    """Scoped :func:`enable_tracing`; restores the previous tracer.
+
+    >>> with tracing_enabled() as tracer:
+    ...     with tracer.span("work"):
+    ...         pass
+    >>> len(tracer)
+    1
+    """
+
+    def __init__(self, tracer: Tracer | None = None) -> None:
+        self._tracer = tracer
+        self._previous: Tracer | None = None
+
+    def __enter__(self) -> Tracer:
+        self._previous = get_tracer()
+        return enable_tracing(self._tracer)
+
+    def __exit__(self, *exc) -> bool:
+        set_tracer(self._previous)
+        return False
+
+
+def current_span() -> Span | None:
+    """The ambient span, or ``None`` outside any ``with tracer.span(...)``."""
+    return _CURRENT_SPAN.get()
+
+
+# ---------------------------------------------------------------------------
+# Exporters
+# ---------------------------------------------------------------------------
+def spans_to_jsonl(tracer: Tracer) -> str:
+    """Serialize every finished span, one JSON object per line."""
+    lines = [
+        json.dumps(span.as_dict(), default=str) for span in tracer.spans()
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_spans_jsonl(tracer: Tracer, path: str | Path) -> Path:
+    """Write :func:`spans_to_jsonl` output to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(spans_to_jsonl(tracer), encoding="utf-8")
+    return path
+
+
+def spans_to_chrome_trace(tracer: Tracer, process_name: str = "repro") -> str:
+    """Render finished spans as Chrome ``trace_event`` JSON.
+
+    Emits ``ph: "X"`` (complete) events with microsecond timestamps —
+    the subset every viewer supports.  Load the file directly in
+    https://ui.perfetto.dev or ``chrome://tracing``; the span hierarchy
+    appears as stacked slices per thread track, and span attributes show
+    in the ``args`` panel on click.
+    """
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in tracer.spans():
+        event: dict = {
+            "name": span.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": span.start_ns / 1000.0,
+            "dur": span.duration_ns / 1000.0,
+            "pid": 1,
+            "tid": span.thread_id,
+            "args": {
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                **{k: _json_safe(v) for k, v in span.attributes.items()},
+            },
+        }
+        events.append(event)
+    return json.dumps(
+        {"traceEvents": events, "displayTimeUnit": "ms"}, default=str
+    )
+
+
+def _json_safe(value):
+    """Coerce attribute values the ``args`` panel can display."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+def write_chrome_trace(
+    tracer: Tracer, path: str | Path, process_name: str = "repro"
+) -> Path:
+    """Write :func:`spans_to_chrome_trace` output to ``path``."""
+    path = Path(path)
+    path.write_text(
+        spans_to_chrome_trace(tracer, process_name=process_name),
+        encoding="utf-8",
+    )
+    return path

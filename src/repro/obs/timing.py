@@ -1,16 +1,52 @@
-"""Monotonic timing helpers: :class:`Timer` and :func:`timed`.
+"""Monotonic timing helpers: nanosecond clock, :class:`Timer`, :func:`timed`.
 
-Thin wrappers over :func:`time.perf_counter` so instrumented code never
-spells out the start/stop arithmetic — and so tests can assert on one
-well-defined behaviour (monotonic, reentrant-safe, exception-safe).
+Every duration the observability layer records — span lengths, timer
+readings, histogram ``time()`` blocks — flows through the two helpers at
+the top of this module, :func:`now_ns` and :func:`elapsed_ns`.  That
+single choke point buys two guarantees:
+
+* one well-defined clock (:func:`time.perf_counter_ns` — monotonic,
+  integer, no float rounding on long uptimes), and
+* **non-negative durations**: ``elapsed_ns`` clamps to zero, so a clock
+  quirk (VM suspend/resume, NTP-adjusted fallback clocks on exotic
+  platforms, counter wrap in a foreign process) can never push a negative
+  duration into a histogram bucket or a span export and corrupt
+  percentiles downstream.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from time import perf_counter
+from time import perf_counter_ns
 
-__all__ = ["Timer", "timed"]
+__all__ = ["now_ns", "elapsed_ns", "elapsed_s", "Timer", "timed"]
+
+#: Nanoseconds per second, for the few places that convert to float seconds.
+NS_PER_S = 1_000_000_000
+
+
+def now_ns() -> int:
+    """The monotonic clock, in integer nanoseconds.
+
+    The single clock source for spans, timers, and histogram timing —
+    pair with :func:`elapsed_ns` rather than subtracting by hand.
+    """
+    return perf_counter_ns()
+
+
+def elapsed_ns(start_ns: int) -> int:
+    """Nanoseconds since ``start_ns`` (a :func:`now_ns` reading), >= 0.
+
+    Negative differences are clamped to zero so clock quirks cannot
+    corrupt histograms or span durations.
+    """
+    delta = perf_counter_ns() - start_ns
+    return delta if delta > 0 else 0
+
+
+def elapsed_s(start_ns: int) -> float:
+    """Seconds since ``start_ns``, clamped to >= 0 (see :func:`elapsed_ns`)."""
+    return elapsed_ns(start_ns) / NS_PER_S
 
 
 class Timer:
@@ -23,18 +59,19 @@ class Timer:
 
     While running, ``elapsed`` reads the live value without stopping.
     ``start()`` returns ``self`` so construction chains; calling it again
-    restarts the measurement.
+    restarts the measurement.  Readings are clamped non-negative
+    (see :func:`elapsed_ns`).
     """
 
-    __slots__ = ("_start", "_elapsed", "running")
+    __slots__ = ("_start_ns", "_elapsed", "running")
 
     def __init__(self) -> None:
-        self._start = 0.0
+        self._start_ns = 0
         self._elapsed = 0.0
         self.running = False
 
     def start(self) -> "Timer":
-        self._start = perf_counter()
+        self._start_ns = now_ns()
         self.running = True
         return self
 
@@ -42,7 +79,7 @@ class Timer:
         """Stop and return the elapsed seconds."""
         if not self.running:
             raise RuntimeError("Timer.stop() called before start()")
-        self._elapsed = perf_counter() - self._start
+        self._elapsed = elapsed_s(self._start_ns)
         self.running = False
         return self._elapsed
 
@@ -50,7 +87,7 @@ class Timer:
     def elapsed(self) -> float:
         """Seconds measured so far (live while running, frozen after stop)."""
         if self.running:
-            return perf_counter() - self._start
+            return elapsed_s(self._start_ns)
         return self._elapsed
 
     def __enter__(self) -> "Timer":
@@ -76,8 +113,8 @@ def timed(observe):
     >>> h.count
     1
     """
-    start = perf_counter()
+    start = now_ns()
     try:
         yield
     finally:
-        observe(perf_counter() - start)
+        observe(elapsed_s(start))

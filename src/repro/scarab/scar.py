@@ -86,6 +86,30 @@ class ScarabIndex(ReachabilityIndex):
             + inverse.itemsize * len(inverse)
         )
 
+    def _explain_details(self, u: int, v: int, explanation) -> None:
+        """Gateway-set sizes: how large the backbone product was.
+
+        ``cut == "search"`` here means the ``Out(u) × In(v)`` gateway
+        product was evaluated on the backbone's base index (not a graph
+        DFS); ``positive-cut`` is a direct-edge local hit and
+        ``negative-cut`` an empty gateway set.
+        """
+        graph = self.graph
+        backbone_id = self.backbone.backbone_id
+        out_gw = sum(
+            1
+            for k in range(graph.out_indptr[u], graph.out_indptr[u + 1])
+            if backbone_id[graph.out_indices[k]] != -1
+        ) + (1 if backbone_id[u] != -1 else 0)
+        in_gw = sum(
+            1
+            for k in range(graph.in_indptr[v], graph.in_indptr[v + 1])
+            if backbone_id[graph.in_indices[k]] != -1
+        ) + (1 if backbone_id[v] != -1 else 0)
+        explanation.details["out_gateways"] = out_gw
+        explanation.details["in_gateways"] = in_gw
+        explanation.details["base_method"] = self.base_method
+
     # ------------------------------------------------------------------
     def _query(self, u: int, v: int) -> bool:
         stats = self.stats

@@ -1,0 +1,210 @@
+"""Unit tests for explain(): cut classification, details, budget reports."""
+
+import json
+
+import pytest
+
+from repro import Reachability
+from repro.baselines.base import create_index
+from repro.graph.digraph import DiGraph
+from repro.obs.explain import CUTS, QueryExplanation
+from repro.resilience import UNKNOWN, QueryBudget
+
+
+def diamond() -> DiGraph:
+    #     1
+    #   /   \
+    #  0     3 -> 4
+    #   \   /
+    #     2
+    return DiGraph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)])
+
+
+def chain(n: int) -> DiGraph:
+    return DiGraph.from_edges([(i, i + 1) for i in range(n - 1)])
+
+
+def build(method: str, graph: DiGraph, **params):
+    return create_index(method, graph, **params).build()
+
+
+class TestFelineCuts:
+    def test_equal(self):
+        index = build("feline", diamond())
+        exp = index.explain(2, 2)
+        assert exp.verdict is True
+        assert exp.cut == "equal"
+
+    def test_positive_cut_carries_intervals(self):
+        index = build("feline", diamond())
+        exp = index.explain(0, 4)
+        assert exp.verdict is True
+        assert exp.cut in ("positive-cut", "search")
+        assert "i(u)" in exp.details and "i(v)" in exp.details
+        if exp.cut == "positive-cut":
+            assert "interval(u)" in exp.details
+
+    def test_negative_cut_reports_non_dominance(self):
+        index = build("feline", diamond())
+        exp = index.explain(4, 0)
+        assert exp.verdict is False
+        assert exp.cut in ("negative-cut", "level-filter")
+        if exp.cut == "negative-cut":
+            assert exp.details["dominates"] is False
+
+    def test_search_counts_expansions(self):
+        # No positive cut and wide fan-out: force the online search.
+        index = build(
+            "feline", diamond(), use_positive_cut=False, use_level_filter=False
+        )
+        exp = index.explain(0, 4)
+        assert exp.verdict is True
+        assert exp.cut == "search"
+        assert exp.expanded >= 1
+
+    def test_verdict_matches_query_everywhere(self):
+        graph = diamond()
+        index = build("feline", graph)
+        twin = build("feline", graph)
+        for u in range(graph.num_vertices):
+            for v in range(graph.num_vertices):
+                assert index.explain(u, v).verdict == twin.query(u, v)
+
+    def test_stats_advance_like_query(self):
+        index = build("feline", diamond())
+        index.explain(0, 4)
+        index.explain(4, 0)
+        index.explain(1, 1)
+        assert index.stats.queries == 3
+
+
+class TestOtherMethods:
+    @pytest.mark.parametrize(
+        "method", ["feline-b", "feline-k", "grail", "bfs", "tc", "scarab"]
+    )
+    def test_cut_is_known_and_verdict_exact(self, method):
+        graph = diamond()
+        index = build(method, graph)
+        truth = build("dfs", graph)
+        for u in range(graph.num_vertices):
+            for v in range(graph.num_vertices):
+                exp = index.explain(u, v)
+                assert exp.cut in CUTS
+                assert exp.verdict == truth.query(u, v)
+
+    def test_feline_b_reversed_cut_detail(self):
+        index = build("feline-b", diamond())
+        exp = index.explain(4, 0)
+        assert exp.verdict is False
+        assert exp.cut in (
+            "negative-cut", "negative-cut-reversed", "level-filter"
+        )
+        assert "i'(u)" in exp.details
+
+    def test_scarab_reports_gateways(self):
+        exp = build("scarab", diamond()).explain(0, 4)
+        assert exp.details["base_method"] == "feline"
+        assert exp.details["out_gateways"] >= 0
+
+
+class TestBudgetReport:
+    def test_unbudgeted_has_no_report(self):
+        assert build("feline", diamond()).explain(0, 4).budget is None
+
+    def test_completed_within_budget(self):
+        index = build("feline", diamond())
+        exp = index.explain(0, 4, budget=QueryBudget(max_steps=10_000))
+        assert exp.budget.outcome == "completed"
+        assert not exp.budget.exhausted
+        assert exp.verdict is True
+
+    def test_exhausted_unknown(self):
+        index = build(
+            "feline", chain(400), use_positive_cut=False,
+            use_level_filter=False,
+        )
+        budget = QueryBudget(max_steps=5, policy="unknown")
+        exp = index.explain(0, 399, budget=budget)
+        assert exp.verdict is UNKNOWN
+        assert exp.budget.exhausted
+        assert exp.budget.outcome == "unknown"
+        assert exp.budget.steps_used >= 5
+
+    def test_raise_policy_never_raises_from_explain(self):
+        index = build(
+            "feline", chain(400), use_positive_cut=False,
+            use_level_filter=False,
+        )
+        budget = QueryBudget(max_steps=5, policy="raise")
+        exp = index.explain(0, 399, budget=budget)
+        assert exp.verdict is UNKNOWN
+        assert exp.budget.outcome == "raised"
+
+    def test_fallback_policy_resolves(self):
+        index = build(
+            "feline", chain(50), use_positive_cut=False,
+            use_level_filter=False,
+        )
+        budget = QueryBudget(max_steps=5, policy="fallback")
+        exp = index.explain(0, 49, budget=budget)
+        assert exp.budget.exhausted
+        assert exp.budget.outcome.startswith("fallback")
+        if exp.verdict is not UNKNOWN:
+            assert exp.verdict is True
+
+
+class TestRenderAndSerialize:
+    def test_render_mentions_cut_and_verdict(self):
+        text = build("feline", diamond()).explain(4, 0).render()
+        assert "not reachable" in text
+        assert "O(1)" in text
+
+    def test_as_dict_is_json_ready(self):
+        index = build(
+            "feline", chain(50), use_positive_cut=False,
+            use_level_filter=False,
+        )
+        exp = index.explain(
+            0, 49, budget=QueryBudget(max_steps=5, policy="unknown")
+        )
+        payload = json.loads(json.dumps(exp.as_dict()))
+        assert payload["verdict"] == "UNKNOWN"
+        assert payload["budget"]["policy"] == "unknown"
+
+    def test_unknown_renders_in_text(self):
+        index = build(
+            "feline", chain(50), use_positive_cut=False,
+            use_level_filter=False,
+        )
+        exp = index.explain(
+            0, 49, budget=QueryBudget(max_steps=5, policy="unknown")
+        )
+        assert "UNKNOWN" in exp.render()
+        assert "budget" in exp.render()
+
+
+class TestFacadeExplain:
+    def test_same_scc_cut(self):
+        # 0 <-> 1 form one SCC; 2 hangs off it.
+        oracle = Reachability([(0, 1), (1, 0), (1, 2)])
+        exp = oracle.explain(0, 1)
+        assert exp.verdict is True
+        assert exp.cut == "same-scc"
+        assert exp.details["scc(u)"] == exp.details["scc(v)"]
+
+    def test_original_ids_survive_mapping(self):
+        oracle = Reachability([(0, 1), (1, 0), (1, 2)])
+        exp = oracle.explain(2, 0)
+        assert (exp.u, exp.v) == (2, 0)
+        assert exp.verdict is False
+
+    def test_matches_reachable(self):
+        edges = [(0, 1), (1, 2), (2, 0), (2, 3), (4, 3)]
+        oracle = Reachability(edges)
+        for u in range(5):
+            for v in range(5):
+                assert oracle.explain(u, v).verdict == oracle.reachable(u, v)
+
+    def test_returns_query_explanation(self):
+        oracle = Reachability([(0, 1)])
+        assert isinstance(oracle.explain(0, 1), QueryExplanation)

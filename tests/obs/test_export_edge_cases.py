@@ -1,0 +1,94 @@
+"""Exporter edge cases and the zero-overhead-when-disabled guarantees."""
+
+import json
+
+from repro.baselines.base import create_index
+from repro.graph.digraph import DiGraph
+from repro.obs.export import to_jsonl, to_prometheus
+from repro.obs.metrics import (
+    _NULL_INSTRUMENT,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+)
+from repro.obs.spans import NullTracer, get_tracer
+
+
+class TestEmptyHistogram:
+    def test_percentiles_are_zero(self):
+        hist = MetricsRegistry().histogram("repro_empty_seconds")
+        assert hist.count == 0
+        assert hist.p50 == hist.p95 == hist.p99 == 0.0
+
+    def test_jsonl_reports_null_min_max(self):
+        reg = MetricsRegistry()
+        reg.histogram("repro_empty_seconds")
+        (record,) = [json.loads(line) for line in to_jsonl(reg).splitlines()]
+        assert record["count"] == 0
+        assert record["min"] is None and record["max"] is None
+        assert record["buckets"] == []  # empty buckets elided
+
+    def test_prometheus_emits_zero_series(self):
+        reg = MetricsRegistry()
+        reg.histogram("repro_empty_seconds", method="feline")
+        text = to_prometheus(reg)
+        assert 'repro_empty_seconds_bucket{method="feline",le="+Inf"} 0' in text
+        assert 'repro_empty_seconds_count{method="feline"} 0' in text
+
+
+class TestPrometheusLabelEscaping:
+    def test_special_characters_round_trip(self):
+        reg = MetricsRegistry()
+        raw = 'a"b\\c\nd'
+        reg.counter("repro_escapes_total", dataset=raw).inc()
+        line = next(
+            ln for ln in to_prometheus(reg).splitlines()
+            if ln.startswith("repro_escapes_total{")
+        )
+        # One physical line: the newline inside the value is escaped.
+        escaped = line.split('dataset="', 1)[1].rsplit('"', 1)[0]
+        assert escaped == 'a\\"b\\\\c\\nd'
+        # Unescape per the exposition-format rules: the original returns.
+        unescaped = (
+            escaped.replace("\\\\", "\x00")
+            .replace('\\"', '"')
+            .replace("\\n", "\n")
+            .replace("\x00", "\\")
+        )
+        assert unescaped == raw
+
+    def test_metric_name_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter("repro.dotted-name").inc()
+        assert "repro_dotted_name 1" in to_prometheus(reg)
+
+
+class TestZeroOverheadGuards:
+    """The disabled defaults hand out shared singletons — no allocation."""
+
+    def _index(self):
+        graph = DiGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+        return create_index("feline", graph).build()
+
+    def test_null_registry_instruments_are_one_object(self):
+        null = NullRegistry()
+        assert null.counter("a") is _NULL_INSTRUMENT
+        assert null.gauge("b") is _NULL_INSTRUMENT
+        assert null.histogram("c") is _NULL_INSTRUMENT
+        assert null.counter("a", method="x") is null.histogram("c")
+
+    def test_defaults_are_disabled(self):
+        assert not get_registry().enabled
+        assert not get_tracer().enabled
+
+    def test_index_hot_path_handles_stay_none(self):
+        index = self._index()
+        assert index._hot_obs is None
+        assert index._latency_hist is None
+        assert index._query_tracer is None
+        # The pruned DFS is NOT wrapped by the timing observer.
+        assert index._search.__func__ is type(index)._search
+
+    def test_null_tracer_span_is_shared_singleton(self):
+        null = NullTracer()
+        assert null.span("a") is null.span("b", attr=1)

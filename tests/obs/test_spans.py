@@ -1,0 +1,190 @@
+"""Unit tests for hierarchical spans, the ambient parent, and exporters."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.spans import (
+    NullTracer,
+    Tracer,
+    current_span,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    spans_to_chrome_trace,
+    spans_to_jsonl,
+    tracing_enabled,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+
+
+class TestSpanTree:
+    def test_parent_links_follow_nesting(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                with tracer.span("grandchild") as grandchild:
+                    pass
+            with tracer.span("sibling") as sibling:
+                pass
+        assert root.parent_id is None
+        assert child.parent_id == root.span_id
+        assert grandchild.parent_id == child.span_id
+        assert sibling.parent_id == root.span_id
+        # Finish order is innermost-first.
+        assert [s.name for s in tracer.spans()] == [
+            "grandchild", "child", "sibling", "root",
+        ]
+
+    def test_ambient_span_restored_on_exit(self):
+        tracer = Tracer()
+        assert current_span() is None
+        with tracer.span("outer") as outer:
+            assert current_span() is outer
+            with tracer.span("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+        assert current_span() is None
+
+    def test_attributes_and_exception_marker(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("work", size=3) as span:
+                span.set_attribute("verdict", True)
+                raise ValueError("boom")
+        finished = tracer.spans()[0]
+        assert finished.attributes["size"] == 3
+        assert finished.attributes["verdict"] is True
+        assert finished.attributes["error"] == "ValueError"
+
+    def test_end_is_idempotent(self):
+        tracer = Tracer()
+        span = tracer.span("once")
+        span.end()
+        first_end = span.end_ns
+        span.end()
+        assert span.end_ns == first_end
+        assert tracer.total == 1
+
+    def test_duration_never_negative(self):
+        tracer = Tracer()
+        span = tracer.span("instant")
+        span.end()
+        assert span.duration_ns >= 0
+
+
+class TestTracerRing:
+    def test_capacity_bounds_buffer_but_total_counts(self):
+        tracer = Tracer(capacity=3)
+        for i in range(10):
+            tracer.span(f"s{i}").end()
+        assert len(tracer) == 3
+        assert tracer.total == 10
+        assert tracer.truncated
+        assert [s.name for s in tracer.spans()] == ["s7", "s8", "s9"]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_span_ids_unique_across_threads(self):
+        tracer = Tracer()
+        ids = []
+
+        def work():
+            for _ in range(50):
+                span = tracer.span("t")
+                ids.append(span.span_id)
+                span.end()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(ids) == len(set(ids)) == 200
+
+
+class TestGlobalTracer:
+    def test_default_is_null(self):
+        assert not get_tracer().enabled
+
+    def test_enable_disable_roundtrip(self):
+        tracer = enable_tracing()
+        try:
+            assert get_tracer() is tracer
+            assert tracer.enabled
+        finally:
+            disable_tracing()
+        assert isinstance(get_tracer(), NullTracer)
+
+    def test_scoped_context_manager_restores(self):
+        before = get_tracer()
+        with tracing_enabled() as tracer:
+            assert get_tracer() is tracer
+            with tracer.span("work"):
+                pass
+        assert get_tracer() is before
+        assert len(tracer) == 1
+
+    def test_null_tracer_hands_out_shared_span(self):
+        null = NullTracer()
+        a = null.span("a", key=1)
+        b = null.span("b")
+        assert a is b  # one shared no-op object: zero allocation per span
+        with a as entered:
+            assert entered is a
+        assert a.set_attribute("x", 1) is a
+
+
+class TestExporters:
+    def _tracer_with_spans(self):
+        tracer = Tracer()
+        with tracer.span("build", method="feline"):
+            with tracer.span("query", verdict=False):
+                pass
+        return tracer
+
+    def test_jsonl_lines_parse(self, tmp_path):
+        tracer = self._tracer_with_spans()
+        lines = spans_to_jsonl(tracer).splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["name"] for r in records] == ["query", "build"]
+        assert records[0]["parent_id"] == records[1]["span_id"]
+        assert records[0]["attributes"] == {"verdict": False}
+        path = write_spans_jsonl(tracer, tmp_path / "spans.jsonl")
+        assert path.read_text().splitlines() == lines
+
+    def test_empty_tracer_exports_empty_jsonl(self):
+        assert spans_to_jsonl(Tracer()) == ""
+
+    def test_chrome_trace_structure(self, tmp_path):
+        tracer = self._tracer_with_spans()
+        doc = json.loads(spans_to_chrome_trace(tracer))
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        slices = [e for e in events if e["ph"] == "X"]
+        assert meta[0]["args"]["name"] == "repro"
+        assert len(slices) == 2
+        for event in slices:
+            # The complete-event subset every viewer requires.
+            assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(event)
+            assert event["dur"] >= 0
+        by_name = {e["name"]: e for e in slices}
+        assert (
+            by_name["query"]["args"]["parent_id"]
+            == by_name["build"]["args"]["span_id"]
+        )
+        assert by_name["build"]["args"]["method"] == "feline"
+        path = write_chrome_trace(tracer, tmp_path / "trace.json")
+        assert json.loads(path.read_text()) == doc
+
+    def test_chrome_trace_stringifies_exotic_attributes(self):
+        tracer = Tracer()
+        tracer.span("s", coords=(1, 2)).end()
+        doc = json.loads(spans_to_chrome_trace(tracer))
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert slices[0]["args"]["coords"] == "(1, 2)"

@@ -256,9 +256,13 @@ class TestObservabilityCounters:
                 "repro_budget_exhausted_total",
                 method="feline",
                 resource="steps",
+                policy="unknown",
             )
             degraded = registry.counter(
-                "repro_degraded_total", method="feline", outcome="unknown"
+                "repro_degraded_total",
+                method="feline",
+                outcome="unknown",
+                policy="unknown",
             )
             assert exhausted.value == 1
             assert degraded.value == 1
