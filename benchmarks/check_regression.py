@@ -1,0 +1,97 @@
+"""Gate CI on batch-throughput regressions against a committed baseline.
+
+Compares a fresh ``BENCH_pr5.json`` (written by ``smoke.py``) to the
+baseline committed at ``benchmarks/BENCH_pr5.json``.  Raw timings are
+not comparable across machines — a CI runner is not the laptop that
+committed the baseline — so each file's pure-Python *calibration* loop
+timing rescales its throughputs first:
+
+    normalized_throughput = (queries / query_ms) * calibration_ms
+
+i.e. "batch queries answered per unit of this machine's own Python
+speed".  A (workload, method, workers) cell regresses when its fresh
+normalized throughput drops more than ``--tolerance`` (default 20%)
+below the baseline's.  Cells present in only one file are reported and
+skipped, so a partial sweep (CI's per-workers matrix legs) checks just
+its slice.
+
+    PYTHONPATH=src python benchmarks/check_regression.py FRESH [BASELINE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "BENCH_pr5.json"
+
+
+def _cells(report: dict) -> dict[tuple[str, str, int], float]:
+    """(workload, method, workers) -> normalized batch throughput."""
+    calibration = report["calibration_ms"]
+    cells: dict[tuple[str, str, int], float] = {}
+    for workload in report["workloads"]:
+        queries = workload["queries"]
+        for r in workload["results"]:
+            if not queries or not r.get("query_ms"):
+                continue
+            key = (workload["workload"], r["method"], r["workers"])
+            cells[key] = (queries / r["query_ms"]) * calibration
+    return cells
+
+
+def check(fresh: dict, baseline: dict, tolerance: float) -> int:
+    fresh_cells = _cells(fresh)
+    base_cells = _cells(baseline)
+    regressions = []
+    print(
+        f"baseline calibration {baseline['calibration_ms']:.1f} ms "
+        f"({baseline.get('cpus', '?')} cpus), fresh "
+        f"{fresh['calibration_ms']:.1f} ms ({fresh.get('cpus', '?')} cpus); "
+        f"tolerance {tolerance:.0%}"
+    )
+    for key in sorted(base_cells):
+        workload, method, workers = key
+        label = f"{workload:>14} {method:<10} workers={workers}"
+        if key not in fresh_cells:
+            print(f"  {label}  SKIP (not in fresh run)")
+            continue
+        base = base_cells[key]
+        new = fresh_cells[key]
+        ratio = new / base
+        verdict = "ok"
+        if ratio < 1 - tolerance:
+            verdict = "REGRESSION"
+            regressions.append((key, ratio))
+        print(f"  {label}  {ratio:6.2f}x of baseline  {verdict}")
+    for key in sorted(set(fresh_cells) - set(base_cells)):
+        workload, method, workers = key
+        print(
+            f"  {workload:>14} {method:<10} workers={workers}  "
+            "SKIP (not in baseline)"
+        )
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} cell(s) regressed >"
+              f" {tolerance:.0%}")
+        return 1
+    print("\nOK: no batch-throughput regression")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", type=Path, help="BENCH_pr5.json of this run")
+    parser.add_argument(
+        "baseline", nargs="?", type=Path, default=DEFAULT_BASELINE
+    )
+    parser.add_argument("--tolerance", type=float, default=0.2)
+    args = parser.parse_args(argv[1:])
+    fresh = json.loads(args.fresh.read_text(encoding="utf-8"))
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    return check(fresh, baseline, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,24 +1,42 @@
-"""CI bench smoke: a fixed-seed micro-benchmark with trace artifact.
+"""CI bench smoke: fixed-seed micro-benchmark with a workers axis.
 
-Runs FELINE and FELINE-B over a small synthetic DAG (fixed seed, so the
-workload is identical across CI runs), records build/query timings to
-``BENCH_pr4.json``, and writes a sample Chrome ``trace_event`` file from
-the same run.  Both files are uploaded as CI artifacts — the JSON gives
-a coarse perf trend line, the trace a clickable span tree for one run.
+Runs FELINE and FELINE-B over two fixed-seed workloads and records
+build/query timings to ``BENCH_pr5.json`` plus a sample Chrome
+``trace_event`` file from the same run:
+
+* **cut-dominated** — uniform random pairs on a sparse DAG; the
+  vectorized cut pass answers almost everything, so this tracks the
+  batch engine itself;
+* **search-heavy** — pairs pre-filtered to cut *survivors* (the built
+  index's own cut table classifies candidates and keeps the undecided
+  ones), so batch time is dominated by online searches — the workload
+  the survivor-search pool (``--workers``) parallelizes.
+
+Every measurement records the machine context needed to compare runs
+across hosts: the CPU count (a pool cannot beat ``workers=0`` on a
+single core) and a pure-Python *calibration* loop timing that
+``check_regression.py`` uses to normalize throughput between the
+committed baseline and the machine re-running it.
 
 Not collected by pytest (no ``bench_`` prefix, no test functions); run as
 
-    PYTHONPATH=src python benchmarks/smoke.py [OUT_DIR]
+    PYTHONPATH=src python benchmarks/smoke.py [OUT_DIR] [--workers 0,2]
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import os
 import platform
 import sys
+import time
 from pathlib import Path
 
+import numpy as np
+
 from repro.bench.harness import MethodSpec, measure_method
+from repro.baselines.base import create_index
 from repro.datasets.queries import random_pairs
 from repro.graph.generators import random_dag
 from repro.obs.spans import disable_tracing, enable_tracing, write_chrome_trace
@@ -33,58 +51,133 @@ SPECS = [
 ]
 
 
-def run(out_dir: Path) -> dict:
+def calibrate(rounds: int = 3, n: int = 2_000_000) -> float:
+    """Milliseconds for a fixed pure-Python busy loop (best of rounds).
+
+    A machine-speed yardstick: both the committed baseline and a fresh
+    run carry it, so ``check_regression.py`` can compare normalized
+    throughput across differently-sized runners.
+    """
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        acc = 0
+        for i in range(n):
+            acc += i
+        best = min(best, time.perf_counter() - start)
+    return 1000 * best
+
+
+def survivor_pairs(graph, wanted: int, seed: int) -> list[tuple[int, int]]:
+    """``wanted`` pairs that FELINE's O(1) cuts cannot decide.
+
+    Classifies random candidates through a throwaway index's cut table
+    and keeps the undecided ones — the pairs whose batch cost is the
+    online search the pool parallelizes.
+    """
+    index = create_index("feline", graph).build()
+    table = index._cut_table
+    keep: list[tuple[int, int]] = []
+    attempt = 0
+    while len(keep) < wanted and attempt < 40:
+        candidates = random_pairs(graph, 8 * wanted, seed=seed + attempt)
+        arr = np.asarray(candidates, dtype=np.int64)
+        sources, targets = arr[:, 0], arr[:, 1]
+        positive, negative = table.classify(sources, targets)
+        undecided = ~(positive | negative) & (sources != targets)
+        keep.extend(
+            (int(u), int(v))
+            for u, v in arr[undecided][: wanted - len(keep)]
+        )
+        attempt += 1
+    return keep
+
+
+def _result_dict(r, workers: int) -> dict:
+    return {
+        "method": r.method,
+        "workers": workers,
+        "construction_ms": r.construction_ms,
+        "query_ms": r.query_ms,
+        "index_bytes": r.index_bytes,
+        "positives": r.positives,
+        "query_p50_us": r.query_p50_us,
+        "query_p95_us": r.query_p95_us,
+        "query_p99_us": r.query_p99_us,
+    }
+
+
+def run(out_dir: Path, workers_axis: list[int], runs: int = 3) -> dict:
     graph = random_dag(VERTICES, avg_degree=AVG_DEGREE, seed=SEED)
     graph.name = f"random_dag(n={VERTICES}, d={AVG_DEGREE}, seed={SEED})"
-    pairs = random_pairs(graph, NUM_QUERIES, seed=SEED)
+    workloads = [
+        ("cut-dominated", random_pairs(graph, NUM_QUERIES, seed=SEED)),
+        ("search-heavy", survivor_pairs(graph, NUM_QUERIES, seed=SEED)),
+    ]
 
     tracer = enable_tracing()
     try:
-        results = [
-            measure_method(graph, spec, pairs, runs=3, percentiles=True)
-            for spec in SPECS
-        ]
+        measured = []
+        for name, pairs in workloads:
+            results = [
+                _result_dict(
+                    measure_method(
+                        graph, spec, pairs, runs=runs,
+                        percentiles=True, workers=w,
+                    ),
+                    workers=w,
+                )
+                for spec in SPECS
+                for w in workers_axis
+            ]
+            measured.append(
+                {"workload": name, "queries": len(pairs), "results": results}
+            )
         trace_path = out_dir / "smoke_trace.json"
         write_chrome_trace(tracer, trace_path)
     finally:
         disable_tracing()
 
     report = {
-        "bench": "pr4-smoke",
+        "bench": "pr5-smoke",
         "python": platform.python_version(),
         "seed": SEED,
+        "cpus": os.cpu_count(),
+        "calibration_ms": calibrate(),
         "graph": {
             "vertices": graph.num_vertices,
             "edges": graph.num_edges,
-            "queries": NUM_QUERIES,
         },
-        "results": [
-            {
-                "method": r.method,
-                "construction_ms": r.construction_ms,
-                "query_ms": r.query_ms,
-                "index_bytes": r.index_bytes,
-                "positives": r.positives,
-                "query_p50_us": r.query_p50_us,
-                "query_p95_us": r.query_p95_us,
-                "query_p99_us": r.query_p99_us,
-            }
-            for r in results
-        ],
+        "workloads": measured,
         "trace_spans": tracer.total,
     }
-    (out_dir / "BENCH_pr4.json").write_text(
+    (out_dir / "BENCH_pr5.json").write_text(
         json.dumps(report, indent=2) + "\n", encoding="utf-8"
     )
     return report
 
 
 def main(argv: list[str]) -> int:
-    out_dir = Path(argv[1]) if len(argv) > 1 else Path("benchmarks/results")
-    out_dir.mkdir(parents=True, exist_ok=True)
-    report = run(out_dir)
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "out_dir", nargs="?", default="benchmarks/results", type=Path
+    )
+    parser.add_argument(
+        "--workers",
+        default="0,2",
+        help="comma-separated survivor-pool worker counts to sweep "
+        "(default 0,2; 0 = in-process)",
+    )
+    parser.add_argument("--runs", type=int, default=3)
+    args = parser.parse_args(argv[1:])
+    workers_axis = [int(w) for w in args.workers.split(",") if w != ""]
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    report = run(args.out_dir, workers_axis, runs=args.runs)
     print(json.dumps(report, indent=2))
-    print(f"\nwritten: {out_dir / 'BENCH_pr4.json'}, {out_dir / 'smoke_trace.json'}")
+    print(
+        f"\nwritten: {args.out_dir / 'BENCH_pr5.json'}, "
+        f"{args.out_dir / 'smoke_trace.json'}"
+    )
     return 0
 
 

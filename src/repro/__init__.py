@@ -77,6 +77,12 @@ class Reachability:
     method:
         Registry name of the index to build (default ``"feline"``; see
         :func:`available_methods`).
+    workers:
+        Worker processes for batch survivor searches (default ``0`` —
+        everything in process).  With ``workers >= 2`` a
+        :class:`repro.perf.SearchPool` is attached after the build, so
+        :meth:`reachable_many` parallelizes the pairs its O(1) cuts
+        cannot decide; see ``docs/PERFORMANCE.md`` for when that helps.
     **params:
         Forwarded to the index constructor (e.g. ``num_labelings=5`` for
         GRAIL).
@@ -86,6 +92,7 @@ class Reachability:
         self,
         graph: DiGraph | Iterable[tuple[int, int]],
         method: str = "feline",
+        workers: int = 0,
         **params,
     ) -> None:
         if not isinstance(graph, DiGraph):
@@ -97,6 +104,17 @@ class Reachability:
         self.index: ReachabilityIndex = create_index(
             method, self.condensation.dag, **params
         ).build()
+        if workers and workers > 1:
+            self.index.enable_search_pool(workers)
+
+    def enable_search_pool(self, workers: int, min_batch: int = 32):
+        """Attach (``workers >= 2``) or detach (``<= 1``) the survivor
+        pool on the underlying index; returns the pool or ``None``."""
+        return self.index.enable_search_pool(workers, min_batch=min_batch)
+
+    def close_search_pool(self) -> None:
+        """Terminate the survivor-search pool, if one is attached."""
+        self.index.close_search_pool()
 
     def _map_vertex(self, vertex: int) -> int:
         if vertex < 0 or vertex >= self.graph.num_vertices:

@@ -30,6 +30,8 @@ from repro.obs.metrics import COUNT_BUCKETS, MetricsRegistry, get_registry
 from repro.obs.slowlog import SlowQueryLog
 from repro.obs.spans import get_tracer
 from repro.obs.timing import elapsed_ns, elapsed_s, now_ns
+from repro.perf.engine import vectorized_query_many
+from repro.perf.pool import SearchPool
 from repro.resilience import chaos
 from repro.resilience.budget import UNKNOWN, QueryBudget, bounded_fallback
 
@@ -145,6 +147,12 @@ class ReachabilityIndex(ABC):
         self._slow_log = None
         self._query_tracer = None
         self._hot_obs = None
+        # The batch query engine's handles: a CutTable materialized once
+        # at build() time (None for indexes that declare no cuts — they
+        # keep the scalar batch loop) and an optional SearchPool for
+        # parallel survivor searches (see enable_search_pool()).
+        self._cut_table = None
+        self._search_pool = None
 
     # -- lifecycle ------------------------------------------------------
     def build(self) -> "ReachabilityIndex":
@@ -167,11 +175,35 @@ class ReachabilityIndex(ABC):
             edges=self.graph.num_edges,
         ):
             self._build_instrumented()
+            self._materialize_cut_table()
         if tracer.enabled:
             self._query_tracer = tracer
         self._refresh_hot_obs()
         self._built = True
         return self
+
+    def _materialize_cut_table(self) -> None:
+        """Build the batch engine's cut table (once, at build time).
+
+        Timed into ``repro_cut_table_build_seconds{method}`` and traced
+        as a ``cut_table.build`` child span of ``index.build``.  A
+        ``None`` table (the default :meth:`_make_cut_table`) keeps the
+        scalar batch loop and records nothing.
+        """
+        tracer = get_tracer()
+        with tracer.span("cut_table.build", method=self.method_name):
+            start = perf_counter()
+            self._cut_table = self._make_cut_table()
+            elapsed = perf_counter() - start
+        if self._cut_table is None:
+            return
+        registry = get_registry()
+        if registry.enabled:
+            registry.histogram(
+                "repro_cut_table_build_seconds",
+                help="Wall time to materialize the batch-engine cut table.",
+                method=self.method_name,
+            ).observe(elapsed)
 
     def _build_instrumented(self) -> None:
         """Run :meth:`_build`, timed into the metrics registry when live."""
@@ -501,12 +533,18 @@ class ReachabilityIndex(ABC):
         return answers
 
     def _query_many(self, pairs: Iterable[tuple[int, int]]) -> list[bool]:
-        """Batch implementation; override for a vectorized fast path.
+        """Batch implementation: the vectorized cut pass when the index
+        declares a cut table, the scalar loop otherwise.
 
-        Implementations own the ``stats.queries`` accounting (the base
-        loop counts per pair; a vectorized override counts the batch),
-        so the public wrapper adds no double counting.
+        Every registered family declares one (see
+        :meth:`_make_cut_table`), so the scalar loop only serves
+        out-of-tree subclasses.  Both paths own the ``stats.queries``
+        accounting (the scalar loop counts per pair; the engine counts
+        the batch), so the public wrapper adds no double counting, and
+        both produce identical answers and statistics.
         """
+        if self._cut_table is not None:
+            return vectorized_query_many(self, pairs)
         query = self._query
         stats = self.stats
         answers = []
@@ -514,6 +552,64 @@ class ReachabilityIndex(ABC):
             stats.queries += 1
             answers.append(query(u, v))
         return answers
+
+    # -- batch engine hooks ------------------------------------------------
+    def _make_cut_table(self):
+        """Hook: the family's :class:`~repro.perf.cut_table.CutTable`.
+
+        Called once per :meth:`build` (and by persistence loading).
+        Return ``None`` (the default) to keep the scalar batch loop;
+        every registered index family overrides this so ``query_many``
+        runs the vectorized cut pass of :mod:`repro.perf.engine`.
+        """
+        return None
+
+    def _search_pair(self, u: int, v: int) -> bool:
+        """Hook: answer one engine survivor (a pair no O(1) cut decided).
+
+        Implementations must reproduce exactly what the scalar
+        ``_query`` does *after* it has counted the search — typically a
+        call to the family's ``_search`` looked up via ``self`` so
+        instance-attribute wrappers (metrics observers, test spies)
+        stay in the loop.  Never called unless :meth:`_make_cut_table`
+        returned a table whose classification leaves survivors.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} declares a cut table but no "
+            "_search_pair for its survivors"
+        )
+
+    def enable_search_pool(
+        self, workers: int, min_batch: int = 32
+    ) -> "SearchPool | None":
+        """Attach a :class:`~repro.perf.pool.SearchPool` for batch
+        survivor searches; returns it (or ``None`` for ``workers <= 1``).
+
+        Must run *after* :meth:`build` — the forked workers inherit the
+        built structures copy-on-write.  ``workers <= 1`` detaches any
+        existing pool and stays in process.  On platforms without
+        ``fork`` the pool degrades to in-process execution.
+        """
+        if not self._built:
+            raise IndexNotBuiltError(
+                f"{self.method_name}: call build() before enable_search_pool()"
+            )
+        self.close_search_pool()
+        if workers <= 1:
+            return None
+        self._search_pool = SearchPool(self, workers=workers, min_batch=min_batch)
+        return self._search_pool
+
+    def close_search_pool(self) -> None:
+        """Terminate and detach the search pool, if any (idempotent)."""
+        if self._search_pool is not None:
+            self._search_pool.close()
+            self._search_pool = None
+
+    @property
+    def search_pool(self) -> "SearchPool | None":
+        """The attached survivor-search pool, if any."""
+        return self._search_pool
 
     # -- explain -----------------------------------------------------------
     def explain(

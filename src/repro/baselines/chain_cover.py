@@ -32,8 +32,31 @@ from repro.baselines.base import ReachabilityIndex, register_index
 from repro.exceptions import IndexBuildError
 from repro.graph.digraph import DiGraph
 from repro.graph.toposort import kahn_order
+from repro.perf.cut_table import CutTable, view_i64
 
-__all__ = ["ChainCoverIndex", "greedy_chain_decomposition"]
+__all__ = ["ChainCoverIndex", "ChainCoverCutTable", "greedy_chain_decomposition"]
+
+
+class ChainCoverCutTable(CutTable):
+    """Batched chain-matrix probes: ``reach[u][chain(v)] ≤ position(v)``.
+
+    The flat ``|V| × k`` matrix and the two per-vertex chain arrays are
+    viewed once; a batch is a single fancy-indexed comparison.  The
+    matrix is the compressed closure, so every pair is decided.
+    """
+
+    def __init__(self, index: "ChainCoverIndex") -> None:
+        self.reach = view_i64(index._reach)
+        self.chain_of = view_i64(index.chain_of)
+        self.position_of = view_i64(index.position_of)
+        self.num_chains = index.num_chains
+
+    def classify(self, sources, targets):
+        positive = (
+            self.reach[sources * self.num_chains + self.chain_of[targets]]
+            <= self.position_of[targets]
+        )
+        return positive, ~positive
 
 _UNREACHABLE = 2**31 - 1  # sentinel: no position on this chain reachable
 
@@ -162,6 +185,9 @@ class ChainCoverIndex(ReachabilityIndex):
         else:
             stats.negative_cuts += 1
         return reachable
+
+    def _make_cut_table(self) -> ChainCoverCutTable:
+        return ChainCoverCutTable(self)
 
 
 register_index(ChainCoverIndex)

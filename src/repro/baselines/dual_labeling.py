@@ -34,6 +34,8 @@ from __future__ import annotations
 
 from array import array
 
+import numpy as np
+
 from repro.baselines.base import ReachabilityIndex, register_index
 from repro.exceptions import IndexBuildError
 from repro.graph.digraph import DiGraph
@@ -42,8 +44,35 @@ from repro.graph.spanning import (
     minpost_intervals_tree,
 )
 from repro.graph.toposort import kahn_order
+from repro.perf.cut_table import CutTable, pack_bigints, view_i64
 
-__all__ = ["DualLabelingIndex"]
+__all__ = ["DualLabelingIndex", "DualLabelingCutTable"]
+
+
+class DualLabelingCutTable(CutTable):
+    """Dual-Labeling, batched: tree containment OR an RL ∩ IL hit.
+
+    The per-vertex ``t``-bit link sets pack into two ``(n, ceil(t/8))``
+    byte matrices; the intersection test for a whole batch is one
+    vectorized AND-and-any.  Queries are always decided — no searches.
+    """
+
+    def __init__(self, index: "DualLabelingIndex") -> None:
+        tree = index._tree
+        self.start = view_i64(tree.start)
+        self.post = view_i64(tree.post)
+        self.rl = pack_bigints(index._rl, index.num_links)
+        self.il = pack_bigints(index._il, index.num_links)
+
+    def classify(self, sources, targets):
+        positive = (self.start[sources] <= self.start[targets]) & (
+            self.post[targets] <= self.post[sources]
+        )
+        if self.rl.shape[1]:
+            positive |= np.any(
+                self.rl[sources] & self.il[targets], axis=1
+            )
+        return positive, ~positive
 
 
 class DualLabelingIndex(ReachabilityIndex):
@@ -170,6 +199,9 @@ class DualLabelingIndex(ReachabilityIndex):
             return True
         stats.negative_cuts += 1
         return False
+
+    def _make_cut_table(self) -> DualLabelingCutTable:
+        return DualLabelingCutTable(self)
 
 
 register_index(DualLabelingIndex)

@@ -28,6 +28,8 @@ from __future__ import annotations
 from array import array
 from bisect import bisect_right
 
+import numpy as np
+
 from repro.baselines.base import ReachabilityIndex, register_index
 from repro.graph.digraph import DiGraph
 from repro.graph.levels import compute_levels
@@ -37,8 +39,80 @@ from repro.graph.spanning import (
     minpost_intervals_tree,
 )
 from repro.graph.toposort import dfs_post_order_ranks, kahn_order
+from repro.perf.cut_table import (
+    CutTable,
+    segment_keys,
+    segmented_arrays,
+    view_i64,
+)
 
-__all__ = ["FerrariIndex", "IntervalSet", "merge_interval_lists", "restrict_to_budget"]
+__all__ = [
+    "FerrariIndex",
+    "FerrariCutTable",
+    "IntervalSet",
+    "merge_interval_lists",
+    "restrict_to_budget",
+]
+
+
+class FerrariCutTable(CutTable):
+    """FERRARI cuts: batched interval-set probes via segmented bisect.
+
+    All per-vertex interval sets concatenate into one flat array whose
+    keys ``vertex * n + lo`` are globally sorted, so a whole batch of
+    ``probe(id(v)) ∈ S(u)`` lookups is a single ``searchsorted``.
+    Classification reproduces the scalar order: not covered ⇒ negative;
+    exactly covered ⇒ positive (before the level filter, as in
+    ``_query``); approximately covered ⇒ level filter then tree
+    interval then search.
+    """
+
+    def __init__(self, index: "FerrariIndex") -> None:
+        n = index.graph.num_vertices
+        self.n = n
+        self.ids = view_i64(index.ids)
+        sets = index.interval_sets
+        los_flat, indptr = segmented_arrays([s.los for s in sets])
+        his_flat, _ = segmented_arrays([s.his for s in sets])
+        self.keys = segment_keys(los_flat, indptr, n)
+        self.indptr = indptr
+        self.his = his_flat
+        payload = b"".join(bytes(s.exact) for s in sets)
+        self.exact = np.frombuffer(payload, dtype=np.uint8)
+        self.levels = (
+            view_i64(index.levels) if index.levels is not None else None
+        )
+        intervals = index.tree_intervals
+        if intervals is not None:
+            self.start = view_i64(intervals.start)
+            self.post = view_i64(intervals.post)
+        else:
+            self.start = self.post = None
+
+    def classify(self, sources, targets):
+        target_ids = self.ids[targets]
+        probe = np.searchsorted(
+            self.keys, sources * np.int64(self.n) + target_ids, side="right"
+        ) - 1
+        valid = probe >= self.indptr[sources]
+        safe = np.maximum(probe, 0)
+        covered = valid & (self.his[safe] >= target_ids)
+        exact = covered & (self.exact[safe] != 0)
+        approximate = covered & ~exact
+        if self.levels is not None:
+            level_fail = self.levels[sources] >= self.levels[targets]
+        else:
+            level_fail = np.zeros(len(sources), dtype=bool)
+        negative = ~covered | (approximate & level_fail)
+        positive = exact
+        if self.start is not None:
+            positive = positive | (
+                approximate
+                & ~level_fail
+                & (self.start[sources] <= self.start[targets])
+                & (self.post[targets] <= self.post[sources])
+            )
+        return positive, negative
 
 
 class IntervalSet:
@@ -230,6 +304,12 @@ class FerrariIndex(ReachabilityIndex):
             return True
         stats.searches += 1
         return self._search(u, v, target_id)
+
+    def _make_cut_table(self) -> FerrariCutTable:
+        return FerrariCutTable(self)
+
+    def _search_pair(self, u: int, v: int) -> bool:
+        return self._search(u, v, self.ids[v])
 
     def _search(self, u: int, v: int, target_id: int) -> bool:
         """DFS pruned by interval probes and the topological-rank bound."""

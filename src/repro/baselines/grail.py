@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from random import Random
 
+import numpy as np
+
 from repro.baselines.base import ReachabilityIndex, register_index
 from repro.graph.digraph import DiGraph
 from repro.graph.levels import compute_levels
@@ -28,10 +30,56 @@ from repro.graph.spanning import (
     minpost_intervals_dag,
     minpost_intervals_tree,
 )
+from repro.perf.cut_table import CutTable, view_i64
 
-__all__ = ["GrailIndex"]
+__all__ = ["GrailIndex", "GrailCutTable"]
 
 from array import array
+
+
+class GrailCutTable(CutTable):
+    """GRAIL cuts: ``d``-labelling non-containment, levels, tree interval.
+
+    The ``d`` labellings stack into two ``(d, n)`` matrices, so the
+    whole-batch negative cut is two broadcasted comparisons per
+    labelling.
+    """
+
+    def __init__(self, index: "GrailIndex") -> None:
+        self.starts = np.stack(
+            [view_i64(labels.start) for labels in index.labelings]
+        )
+        self.posts = np.stack(
+            [view_i64(labels.post) for labels in index.labelings]
+        )
+        self.levels = (
+            view_i64(index.levels) if index.levels is not None else None
+        )
+        intervals = index.tree_intervals
+        if intervals is not None:
+            self.start = view_i64(intervals.start)
+            self.post = view_i64(intervals.post)
+        else:
+            self.start = self.post = None
+
+    def classify(self, sources, targets):
+        negative = np.any(
+            (self.starts[:, sources] > self.starts[:, targets])
+            | (self.posts[:, targets] > self.posts[:, sources]),
+            axis=0,
+        )
+        levels = self.levels
+        if levels is not None:
+            negative |= levels[sources] >= levels[targets]
+        if self.start is not None:
+            positive = (
+                ~negative
+                & (self.start[sources] <= self.start[targets])
+                & (self.post[targets] <= self.post[sources])
+            )
+        else:
+            positive = np.zeros(len(sources), dtype=bool)
+        return positive, negative
 
 
 class GrailIndex(ReachabilityIndex):
@@ -120,6 +168,12 @@ class GrailIndex(ReachabilityIndex):
             stats.positive_cuts += 1
             return True
         stats.searches += 1
+        return self._search(u, v)
+
+    def _make_cut_table(self) -> GrailCutTable:
+        return GrailCutTable(self)
+
+    def _search_pair(self, u: int, v: int) -> bool:
         return self._search(u, v)
 
     def _explain_details(self, u: int, v: int, explanation) -> None:

@@ -25,13 +25,52 @@ from __future__ import annotations
 from array import array
 from bisect import bisect_right
 
+import numpy as np
+
 from repro.baselines import pwah
 from repro.baselines.base import ReachabilityIndex, register_index
 from repro.exceptions import IndexBuildError
 from repro.graph.digraph import DiGraph
 from repro.graph.toposort import dfs_post_order_ranks, kahn_order
+from repro.perf.cut_table import (
+    CutTable,
+    segment_keys,
+    segmented_arrays,
+    view_i64,
+)
 
-__all__ = ["NuutilaIntervalIndex", "union_intervals"]
+__all__ = ["NuutilaIntervalIndex", "IntervalCutTable", "union_intervals"]
+
+
+class IntervalCutTable(CutTable):
+    """INTERVAL probes, batched: one segmented bisect decides every pair.
+
+    Built from the interval arrays regardless of ``query_mode`` — the
+    PWAH stream encodes the very same sets, so answers (and the
+    positive/negative counter split) are identical in both modes.  The
+    closure is materialized, so no pair ever needs a search.
+    """
+
+    def __init__(self, index: "NuutilaIntervalIndex") -> None:
+        n = index.graph.num_vertices
+        self.n = n
+        self.ids = view_i64(index.ids)
+        los_flat, indptr = segmented_arrays(index.lists_lo)
+        his_flat, _ = segmented_arrays(index.lists_hi)
+        self.keys = segment_keys(los_flat, indptr, n)
+        self.indptr = indptr
+        self.his = his_flat
+
+    def classify(self, sources, targets):
+        target_ids = self.ids[targets]
+        probe = np.searchsorted(
+            self.keys, sources * np.int64(self.n) + target_ids, side="right"
+        ) - 1
+        valid = probe >= self.indptr[sources]
+        positive = valid & (
+            self.his[np.maximum(probe, 0)] >= target_ids
+        )
+        return positive, ~positive
 
 
 def union_intervals(
@@ -162,6 +201,9 @@ class NuutilaIntervalIndex(ReachabilityIndex):
             return True
         stats.negative_cuts += 1
         return False
+
+    def _make_cut_table(self) -> IntervalCutTable:
+        return IntervalCutTable(self)
 
 
 register_index(NuutilaIntervalIndex)

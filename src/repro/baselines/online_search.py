@@ -13,6 +13,7 @@ from repro.graph.traversal import (
     bidirectional_reachable,
     dfs_reachable,
 )
+from repro.perf.cut_table import SearchOnlyCutTable
 
 __all__ = ["DFSIndex", "BFSIndex", "BidirectionalBFSIndex"]
 
@@ -35,6 +36,12 @@ class DFSIndex(ReachabilityIndex):
         self.stats.searches += 1
         return dfs_reachable(self.graph, u, v, guard=self._guard)
 
+    def _make_cut_table(self) -> SearchOnlyCutTable:
+        return SearchOnlyCutTable()
+
+    def _search_pair(self, u: int, v: int) -> bool:
+        return dfs_reachable(self.graph, u, v, guard=self._guard)
+
 
 class BFSIndex(ReachabilityIndex):
     """Pure BFS per query."""
@@ -54,6 +61,12 @@ class BFSIndex(ReachabilityIndex):
         self.stats.searches += 1
         return bfs_reachable(self.graph, u, v, guard=self._guard)
 
+    def _make_cut_table(self) -> SearchOnlyCutTable:
+        return SearchOnlyCutTable()
+
+    def _search_pair(self, u: int, v: int) -> bool:
+        return bfs_reachable(self.graph, u, v, guard=self._guard)
+
 
 class BidirectionalBFSIndex(ReachabilityIndex):
     """Bidirectional BFS per query — the strongest un-indexed baseline."""
@@ -71,6 +84,12 @@ class BidirectionalBFSIndex(ReachabilityIndex):
             self.stats.equal_cuts += 1
             return True
         self.stats.searches += 1
+        return bidirectional_reachable(self.graph, u, v, guard=self._guard)
+
+    def _make_cut_table(self) -> SearchOnlyCutTable:
+        return SearchOnlyCutTable()
+
+    def _search_pair(self, u: int, v: int) -> bool:
         return bidirectional_reachable(self.graph, u, v, guard=self._guard)
 
 

@@ -38,12 +38,52 @@ from __future__ import annotations
 from array import array
 from collections import deque
 
+import numpy as np
+
 from repro.baselines.base import ReachabilityIndex, register_index
 from repro.exceptions import IndexBuildError
 from repro.graph.digraph import DiGraph
 from repro.graph.levels import compute_levels
+from repro.perf.cut_table import CutTable, segment_keys, segmented_arrays
 
-__all__ = ["TFLabelIndex", "fold_rounds"]
+__all__ = ["TFLabelIndex", "TFLabelCutTable", "fold_rounds"]
+
+
+class TFLabelCutTable(CutTable):
+    """Batched 2-hop intersection tests over CSR-flattened labels.
+
+    ``L_out`` flattens into one CSR structure; ``L_in`` into globally
+    sorted keys ``vertex * n + rank``.  A batch expands every source's
+    out-labels (one gather), probes them all against the targets'
+    in-label keys with a single ``searchsorted``, and ORs the hits per
+    pair with ``bincount``.  Hop labels decide every pair — no search.
+    """
+
+    def __init__(self, index: "TFLabelIndex") -> None:
+        self.universe = max(1, index.graph.num_vertices)
+        self.out_flat, self.out_indptr = segmented_arrays(index.label_out)
+        in_flat, in_indptr = segmented_arrays(index.label_in)
+        self.in_keys = segment_keys(in_flat, in_indptr, self.universe)
+
+    def classify(self, sources, targets):
+        num = len(sources)
+        lens = self.out_indptr[sources + 1] - self.out_indptr[sources]
+        total = int(lens.sum())
+        if total == 0 or self.in_keys.size == 0:
+            positive = np.zeros(num, dtype=bool)
+            return positive, ~positive
+        owners = np.repeat(np.arange(num, dtype=np.int64), lens)
+        ends = np.cumsum(lens)
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+            ends - lens, lens
+        )
+        ranks = self.out_flat[self.out_indptr[sources][owners] + offsets]
+        keys = targets[owners] * np.int64(self.universe) + ranks
+        slots = np.searchsorted(self.in_keys, keys, side="left")
+        member = slots < self.in_keys.size
+        member &= self.in_keys[np.minimum(slots, self.in_keys.size - 1)] == keys
+        positive = np.bincount(owners[member], minlength=num) > 0
+        return positive, ~positive
 
 
 def fold_rounds(levels: array) -> list[int]:
@@ -215,6 +255,9 @@ class TFLabelIndex(ReachabilityIndex):
             return True
         stats.negative_cuts += 1
         return False
+
+    def _make_cut_table(self) -> TFLabelCutTable:
+        return TFLabelCutTable(self)
 
 
 register_index(TFLabelIndex)

@@ -8,11 +8,35 @@ ground-truth oracle.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.baselines.base import ReachabilityIndex, register_index
 from repro.exceptions import IndexBuildError
 from repro.graph.transitive import transitive_closure_bitsets
+from repro.perf.cut_table import CutTable, pack_bigints
 
-__all__ = ["TransitiveClosureIndex"]
+__all__ = ["TransitiveClosureIndex", "ClosureCutTable"]
+
+
+class ClosureCutTable(CutTable):
+    """Batched closure bit tests over a packed byte matrix.
+
+    The per-vertex Python-int bitsets pack into an ``(n, ceil(n/8))``
+    ``uint8`` matrix, making a batch of queries one fancy-indexed shift.
+    The scalar ``_query`` moves no cut counters for distinct pairs
+    (the lookup *is* the answer), hence ``counts_cuts = False``.
+    """
+
+    counts_cuts = False
+
+    def __init__(self, closure: list[int], num_vertices: int) -> None:
+        self.matrix = pack_bigints(closure, num_vertices)
+
+    def classify(self, sources, targets):
+        positive = (
+            (self.matrix[sources, targets >> 3] >> (targets & 7)) & 1
+        ).astype(bool)
+        return positive, ~positive
 
 
 class TransitiveClosureIndex(ReachabilityIndex):
@@ -54,6 +78,9 @@ class TransitiveClosureIndex(ReachabilityIndex):
             self.stats.equal_cuts += 1
             return True
         return bool((self._closure[u] >> v) & 1)
+
+    def _make_cut_table(self) -> ClosureCutTable:
+        return ClosureCutTable(self._closure, self.graph.num_vertices)
 
 
 register_index(TransitiveClosureIndex)

@@ -22,7 +22,29 @@ from repro.exceptions import IndexBuildError
 from repro.graph.digraph import DiGraph
 from repro.obs.metrics import LATENCY_BUCKETS_S, Histogram, get_registry
 
-__all__ = ["MethodResult", "MethodSpec", "measure_method", "run_sweep"]
+__all__ = [
+    "MethodResult",
+    "MethodSpec",
+    "measure_method",
+    "run_sweep",
+    "set_default_workers",
+    "get_default_workers",
+]
+
+# Default survivor-search workers for measurements; `bench --workers N`
+# sets this so every measure_method call in a sweep inherits it.
+_DEFAULT_WORKERS = 0
+
+
+def set_default_workers(workers: int) -> None:
+    """Set the harness-wide default for ``measure_method(workers=...)``."""
+    global _DEFAULT_WORKERS
+    _DEFAULT_WORKERS = max(0, int(workers))
+
+
+def get_default_workers() -> int:
+    """The harness-wide default survivor-search worker count."""
+    return _DEFAULT_WORKERS
 
 
 @dataclass(frozen=True)
@@ -74,6 +96,7 @@ def measure_method(
     pairs: list[tuple[int, int]],
     runs: int = 3,
     percentiles: bool = False,
+    workers: int | None = None,
 ) -> MethodResult:
     """Build ``spec`` on ``graph`` and answer ``pairs``, ``runs`` times.
 
@@ -86,7 +109,15 @@ def measure_method(
     registry is enabled the per-query pass runs regardless, so exports
     always carry latency distributions, and the index's ``QueryStats``
     are published as gauges.
+
+    ``workers`` (``None`` → :func:`get_default_workers`) attaches a
+    survivor-search pool to each built index for the timed batch, so
+    ``bench --workers N`` sweeps measure the parallel path.  Pool setup
+    happens after the construction timer stops and the pool is closed
+    before the next run, keeping construction numbers comparable.
     """
+    if workers is None:
+        workers = _DEFAULT_WORKERS
     result = MethodResult(
         method=spec.display,
         dataset=graph.name or "unnamed",
@@ -105,9 +136,14 @@ def measure_method(
             return result
         build_times.append(time.perf_counter() - start)
 
-        start = time.perf_counter()
-        answers = index.query_many(pairs)
-        query_times.append(time.perf_counter() - start)
+        if workers > 1:
+            index.enable_search_pool(workers)
+        try:
+            start = time.perf_counter()
+            answers = index.query_many(pairs)
+            query_times.append(time.perf_counter() - start)
+        finally:
+            index.close_search_pool()
         result.positives = sum(answers)
 
     result.construction_ms = 1000 * sum(build_times) / len(build_times)

@@ -168,6 +168,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="scrape each endpoint once, print, and exit (smoke tests)",
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="survivor-search worker processes for batch queries "
+        "(default 0: in-process; see docs/PERFORMANCE.md)",
+    )
 
     build = sub.add_parser(
         "build", help="build and save a FELINE index for a DAG"
@@ -218,6 +225,13 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="enable span tracing and write Chrome trace_event JSON to "
         "PATH (open it at https://ui.perfetto.dev)",
+    )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="survivor-search worker processes attached to every "
+        "measured index (default 0: in-process)",
     )
 
     stats = sub.add_parser(
@@ -335,13 +349,27 @@ def _run_serve(args: argparse.Namespace) -> int:
     from repro.obs.server import ObsServer
 
     registry = obs.enable_metrics()
+    oracle = None
     try:
         graph = read_edge_list(args.graph)
-        oracle = Reachability(graph, method=args.method)
-        oracle.enable_slow_log(threshold_ms=args.slow_ms)
-        if args.warm > 0:
-            pairs = random_pairs(graph, args.warm, seed=args.seed)
-            oracle.reachable_many(pairs)
+        oracle = Reachability(
+            graph, method=args.method, workers=args.workers
+        )
+
+        def warm() -> None:
+            if args.warm > 0:
+                pairs = random_pairs(graph, args.warm, seed=args.seed)
+                oracle.reachable_many(pairs)
+
+        if args.workers > 1:
+            # A slow log forces per-pair scalar batches (its documented
+            # trade-off), so warm through the survivor pool first and
+            # attach the log for live traffic afterwards.
+            warm()
+            oracle.enable_slow_log(threshold_ms=args.slow_ms)
+        else:
+            oracle.enable_slow_log(threshold_ms=args.slow_ms)
+            warm()
         server = ObsServer(
             registry=registry,
             slow_log=oracle.slow_log,
@@ -373,6 +401,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         finally:
             server.stop()
     finally:
+        if oracle is not None:
+            oracle.close_search_pool()
         obs.disable_metrics()
 
 
@@ -498,9 +528,12 @@ def main(argv: list[str] | None = None) -> int:
         return _run_stats(args)
 
     if args.command == "bench":
+        from repro.bench.harness import set_default_workers
+
         wanted = (
             sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
         )
+        set_default_workers(args.workers)
         registry = obs.enable_metrics() if args.metrics_out else None
         tracer = None
         if args.trace_out:
@@ -525,6 +558,7 @@ def main(argv: list[str] | None = None) -> int:
                     f"({tracer.total} spans; open at https://ui.perfetto.dev)"
                 )
         finally:
+            set_default_workers(0)
             if registry is not None:
                 obs.disable_metrics()
             if tracer is not None:

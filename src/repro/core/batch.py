@@ -1,17 +1,17 @@
 """Vectorised batch queries for FELINE.
 
 Benchmark workloads ask hundreds of thousands of queries at once, and on
-sparse graphs the vast majority die on the constant-time cuts.  This
-module evaluates those cuts for a *whole batch* with numpy — one
-vectorised pass classifies every pair as equal / negative-cut /
-positive-cut / needs-search — and only the survivors run the per-query
-pruned DFS.
+sparse graphs the vast majority die on the constant-time cuts.  Since the
+batch engine landed in :mod:`repro.perf`, the vectorised cut pass lives
+in :func:`repro.perf.engine.vectorized_query_many`, driven by the
+:class:`~repro.core.query.FelineCutTable` that ``build()`` materialises
+once — these module-level helpers remain as thin back-compat wrappers
+returning :class:`numpy.ndarray` answers.
 
-The answers are bit-identical to the scalar loop; the win is
-constant-factor (no Python interpreter work for the cut majority),
-typically 3-10x on negative-heavy workloads.  This is the implementation
-behind :meth:`FelineIndex.query_many` — call that; the module-level
-:func:`query_batch` remains only for back-compat.
+Call :meth:`FelineIndex.query_many` (or
+:meth:`repro.Reachability.reachable_many` on the facade) instead: it
+routes through the same engine and also feeds the observability layer's
+batch instruments and the optional survivor-search pool.
 """
 
 from __future__ import annotations
@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.query import FelineIndex
 from repro.exceptions import IndexNotBuiltError
+from repro.perf.engine import vectorized_query_many
 
 __all__ = ["feline_query_many", "query_batch"]
 
@@ -36,56 +37,13 @@ def feline_query_many(
     ``negative_cuts``, ``positive_cuts``, ``searches`` — per-search
     ``expanded``/``pruned`` still accrue inside the fallback DFS).
     """
-    coords = index.coordinates
-    stats = index.stats
+    if not index.built:
+        raise IndexNotBuiltError(
+            "feline: call build() before feline_query_many()"
+        )
     if len(pairs) == 0:
         return np.zeros(0, dtype=bool)
-
-    pairs_arr = np.asarray(pairs, dtype=np.int64)
-    sources, targets = pairs_arr[:, 0], pairs_arr[:, 1]
-    x = np.asarray(coords.x, dtype=np.int64)
-    y = np.asarray(coords.y, dtype=np.int64)
-
-    answers = np.zeros(len(pairs_arr), dtype=bool)
-    equal = sources == targets
-    answers[equal] = True
-
-    # Negative cut: dominance fails in either dimension.
-    dominated = (x[sources] <= x[targets]) & (y[sources] <= y[targets])
-    if coords.levels is not None:
-        levels = np.asarray(coords.levels, dtype=np.int64)
-        dominated &= levels[sources] < levels[targets]
-    negative = ~dominated & ~equal
-
-    # Positive cut: tree-interval containment.
-    undecided = ~equal & ~negative
-    if coords.tree_intervals is not None:
-        start = np.asarray(coords.tree_intervals.start, dtype=np.int64)
-        post = np.asarray(coords.tree_intervals.post, dtype=np.int64)
-        contained = (
-            undecided
-            & (start[sources] <= start[targets])
-            & (post[targets] <= post[sources])
-        )
-        answers[contained] = True
-        undecided &= ~contained
-    else:
-        contained = np.zeros(len(pairs_arr), dtype=bool)
-
-    stats.queries += len(pairs_arr)
-    stats.equal_cuts += int(equal.sum())
-    stats.negative_cuts += int(negative.sum())
-    stats.positive_cuts += int(contained.sum())
-
-    # Scalar fallback for the survivors (the actual searches).
-    survivor_indices = np.flatnonzero(undecided)
-    stats.searches += len(survivor_indices)
-    xs, ys = coords.x, coords.y
-    for i in survivor_indices:
-        u = int(sources[i])
-        v = int(targets[i])
-        answers[i] = index._search(u, v, xs[v], ys[v])
-    return answers
+    return np.asarray(vectorized_query_many(index, pairs), dtype=bool)
 
 
 def query_batch(

@@ -20,12 +20,53 @@ from __future__ import annotations
 
 from array import array
 
+import numpy as np
+
 from repro.baselines.base import ReachabilityIndex, register_index
 from repro.core.index import FelineCoordinates, build_feline_index
 from repro.core.query import FelineIndex
 from repro.graph.digraph import DiGraph
+from repro.perf.cut_table import CutTable, SwappedCutTable
 
-__all__ = ["FelineIIndex", "FelineBIndex"]
+__all__ = ["FelineIIndex", "FelineBIndex", "FelineBCutTable"]
+
+
+class FelineBCutTable(CutTable):
+    """FELINE-B's cuts: both dominance tests plus the forward filters.
+
+    Reproduces the scalar cut order — forward dominance, reversed
+    dominance, level filter (all negative), then tree containment
+    (positive) — as one vectorized pass.
+    """
+
+    def __init__(
+        self, forward: FelineCoordinates, backward: FelineCoordinates
+    ) -> None:
+        fwd, bwd = forward.views, backward.views
+        self.fx, self.fy = fwd.x, fwd.y
+        self.bx, self.by = bwd.x, bwd.y
+        self.levels = fwd.levels
+        self.start, self.post = fwd.start, fwd.post
+
+    def classify(self, sources, targets):
+        negative = (
+            (self.fx[sources] > self.fx[targets])
+            | (self.fy[sources] > self.fy[targets])
+            | (self.bx[sources] < self.bx[targets])
+            | (self.by[sources] < self.by[targets])
+        )
+        levels = self.levels
+        if levels is not None:
+            negative |= levels[sources] >= levels[targets]
+        if self.start is not None:
+            positive = (
+                ~negative
+                & (self.start[sources] <= self.start[targets])
+                & (self.post[targets] <= self.post[sources])
+            )
+        else:
+            positive = np.zeros(len(sources), dtype=bool)
+        return positive, negative
 
 
 class FelineIIndex(ReachabilityIndex):
@@ -63,6 +104,14 @@ class FelineIIndex(ReachabilityIndex):
     def _query(self, u: int, v: int) -> bool:
         # r(u, v) on G  ⇔  r(v, u) on reversed(G).
         return self._inner._query(v, u)
+
+    def _make_cut_table(self) -> SwappedCutTable:
+        # The inner index built its own table during self._build(); the
+        # outer pass is that table with the argument order flipped.
+        return SwappedCutTable(self._inner._cut_table)
+
+    def _search_pair(self, u: int, v: int) -> bool:
+        return self._inner._search_pair(v, u)
 
     def _explain_details(self, u: int, v: int, explanation) -> None:
         # Provenance comes from the reversed-graph index with the
@@ -161,6 +210,15 @@ class FelineBIndex(ReachabilityIndex):
 
         stats.searches += 1
         return self._search(u, v, xv, yv, rxv, ryv)
+
+    def _make_cut_table(self) -> FelineBCutTable:
+        return FelineBCutTable(self.forward, self.backward)
+
+    def _search_pair(self, u: int, v: int) -> bool:
+        fwd, bwd = self.forward, self.backward
+        return self._search(
+            u, v, fwd.x[v], fwd.y[v], bwd.x[v], bwd.y[v]
+        )
 
     def _explain_details(self, u: int, v: int, explanation) -> None:
         """Both coordinate sets; splits the three negative cuts apart."""

@@ -24,6 +24,9 @@ from __future__ import annotations
 
 from array import array
 from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
 
 from repro.core.heuristics import compute_y_order
 from repro.exceptions import ReproError
@@ -41,7 +44,25 @@ from repro.graph.toposort import (
 )
 from repro.obs.metrics import get_registry
 
-__all__ = ["FelineCoordinates", "build_feline_index"]
+__all__ = ["FelineCoordinates", "FelineCoordinateViews", "build_feline_index"]
+
+
+@dataclass(frozen=True)
+class FelineCoordinateViews:
+    """Numpy views of a :class:`FelineCoordinates` instance.
+
+    ``x``/``y`` (and ``levels``/``start``/``post`` when the filters are
+    on) are ``int64`` views of the underlying ``array`` storage — created
+    once and cached on the owning coordinates (which are frozen, so the
+    views can never go stale).  The batch engine's cut tables read these
+    instead of converting per call.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    levels: np.ndarray | None
+    start: np.ndarray | None
+    post: np.ndarray | None
 
 
 @dataclass(frozen=True)
@@ -80,6 +101,26 @@ class FelineCoordinates:
     def coordinate(self, v: int) -> tuple[int, int]:
         """``i(v)`` as an ``(x, y)`` pair — e.g. for Figure 12 plots."""
         return self.x[v], self.y[v]
+
+    @cached_property
+    def views(self) -> FelineCoordinateViews:
+        """Cached numpy views of the coordinate (and filter) arrays.
+
+        Computed on first access, then the identical
+        :class:`FelineCoordinateViews` object forever (the dataclass is
+        frozen, so there is nothing to invalidate).  Zero-copy where the
+        storage itemsize already matches ``int64``.
+        """
+        from repro.perf.cut_table import view_i64
+
+        intervals = self.tree_intervals
+        return FelineCoordinateViews(
+            x=view_i64(self.x),
+            y=view_i64(self.y),
+            levels=view_i64(self.levels) if self.levels is not None else None,
+            start=view_i64(intervals.start) if intervals is not None else None,
+            post=view_i64(intervals.post) if intervals is not None else None,
+        )
 
     def memory_bytes(self) -> int:
         """Index footprint: coordinates plus whichever filters are on."""

@@ -24,8 +24,11 @@ from __future__ import annotations
 
 from array import array
 
+import numpy as np
+
 from repro.baselines.base import ReachabilityIndex, register_index
 from repro.core.heuristics import compute_y_order
+from repro.perf.cut_table import CutTable, view_i64
 from repro.graph.digraph import DiGraph
 from repro.graph.levels import compute_levels
 from repro.graph.spanning import (
@@ -35,7 +38,44 @@ from repro.graph.spanning import (
 )
 from repro.graph.toposort import dfs_topological_order, ranks_from_order
 
-__all__ = ["MultiDimFelineIndex"]
+__all__ = ["MultiDimFelineIndex", "MultiDimCutTable"]
+
+
+class MultiDimCutTable(CutTable):
+    """FELINE-K cuts: rank dominance in all ``d`` dimensions + filters.
+
+    The ranks are stacked into one ``(d, n)`` matrix so a batch's
+    dominance test is a single broadcasted comparison per dimension.
+    """
+
+    def __init__(self, index: "MultiDimFelineIndex") -> None:
+        self.ranks = np.stack([view_i64(r) for r in index.ranks])
+        self.levels = (
+            view_i64(index.levels) if index.levels is not None else None
+        )
+        intervals = index.tree_intervals
+        if intervals is not None:
+            self.start = view_i64(intervals.start)
+            self.post = view_i64(intervals.post)
+        else:
+            self.start = self.post = None
+
+    def classify(self, sources, targets):
+        negative = np.any(
+            self.ranks[:, sources] > self.ranks[:, targets], axis=0
+        )
+        levels = self.levels
+        if levels is not None:
+            negative |= levels[sources] >= levels[targets]
+        if self.start is not None:
+            positive = (
+                ~negative
+                & (self.start[sources] <= self.start[targets])
+                & (self.post[targets] <= self.post[sources])
+            )
+        else:
+            positive = np.zeros(len(sources), dtype=bool)
+        return positive, negative
 
 
 class MultiDimFelineIndex(ReachabilityIndex):
@@ -123,6 +163,12 @@ class MultiDimFelineIndex(ReachabilityIndex):
             stats.positive_cuts += 1
             return True
         stats.searches += 1
+        return self._search(u, v)
+
+    def _make_cut_table(self) -> MultiDimCutTable:
+        return MultiDimCutTable(self)
+
+    def _search_pair(self, u: int, v: int) -> bool:
         return self._search(u, v)
 
     def _explain_details(self, u: int, v: int, explanation) -> None:

@@ -300,5 +300,8 @@ def load_index(
         )
     index = FelineIndex(graph)
     index.coordinates = coords
+    # Loaded indexes skip build(), so materialize the batch engine's cut
+    # table here; numpy views work over both in-memory and mmap arrays.
+    index._cut_table = index._make_cut_table()
     index._built = True
     return index

@@ -21,11 +21,49 @@ from __future__ import annotations
 
 from array import array
 
+import numpy as np
+
 from repro.baselines.base import ReachabilityIndex, register_index
 from repro.core.index import FelineCoordinates, build_feline_index
 from repro.graph.digraph import DiGraph
+from repro.perf.cut_table import CutTable
 
-__all__ = ["FelineIndex"]
+__all__ = ["FelineIndex", "FelineCutTable"]
+
+
+class FelineCutTable(CutTable):
+    """FELINE's O(1) cuts over the cached coordinate views.
+
+    Negative: dominance fails in either dimension, or the level filter
+    fires.  Positive: dominance holds, levels pass, and the min-post
+    tree interval of ``v`` is contained in ``u``'s.
+    """
+
+    def __init__(self, coordinates: FelineCoordinates) -> None:
+        views = coordinates.views
+        self.x = views.x
+        self.y = views.y
+        self.levels = views.levels
+        self.start = views.start
+        self.post = views.post
+
+    def classify(self, sources, targets):
+        dominated = (self.x[sources] <= self.x[targets]) & (
+            self.y[sources] <= self.y[targets]
+        )
+        levels = self.levels
+        if levels is not None:
+            dominated &= levels[sources] < levels[targets]
+        negative = ~dominated
+        if self.start is not None:
+            positive = (
+                dominated
+                & (self.start[sources] <= self.start[targets])
+                & (self.post[targets] <= self.post[sources])
+            )
+        else:
+            positive = np.zeros(len(sources), dtype=bool)
+        return positive, negative
 
 
 class FelineIndex(ReachabilityIndex):
@@ -90,16 +128,12 @@ class FelineIndex(ReachabilityIndex):
             return 0
         return self.coordinates.memory_bytes()
 
-    def _query_many(self, pairs):
-        """Vectorized batch path: numpy cuts, scalar search fallback.
+    def _make_cut_table(self) -> FelineCutTable:
+        return FelineCutTable(self.coordinates)
 
-        Answers and statistics are bit-identical to the scalar loop (see
-        :mod:`repro.core.batch`); returned as a plain ``list[bool]`` to
-        honour the base-class contract.
-        """
-        from repro.core.batch import feline_query_many
-
-        return feline_query_many(self, pairs).tolist()
+    def _search_pair(self, u: int, v: int) -> bool:
+        coords = self.coordinates
+        return self._search(u, v, coords.x[v], coords.y[v])
 
     # ------------------------------------------------------------------
     def _query(self, u: int, v: int) -> bool:

@@ -26,6 +26,10 @@ from repro.exceptions import GraphError
 
 __all__ = ["DiGraph"]
 
+# C `long` is 8 bytes on LP64 but 4 on Windows/32-bit platforms; zeroed
+# buffers below must match it, not assume 8.
+_L_ITEMSIZE = array("l").itemsize
+
 
 def _csr_from_edges(
     num_vertices: int, sources: Sequence[int], targets: Sequence[int]
@@ -36,13 +40,13 @@ def _csr_from_edges(
     which keeps construction linear even for tens of millions of edges.
     Within each source bucket the targets keep their input order.
     """
-    counts = array("l", bytes(8 * (num_vertices + 1)))
+    counts = array("l", bytes(_L_ITEMSIZE * (num_vertices + 1)))
     for s in sources:
         counts[s + 1] += 1
     indptr = counts  # reused in place: prefix-sum turns counts into offsets
     for v in range(1, num_vertices + 1):
         indptr[v] += indptr[v - 1]
-    indices = array("l", bytes(8 * len(targets)))
+    indices = array("l", bytes(_L_ITEMSIZE * len(targets)))
     cursor = array("l", indptr[:num_vertices])
     for s, t in zip(sources, targets):
         pos = cursor[s]

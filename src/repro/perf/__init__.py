@@ -1,0 +1,41 @@
+"""repro.perf — the batch query engine.
+
+The paper's headline result (Figures 10-11) is that FELINE's O(1) cuts
+kill the vast majority of queries before any search runs.  This package
+generalises that win from scalar FELINE to *every* registered index
+family:
+
+* :mod:`repro.perf.cut_table` — the :class:`CutTable` contract: numpy
+  views of an index's O(1)-cut structures (coordinates, levels, interval
+  labels, FERRARI bounds, hop labels, ...) materialized **once** at
+  ``build()`` time instead of per batch call;
+* :mod:`repro.perf.engine` — :func:`vectorized_query_many`, the generic
+  batch pass: one vectorized cut classification for the whole batch,
+  then per-pair online search only for the survivors.  Answers and
+  :class:`~repro.baselines.base.QueryStats` are bit-identical to the
+  scalar loop;
+* :mod:`repro.perf.pool` — :class:`SearchPool`, a ``fork``-based worker
+  pool that partitions the surviving needs-search pairs across
+  processes (CSR arrays and cut tables shared copy-on-write), with
+  deterministic result ordering and a graceful in-process fallback on
+  platforms without ``fork``.
+
+See ``docs/PERFORMANCE.md`` for the architecture and workload guidance.
+"""
+
+from repro.perf.cut_table import (
+    CutTable,
+    SearchOnlyCutTable,
+    SwappedCutTable,
+)
+from repro.perf.engine import vectorized_query_many
+from repro.perf.pool import SearchPool, fork_available
+
+__all__ = [
+    "CutTable",
+    "SearchOnlyCutTable",
+    "SwappedCutTable",
+    "vectorized_query_many",
+    "SearchPool",
+    "fork_available",
+]

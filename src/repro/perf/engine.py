@@ -1,0 +1,70 @@
+"""The generic vectorized batch pass over a :class:`CutTable`.
+
+One call classifies every pair of a batch through the index family's O(1)
+cuts — reflexive, negative, positive — with numpy, updates the
+:class:`~repro.baselines.base.QueryStats` counters exactly as the scalar
+loop would, and runs the per-pair online search only for the survivors
+(in process, or partitioned across a :class:`repro.perf.pool.SearchPool`
+when one is attached to the index).
+
+This is the implementation behind the base
+:meth:`~repro.baselines.base.ReachabilityIndex._query_many` for every
+index that declares a cut table — which, as of this engine, is every
+registered family.  Answers are bit-identical to the scalar path; the
+win is constant-factor (no Python interpreter work for the cut
+majority), typically 3-10x on cut-dominated workloads.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["vectorized_query_many"]
+
+
+def vectorized_query_many(index, pairs: Sequence[tuple[int, int]]) -> list[bool]:
+    """Answer ``pairs`` on ``index`` through its cut table.
+
+    ``index`` must be built and carry a materialized ``_cut_table``.
+    Returns a plain ``list[bool]`` aligned with ``pairs`` (the base-class
+    contract).  Statistics counters update identically to the scalar
+    loop: ``queries``, ``equal_cuts``, ``negative_cuts``,
+    ``positive_cuts``, ``searches`` here; per-search ``expanded`` /
+    ``pruned`` inside the survivor searches (merged back from worker
+    processes when a pool runs them).
+    """
+    num = len(pairs)
+    if num == 0:
+        return []
+    table = index._cut_table
+    stats = index.stats
+
+    pairs_arr = np.asarray(pairs, dtype=np.int64)
+    sources, targets = pairs_arr[:, 0], pairs_arr[:, 1]
+    equal = sources == targets
+
+    positive, negative = table.classify(sources, targets)
+    positive = positive & ~equal
+    negative = negative & ~equal
+    undecided = ~(equal | positive | negative)
+
+    stats.queries += num
+    stats.equal_cuts += int(equal.sum())
+    if table.counts_cuts:
+        stats.negative_cuts += int(negative.sum())
+        stats.positive_cuts += int(positive.sum())
+
+    answers = equal | positive
+    survivors = np.flatnonzero(undecided)
+    stats.searches += len(survivors)
+    if len(survivors):
+        pool = index._search_pool
+        if pool is not None and len(survivors) >= pool.min_batch:
+            answers[survivors] = pool.run(index, sources, targets, survivors)
+        else:
+            search = index._search_pair
+            for i in survivors:
+                answers[i] = search(int(sources[i]), int(targets[i]))
+    return answers.tolist()

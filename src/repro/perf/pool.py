@@ -1,0 +1,202 @@
+"""SearchPool: fork-based parallel execution of survivor searches.
+
+After the vectorized cut pass (:mod:`repro.perf.engine`) the pairs that
+remain undecided each need an online graph search — pure Python work
+that dominates batch latency on search-heavy workloads.  A
+:class:`SearchPool` partitions those survivors into contiguous chunks
+and runs them across ``fork``-started worker processes.  Forking after
+``build()`` means the CSR arrays, index labels and cut tables are all
+shared copy-on-write: workers inherit the built index through forked
+memory with zero serialization, and only the ``(u, v)`` task lists and
+boolean answers cross the process boundary.
+
+Guarantees and caveats:
+
+* **Deterministic ordering** — chunks are contiguous slices of the
+  survivor list and results are merged with an ordered ``map``, so
+  answers are independent of worker scheduling.
+* **Graceful fallback** — on platforms without ``fork`` (or with
+  ``workers <= 1``) the pool runs the searches in process; same
+  answers, no crash.
+* **Budgets stay scalar** — a :class:`~repro.resilience.budget.QueryBudget`
+  on ``query_many`` routes the whole batch through the guarded scalar
+  path *before* the engine runs (the budget is per query), so pooled
+  searches never carry a guard.
+* **Worker-side stats** — each chunk returns its ``expanded``/``pruned``
+  deltas, merged into the parent's :class:`QueryStats`; metric
+  observations made inside workers (the ``_observe_searches`` wrapper)
+  live in the forked registry copy and are discarded.  SCARAB's
+  survivor search also increments its *inner* base index's counters,
+  which are likewise worker-local and not merged back.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from time import perf_counter
+
+import numpy as np
+
+from repro.obs.metrics import get_registry
+from repro.obs.spans import get_tracer
+
+__all__ = ["SearchPool", "fork_available"]
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` start method exists on this platform.
+
+    ``False`` on Windows and other spawn-only platforms; tests
+    monkeypatch this to exercise the in-process fallback.
+    """
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+# The built index a worker process serves.  Set once per worker by
+# _pool_worker_init: under the fork start method initargs are inherited
+# through forked memory (no pickling), which is the whole point — the
+# CSR arrays and cut tables arrive copy-on-write.
+_WORKER_INDEX = None
+
+
+def _pool_worker_init(index) -> None:
+    global _WORKER_INDEX
+    _WORKER_INDEX = index
+    # The forked copy must never re-enter pooled dispatch.
+    index._search_pool = None
+
+
+def _run_chunk(task):
+    """Worker body: answer one contiguous chunk of survivor pairs.
+
+    Returns ``(chunk_id, answers, stats_delta, elapsed_s)`` — the delta
+    is against the worker's (forked) stats copy, merged by the parent.
+    """
+    chunk_id, pairs = task
+    index = _WORKER_INDEX
+    before = index.stats.as_dict()
+    start = perf_counter()
+    search = index._search_pair
+    answers = [bool(search(u, v)) for u, v in pairs]
+    elapsed = perf_counter() - start
+    after = index.stats.as_dict()
+    delta = {key: after[key] - before[key] for key in after}
+    return chunk_id, answers, delta, elapsed
+
+
+class SearchPool:
+    """Partition survivor searches across forked worker processes.
+
+    Construct *after* ``index.build()`` (the fork snapshot must contain
+    the built structures) — :meth:`ReachabilityIndex.enable_search_pool`
+    does this.  ``min_batch`` is the survivor count below which the
+    engine skips dispatch entirely (per-pair IPC overhead beats any
+    parallelism on tiny batches).
+    """
+
+    def __init__(self, index, workers: int = 2, min_batch: int = 32) -> None:
+        self.index = index
+        self.workers = max(1, int(workers))
+        self.min_batch = max(1, int(min_batch))
+        self._pool = None
+        if self.workers > 1 and fork_available():
+            self.mode = "fork"
+            ctx = multiprocessing.get_context("fork")
+            self._pool = ctx.Pool(
+                self.workers,
+                initializer=_pool_worker_init,
+                initargs=(index,),
+            )
+        else:
+            self.mode = "inline"
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (inline pools never close)."""
+        return self.mode == "fork" and self._pool is None
+
+    def run(self, index, sources, targets, survivors) -> np.ndarray:
+        """Answer the survivor pairs; returns a bool array aligned with
+        ``survivors``.
+
+        ``sources``/``targets`` are the full batch arrays and
+        ``survivors`` the undecided positions (the engine's calling
+        convention).  Order of answers is deterministic in both modes.
+        """
+        pairs = [
+            (int(sources[i]), int(targets[i])) for i in survivors
+        ]
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "repro_pool_tasks_total",
+                help="Survivor searches dispatched through the pool.",
+                method=index.method_name,
+                mode=self.mode,
+            ).inc(len(pairs))
+        if self._pool is None:
+            search = index._search_pair
+            return np.fromiter(
+                (search(u, v) for u, v in pairs), dtype=bool, count=len(pairs)
+            )
+
+        bounds = np.array_split(np.arange(len(pairs)), self.workers)
+        tasks = [
+            (chunk_id, [pairs[i] for i in chunk])
+            for chunk_id, chunk in enumerate(bounds)
+            if len(chunk)
+        ]
+        tracer = get_tracer()
+        with tracer.span(
+            "pool.dispatch",
+            method=index.method_name,
+            workers=self.workers,
+            pairs=len(pairs),
+            chunks=len(tasks),
+        ):
+            results = self._pool.map(_run_chunk, tasks, chunksize=1)
+
+        answers = np.empty(len(pairs), dtype=bool)
+        offset = 0
+        stats = index.stats
+        chunk_hist = None
+        if registry.enabled:
+            chunk_hist = registry.histogram
+        for chunk_id, chunk_answers, delta, elapsed in results:
+            answers[offset : offset + len(chunk_answers)] = chunk_answers
+            offset += len(chunk_answers)
+            stats.expanded += delta["expanded"]
+            stats.pruned += delta["pruned"]
+            if chunk_hist is not None:
+                chunk_hist(
+                    "repro_pool_chunk_seconds",
+                    help="Wall time per pooled survivor-search chunk.",
+                    method=index.method_name,
+                    worker=str(chunk_id),
+                ).observe(elapsed)
+        return answers
+
+    def close(self) -> None:
+        """Terminate the worker processes (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "SearchPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"<SearchPool mode={self.mode} workers={self.workers} "
+            f"min_batch={self.min_batch}>"
+        )

@@ -19,15 +19,79 @@ FELINE-SCAR (``base_method="feline"``) and GRAIL-SCAR
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.baselines.base import (
     ReachabilityIndex,
     create_index,
     register_index,
 )
 from repro.graph.digraph import DiGraph
+from repro.perf.cut_table import CutTable, view_i64
 from repro.scarab.backbone import Backbone, extract_backbone
 
-__all__ = ["ScarabIndex"]
+__all__ = ["ScarabIndex", "ScarabCutTable"]
+
+
+class ScarabCutTable(CutTable):
+    """SCARAB's O(1) cuts, batched: direct edge and empty gateway sets.
+
+    A sorted ``u * n + v`` key set answers "does the edge exist" (the
+    local positive hit) for a whole batch with one ``searchsorted``;
+    precomputed per-vertex "has any out/in gateway" flags decide the
+    negative cut.  Survivors run the gateway product on the backbone's
+    base index (:meth:`ScarabIndex._search_pair`).
+    """
+
+    def __init__(self, index: "ScarabIndex") -> None:
+        graph = index.graph
+        n = max(1, graph.num_vertices)
+        self.n = n
+        out_indptr = view_i64(graph.out_indptr)
+        out_indices = view_i64(graph.out_indices)
+        owners = np.repeat(
+            np.arange(graph.num_vertices, dtype=np.int64),
+            np.diff(out_indptr),
+        )
+        self.edge_keys = np.sort(owners * np.int64(n) + out_indices)
+        is_backbone = view_i64(index.backbone.backbone_id) >= 0
+        succ_gw = (
+            np.bincount(
+                owners[is_backbone[out_indices]], minlength=graph.num_vertices
+            )
+            > 0
+        )
+        in_indptr = view_i64(graph.in_indptr)
+        in_indices = view_i64(graph.in_indices)
+        in_owners = np.repeat(
+            np.arange(graph.num_vertices, dtype=np.int64),
+            np.diff(in_indptr),
+        )
+        pred_gw = (
+            np.bincount(
+                in_owners[is_backbone[in_indices]],
+                minlength=graph.num_vertices,
+            )
+            > 0
+        )
+        self.has_out_gateway = is_backbone | succ_gw
+        self.has_in_gateway = is_backbone | pred_gw
+
+    def classify(self, sources, targets):
+        keys = sources * np.int64(self.n) + targets
+        if self.edge_keys.size:
+            slots = np.searchsorted(self.edge_keys, keys, side="left")
+            positive = slots < self.edge_keys.size
+            positive &= (
+                self.edge_keys[np.minimum(slots, self.edge_keys.size - 1)]
+                == keys
+            )
+        else:
+            positive = np.zeros(len(sources), dtype=bool)
+        negative = ~positive & (
+            ~self.has_out_gateway[sources] | ~self.has_in_gateway[targets]
+        )
+        return positive, negative
 
 
 class ScarabIndex(ReachabilityIndex):
@@ -152,6 +216,40 @@ class ScarabIndex(ReachabilityIndex):
             return False
 
         stats.searches += 1
+        base_query = self.base_index._query
+        base_stats = self.base_index.stats
+        for b1 in out_gateways:
+            for b2 in in_gateways:
+                base_stats.queries += 1
+                if base_query(b1, b2):
+                    return True
+        return False
+
+    def _make_cut_table(self) -> ScarabCutTable:
+        return ScarabCutTable(self)
+
+    def _search_pair(self, u: int, v: int) -> bool:
+        # Engine survivors have no direct edge and both gateway sets
+        # non-empty (the cut table proved it); re-collect the sets and
+        # run the backbone product exactly like the scalar tail.
+        graph = self.graph
+        backbone_id = self.backbone.backbone_id
+        out_gateways: list[int] = []
+        bu = backbone_id[u]
+        if bu != -1:
+            out_gateways.append(bu)
+        for k in range(graph.out_indptr[u], graph.out_indptr[u + 1]):
+            bw = backbone_id[graph.out_indices[k]]
+            if bw != -1:
+                out_gateways.append(bw)
+        in_gateways: list[int] = []
+        bv = backbone_id[v]
+        if bv != -1:
+            in_gateways.append(bv)
+        for k in range(graph.in_indptr[v], graph.in_indptr[v + 1]):
+            bw = backbone_id[graph.in_indices[k]]
+            if bw != -1:
+                in_gateways.append(bw)
         base_query = self.base_index._query
         base_stats = self.base_index.stats
         for b1 in out_gateways:

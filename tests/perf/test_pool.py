@@ -1,0 +1,190 @@
+"""SearchPool: fork dispatch, in-process fallback, lifecycle, metrics."""
+
+import pytest
+
+import repro.perf.pool as poolmod
+from repro.baselines.base import create_index
+from repro.exceptions import IndexNotBuiltError
+from repro.graph.generators import crown_graph, random_dag
+from repro.obs.metrics import metrics_enabled
+from repro.perf.pool import SearchPool, fork_available
+
+
+def _built_index(method="feline", n=60, seed=3):
+    g = random_dag(n, avg_degree=2.0, seed=seed)
+    return create_index(method, g).build()
+
+
+def _search_heavy_index():
+    # Crown graphs defeat FELINE's cuts: every non-trivial pair searches.
+    return create_index("feline", crown_graph(6)).build()
+
+
+class TestLifecycle:
+    def test_enable_requires_build(self):
+        g = random_dag(20, avg_degree=1.5, seed=1)
+        index = create_index("feline", g)
+        with pytest.raises(IndexNotBuiltError):
+            index.enable_search_pool(2)
+
+    def test_workers_at_most_one_detaches(self):
+        index = _built_index()
+        assert index.enable_search_pool(2) is not None
+        assert index.enable_search_pool(1) is None
+        assert index.search_pool is None
+        assert index.enable_search_pool(0) is None
+
+    def test_reenable_closes_previous_pool(self):
+        index = _built_index()
+        first = index.enable_search_pool(2)
+        second = index.enable_search_pool(2)
+        assert second is not first
+        assert index.search_pool is second
+        if first.mode == "fork":
+            assert first.closed
+        index.close_search_pool()
+
+    def test_close_is_idempotent(self):
+        index = _built_index()
+        index.enable_search_pool(2)
+        index.close_search_pool()
+        index.close_search_pool()
+        assert index.search_pool is None
+
+    def test_context_manager_closes(self):
+        index = _built_index()
+        with SearchPool(index, workers=2) as pool:
+            pass
+        if pool.mode == "fork":
+            assert pool.closed
+
+
+@pytest.mark.skipif(not fork_available(), reason="fork-only platform test")
+class TestForkMode:
+    def test_pooled_answers_and_stats_match_plain_batch(self):
+        pooled = _search_heavy_index()
+        plain = _search_heavy_index()
+        n = pooled.graph.num_vertices
+        pairs = [(u, v) for u in range(n) for v in range(n)]
+        pooled.enable_search_pool(2, min_batch=1)
+        try:
+            assert pooled.search_pool.mode == "fork"
+            batch = pooled.query_many(pairs)
+        finally:
+            pooled.close_search_pool()
+        assert batch == plain.query_many(pairs)
+        # expanded/pruned accrue worker-side and are merged back.
+        assert pooled.stats.as_dict() == plain.stats.as_dict()
+        assert pooled.stats.expanded > 0
+
+    def test_min_batch_keeps_small_batches_in_process(self):
+        index = _search_heavy_index()
+        pool = index.enable_search_pool(2, min_batch=10_000)
+        try:
+            def boom(*args):
+                raise AssertionError("pool dispatched below min_batch")
+
+            pool.run = boom
+            n = index.graph.num_vertices
+            answers = index.query_many([(u, (u + 1) % n) for u in range(n)])
+            assert len(answers) == n
+        finally:
+            index.close_search_pool()
+
+
+class TestInlineFallback:
+    """Spawn-only platforms (no fork) degrade to in-process execution."""
+
+    def test_no_fork_means_inline_mode(self, monkeypatch):
+        monkeypatch.setattr(poolmod, "fork_available", lambda: False)
+        index = _search_heavy_index()
+        pool = index.enable_search_pool(2, min_batch=1)
+        assert pool.mode == "inline"
+        assert not pool.closed  # inline pools hold no processes
+
+    def test_inline_answers_and_stats_match(self, monkeypatch):
+        monkeypatch.setattr(poolmod, "fork_available", lambda: False)
+        pooled = _search_heavy_index()
+        plain = _search_heavy_index()
+        n = pooled.graph.num_vertices
+        pairs = [(u, v) for u in range(n) for v in range(n)]
+        pooled.enable_search_pool(2, min_batch=1)
+        try:
+            batch = pooled.query_many(pairs)
+        finally:
+            pooled.close_search_pool()
+        assert batch == plain.query_many(pairs)
+        assert pooled.stats.as_dict() == plain.stats.as_dict()
+
+    def test_repr_shows_mode(self, monkeypatch):
+        monkeypatch.setattr(poolmod, "fork_available", lambda: False)
+        index = _built_index()
+        pool = index.enable_search_pool(3, min_batch=7)
+        assert repr(pool) == "<SearchPool mode=inline workers=3 min_batch=7>"
+
+
+class TestObservability:
+    def test_pool_tasks_counter_and_chunk_histogram(self):
+        with metrics_enabled() as reg:
+            index = _search_heavy_index()
+            index.enable_search_pool(2, min_batch=1)
+            try:
+                mode = index.search_pool.mode
+                n = index.graph.num_vertices
+                index.query_many(
+                    [(u, v) for u in range(n) for v in range(n)]
+                )
+            finally:
+                index.close_search_pool()
+        tasks = reg.counter(
+            "repro_pool_tasks_total", method="feline", mode=mode
+        )
+        assert tasks.value == index.stats.searches > 0
+        if mode == "fork":
+            chunk0 = reg.histogram(
+                "repro_pool_chunk_seconds", method="feline", worker="0"
+            )
+            assert chunk0.count >= 1
+
+    def test_dispatch_span_traced(self):
+        from repro.obs.spans import disable_tracing, enable_tracing
+
+        tracer = enable_tracing()
+        try:
+            index = _search_heavy_index()
+            index.enable_search_pool(2, min_batch=1)
+            try:
+                n = index.graph.num_vertices
+                index.query_many(
+                    [(u, v) for u in range(n) for v in range(n)]
+                )
+            finally:
+                index.close_search_pool()
+            spans = [
+                s for s in tracer.spans() if s.name == "pool.dispatch"
+            ]
+        finally:
+            disable_tracing()
+        assert spans
+        assert spans[0].attributes["pairs"] == index.stats.searches
+
+
+class TestBudgetsStayScalar:
+    def test_budgeted_batch_bypasses_pool(self):
+        from repro.resilience import QueryBudget
+
+        index = _search_heavy_index()
+        pool = index.enable_search_pool(2, min_batch=1)
+        try:
+            def boom(*args):
+                raise AssertionError("budgeted batch reached the pool")
+
+            pool.run = boom
+            n = index.graph.num_vertices
+            budget = QueryBudget(max_steps=1_000_000, policy="unknown")
+            answers = index.query_many(
+                [(u, v) for u in range(n) for v in range(n)], budget=budget
+            )
+            assert len(answers) == n * n
+        finally:
+            index.close_search_pool()

@@ -1,0 +1,145 @@
+"""Property tests: the vectorized batch engine ≡ the scalar path.
+
+The batch engine (:mod:`repro.perf.engine`) answers ``query_many``
+through each family's materialized :class:`~repro.perf.cut_table.CutTable`
+plus a scalar survivor fallback.  Its contract is *bit-identical*
+equivalence: for every registered method, ``query_many(pairs)`` must
+return exactly ``[query(u, v) for u, v in pairs]`` AND leave every
+:class:`~repro.baselines.base.QueryStats` counter equal to the scalar
+run's — with and without a survivor-search pool attached.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.base import available_methods, create_index
+from repro.graph.generators import crown_graph, random_dag
+
+from tests.property.test_invariants import dags
+
+# Methods whose scalar _query can reach an online search; crown graphs
+# defeat their O(1) cuts, so the pooled path genuinely dispatches.
+# SCARAB is handled separately: its survivor search is the backbone
+# gateway product, which needs paths of length >= 2 (a crown graph has
+# none, so its cuts decide everything there).
+SEARCHING_METHODS = [
+    "bfs", "bibfs", "dfs", "feline", "feline-b", "feline-i", "feline-k",
+    "ferrari", "grail",
+]
+
+
+def _deep_dag():
+    """A random DAG with multi-hop paths (exercises SCARAB's product)."""
+    return random_dag(40, avg_degree=2.5, seed=13)
+
+
+def _mixed_pairs(n: int) -> list[tuple[int, int]]:
+    """A deterministic workload mixing hits, misses and equal pairs."""
+    pairs = [(u, (u * 7 + 3) % n) for u in range(n)]
+    pairs += [(v, u) for u, v in pairs[: n // 2]]
+    pairs += [(u, u) for u in range(0, n, 3)]
+    return pairs
+
+
+def _all_pairs(n: int) -> list[tuple[int, int]]:
+    return [(u, v) for u in range(n) for v in range(n)]
+
+
+def _assert_equivalent(method, g, pairs, workers=0, **params):
+    batch_index = create_index(method, g, **params).build()
+    scalar_index = create_index(method, g, **params).build()
+    assert batch_index._cut_table is not None, (
+        f"{method} declares no cut table — the vectorized engine is bypassed"
+    )
+    if workers > 1:
+        batch_index.enable_search_pool(workers, min_batch=1)
+    try:
+        batch = batch_index.query_many(pairs)
+    finally:
+        batch_index.close_search_pool()
+    scalar = [scalar_index.query(u, v) for u, v in pairs]
+    assert batch == scalar
+    assert batch_index.stats.as_dict() == scalar_index.stats.as_dict()
+
+
+class TestEveryRegisteredMethod:
+    """query_many ≡ scalar loop for the full registry, fixed workloads."""
+
+    @pytest.mark.parametrize("method", available_methods())
+    def test_random_dag(self, method):
+        g = random_dag(60, avg_degree=2.0, seed=11)
+        _assert_equivalent(method, g, _mixed_pairs(g.num_vertices))
+
+    @pytest.mark.parametrize("method", SEARCHING_METHODS)
+    def test_crown_graph_forces_searches(self, method):
+        # Crown graphs defeat the cuts: the survivor fallback runs.
+        g = crown_graph(6)
+        index = create_index(method, g).build()
+        pairs = _all_pairs(g.num_vertices)
+        _assert_equivalent(method, g, pairs)
+        index.query_many(pairs)
+        assert index.stats.searches > 0
+
+    def test_scarab_gateway_product_survivors(self):
+        g = _deep_dag()
+        pairs = _all_pairs(g.num_vertices)
+        _assert_equivalent("scarab", g, pairs)
+        index = create_index("scarab", g).build()
+        index.query_many(pairs)
+        assert index.stats.searches > 0
+
+    @pytest.mark.parametrize("method", available_methods())
+    def test_empty_batch(self, method):
+        g = random_dag(20, avg_degree=1.5, seed=2)
+        index = create_index(method, g).build()
+        assert index.query_many([]) == []
+        assert index.stats.queries == 0
+
+
+class TestEveryRegisteredMethodWithPool:
+    """Same contract with a 2-worker survivor pool (min_batch=1, so any
+    survivor set dispatches).  Pools fork after build(); answers and the
+    parent-side stats (searches counted by the engine, expanded/pruned
+    merged from worker deltas) must stay bit-identical."""
+
+    @pytest.mark.parametrize("method", SEARCHING_METHODS)
+    def test_pooled_crown_graph(self, method):
+        g = crown_graph(5)
+        _assert_equivalent(method, g, _all_pairs(g.num_vertices), workers=2)
+
+    def test_pooled_scarab(self):
+        g = _deep_dag()
+        _assert_equivalent(
+            "scarab", g, _all_pairs(g.num_vertices), workers=2
+        )
+
+    @pytest.mark.parametrize("method", ["feline", "grail"])
+    def test_pooled_random_dag(self, method):
+        g = random_dag(80, avg_degree=2.0, seed=5)
+        _assert_equivalent(method, g, _mixed_pairs(g.num_vertices), workers=2)
+
+
+class TestEngineEquivalenceProperty:
+    """Hypothesis sweep: all pairs of random DAGs, core families."""
+
+    @given(dags(max_vertices=12))
+    @settings(max_examples=15, deadline=None)
+    def test_feline_family(self, g):
+        pairs = _all_pairs(g.num_vertices)
+        for method in ("feline", "feline-i", "feline-b"):
+            _assert_equivalent(method, g, pairs)
+
+    @given(dags(max_vertices=10))
+    @settings(max_examples=10, deadline=None)
+    def test_label_families(self, g):
+        pairs = _all_pairs(g.num_vertices)
+        _assert_equivalent("grail", g, pairs, num_labelings=2, seed=1)
+        _assert_equivalent("ferrari", g, pairs)
+        _assert_equivalent("tf-label", g, pairs)
+
+    @given(dags(max_vertices=10))
+    @settings(max_examples=8, deadline=None)
+    def test_feline_pooled(self, g):
+        _assert_equivalent(
+            "feline", g, _all_pairs(g.num_vertices), workers=2
+        )

@@ -283,3 +283,34 @@ class TestValidateAndRecommend:
         write_edge_list(g, path)
         assert main(["recommend", str(path), "--query-heavy"]) == 0
         assert "recommended: feline-b" in capsys.readouterr().out
+
+
+class TestWorkersFlag:
+    @pytest.fixture
+    def dag_file(self, tmp_path):
+        g = random_dag(60, avg_degree=2.0, seed=7)
+        path = tmp_path / "dag.edges"
+        write_edge_list(g, path)
+        return path
+
+    def test_bench_workers_scopes_the_harness_default(self, capsys):
+        from repro.bench.harness import get_default_workers
+
+        code = main([
+            "bench", "t3", "--scale", "0.02", "--queries", "20",
+            "--runs", "1", "--datasets", "arxiv", "--workers", "2",
+        ])
+        assert code == 0
+        assert "T3" in capsys.readouterr().out
+        # the flag applies per invocation, not process-wide
+        assert get_default_workers() == 0
+
+    def test_serve_once_with_workers(self, dag_file, capsys):
+        code = main([
+            "serve", str(dag_file), "--warm", "50",
+            "--workers", "2", "--once",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving feline metrics" in out
+        assert "GET /healthz [200]" in out
