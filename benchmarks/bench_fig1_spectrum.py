@@ -15,7 +15,6 @@ import pytest
 from repro.baselines.base import create_index
 from repro.bench.reporting import format_bytes, format_table
 from repro.bench.runner import ExperimentReport
-from repro.core.batch import query_batch
 from repro.core.query import FelineIndex
 from repro.datasets.queries import random_pairs
 from repro.datasets.real_stand_ins import load_real_stand_in
@@ -90,7 +89,7 @@ def report(graph, pairs):
 
 def test_spectrum_sweep(benchmark, report, graph, pairs):
     index = FelineIndex(graph).build()
-    benchmark(query_batch, index, pairs)
+    benchmark(index.query_many, pairs)
 
 
 def test_shape_endpoints(report):
@@ -135,10 +134,10 @@ def test_shape_dual_labeling_wins_on_sparse(report):
 def test_batch_queries_not_slower(graph, pairs):
     index = FelineIndex(graph).build()
     start = time.perf_counter()
-    scalar = index.query_many(pairs)
+    scalar = [index.query(u, v) for u, v in pairs]
     scalar_s = time.perf_counter() - start
     start = time.perf_counter()
-    batch = query_batch(index, pairs)
+    batch = index.query_many(pairs)
     batch_s = time.perf_counter() - start
-    assert batch.tolist() == scalar
+    assert batch == scalar
     assert batch_s < scalar_s * 1.5  # typically several times faster

@@ -1,0 +1,134 @@
+"""Gate CI on the serving tier's loadgen report.
+
+Takes the JSON written by ``repro loadgen --compare --out`` (the same
+shape as the committed ``benchmarks/BENCH_pr6.json``) and enforces:
+
+* the run is healthy — no client errors, every measured request got a
+  ``200``;
+* coalescing pays — the coalesced leg's throughput is at least
+  ``--min-speedup`` (default 1.05x) of the uncoalesced baseline leg,
+  and its batch-size histogram shows real merging (mean batch > 1);
+* an absolute floor — normalized throughput, rescaled by the file's own
+  pure-Python calibration timing exactly like ``check_regression.py``
+  (``rps * calibration_ms``: requests per unit of this machine's Python
+  speed), stays above ``--floor`` against the committed baseline file's
+  coalesced leg, within ``--tolerance`` (default 35%; serving numbers
+  are noisier than in-process batch timings).
+
+    PYTHONPATH=src python benchmarks/check_serving.py FRESH [BASELINE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "BENCH_pr6.json"
+
+
+def _run(report: dict, label: str) -> dict | None:
+    for run in report.get("runs", []):
+        if run.get("label") == label:
+            return run
+    return None
+
+
+def _normalized_rps(report: dict, run: dict) -> float:
+    return run["throughput_rps"] * report["calibration_ms"]
+
+
+def check(fresh: dict, baseline: dict, min_speedup: float,
+          tolerance: float) -> int:
+    failures = []
+    print(
+        f"baseline calibration {baseline['calibration_ms']:.1f} ms "
+        f"({baseline.get('cpus', '?')} cpus), fresh "
+        f"{fresh['calibration_ms']:.1f} ms ({fresh.get('cpus', '?')} cpus)"
+    )
+
+    for label in ("baseline", "coalesced"):
+        run = _run(fresh, label)
+        if run is None:
+            failures.append(f"fresh report has no {label!r} run")
+            continue
+        ok = run["errors"] == 0 and set(run["status"]) == {"200"}
+        print(
+            f"  {label:<10} {run['requests']:>7} req  "
+            f"{run['throughput_rps']:>9.1f} rps  errors={run['errors']}  "
+            f"{'ok' if ok else 'UNHEALTHY'}"
+        )
+        if not ok:
+            failures.append(
+                f"{label} run unhealthy: errors={run['errors']}, "
+                f"status={run['status']}"
+            )
+
+    base_run, coal_run = _run(fresh, "baseline"), _run(fresh, "coalesced")
+    if base_run and coal_run:
+        speedup = (
+            coal_run["throughput_rps"] / base_run["throughput_rps"]
+            if base_run["throughput_rps"]
+            else 0.0
+        )
+        verdict = "ok" if speedup >= min_speedup else "FAIL"
+        print(f"  coalesced/baseline speedup {speedup:.2f}x "
+              f"(need >= {min_speedup:.2f}x)  {verdict}")
+        if speedup < min_speedup:
+            failures.append(
+                f"coalescing speedup {speedup:.2f}x below {min_speedup:.2f}x"
+            )
+        batch = (coal_run.get("server") or {}).get("coalesce_batch_size")
+        if not batch or batch["mean"] <= 1.0:
+            failures.append(
+                "coalesced run shows no merging "
+                f"(batch-size histogram: {batch})"
+            )
+        else:
+            print(f"  mean coalesced batch size {batch['mean']:.1f}  ok")
+        wait = (coal_run.get("server") or {}).get("queue_wait_seconds")
+        if not wait:
+            failures.append("queue-wait histogram missing from /metrics")
+
+        committed = _run(baseline, "coalesced")
+        if committed is not None:
+            base_norm = _normalized_rps(baseline, committed)
+            fresh_norm = _normalized_rps(fresh, coal_run)
+            ratio = fresh_norm / base_norm if base_norm else 0.0
+            verdict = "ok" if ratio >= 1 - tolerance else "REGRESSION"
+            print(
+                f"  normalized coalesced throughput {ratio:6.2f}x of "
+                f"committed baseline  {verdict}"
+            )
+            if ratio < 1 - tolerance:
+                failures.append(
+                    f"normalized throughput {ratio:.2f}x below "
+                    f"{1 - tolerance:.2f}x of the committed baseline"
+                )
+
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nOK: serving floor holds")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", type=Path, help="loadgen --out JSON")
+    parser.add_argument(
+        "baseline", nargs="?", type=Path, default=DEFAULT_BASELINE
+    )
+    parser.add_argument("--min-speedup", type=float, default=1.05)
+    parser.add_argument("--tolerance", type=float, default=0.35)
+    args = parser.parse_args(argv[1:])
+    fresh = json.loads(args.fresh.read_text(encoding="utf-8"))
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    return check(fresh, baseline, args.min_speedup, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -44,7 +44,7 @@ import repro.baselines  # noqa: F401  (registration side effect)
 import repro.core  # noqa: F401
 import repro.scarab  # noqa: F401
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Reachability",
@@ -54,7 +54,9 @@ __all__ = [
     "QueryStats",
     "QueryBudget",
     "UNKNOWN",
+    "InvalidVertexError",
     "ReproError",
+    "api",
     "obs",
     "__version__",
 ]
@@ -229,3 +231,7 @@ class Reachability:
             f"|V|={self.graph.num_vertices} |E|={self.graph.num_edges} "
             f"sccs={self.condensation.num_components}>"
         )
+
+
+# The stable surface; imported last because it re-exports Reachability.
+from repro import api  # noqa: E402,F401  (see repro.api docstring)

@@ -38,10 +38,22 @@ Commands
     ``query`` (0 reachable, 1 not, 3 unknown).
 ``serve GRAPH.edges [--method M] [--port P] [--warm N] [--slow-ms T]``
     Build an index with metrics on, warm it with ``N`` random queries,
-    and serve ``/metrics`` (Prometheus), ``/healthz`` and ``/slow``
-    (the slow-query log, JSON) from a stdlib HTTP server until
-    interrupted; ``--once`` scrapes each endpoint once and exits (CI
-    smoke).
+    and serve *query traffic* from the asyncio tier
+    (:class:`repro.serve.ReachServer`): ``GET /reach?u=..&v=..`` and
+    ``POST /reach_many`` answered through the request coalescer, plus
+    ``/metrics``, ``/healthz`` and ``/slow`` folded in.  Coalescing and
+    admission control are tunable (``--max-batch``, ``--max-wait-ms``,
+    ``--max-inflight``, ``--overload``), budget flags as in ``query``;
+    ``--once`` scrapes each endpoint once and exits (CI smoke).
+``loadgen GRAPH.edges [--mode closed|open] [--compare] [--out P]``
+    Boot a server over the graph (or target ``--url`` of a running one)
+    and drive it with a random-pair workload: closed model
+    (``--concurrency`` workers back-to-back) or open model (``--rate``
+    arrivals/s), reporting throughput, p50/p95/p99 latency, SLO
+    attainment and the server's coalescing histograms.  ``--compare``
+    measures an uncoalesced baseline (``max_batch=1``) against the
+    coalesced configuration and reports both — ``--out`` writes the JSON
+    artifact committed as ``benchmarks/BENCH_pr6.json``.
 ``stats GRAPH.edges [--method M] [--queries N] [--seed S] [--metrics-out P]``
     Build an index, answer a random workload, and print the query-stats
     breakdown (which cut answered how many queries), build-phase
@@ -141,8 +153,45 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_budget_args(explain)
 
+    def add_serve_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--max-batch",
+            type=int,
+            default=64,
+            help="coalescer flush threshold in pairs; 1 disables "
+            "coalescing (default 64)",
+        )
+        p.add_argument(
+            "--max-wait-ms",
+            type=float,
+            default=0.0,
+            help="coalescer window: longest a request waits for batch "
+            "mates (default 0: flush on the next event-loop tick)",
+        )
+        p.add_argument(
+            "--max-inflight",
+            type=int,
+            default=1024,
+            help="admission cap on admitted-but-unanswered pairs "
+            "(default 1024)",
+        )
+        p.add_argument(
+            "--overload",
+            choices=["shed", "unknown"],
+            default="shed",
+            help="over-cap requests: shed (503 + Retry-After) or "
+            "unknown (immediate degraded verdict; default shed)",
+        )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=0,
+            help="survivor-search worker processes for batch queries "
+            "(default 0: in-process; see docs/PERFORMANCE.md)",
+        )
+
     serve = sub.add_parser(
-        "serve", help="serve /metrics, /healthz and /slow over HTTP"
+        "serve", help="serve reachability queries (and the obs triad) over HTTP"
     )
     serve.add_argument("graph", help="edge-list file (u v per line)")
     serve.add_argument("--method", default="feline")
@@ -168,13 +217,83 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="scrape each endpoint once, print, and exit (smoke tests)",
     )
-    serve.add_argument(
-        "--workers",
-        type=int,
-        default=0,
-        help="survivor-search worker processes for batch queries "
-        "(default 0: in-process; see docs/PERFORMANCE.md)",
+    add_serve_args(serve)
+    add_budget_args(serve)
+
+    loadgen = sub.add_parser(
+        "loadgen", help="drive a reachability server with load, report latency"
     )
+    loadgen.add_argument("graph", help="edge-list file (u v per line)")
+    loadgen.add_argument("--method", default="feline")
+    loadgen.add_argument(
+        "--mode",
+        choices=["closed", "open"],
+        default="closed",
+        help="workload model: closed (workers back-to-back) or open "
+        "(scheduled arrivals; default closed)",
+    )
+    loadgen.add_argument(
+        "--concurrency",
+        type=int,
+        default=16,
+        help="client connections (default 16)",
+    )
+    loadgen.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="open-loop arrival rate in requests/second",
+    )
+    loadgen.add_argument(
+        "--duration",
+        type=float,
+        default=3.0,
+        help="run length in seconds (default 3)",
+    )
+    loadgen.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        help="stop after this many requests (default: run to --duration)",
+    )
+    loadgen.add_argument(
+        "--slo-ms",
+        type=float,
+        default=50.0,
+        help="latency SLO for the attainment figure (default 50 ms)",
+    )
+    loadgen.add_argument(
+        "--pairs",
+        type=int,
+        default=512,
+        help="distinct random query pairs cycled through (default 512)",
+    )
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--warm",
+        type=float,
+        default=0.3,
+        help="warmup seconds before measuring (default 0.3)",
+    )
+    loadgen.add_argument(
+        "--compare",
+        action="store_true",
+        help="measure an uncoalesced baseline (max_batch=1) against the "
+        "coalesced configuration and report both",
+    )
+    loadgen.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the full report as JSON to PATH",
+    )
+    loadgen.add_argument(
+        "--url",
+        default=None,
+        help="drive an already-running server at this URL instead of "
+        "booting one (GRAPH still supplies the query pairs)",
+    )
+    add_serve_args(loadgen)
 
     build = sub.add_parser(
         "build", help="build and save a FELINE index for a DAG"
@@ -343,49 +462,71 @@ def _run_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_serve(args: argparse.Namespace) -> int:
-    """The ``serve`` subcommand: warm an index, expose the obs triad."""
+def _budget_from_args(args: argparse.Namespace):
+    """A :class:`QueryBudget` from ``--max-steps``/``--deadline-ms``."""
+    from repro.resilience import QueryBudget
+
+    if args.max_steps is None and args.deadline_ms is None:
+        return None
+    return QueryBudget(
+        max_steps=args.max_steps,
+        deadline_s=(
+            args.deadline_ms / 1000.0
+            if args.deadline_ms is not None
+            else None
+        ),
+        policy=args.on_budget,
+    )
+
+
+def _build_serving_oracle(args: argparse.Namespace):
+    """Build + warm the oracle a ``serve``/``loadgen`` run queries."""
     from repro.datasets.queries import random_pairs
-    from repro.obs.server import ObsServer
+
+    graph = read_edge_list(args.graph)
+    oracle = Reachability(graph, method=args.method, workers=args.workers)
+    warm = int(getattr(args, "warm", 0)) if args.command == "serve" else 0
+    if warm > 0:
+        oracle.reachable_many(random_pairs(graph, warm, seed=args.seed))
+    return graph, oracle
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: warm an index, serve query traffic."""
+    from repro.serve import ReachServer, ServeConfig
 
     registry = obs.enable_metrics()
     oracle = None
     try:
-        graph = read_edge_list(args.graph)
-        oracle = Reachability(
-            graph, method=args.method, workers=args.workers
-        )
-
-        def warm() -> None:
-            if args.warm > 0:
-                pairs = random_pairs(graph, args.warm, seed=args.seed)
-                oracle.reachable_many(pairs)
-
-        if args.workers > 1:
-            # A slow log forces per-pair scalar batches (its documented
-            # trade-off), so warm through the survivor pool first and
-            # attach the log for live traffic afterwards.
-            warm()
-            oracle.enable_slow_log(threshold_ms=args.slow_ms)
-        else:
-            oracle.enable_slow_log(threshold_ms=args.slow_ms)
-            warm()
-        server = ObsServer(
-            registry=registry,
-            slow_log=oracle.slow_log,
+        graph, oracle = _build_serving_oracle(args)
+        # The slow log goes on after warming: it forces per-pair scalar
+        # batches (its documented trade-off), which would skew the warm.
+        oracle.enable_slow_log(threshold_ms=args.slow_ms)
+        config = ServeConfig(
             host=args.host,
             port=args.port,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            max_inflight=args.max_inflight,
+            overload=args.overload,
+            budget=_budget_from_args(args),
+        )
+        server = ReachServer(
+            oracle, config, registry=registry, slow_log=oracle.slow_log
         )
         server.start()
         try:
             print(
-                f"serving {oracle.index.method_name} metrics on "
-                f"{server.url} (/metrics, /healthz, /slow)"
+                f"serving {oracle.index.method_name} queries on "
+                f"{server.url} (/reach, /reach_many, /metrics, /healthz, "
+                f"/slow; max_batch={config.max_batch}, "
+                f"max_wait_ms={config.max_wait_ms})"
             )
             if args.once:
                 from urllib.request import urlopen
 
-                for endpoint in ("/healthz", "/metrics", "/slow"):
+                sample = f"/reach?u=0&v={graph.num_vertices - 1}"
+                for endpoint in ("/healthz", sample, "/metrics", "/slow"):
                     with urlopen(server.url + endpoint) as response:
                         body = response.read().decode("utf-8")
                     print(f"--- GET {endpoint} [{response.status}]")
@@ -404,6 +545,126 @@ def _run_serve(args: argparse.Namespace) -> int:
         if oracle is not None:
             oracle.close_search_pool()
         obs.disable_metrics()
+
+
+def _run_loadgen(args: argparse.Namespace) -> int:
+    """The ``loadgen`` subcommand: measure a server under load."""
+    import json
+    import os
+
+    from repro.datasets.queries import random_pairs
+    from repro.serve import (
+        ServeConfig,
+        calibrate_ms,
+        compare_serving,
+        run_loadgen,
+    )
+
+    graph = read_edge_list(args.graph)
+    pairs = random_pairs(graph, args.pairs, seed=args.seed)
+    config = ServeConfig(
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_inflight=args.max_inflight,
+        overload=args.overload,
+    )
+    oracle = None
+    try:
+        if args.url is not None:
+            if args.compare:
+                print("loadgen: --compare boots its own servers and is "
+                      "incompatible with --url", file=sys.stderr)
+                return 2
+            report = run_loadgen(
+                args.url, pairs, mode=args.mode,
+                concurrency=args.concurrency, rate=args.rate,
+                duration_s=args.duration, max_requests=args.requests,
+                slo_ms=args.slo_ms,
+            )
+            runs = [dict(report, label="remote")]
+        else:
+            oracle = Reachability(
+                graph, method=args.method, workers=args.workers
+            )
+            if args.compare:
+                runs = compare_serving(
+                    oracle, pairs, config=config, mode=args.mode,
+                    concurrency=args.concurrency, rate=args.rate,
+                    duration_s=args.duration, max_requests=args.requests,
+                    slo_ms=args.slo_ms, warmup_s=args.warm,
+                )["runs"]
+            else:
+                from repro.obs.metrics import MetricsRegistry
+                from repro.serve import ReachServer
+
+                registry = MetricsRegistry()
+                server = ReachServer(oracle, config, registry=registry)
+                server.start()
+                try:
+                    if args.warm > 0:
+                        run_loadgen(
+                            server, pairs, mode="closed",
+                            concurrency=min(args.concurrency, 4),
+                            duration_s=args.warm, slo_ms=args.slo_ms,
+                        )
+                    report = run_loadgen(
+                        server, pairs, mode=args.mode,
+                        concurrency=args.concurrency, rate=args.rate,
+                        duration_s=args.duration,
+                        max_requests=args.requests, slo_ms=args.slo_ms,
+                    )
+                finally:
+                    server.stop()
+                runs = [dict(report, label="coalesced")]
+    finally:
+        if oracle is not None:
+            oracle.close_search_pool()
+
+    for run in runs:
+        latency = run["latency_ms"]
+        batch = (run.get("server") or {}).get("coalesce_batch_size")
+        mean_batch = f"{batch['mean']:.1f}" if batch else "n/a"
+        print(
+            f"{run['label']:<10} {run['requests']:>7} req  "
+            f"{run['throughput_rps']:>9.1f} rps  "
+            f"p50={latency['p50']:.2f}ms p95={latency['p95']:.2f}ms "
+            f"p99={latency['p99']:.2f}ms  "
+            f"slo({run['slo_ms']:g}ms)={run['slo_attainment']}  "
+            f"mean_batch={mean_batch}  errors={run['errors']}"
+        )
+    if args.compare and len(runs) == 2:
+        base, coal = runs[0], runs[1]
+        if base["throughput_rps"] > 0:
+            speedup = coal["throughput_rps"] / base["throughput_rps"]
+            print(f"coalesced/baseline throughput: {speedup:.2f}x")
+
+    if args.out:
+        document = {
+            "bench": "serve-loadgen",
+            "python": "%d.%d.%d" % sys.version_info[:3],
+            "seed": args.seed,
+            "cpus": os.cpu_count(),
+            "calibration_ms": calibrate_ms(),
+            "graph": {
+                "vertices": graph.num_vertices,
+                "edges": graph.num_edges,
+                "path": args.graph,
+            },
+            "workload": {
+                "mode": args.mode,
+                "pairs": len(pairs),
+                "concurrency": args.concurrency,
+                "rate_rps": args.rate,
+                "duration_s": args.duration,
+                "slo_ms": args.slo_ms,
+            },
+            "runs": runs,
+        }
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"report written: {args.out}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -476,6 +737,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "serve":
         return _run_serve(args)
+
+    if args.command == "loadgen":
+        return _run_loadgen(args)
 
     if args.command == "build":
         from repro.core.persistence import save_index

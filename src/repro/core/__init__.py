@@ -22,7 +22,6 @@ from repro.core.advisor import (
     extract_features,
     recommend_method,
 )
-from repro.core.batch import query_batch
 from repro.core.bidirectional import FelineBIndex, FelineIIndex
 from repro.core.distributed import ClusterStats, ShardWorker, SimulatedCluster
 from repro.core.heuristics import available_heuristics, compute_y_order
@@ -46,7 +45,6 @@ __all__ = [
     "SimulatedCluster",
     "ShardWorker",
     "ClusterStats",
-    "query_batch",
     "recommend_method",
     "describe_recommendation",
     "extract_features",

@@ -1,7 +1,10 @@
 """A stdlib scrape endpoint: ``/metrics``, ``/healthz``, ``/slow``.
 
-The serving triad's live surface — a background-thread
-:class:`http.server.ThreadingHTTPServer` exposing:
+**Metrics-only.**  Query traffic is served by the asyncio tier in
+:mod:`repro.serve` (which folds these same endpoints into its own
+surface); ``ObsServer`` remains for deployments that want a scrape
+target without a query server — a sidecar exposing the process-wide
+registry.  Endpoints:
 
 * ``GET /metrics`` — the active metrics registry in the Prometheus text
   exposition format (scrape-ready);
@@ -10,13 +13,19 @@ The serving triad's live surface — a background-thread
   as a JSON document (records plus sampling metadata).
 
 No dependencies beyond the standard library, by design — the container
-bakes in no web framework, and a reachability service needs nothing
-fancier than a scrape target.  Start with::
+bakes in no web framework, and a scrape target needs nothing fancier.
+Start with::
 
     server = ObsServer(slow_log=log).start()   # port=0 picks a free port
     print(server.url)
     ...
     server.stop()
+    server.start()                             # restart rebinds a socket
+
+Lifecycle contract (shared with :class:`repro.serve.ReachServer`):
+``start()`` while running raises ``RuntimeError``; ``stop()`` is
+idempotent; ``start()`` after ``stop()`` binds a **fresh** socket — with
+``port=0`` the port may change, so re-read :attr:`port`.
 """
 
 from __future__ import annotations
@@ -29,7 +38,24 @@ from repro.obs.export import to_prometheus
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.slowlog import SlowQueryLog
 
-__all__ = ["ObsServer"]
+__all__ = ["ObsServer", "slow_log_payload"]
+
+
+def slow_log_payload(log: SlowQueryLog | None) -> dict:
+    """The ``/slow`` JSON document for a slow-query log (or ``None``).
+
+    Shared by :class:`ObsServer` and :class:`repro.serve.ReachServer`
+    so both servers render an identical document.
+    """
+    if log is None:
+        return {"records": [], "observed": 0}
+    return {
+        "mode": log.mode,
+        "capacity": log.capacity,
+        "threshold_ns": log.threshold_ns,
+        "observed": log.observed,
+        "records": log.as_dicts(),
+    }
 
 
 class ObsServer:
@@ -57,6 +83,15 @@ class ObsServer:
     ) -> None:
         self._registry = registry
         self.slow_log = slow_log
+        self._host = host
+        self._requested_port = port
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._address: tuple[str, int] | None = None
+        self._bind()
+
+    def _bind(self) -> None:
+        """Bind a fresh listening socket (construction and restart)."""
         obs_server = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -71,7 +106,8 @@ class ObsServer:
                 elif path == "/healthz":
                     self._reply(200, "ok\n", "text/plain")
                 elif path == "/slow":
-                    body = json.dumps(obs_server.slow_payload(), indent=2)
+                    doc = slow_log_payload(obs_server.slow_log)
+                    body = json.dumps(doc, indent=2)
                     self._reply(200, body + "\n", "application/json")
                 else:
                     self._reply(404, "not found\n", "text/plain")
@@ -84,9 +120,11 @@ class ObsServer:
                 self.end_headers()
                 self.wfile.write(payload)
 
-        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd = ThreadingHTTPServer(
+            (self._host, self._requested_port), Handler
+        )
         self._httpd.daemon_threads = True
-        self._thread: threading.Thread | None = None
+        self._address = self._httpd.server_address[:2]
 
     # ------------------------------------------------------------------
     @property
@@ -96,32 +134,45 @@ class ObsServer:
 
     def slow_payload(self) -> dict:
         """The ``/slow`` JSON document."""
-        log = self.slow_log
-        if log is None:
-            return {"records": [], "observed": 0}
-        return {
-            "mode": log.mode,
-            "capacity": log.capacity,
-            "threshold_ns": log.threshold_ns,
-            "observed": log.observed,
-            "records": log.as_dicts(),
-        }
+        return slow_log_payload(self.slow_log)
 
     @property
     def port(self) -> int:
-        """The bound port (useful with ``port=0``)."""
-        return self._httpd.server_address[1]
+        """The bound port (useful with ``port=0``).
+
+        After a restart the port may differ from the previous run when
+        constructed with ``port=0`` — re-read it after each ``start()``.
+        """
+        if self._address is None:
+            raise RuntimeError("ObsServer has no bound socket")
+        return self._address[1]
 
     @property
     def url(self) -> str:
-        host = self._httpd.server_address[0]
-        return f"http://{host}:{self.port}"
+        if self._address is None:
+            raise RuntimeError("ObsServer has no bound socket")
+        return f"http://{self._address[0]}:{self._address[1]}"
+
+    @property
+    def running(self) -> bool:
+        """Whether the serving thread is active."""
+        return self._thread is not None
 
     # ------------------------------------------------------------------
     def start(self) -> "ObsServer":
-        """Begin serving from a daemon thread; returns ``self``."""
+        """Begin serving from a daemon thread; returns ``self``.
+
+        Raises ``RuntimeError`` if already running.  After ``stop()``,
+        calling ``start()`` again rebinds a fresh socket and resumes —
+        explicit restart is part of the lifecycle contract.
+        """
         if self._thread is not None:
-            raise RuntimeError("ObsServer is already running")
+            raise RuntimeError(
+                "ObsServer is already running; stop() it before calling "
+                "start() again"
+            )
+        if self._httpd is None:
+            self._bind()
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
             name="repro-obs-server",
@@ -131,12 +182,17 @@ class ObsServer:
         return self
 
     def stop(self) -> None:
-        """Shut the server down and join its thread (idempotent)."""
+        """Shut the server down and join its thread (idempotent).
+
+        Closes the listening socket; a later ``start()`` binds a new
+        one (the port may change when constructed with ``port=0``).
+        """
         if self._thread is None:
             return
         self._httpd.shutdown()
         self._thread.join(timeout=5)
         self._httpd.server_close()
+        self._httpd = None
         self._thread = None
 
     def __enter__(self) -> "ObsServer":
@@ -148,4 +204,5 @@ class ObsServer:
 
     def __repr__(self) -> str:
         state = "running" if self._thread is not None else "stopped"
-        return f"<ObsServer {self.url} {state}>"
+        where = self.url if self._address is not None else "unbound"
+        return f"<ObsServer {where} {state}>"

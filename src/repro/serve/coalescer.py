@@ -1,0 +1,190 @@
+"""The request coalescer: concurrent pairs → one vectorized cut pass.
+
+FELINE answers most pairs in O(1), but a naive server still pays a full
+Python dispatch per request.  Continuous batching fixes that: requests
+arriving within a short window are gathered and answered through **one**
+``query_many`` call, whose vectorized cut pass classifies the whole
+batch in a few numpy ops (survivors optionally fan out to the index's
+:class:`~repro.perf.pool.SearchPool`).  Answers are bit-identical to
+issuing each query alone — that is the batch engine's contract, and the
+property suite re-asserts it through this layer.
+
+The coalescer lives on the server's event loop; queries execute on a
+**single** dedicated executor thread, because an index is not safe for
+concurrent querying (budget guards and stats counters are instance
+state).  Flushes therefore serialize naturally while the event loop
+keeps accepting traffic.
+
+Instrumentation (when metrics are enabled): every flush observes
+``repro_serve_coalesce_batch_size`` and, per request,
+``repro_serve_queue_wait_seconds`` — the two histograms that make the
+coalescing win measurable on ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Callable, Sequence
+
+from repro.obs.metrics import COUNT_BUCKETS, get_registry
+from repro.obs.spans import get_tracer
+from repro.obs.timing import now_ns
+
+__all__ = ["Coalescer", "CoalescerClosed"]
+
+
+class CoalescerClosed(RuntimeError):
+    """Submitting to a draining/drained coalescer (server shutting down)."""
+
+
+class Coalescer:
+    """Gather concurrent pair submissions into batched engine calls.
+
+    Parameters
+    ----------
+    answer_batch:
+        ``answer_batch(pairs) -> list`` — the blocking batch call (e.g.
+        ``Reachability.reachable_many``), executed on ``executor``.
+    max_batch:
+        Flush as soon as this many pairs are pending (``1`` = flush per
+        submission, the uncoalesced baseline).
+    max_wait_s:
+        Flush at the latest this long after the first pending pair
+        (``0`` = next event-loop tick).
+    executor:
+        The single-threaded executor queries run on; the caller owns its
+        lifecycle.
+    registry_fn:
+        Zero-arg callable returning the metrics registry to observe
+        into; defaults to the process-wide :func:`get_registry`.  The
+        server passes its own so a private registry (as in loadgen
+        comparisons) still sees the histograms.
+    """
+
+    def __init__(
+        self,
+        answer_batch: Callable[[list[tuple[int, int]]], Sequence],
+        *,
+        max_batch: int,
+        max_wait_s: float,
+        executor,
+        registry_fn: Callable[[], object] | None = None,
+    ) -> None:
+        self._answer_batch = answer_batch
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self._executor = executor
+        self._registry_fn = registry_fn if registry_fn is not None else get_registry
+        self._loop = asyncio.get_running_loop()
+        # Pending entries: (u, v, future, enqueued_ns).
+        self._pending: list[tuple[int, int, asyncio.Future, int]] = []
+        self._timer = None
+        self._tasks: set[asyncio.Task] = set()
+        self._closed = False
+        # Lifetime totals, served under /metrics and in loadgen reports.
+        self.batches = 0
+        self.coalesced_pairs = 0
+
+    # -- submission -----------------------------------------------------
+    async def submit(self, u: int, v: int):
+        """Enqueue one pair; resolves to its ternary answer."""
+        return (await self.submit_many([(u, v)]))[0]
+
+    async def submit_many(self, pairs: Sequence[tuple[int, int]]) -> list:
+        """Enqueue several pairs at once; resolves to aligned answers.
+
+        The pairs join the *same* pending batch as concurrent single-pair
+        submissions, so a ``POST /reach_many`` shares its cut pass with
+        whatever ``GET /reach`` traffic is in flight.
+        """
+        if self._closed:
+            raise CoalescerClosed("coalescer is draining; no new queries")
+        enqueued = now_ns()
+        futures = []
+        for u, v in pairs:
+            future = self._loop.create_future()
+            self._pending.append((u, v, future, enqueued))
+            futures.append(future)
+            if len(self._pending) >= self.max_batch:
+                self.flush()
+        if self._pending and self._timer is None:
+            if self.max_wait_s <= 0:
+                self._timer = self._loop.call_soon(self.flush)
+            else:
+                self._timer = self._loop.call_later(self.max_wait_s, self.flush)
+        return list(await asyncio.gather(*futures))
+
+    @property
+    def pending(self) -> int:
+        """Pairs waiting for the next flush."""
+        return len(self._pending)
+
+    # -- flushing -------------------------------------------------------
+    def flush(self) -> None:
+        """Cut a batch from the pending queue and dispatch it."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        task = self._loop.create_task(self._run_batch(batch))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run_batch(self, batch) -> None:
+        started = now_ns()
+        size = len(batch)
+        self.batches += 1
+        self.coalesced_pairs += size
+        registry = self._registry_fn()
+        if registry.enabled:
+            registry.histogram(
+                "repro_serve_coalesce_batch_size",
+                buckets=COUNT_BUCKETS,
+                help="Pairs answered per coalesced engine call.",
+            ).observe(size)
+            queue_wait = registry.histogram(
+                "repro_serve_queue_wait_seconds",
+                help="Time a request waited in the coalescer before its "
+                "batch was dispatched.",
+            )
+            for _, _, _, enqueued in batch:
+                queue_wait.observe(max(0, started - enqueued) * 1e-9)
+        pairs = [(u, v) for u, v, _, _ in batch]
+        tracer = get_tracer()
+        try:
+            with tracer.span("serve.flush", size=size):
+                answers = await self._loop.run_in_executor(
+                    self._executor, self._answer_batch, pairs
+                )
+        except BaseException as exc:  # noqa: BLE001 — relayed per request
+            for _, _, future, _ in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_, _, future, _), answer in zip(batch, answers):
+            if not future.done():
+                future.set_result(answer)
+
+    # -- shutdown -------------------------------------------------------
+    def close(self) -> None:
+        """Refuse new submissions without flushing (non-drain shutdown)."""
+        self._closed = True
+
+    async def drain(self) -> None:
+        """Refuse new work, flush the queue, await outstanding batches.
+
+        Every pair submitted before the drain began still receives its
+        real answer — the no-request-dropped half of the serving tier's
+        shutdown contract.
+        """
+        self._closed = True
+        self.flush()
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`drain` has begun."""
+        return self._closed

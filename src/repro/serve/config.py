@@ -1,0 +1,120 @@
+"""Serving-tier configuration: one frozen dataclass, validated upfront.
+
+Every knob of the async serving tier lives here so the CLI, the tests,
+and embedding code construct servers from one audited surface.  The
+interesting trio:
+
+* ``max_batch`` / ``max_wait_ms`` — the request coalescer's window: a
+  flush happens when ``max_batch`` pairs are pending or ``max_wait_ms``
+  has elapsed since the first, whichever comes first.  ``max_batch=1``
+  disables coalescing (one engine call per request) — the baseline the
+  load generator compares against.  The default window of ``0`` ms
+  flushes on the next event-loop tick: requests that arrived together
+  still merge (under concurrency that is most of them) and nobody waits
+  for batch mates, the lowest-latency point of the trade-off.  A
+  positive window trades per-request latency for bigger batches.
+* ``max_inflight`` / ``overload`` — admission control: once this many
+  pairs are admitted and unanswered, new requests are shed with a
+  structured 503 + ``Retry-After`` (``overload="shed"``) or degraded to
+  an immediate ``unknown`` verdict (``overload="unknown"``), mirroring
+  the resilience layer's budget policies.
+* ``budget`` — an optional :class:`~repro.resilience.QueryBudget`
+  applied to every admitted query; exhaustion degrades per the budget's
+  own policy, so an overloaded search can answer ``unknown`` instead of
+  holding the queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ReproError
+from repro.resilience import QueryBudget
+
+__all__ = ["ServeConfig", "OVERLOAD_POLICIES"]
+
+OVERLOAD_POLICIES = ("shed", "unknown")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Configuration of a :class:`repro.serve.ReachServer`.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` (default) lets the OS pick a free port,
+        readable as ``server.port`` after ``start()``.
+    max_batch:
+        Coalescer flush threshold in pairs (``1`` disables coalescing).
+    max_wait_ms:
+        Coalescer window: the longest a pending request waits for batch
+        mates before a flush is forced.  ``0`` flushes on the next event
+        loop tick (still merging requests that arrived together).
+    max_inflight:
+        Admission cap on admitted-but-unanswered pairs.
+    overload:
+        What an over-cap request gets: ``"shed"`` (503 with
+        ``Retry-After`` and a structured body) or ``"unknown"`` (an
+        immediate ``unknown`` verdict, HTTP 200).
+    retry_after_ms:
+        The ``Retry-After`` hint attached to shed responses.
+    drain_timeout_s:
+        How long ``stop()`` waits for queued and in-flight requests to
+        finish with real answers before forcing connections closed.
+    budget:
+        Optional per-query :class:`~repro.resilience.QueryBudget`
+        applied to every admitted query.
+    max_body_bytes:
+        Upper bound on a ``POST /reach_many`` body (413 beyond it).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_batch: int = 64
+    max_wait_ms: float = 0.0
+    max_inflight: int = 1024
+    overload: str = "shed"
+    retry_after_ms: int = 50
+    drain_timeout_s: float = 5.0
+    budget: QueryBudget | None = None
+    max_body_bytes: int = 8 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ReproError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_ms < 0:
+            raise ReproError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
+            )
+        if self.max_inflight < 1:
+            raise ReproError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+        if self.overload not in OVERLOAD_POLICIES:
+            raise ReproError(
+                f"unknown overload policy {self.overload!r}; "
+                f"use one of {', '.join(OVERLOAD_POLICIES)}"
+            )
+        if self.retry_after_ms < 0:
+            raise ReproError(
+                f"retry_after_ms must be >= 0, got {self.retry_after_ms}"
+            )
+        if self.drain_timeout_s < 0:
+            raise ReproError(
+                f"drain_timeout_s must be >= 0, got {self.drain_timeout_s}"
+            )
+        if self.max_body_bytes < 1:
+            raise ReproError(
+                f"max_body_bytes must be >= 1, got {self.max_body_bytes}"
+            )
+
+    @property
+    def coalescing(self) -> bool:
+        """Whether requests are actually merged (``max_batch > 1``)."""
+        return self.max_batch > 1
+
+    @property
+    def max_wait_s(self) -> float:
+        """The coalescer window in seconds."""
+        return self.max_wait_ms / 1000.0

@@ -1,0 +1,87 @@
+"""Typed query results for the stable API and the serving tier.
+
+The facade's ``reachable()`` deliberately returns a bare ``bool`` (or the
+:data:`~repro.resilience.UNKNOWN` sentinel) — the hot path stays lean.
+Serving and API consumers want a self-describing object instead: the
+pair, a JSON-safe ``answer``, and a human-readable ``verdict`` string.
+:class:`ReachResult` is that object; ``repro.api`` re-exports it and the
+HTTP responses of :class:`repro.serve.ReachServer` are its ``as_dict()``
+rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.resilience import UNKNOWN
+
+__all__ = ["ReachResult", "verdict_of"]
+
+
+def verdict_of(answer) -> str:
+    """The verdict string for a ternary answer.
+
+    ``True`` → ``"reachable"``, ``False`` → ``"unreachable"``, and the
+    :data:`~repro.resilience.UNKNOWN` sentinel → ``"unknown"``.
+    """
+    if answer is True:
+        return "reachable"
+    if answer is False:
+        return "unreachable"
+    if answer is UNKNOWN:
+        return "unknown"
+    raise TypeError(f"not a ternary reachability answer: {answer!r}")
+
+
+@dataclass(frozen=True)
+class ReachResult:
+    """One answered reachability query, self-describing.
+
+    Attributes
+    ----------
+    u, v:
+        The queried pair (original-graph vertex ids on the facade).
+    answer:
+        ``True`` / ``False``, or ``None`` when the query degraded to
+        :data:`~repro.resilience.UNKNOWN` (JSON has no sentinel, so the
+        wire format uses ``null``; :attr:`unknown` disambiguates).
+    verdict:
+        ``"reachable"`` / ``"unreachable"`` / ``"unknown"``.
+    stats:
+        Optional per-call context (e.g. coalesce batch size, queue wait)
+        attached by the serving tier; ``{}`` when nothing was recorded.
+    """
+
+    u: int
+    v: int
+    answer: bool | None
+    verdict: str
+    stats: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_answer(cls, u: int, v: int, answer, **stats) -> "ReachResult":
+        """Build a result from a ternary engine answer."""
+        return cls(
+            u=u,
+            v=v,
+            answer=bool(answer) if answer is not UNKNOWN else None,
+            verdict=verdict_of(answer),
+            stats=dict(stats),
+        )
+
+    @property
+    def unknown(self) -> bool:
+        """Whether the query was left unanswered (degraded)."""
+        return self.verdict == "unknown"
+
+    def as_dict(self) -> dict:
+        """JSON-safe rendering (the serving tier's response body)."""
+        doc = {
+            "u": self.u,
+            "v": self.v,
+            "answer": self.answer,
+            "verdict": self.verdict,
+        }
+        if self.stats:
+            doc["stats"] = self.stats
+        return doc

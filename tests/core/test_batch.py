@@ -1,9 +1,15 @@
-"""Unit tests for the vectorised batch query path."""
+"""Unit tests for the vectorised batch query path (``query_many``).
+
+The long-deprecated ``repro.core.batch.query_batch`` wrapper is gone;
+``FelineIndex.query_many`` (and ``Reachability.reachable_many`` on the
+facade) is the batch entry point and routes through the same vectorised
+engine.  These tests pin the behaviours the wrapper's suite used to
+cover, now on the surviving surface.
+"""
 
 import numpy as np
 import pytest
 
-from repro.core.batch import query_batch
 from repro.core.query import FelineIndex
 from repro.datasets.queries import mixed_workload, random_pairs
 from repro.exceptions import IndexNotBuiltError
@@ -18,41 +24,49 @@ class TestBatchQueries:
         pairs = all_pairs(any_dag)
         if not pairs:
             return
-        scalar = index.query_many(pairs)
-        batch = query_batch(index, pairs)
-        assert batch.tolist() == scalar
+        scalar = [FelineIndex(any_dag).build().query(u, v) for u, v in pairs]
+        assert index.query_many(pairs) == scalar
 
     def test_matches_scalar_without_filters(self):
         g = random_dag(150, avg_degree=2.5, seed=1)
         index = FelineIndex(
             g, use_level_filter=False, use_positive_cut=False
         ).build()
+        scalar = FelineIndex(
+            g, use_level_filter=False, use_positive_cut=False
+        ).build()
         pairs = random_pairs(g, 4000, seed=2)
-        assert query_batch(index, pairs).tolist() == index.query_many(pairs)
+        assert index.query_many(pairs) == [
+            scalar.query(u, v) for u, v in pairs
+        ]
 
     def test_crown_graph_searches_still_exact(self):
         g = crown_graph(7)
         index = FelineIndex(g).build()
+        scalar = FelineIndex(g).build()
         pairs = all_pairs(g)
-        assert query_batch(index, pairs).tolist() == index.query_many(pairs)
+        assert index.query_many(pairs) == [
+            scalar.query(u, v) for u, v in pairs
+        ]
 
     def test_empty_batch(self, paper_dag):
         index = FelineIndex(paper_dag).build()
-        result = query_batch(index, [])
-        assert isinstance(result, np.ndarray) and len(result) == 0
+        result = index.query_many([])
+        assert result == []
 
     def test_unbuilt_index_rejected(self, paper_dag):
         with pytest.raises(IndexNotBuiltError):
-            query_batch(FelineIndex(paper_dag), [(0, 1)])
+            FelineIndex(paper_dag).query_many([(0, 1)])
 
     def test_stats_match_scalar_counters(self):
         g = random_dag(120, avg_degree=2.0, seed=3)
         workload = mixed_workload(g, 3000, positive_fraction=0.3, seed=4)
 
         scalar = FelineIndex(g).build()
-        scalar.query_many(workload.pairs)
+        for u, v in workload.pairs:
+            scalar.query(u, v)
         batch = FelineIndex(g).build()
-        query_batch(batch, workload.pairs)
+        batch.query_many(workload.pairs)
 
         s, b = scalar.stats, batch.stats
         assert b.queries == s.queries
@@ -64,19 +78,11 @@ class TestBatchQueries:
     def test_accepts_numpy_input(self, paper_dag):
         index = FelineIndex(paper_dag).build()
         pairs = np.array([(0, 7), (7, 0), (3, 3)])
-        assert query_batch(index, pairs).tolist() == [True, False, True]
+        assert index.query_many(pairs) == [True, False, True]
 
 
 class TestQueryManyDispatch:
     """FelineIndex.query_many routes through the vectorized batch path."""
-
-    def test_query_many_matches_query_batch(self):
-        g = random_dag(100, avg_degree=2.0, seed=5)
-        pairs = random_pairs(g, 1000, seed=6)
-        a = FelineIndex(g).build()
-        b = FelineIndex(g).build()
-        assert a.query_many(pairs) == query_batch(b, pairs).tolist()
-        assert a.stats.as_dict() == b.stats.as_dict()
 
     def test_query_many_returns_list_of_bools(self, paper_dag):
         index = FelineIndex(paper_dag).build()
@@ -89,13 +95,11 @@ class TestQueryManyDispatch:
         index.query_many([(0, 7), (7, 0), (3, 3)])
         assert index.stats.queries == 3
 
-    def test_query_batch_is_backcompat_wrapper(self):
-        assert "deprecated" in query_batch.__doc__.lower()
-        from repro.core.batch import feline_query_many
+    def test_query_batch_removed(self):
+        """The deprecated wrapper and its module are gone for good."""
+        import repro.core
 
-        g = random_dag(50, avg_degree=2.0, seed=7)
-        index = FelineIndex(g).build()
-        pairs = random_pairs(g, 200, seed=8)
-        assert np.array_equal(
-            query_batch(index, pairs), feline_query_many(index, pairs)
-        )
+        assert not hasattr(repro.core, "query_batch")
+        assert "query_batch" not in repro.core.__all__
+        with pytest.raises(ModuleNotFoundError):
+            import repro.core.batch  # noqa: F401

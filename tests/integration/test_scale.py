@@ -36,13 +36,11 @@ class TestScale:
         assert index.query(0, 49_999) == dfs_reachable(g, 0, 49_999)
 
     def test_batch_path_at_scale(self):
-        from repro.core.batch import query_batch
-
         g = random_dag(50_000, avg_degree=1.5, seed=4)
         index = FelineIndex(g).build()
         pairs = random_pairs(g, 20_000, seed=5)
         start = time.perf_counter()
-        answers = query_batch(index, pairs)
+        answers = index.query_many(pairs)
         elapsed = time.perf_counter() - start
         assert len(answers) == 20_000
         assert elapsed < 20

@@ -1,0 +1,185 @@
+"""Property tests: coalesced HTTP answers ≡ per-request scalar answers.
+
+The serving tier's core contract — acceptance criterion of the async
+tier PR: a pair answered through the coalescer (batched into one
+``query_many`` call with whatever else was in flight) is **bit-identical**
+to issuing that query alone on a fresh oracle.  Checked:
+
+* across random DAGs and concurrent request mixes;
+* with a budget attached, where degraded answers must be ``unknown`` on
+  exactly the pairs the scalar budgeted path degrades on (never a wrong
+  ``True``/``False``) — deterministic because step budgets (not
+  wall-clock deadlines) are used;
+* with a :class:`~repro.perf.SearchPool` attached to the serving oracle;
+* across a graceful drain, where every admitted request still receives
+  a real answer (the no-drop half of the shutdown contract).
+"""
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from urllib.request import Request, urlopen
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience import UNKNOWN, QueryBudget
+from repro.serve import ReachServer, ServeConfig
+
+from tests.property.test_invariants import dags
+
+
+def serve_answers(oracle, pairs, config=None, client_threads=4):
+    """Answer ``pairs`` through a live server, concurrently, via HTTP."""
+    config = config or ServeConfig(max_batch=8, max_wait_ms=1.0)
+    answers = [None] * len(pairs)
+    with ReachServer(oracle, config, registry=MetricsRegistry()) as server:
+        url = server.url
+
+        def fetch(slot):
+            u, v = pairs[slot]
+            with urlopen(f"{url}/reach?u={u}&v={v}", timeout=10) as response:
+                answers[slot] = json.loads(response.read())["answer"]
+
+        with ThreadPoolExecutor(max_workers=client_threads) as pool:
+            list(pool.map(fetch, range(len(pairs))))
+    return answers
+
+
+def scalar_truth(graph, pairs, budget=None):
+    """Per-request answers from a fresh oracle, JSON-safe form."""
+    oracle = repro.Reachability(graph)
+    out = []
+    for u, v in pairs:
+        answer = oracle.reachable(u, v, budget=budget)
+        out.append(None if answer is UNKNOWN else bool(answer))
+    return out
+
+
+def graph_pairs(g, limit=40):
+    n = g.num_vertices
+    return [(u, v) for u in range(n) for v in range(n)][:limit]
+
+
+class TestCoalescedEqualsScalar:
+    @given(dags(max_vertices=10))
+    @settings(max_examples=10, deadline=None)
+    def test_exact_answers(self, g):
+        pairs = graph_pairs(g)
+        served = serve_answers(repro.Reachability(g), pairs)
+        assert served == scalar_truth(g, pairs)
+
+    @given(dags(max_vertices=10), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=8, deadline=None)
+    def test_budgeted_answers_degrade_identically(self, g, steps):
+        # Step budgets are deterministic (unlike deadlines), so the
+        # batched path must degrade on exactly the same pairs.
+        budget = QueryBudget(max_steps=steps, policy="unknown")
+        pairs = graph_pairs(g)
+        served = serve_answers(
+            repro.Reachability(g), pairs,
+            config=ServeConfig(max_batch=8, max_wait_ms=1.0, budget=budget),
+        )
+        expected = scalar_truth(g, pairs, budget=budget)
+        assert served == expected
+        # Soundness: where an answer was given, it is the exact answer.
+        exact = scalar_truth(g, pairs)
+        for got, truth in zip(served, exact):
+            if got is not None:
+                assert got is truth
+
+
+class TestWithSearchPool:
+    def test_pooled_oracle_serves_identical_answers(self):
+        from repro.graph.generators import random_dag
+
+        g = random_dag(300, avg_degree=2.0, seed=11)
+        oracle = repro.Reachability(g, workers=2)
+        try:
+            pairs = [
+                ((i * 17) % 300, (i * 31 + 5) % 300) for i in range(60)
+            ]
+            served = serve_answers(
+                oracle, pairs, config=ServeConfig(max_batch=32, max_wait_ms=2.0)
+            )
+            assert served == scalar_truth(g, pairs)
+        finally:
+            oracle.close_search_pool()
+
+
+class TestDrainNoDrop:
+    def test_no_request_dropped_without_structured_response(self):
+        """Kill the server mid-traffic: every client gets either a real
+        answer or a structured error body — never a bare dropped socket
+        for an admitted request."""
+        from repro.graph.generators import random_dag
+
+        g = random_dag(100, avg_degree=2.0, seed=7)
+        oracle = repro.Reachability(g)
+        exact = {
+            (u, v): scalar_truth(g, [(u, v)])[0]
+            for u in range(0, 100, 7) for v in range(0, 100, 13)
+        }
+        server = ReachServer(
+            oracle,
+            ServeConfig(max_batch=16, max_wait_ms=5.0, drain_timeout_s=10),
+            registry=MetricsRegistry(),
+        )
+        server.start()
+        url = server.url
+        outcomes = []
+        lock = threading.Lock()
+        stop_firing = threading.Event()
+
+        def client(pairs):
+            for u, v in pairs:
+                if stop_firing.is_set():
+                    return
+                try:
+                    request = Request(f"{url}/reach?u={u}&v={v}")
+                    with urlopen(request, timeout=10) as response:
+                        doc = json.loads(response.read())
+                    with lock:
+                        outcomes.append(("answer", u, v, doc["answer"]))
+                except Exception as exc:  # noqa: BLE001 — classified below
+                    status = getattr(exc, "code", None)
+                    body = {}
+                    if hasattr(exc, "read"):
+                        try:
+                            body = json.loads(exc.read())
+                        except Exception:  # noqa: BLE001
+                            body = {}
+                    with lock:
+                        outcomes.append(("error", status, body, exc))
+
+        keys = list(exact)
+        threads = [
+            threading.Thread(target=client, args=(keys[i::4],))
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.15)  # let traffic build up mid-flight
+        server.stop()     # graceful drain
+        stop_firing.set()
+        for thread in threads:
+            thread.join(timeout=15)
+
+        answered = [o for o in outcomes if o[0] == "answer"]
+        errored = [o for o in outcomes if o[0] == "error"]
+        assert answered, "drain test produced no completed requests"
+        # Every completed answer is exact — drained batches included.
+        for _, u, v, answer in answered:
+            assert answer == exact[(u, v)], (u, v)
+        # Every error is a *structured* refusal from the teardown window
+        # (503 + JSON body), or a connection-level failure from a socket
+        # that never got admitted (fires after the listener closed).
+        for _, status, body, exc in errored:
+            if status is not None:
+                assert status == 503
+                assert body.get("error") in {"draining", "overloaded"}
+            else:
+                assert isinstance(exc, (ConnectionError, OSError)), exc

@@ -1,0 +1,174 @@
+"""Unit tests for the request coalescer, in isolation from HTTP."""
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.serve.coalescer import Coalescer, CoalescerClosed
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture
+def executor():
+    pool = ThreadPoolExecutor(max_workers=1)
+    yield pool
+    pool.shutdown(wait=False)
+
+
+def make_answerer(calls):
+    def answer_batch(pairs):
+        calls.append(list(pairs))
+        return [u <= v for u, v in pairs]
+
+    return answer_batch
+
+
+class TestBatching:
+    def test_single_submission_answers(self, executor):
+        calls = []
+
+        async def scenario():
+            c = Coalescer(
+                make_answerer(calls), max_batch=8, max_wait_s=0,
+                executor=executor,
+            )
+            return await c.submit(1, 2)
+
+        assert run(scenario()) is True
+        assert calls == [[(1, 2)]]
+
+    def test_concurrent_submissions_share_a_batch(self, executor):
+        calls = []
+
+        async def scenario():
+            c = Coalescer(
+                make_answerer(calls), max_batch=64, max_wait_s=0.05,
+                executor=executor,
+            )
+            answers = await asyncio.gather(
+                *(c.submit(i, 10 - i) for i in range(10))
+            )
+            return answers
+
+        answers = run(scenario())
+        assert answers == [i <= 10 - i for i in range(10)]
+        assert len(calls) == 1  # one engine call for all ten requests
+        assert sorted(calls[0]) == sorted((i, 10 - i) for i in range(10))
+
+    def test_max_batch_forces_flush(self, executor):
+        calls = []
+
+        async def scenario():
+            c = Coalescer(
+                make_answerer(calls), max_batch=4, max_wait_s=10.0,
+                executor=executor,
+            )
+            # max_wait is effectively infinite: only the size threshold
+            # can flush, so 8 pairs must split into two batches of 4.
+            return await c.submit_many([(i, i) for i in range(8)])
+
+        answers = run(scenario())
+        assert answers == [True] * 8
+        assert [len(batch) for batch in calls] == [4, 4]
+
+    def test_submit_many_joins_pending_batch(self, executor):
+        calls = []
+
+        async def scenario():
+            c = Coalescer(
+                make_answerer(calls), max_batch=64, max_wait_s=0.05,
+                executor=executor,
+            )
+            single, many = await asyncio.gather(
+                c.submit(0, 1), c.submit_many([(2, 3), (5, 4)])
+            )
+            return single, many
+
+        single, many = run(scenario())
+        assert single is True
+        assert many == [True, False]
+        assert len(calls) == 1
+
+    def test_answers_align_with_submission_order(self, executor):
+        async def scenario():
+            c = Coalescer(
+                lambda pairs: [u * 100 + v for u, v in pairs],
+                max_batch=64, max_wait_s=0.01, executor=executor,
+            )
+            return await asyncio.gather(
+                *(c.submit(i, i + 1) for i in range(20))
+            )
+
+        assert run(scenario()) == [i * 100 + i + 1 for i in range(20)]
+
+
+class TestFailure:
+    def test_engine_error_reaches_every_waiter(self, executor):
+        async def scenario():
+            def explode(pairs):
+                raise ValueError("engine down")
+
+            c = Coalescer(
+                explode, max_batch=64, max_wait_s=0.01, executor=executor
+            )
+            results = await asyncio.gather(
+                *(c.submit(i, i) for i in range(3)), return_exceptions=True
+            )
+            return results
+
+        results = run(scenario())
+        assert len(results) == 3
+        assert all(isinstance(r, ValueError) for r in results)
+
+
+class TestShutdown:
+    def test_submit_after_close_raises(self, executor):
+        async def scenario():
+            c = Coalescer(
+                make_answerer([]), max_batch=8, max_wait_s=0,
+                executor=executor,
+            )
+            c.close()
+            with pytest.raises(CoalescerClosed):
+                await c.submit(0, 0)
+
+        run(scenario())
+
+    def test_drain_answers_queued_pairs(self, executor):
+        calls = []
+
+        async def scenario():
+            c = Coalescer(
+                make_answerer(calls), max_batch=64, max_wait_s=30.0,
+                executor=executor,
+            )
+            # The window is far longer than the test: without the drain
+            # these submissions would sit queued forever.
+            waiters = [
+                asyncio.ensure_future(c.submit(i, i + 1)) for i in range(5)
+            ]
+            await asyncio.sleep(0)  # let submissions enqueue
+            assert c.pending == 5
+            await c.drain()
+            assert c.closed
+            return await asyncio.gather(*waiters)
+
+        assert run(scenario()) == [True] * 5
+        assert len(calls) == 1
+
+    def test_counters(self, executor):
+        async def scenario():
+            c = Coalescer(
+                make_answerer([]), max_batch=64, max_wait_s=0.01,
+                executor=executor,
+            )
+            await asyncio.gather(*(c.submit(i, i) for i in range(6)))
+            return c.batches, c.coalesced_pairs
+
+        batches, pairs = run(scenario())
+        assert pairs == 6
+        assert 1 <= batches <= 6

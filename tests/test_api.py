@@ -1,0 +1,106 @@
+"""Tests for the stable ``repro.api`` surface."""
+
+import pytest
+
+import repro
+from repro import api
+from repro.resilience import QueryBudget
+from repro.serve import ReachResult
+
+
+EDGES = [(0, 1), (1, 2), (3, 2)]
+
+
+class TestSurface:
+    def test_all_names_resolve(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None, name
+
+    def test_package_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_api_reachability_is_the_facade(self):
+        assert api.Reachability is repro.Reachability
+
+    def test_serve_types_reexported(self):
+        from repro.serve import ReachServer, ServeConfig
+
+        assert api.ReachServer is ReachServer
+        assert api.ServeConfig is ServeConfig
+
+    def test_persistence_reexported(self):
+        from repro.core.persistence import load_index, save_index
+
+        assert api.save_index is save_index
+        assert api.load_index is load_index
+
+
+class TestBuildIndex:
+    def test_builds_from_edges(self):
+        oracle = api.build_index(EDGES)
+        assert isinstance(oracle, repro.Reachability)
+        assert oracle.reachable(0, 2) is True
+        assert oracle.reachable(2, 0) is False
+
+    def test_builds_from_digraph(self):
+        oracle = api.build_index(api.DiGraph(4, EDGES))
+        assert oracle.reachable(3, 2) is True
+
+    def test_method_parameter(self):
+        oracle = api.build_index(EDGES, method="grail")
+        assert oracle.index.method_name == "grail"
+
+
+class TestReachHelpers:
+    def test_reach_returns_typed_result(self):
+        oracle = api.build_index(EDGES)
+        result = api.reach(oracle, 0, 2)
+        assert isinstance(result, ReachResult)
+        assert result.u == 0 and result.v == 2
+        assert result.answer is True
+        assert result.verdict == "reachable"
+        assert not result.unknown
+
+    def test_reach_many_aligned(self):
+        oracle = api.build_index(EDGES)
+        results = api.reach_many(oracle, [(0, 2), (2, 0), (3, 3)])
+        assert [r.verdict for r in results] == [
+            "reachable", "unreachable", "reachable"
+        ]
+        assert [(r.u, r.v) for r in results] == [(0, 2), (2, 0), (3, 3)]
+
+    def test_as_dict_is_json_safe(self):
+        import json
+
+        oracle = api.build_index(EDGES)
+        doc = api.reach(oracle, 0, 2).as_dict()
+        assert json.loads(json.dumps(doc)) == {
+            "u": 0, "v": 2, "answer": True, "verdict": "reachable"
+        }
+
+    def test_verdict_of_rejects_non_ternary(self):
+        with pytest.raises(TypeError):
+            api.verdict_of("yes")
+
+    def test_budget_degradation_is_typed_unknown(self):
+        # A chain long enough that a 1-step budget cannot finish the
+        # positive searches the cuts leave undecided.
+        n = 64
+        oracle = api.build_index(
+            [(i, i + 1) for i in range(n - 1)]
+            + [(i, i + 2) for i in range(n - 2)]
+        )
+        budget = QueryBudget(max_steps=1, policy="unknown")
+        results = api.reach_many(
+            oracle, [(0, n - 1), (n - 1, 0)], budget=budget
+        )
+        unknowns = [r for r in results if r.unknown]
+        for result in unknowns:
+            assert result.answer is None
+            assert result.verdict == "unknown"
+        # Degraded or not, nothing may be answered wrongly.
+        for result in results:
+            if not result.unknown:
+                truth = oracle.reachable(result.u, result.v)
+                assert result.answer is truth

@@ -312,5 +312,6 @@ class TestWorkersFlag:
         ])
         assert code == 0
         out = capsys.readouterr().out
-        assert "serving feline metrics" in out
+        assert "serving feline queries" in out
         assert "GET /healthz [200]" in out
+        assert "GET /reach?u=0" in out

@@ -48,7 +48,7 @@ class TestFacade:
         assert "feline" in text and "sccs=1" in text
 
     def test_version_exposed(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_isolated_vertices(self):
         r = repro.Reachability(DiGraph(5, []))
