@@ -1,0 +1,129 @@
+"""Gate CI on the shard tier's chaos-drill report.
+
+Takes the JSON written by ``repro chaos-drill --out`` (the same shape as
+the committed ``benchmarks/BENCH_pr7.json``) and enforces the
+fault-tolerance contract, not performance:
+
+* **faults actually happened** — the chaos phase injected at least
+  ``--min-kills`` SIGKILLs and the supervisor restarted workers at
+  least once (a drill that murdered nobody proves nothing);
+* **no wrong answer, ever** — across baseline, chaos and degraded
+  phases, zero answers disagreed with the oracle (``UNKNOWN`` is
+  allowed; a wrong boolean is not);
+* **no deadline violation** — every query returned within its deadline
+  plus the report's own recorded grace;
+* **failover is visible and bounded** — at least one failover was
+  measured, and its maximum latency stays under ``--max-failover-ms``
+  (generous by design: this is a liveness bound, not a benchmark);
+* **degraded mode works** — with a shard permanently halted the service
+  still answered (throughput > 0) without wrong answers, through the
+  fallback path when the drill ran with ``on_shard_loss=fallback``.
+
+    PYTHONPATH=src python benchmarks/check_sharding.py REPORT.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_REPORT = Path(__file__).parent / "BENCH_pr7.json"
+
+
+def check(report: dict, min_kills: int, max_failover_ms: float) -> int:
+    failures = []
+    faults = report.get("faults", {})
+    phases = report.get("phases", {})
+    contract = report.get("contract", {})
+    stats = report.get("service_stats", {})
+    failover = report.get("failover_latency", {})
+
+    kills = faults.get("sigkills", 0)
+    print(
+        f"faults injected: {kills} SIGKILLs, "
+        f"{faults.get('sigstops', 0)} SIGSTOPs; "
+        f"restarts {stats.get('restarts', 0)}"
+    )
+    if kills < min_kills:
+        failures.append(f"only {kills} SIGKILLs injected (need {min_kills})")
+    if stats.get("restarts", 0) < 1:
+        failures.append("no worker restart recorded — supervision untested")
+
+    for name in ("baseline", "chaos", "degraded"):
+        phase = phases.get(name)
+        if phase is None:
+            failures.append(f"report has no {name!r} phase")
+            continue
+        print(
+            f"  {name:<9} {phase['queries']:>7} queries  "
+            f"{phase['qps']:>9} q/s  wrong={phase['wrong']}  "
+            f"unknown={phase['unknown']}  "
+            f"violations={phase['deadline_violations']}"
+        )
+        if phase["queries"] < 1:
+            failures.append(f"{name} phase answered no queries")
+
+    wrong = contract.get("wrong_answers")
+    violations = contract.get("deadline_violations")
+    if wrong != 0:
+        failures.append(f"{wrong} wrong answers — the contract is broken")
+    if violations != 0:
+        failures.append(f"{violations} deadline violations")
+
+    count = failover.get("count", 0)
+    if count < 1:
+        failures.append("no failover measured — hedged re-dispatch untested")
+    else:
+        print(
+            f"  failover  p50 {failover['p50_ms']} ms  "
+            f"p95 {failover['p95_ms']} ms  max {failover['max_ms']} ms  "
+            f"({count} measured)"
+        )
+        if failover["max_ms"] > max_failover_ms:
+            failures.append(
+                f"max failover latency {failover['max_ms']} ms exceeds "
+                f"{max_failover_ms} ms"
+            )
+
+    degraded = phases.get("degraded")
+    loss_policy = report.get("config", {}).get("on_shard_loss")
+    if degraded is not None and loss_policy == "fallback":
+        if stats.get("degraded_fallback", 0) < 1:
+            failures.append(
+                "fallback policy configured but the fallback path never ran"
+            )
+
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nOK: fault-tolerance contract holds")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "report", nargs="?", default=str(DEFAULT_REPORT),
+        help="chaos-drill JSON (default: the committed BENCH_pr7.json)",
+    )
+    parser.add_argument(
+        "--min-kills", type=int, default=3,
+        help="minimum SIGKILLs the drill must have injected (default 3)",
+    )
+    parser.add_argument(
+        "--max-failover-ms", type=float, default=5000.0,
+        help="liveness bound on the slowest measured failover "
+        "(default 5000)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.report, encoding="utf-8") as handle:
+        report = json.load(handle)
+    return check(report, args.min_kills, args.max_failover_ms)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

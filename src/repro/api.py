@@ -23,6 +23,10 @@ The surface, by concern:
 * **Serving** — :class:`ReachServer` behind :class:`ServeConfig`, the
   asyncio tier with request coalescing, and the load-generation entry
   points :func:`run_loadgen` / :func:`compare_serving`.
+* **Sharding** — :class:`ShardService` behind :class:`ShardConfig`, the
+  fault-tolerant multi-process deployment (supervised workers, deadline
+  propagation, failover, degradation); it quacks like the facade, so
+  ``ReachServer(ShardService(...))`` serves a cluster.
 * **Resilience** — :class:`QueryBudget` and the :data:`UNKNOWN`
   sentinel, because degraded answers are part of the contract.
 
@@ -45,6 +49,7 @@ from repro.serve import (
     run_loadgen,
     verdict_of,
 )
+from repro.shard import ShardConfig, ShardService
 
 __all__ = [
     # building
@@ -65,6 +70,9 @@ __all__ = [
     "ServeConfig",
     "run_loadgen",
     "compare_serving",
+    # sharding
+    "ShardService",
+    "ShardConfig",
     # resilience
     "QueryBudget",
     "UNKNOWN",

@@ -489,6 +489,9 @@ class ReachabilityIndex(ABC):
                 raise InvalidVertexError(u, n)
             if not 0 <= v < n:
                 raise InvalidVertexError(v, n)
+        chaos.fire(
+            "index.query_many", method=self.method_name, pairs=len(pairs)
+        )
         if budget is not None:
             return [self.query(u, v, budget=budget) for u, v in pairs]
         slow = self._slow_log

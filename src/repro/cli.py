@@ -54,6 +54,22 @@ Commands
     measures an uncoalesced baseline (``max_batch=1``) against the
     coalesced configuration and reports both — ``--out`` writes the JSON
     artifact committed as ``benchmarks/BENCH_pr6.json``.
+``shard-serve GRAPH.edges [--shards N] [--port P] [--on-shard-loss POLICY]``
+    Serve query traffic from the real multi-process shard deployment
+    (:class:`repro.shard.ShardService`): forked workers each own an
+    X-slab partition with its own FELINE index, the coordinator routes
+    cross-shard pairs over the SCARAB backbone, supervises and restarts
+    workers, and degrades per ``--on-shard-loss`` on unrecoverable
+    loss.  ``deadline_ms`` on requests propagates end-to-end;
+    ``--on-deadline gateway-timeout`` renders deadline-degraded answers
+    as structured 504s.  ``--once`` scrapes each endpoint and exits.
+``chaos-drill GRAPH.edges [--shards N] [--chaos-s T] [--out P]``
+    The kill-based chaos suite: SIGKILL (and occasionally SIGSTOP)
+    random shard workers under live deadline-bounded traffic, assert
+    every answer is correct-or-unknown and on time, then halt a shard
+    permanently and measure degraded-mode throughput.  ``--out`` writes
+    the JSON report committed as ``benchmarks/BENCH_pr7.json``; exits
+    non-zero if the fault-tolerance contract is violated.
 ``stats GRAPH.edges [--method M] [--queries N] [--seed S] [--metrics-out P]``
     Build an index, answer a random workload, and print the query-stats
     breakdown (which cut answered how many queries), build-phase
@@ -352,6 +368,104 @@ def _build_parser() -> argparse.ArgumentParser:
         help="survivor-search worker processes attached to every "
         "measured index (default 0: in-process)",
     )
+
+    def add_shard_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--shards",
+            type=int,
+            default=3,
+            help="shard worker processes (default 3)",
+        )
+        p.add_argument(
+            "--index-budget-bytes",
+            type=int,
+            default=None,
+            help="per-shard index byte budget: each shard builds the "
+            "richest FELINE tier that fits (default: unrestricted)",
+        )
+        p.add_argument(
+            "--on-shard-loss",
+            choices=["fallback", "unknown"],
+            default="fallback",
+            help="unrecoverable-shard degradation: fallback (bounded "
+            "biBFS on the coordinator's DAG replica) or unknown "
+            "(default fallback)",
+        )
+
+    shard_serve = sub.add_parser(
+        "shard-serve",
+        help="serve queries from supervised multi-process shard workers",
+    )
+    shard_serve.add_argument("graph", help="edge-list file (u v per line)")
+    shard_serve.add_argument("--host", default="127.0.0.1")
+    shard_serve.add_argument(
+        "--port", type=int, default=0, help="0 (default) picks a free port"
+    )
+    shard_serve.add_argument(
+        "--default-deadline-ms",
+        type=float,
+        default=None,
+        help="deadline applied to queries that carry no deadline_ms",
+    )
+    shard_serve.add_argument(
+        "--rpc-timeout-ms",
+        type=float,
+        default=1000.0,
+        help="per-attempt shard RPC cap (default 1000)",
+    )
+    shard_serve.add_argument(
+        "--on-deadline",
+        choices=["unknown", "gateway-timeout"],
+        default="unknown",
+        help="deadline-degraded answers on the wire: unknown verdict "
+        "(200) or structured 504 (default unknown)",
+    )
+    shard_serve.add_argument(
+        "--once",
+        action="store_true",
+        help="scrape each endpoint once, print, and exit (smoke tests)",
+    )
+    add_shard_args(shard_serve)
+    add_serve_args(shard_serve)
+
+    drill = sub.add_parser(
+        "chaos-drill",
+        help="SIGKILL shard workers under live traffic, report the "
+        "failover/degradation numbers",
+    )
+    drill.add_argument("graph", help="edge-list file (u v per line)")
+    drill.add_argument("--pairs", type=int, default=200)
+    drill.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=250.0,
+        help="per-query deadline during every phase (default 250)",
+    )
+    drill.add_argument(
+        "--grace-ms",
+        type=float,
+        default=250.0,
+        help="scheduling grace added to the deadline before a query "
+        "counts as a violation (default 250)",
+    )
+    drill.add_argument("--baseline-s", type=float, default=2.0)
+    drill.add_argument("--chaos-s", type=float, default=6.0)
+    drill.add_argument("--degraded-s", type=float, default=2.0)
+    drill.add_argument(
+        "--kill-interval-s",
+        type=float,
+        default=0.4,
+        help="cadence of worker murders during the chaos phase "
+        "(default 0.4)",
+    )
+    drill.add_argument("--seed", type=int, default=0)
+    drill.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the full report as JSON to PATH",
+    )
+    add_shard_args(drill)
 
     stats = sub.add_parser(
         "stats", help="run a workload and print the query-stats breakdown"
@@ -667,6 +781,141 @@ def _run_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_shard_serve(args: argparse.Namespace) -> int:
+    """The ``shard-serve`` subcommand: HTTP traffic onto shard workers."""
+    from repro.serve import ReachServer, ServeConfig
+    from repro.shard import ShardConfig, ShardService
+
+    registry = obs.enable_metrics()
+    service = None
+    try:
+        graph = read_edge_list(args.graph)
+        service = ShardService(
+            graph,
+            ShardConfig(
+                num_shards=args.shards,
+                index_budget_bytes=args.index_budget_bytes,
+                rpc_timeout_s=args.rpc_timeout_ms / 1000.0,
+                default_deadline_ms=args.default_deadline_ms,
+                on_shard_loss=args.on_shard_loss,
+            ),
+        )
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            max_inflight=args.max_inflight,
+            overload=args.overload,
+            on_deadline=args.on_deadline,
+        )
+        server = ReachServer(service, config, registry=registry)
+        server.start()
+        try:
+            sizes = service.plan.shard_sizes()
+            print(
+                f"serving sharded queries on {server.url} "
+                f"({service.num_shards} worker processes, "
+                f"shard sizes {sizes}, on_shard_loss="
+                f"{service.config.on_shard_loss})"
+            )
+            for entry in service.plan.index_report():
+                print(
+                    f"  shard {entry['shard']}: {entry['vertices']} "
+                    f"vertices, tier={entry['tier']}, "
+                    f"{entry['index_bytes']} index bytes"
+                )
+            if args.once:
+                from urllib.request import urlopen
+
+                sample = (
+                    f"/reach?u=0&v={graph.num_vertices - 1}&deadline_ms=1000"
+                )
+                for endpoint in ("/healthz", sample, "/metrics"):
+                    with urlopen(server.url + endpoint) as response:
+                        body = response.read().decode("utf-8")
+                    print(f"--- GET {endpoint} [{response.status}]")
+                    print(body if len(body) < 2000 else body[:2000] + "...")
+                return 0
+            try:
+                import threading
+
+                threading.Event().wait()  # serve until interrupted
+            except KeyboardInterrupt:
+                print("interrupted, shutting down")
+            return 0
+        finally:
+            server.stop()
+    finally:
+        if service is not None:
+            service.close()
+        obs.disable_metrics()
+
+
+def _run_chaos_drill(args: argparse.Namespace) -> int:
+    """The ``chaos-drill`` subcommand: the kill-based chaos suite."""
+    import json
+
+    from repro.shard import chaos_drill
+
+    graph = read_edge_list(args.graph)
+    report = chaos_drill(
+        graph,
+        num_shards=args.shards,
+        num_pairs=args.pairs,
+        deadline_ms=args.deadline_ms,
+        grace_ms=args.grace_ms,
+        baseline_s=args.baseline_s,
+        chaos_s=args.chaos_s,
+        degraded_s=args.degraded_s,
+        kill_interval_s=args.kill_interval_s,
+        on_shard_loss=args.on_shard_loss,
+        seed=args.seed,
+    )
+    contract = report["contract"]
+    faults = report["faults"]
+    failover = report["failover_latency"]
+    print(
+        f"chaos drill: {faults['sigkills']} SIGKILLs + "
+        f"{faults['sigstops']} SIGSTOPs over "
+        f"{report['config']['num_shards']} shards"
+    )
+    for phase, doc in report["phases"].items():
+        if doc is None:
+            continue
+        print(
+            f"  {phase}: {doc['queries']} queries at {doc['qps']} q/s, "
+            f"{doc['wrong']} wrong, {doc['unknown']} unknown, "
+            f"{doc['deadline_violations']} deadline violations "
+            f"(p95 {doc['latency']['p95_ms']} ms)"
+        )
+    if failover["count"]:
+        print(
+            f"  failover latency: p50 {failover['p50_ms']} ms, "
+            f"p95 {failover['p95_ms']} ms, max {failover['max_ms']} ms "
+            f"over {failover['count']} failovers"
+        )
+    print(
+        f"  restarts: {report['service_stats']['restarts']}, "
+        f"degraded fallback/unknown: "
+        f"{report['service_stats']['degraded_fallback']}/"
+        f"{report['service_stats']['degraded_unknown']}"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written: {args.out}")
+    ok = contract["wrong_answers"] == 0 and contract["deadline_violations"] == 0
+    if not ok:
+        print(
+            f"CONTRACT VIOLATED: {contract['wrong_answers']} wrong answers, "
+            f"{contract['deadline_violations']} deadline violations",
+            file=sys.stderr,
+        )
+    return 0 if ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -740,6 +989,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "loadgen":
         return _run_loadgen(args)
+
+    if args.command == "shard-serve":
+        return _run_shard_serve(args)
+
+    if args.command == "chaos-drill":
+        return _run_chaos_drill(args)
 
     if args.command == "build":
         from repro.core.persistence import save_index

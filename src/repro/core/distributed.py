@@ -32,6 +32,13 @@ Everything runs in-process and deterministically; the simulation's
 observable outputs are the answers (tested against the oracle) and the
 cost counters (messages, rounds, per-shard expansions) that a real
 deployment would try to minimise.
+
+The *real* deployment now exists: :mod:`repro.shard` runs the same
+X-slab partitioning across actual forked worker processes, with SCARAB
+backbone routing, supervision/failover and deadline propagation (see
+``docs/SHARDING.md``).  This module remains the deterministic in-process
+model — useful for cost accounting (messages, rounds) that a
+multi-process run cannot measure reproducibly.
 """
 
 from __future__ import annotations

@@ -22,6 +22,14 @@ Guarantees and caveats:
   on ``query_many`` routes the whole batch through the guarded scalar
   path *before* the engine runs (the budget is per query), so pooled
   searches never carry a guard.
+* **Crash hardening** — chunks are dispatched asynchronously and the
+  pool is watched while they run: a worker that dies mid-batch (OOM
+  kill, SIGKILL, segfault) is detected by pid/exitcode change, finished
+  chunks are salvaged, and the affected chunks are recomputed inline in
+  the parent — the batch always completes with correct answers.  Each
+  incident increments ``repro_pool_worker_deaths_total`` and the pool is
+  respawned (bounded; after ``MAX_RESPAWNS`` incidents it degrades to
+  inline mode for the rest of its life).
 * **Worker-side stats** — each chunk returns its ``expanded``/``pruned``
   deltas, merged into the parent's :class:`QueryStats`; metric
   observations made inside workers (the ``_observe_searches`` wrapper)
@@ -33,14 +41,25 @@ Guarantees and caveats:
 from __future__ import annotations
 
 import multiprocessing
-from time import perf_counter
+import os
+import signal
+import threading
+from time import monotonic, perf_counter, sleep
 
 import numpy as np
 
 from repro.obs.metrics import get_registry
 from repro.obs.spans import get_tracer
 
-__all__ = ["SearchPool", "fork_available"]
+__all__ = ["SearchPool", "fork_available", "MAX_RESPAWNS"]
+
+#: Pool respawns allowed after worker deaths before degrading to inline.
+MAX_RESPAWNS = 2
+
+#: Poll cadence while waiting on dispatched chunks, and the grace window
+#: given to surviving workers to finish their chunks after a death.
+_POLL_S = 0.005
+_SALVAGE_GRACE_S = 0.25
 
 
 def fork_available() -> bool:
@@ -84,6 +103,36 @@ def _run_chunk(task):
     return chunk_id, answers, delta, elapsed
 
 
+def _abandon_pool(pool) -> None:
+    """Tear a (possibly poisoned) ``Pool`` down without deadlocking.
+
+    ``Pool.terminate`` drains the shared task queue under its lock — a
+    lock that a SIGKILLed worker may have died holding, in which case
+    the drain blocks forever.  So the stdlib teardown runs on a daemon
+    thread with a bounded wait (its first action flips the pool state,
+    which stops the maintenance thread from respawning workers), and the
+    worker processes are then SIGKILLed and reaped regardless of whether
+    the graceful path got through.
+    """
+    try:
+        procs = list(pool._pool)
+    except AttributeError:  # pragma: no cover - stdlib internals moved
+        procs = []
+    terminator = threading.Thread(
+        target=pool.terminate, name="repro-pool-terminate", daemon=True
+    )
+    terminator.start()
+    terminator.join(timeout=1.0)
+    for proc in procs:
+        if proc.is_alive() and proc.pid is not None:
+            try:
+                os.kill(proc.pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                pass
+    for proc in procs:
+        proc.join(timeout=0.5)
+
+
 class SearchPool:
     """Partition survivor searches across forked worker processes.
 
@@ -98,17 +147,29 @@ class SearchPool:
         self.index = index
         self.workers = max(1, int(workers))
         self.min_batch = max(1, int(min_batch))
+        self.worker_deaths = 0
+        self._respawns = 0
         self._pool = None
+        self._cohort_pids: set = set()
         if self.workers > 1 and fork_available():
             self.mode = "fork"
-            ctx = multiprocessing.get_context("fork")
-            self._pool = ctx.Pool(
-                self.workers,
-                initializer=_pool_worker_init,
-                initargs=(index,),
-            )
+            self._pool = self._make_pool()
         else:
             self.mode = "inline"
+
+    def _make_pool(self):
+        ctx = multiprocessing.get_context("fork")
+        pool = ctx.Pool(
+            self.workers,
+            initializer=_pool_worker_init,
+            initargs=(self.index,),
+        )
+        # The spawn-time cohort: any deviation later (pid gone, exitcode
+        # set) is evidence of a death — even one that happened *between*
+        # batches, which still poisons the pool (a worker killed while
+        # holding the shared task-queue lock deadlocks its siblings).
+        self._cohort_pids = {proc.pid for proc in pool._pool}
+        return pool
 
     @property
     def closed(self) -> bool:
@@ -154,7 +215,7 @@ class SearchPool:
             pairs=len(pairs),
             chunks=len(tasks),
         ):
-            results = self._pool.map(_run_chunk, tasks, chunksize=1)
+            results = self._dispatch(tasks)
 
         answers = np.empty(len(pairs), dtype=bool)
         offset = 0
@@ -162,9 +223,20 @@ class SearchPool:
         chunk_hist = None
         if registry.enabled:
             chunk_hist = registry.histogram
-        for chunk_id, chunk_answers, delta, elapsed in results:
-            answers[offset : offset + len(chunk_answers)] = chunk_answers
-            offset += len(chunk_answers)
+        search = index._search_pair
+        for (chunk_id, chunk_pairs), result in zip(tasks, results):
+            size = len(chunk_pairs)
+            if result is None:
+                # The chunk was lost with its worker: recompute inline.
+                # Stats accrue directly on the parent's counters here.
+                answers[offset : offset + size] = [
+                    bool(search(u, v)) for u, v in chunk_pairs
+                ]
+                offset += size
+                continue
+            _, chunk_answers, delta, elapsed = result
+            answers[offset : offset + size] = chunk_answers
+            offset += size
             stats.expanded += delta["expanded"]
             stats.pruned += delta["pruned"]
             if chunk_hist is not None:
@@ -176,12 +248,103 @@ class SearchPool:
                 ).observe(elapsed)
         return answers
 
+    def _worker_snapshot(self) -> list:
+        """The pool's current worker processes (internal but stable API)."""
+        pool = self._pool
+        if pool is None:
+            return []
+        try:
+            return list(pool._pool)
+        except AttributeError:  # pragma: no cover - stdlib internals moved
+            return []
+
+    def _pool_damaged(self) -> bool:
+        """Whether a worker from the spawn-time cohort is gone.
+
+        Detects a dead-but-unreaped worker (exitcode set) and one
+        already silently replaced by ``Pool``'s maintenance thread (pid
+        set changed).  Either way the pool is condemned: an in-flight
+        chunk may never return, and a worker killed mid-``get`` leaves
+        the shared task-queue lock held forever, deadlocking even the
+        replacement workers — which is why respawn rebuilds the whole
+        pool rather than trusting the self-repair.
+        """
+        procs = self._worker_snapshot()
+        if not procs:
+            return True
+        if {proc.pid for proc in procs} != self._cohort_pids:
+            return True
+        return any(proc.exitcode is not None for proc in procs)
+
+    def _collect_ready(self, asyncs, results, pending) -> None:
+        for i in list(pending):
+            if not asyncs[i].ready():
+                continue
+            try:
+                results[i] = asyncs[i].get()
+            except Exception:  # noqa: BLE001 - chunk recomputed inline
+                results[i] = None
+            pending.discard(i)
+
+    def _dispatch(self, tasks) -> list:
+        """Run chunks through the pool, surviving worker deaths.
+
+        Returns one entry per task: the ``_run_chunk`` result, or
+        ``None`` for a chunk that must be recomputed inline (its worker
+        died, or its remote execution raised).
+        """
+        asyncs = [self._pool.apply_async(_run_chunk, (t,)) for t in tasks]
+        results: list = [None] * len(tasks)
+        pending = set(range(len(tasks)))
+        while pending:
+            self._collect_ready(asyncs, results, pending)
+            if not pending:
+                break
+            if self._pool_damaged():
+                # Salvage: surviving workers get a short grace window to
+                # hand over their finished chunks, then whatever is
+                # still pending is declared lost (recomputed inline).
+                grace_end = monotonic() + _SALVAGE_GRACE_S
+                while pending and monotonic() < grace_end:
+                    self._collect_ready(asyncs, results, pending)
+                    if pending:
+                        sleep(_POLL_S)
+                self._on_worker_death(lost=len(pending))
+                break
+            sleep(_POLL_S)
+        return results
+
+    def _on_worker_death(self, lost: int) -> None:
+        """Account a worker death and respawn (bounded) or go inline."""
+        self.worker_deaths += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "repro_pool_worker_deaths_total",
+                help="Pool workers that died mid-batch; the affected "
+                "chunks were recomputed inline.",
+                method=self.index.method_name,
+            ).inc()
+        old = self._pool
+        self._pool = None
+        if old is not None:
+            _abandon_pool(old)
+        if self._respawns < MAX_RESPAWNS:
+            self._respawns += 1
+            self._pool = self._make_pool()
+        else:
+            self.mode = "inline"
+
     def close(self) -> None:
-        """Terminate the worker processes (idempotent)."""
+        """Terminate the worker processes (idempotent).
+
+        Deadlock-safe even when a worker died with a queue lock held:
+        the stdlib teardown gets a bounded attempt, then the workers are
+        SIGKILLed outright.
+        """
         if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+            pool, self._pool = self._pool, None
+            _abandon_pool(pool)
 
     def __enter__(self) -> "SearchPool":
         return self

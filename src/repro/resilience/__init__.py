@@ -16,7 +16,9 @@ Public surface
   invariants, exhaustive or seeded-sampled; CLI: ``repro verify-index``.
 * :mod:`repro.resilience.chaos` — seeded injectors (coordinate
   corruption, file truncation/bit-flips, named hook points, flaky/slow
-  workers).
+  workers) plus the process-level faults (SIGKILL/SIGSTOP helpers,
+  drop/duplicate response control exceptions) that drive the
+  :mod:`repro.shard` kill-based chaos suite.
 * :class:`RetryPolicy` — jittered-exponential-backoff retry used by the
   distributed worker dispatch.
 """

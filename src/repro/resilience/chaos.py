@@ -17,6 +17,14 @@ The harness has three parts:
 * **Worker faults.**  :class:`FlakyWorker` and :class:`SlowWorker` wrap a
   :class:`~repro.core.distributed.ShardWorker` to fail or delay the first
   N dispatches, exercising the cluster's retry-with-backoff path.
+* **Process faults.**  :func:`kill_process` (SIGKILL), the
+  :func:`freeze_process` / :func:`thaw_process` pair (SIGSTOP/SIGCONT)
+  and the :class:`DropResponse` / :class:`DuplicateResponse` control
+  exceptions give the *real* multi-process shard service
+  (:mod:`repro.shard`) its murder weapons: a worker can be killed or
+  wedged mid-query, and a shard worker's response hook can drop or
+  duplicate a wire message.  The service must still answer every
+  admitted query within its deadline, correctly or honestly-UNKNOWN.
 
 Everything is seeded and deterministic: the same seed injects the same
 fault, so a failing chaos test reproduces exactly.
@@ -24,6 +32,8 @@ fault, so a failing chaos test reproduces exactly.
 
 from __future__ import annotations
 
+import os
+import signal
 from array import array
 from contextlib import contextmanager
 from pathlib import Path
@@ -44,6 +54,11 @@ __all__ = [
     "truncate_file",
     "FlakyWorker",
     "SlowWorker",
+    "DropResponse",
+    "DuplicateResponse",
+    "kill_process",
+    "freeze_process",
+    "thaw_process",
 ]
 
 
@@ -264,3 +279,64 @@ class SlowWorker:
     def expand(self, *args, **kwargs):
         self.simulated_delay_s += self.delay_s
         return self.worker.expand(*args, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Process faults
+# ---------------------------------------------------------------------------
+class DropResponse(ReproError):
+    """Control exception for shard-worker response hooks: eat the reply.
+
+    Raised by a hook installed at ``shard.worker.respond``; the worker
+    swallows it and simply never sends the response, simulating a lost
+    wire message.  The coordinator must recover by timeout + retry.
+    """
+
+
+class DuplicateResponse(ReproError):
+    """Control exception for shard-worker response hooks: send it twice.
+
+    Simulates a duplicated wire message; the coordinator's sequence
+    matching must discard the second copy instead of mistaking it for
+    the answer to a later request.
+    """
+
+
+def kill_process(pid: int) -> bool:
+    """SIGKILL ``pid`` (no cleanup, no goodbye — the hard murder).
+
+    Returns ``False`` when the process is already gone, ``True`` when
+    the signal was delivered.  Refuses to kill the calling process.
+    """
+    if pid == os.getpid():
+        raise ReproError("chaos: refusing to SIGKILL the current process")
+    try:
+        os.kill(pid, signal.SIGKILL)
+    except ProcessLookupError:
+        return False
+    return True
+
+
+def freeze_process(pid: int) -> bool:
+    """SIGSTOP ``pid`` — the process wedges without dying.
+
+    A frozen worker keeps its pipes open, so the only symptom is
+    silence: RPCs time out rather than erroring.  Pair with
+    :func:`thaw_process` (or a supervisor's kill-and-restart fencing).
+    """
+    if pid == os.getpid():
+        raise ReproError("chaos: refusing to SIGSTOP the current process")
+    try:
+        os.kill(pid, signal.SIGSTOP)
+    except ProcessLookupError:
+        return False
+    return True
+
+
+def thaw_process(pid: int) -> bool:
+    """SIGCONT a process frozen by :func:`freeze_process`."""
+    try:
+        os.kill(pid, signal.SIGCONT)
+    except ProcessLookupError:
+        return False
+    return True

@@ -43,8 +43,10 @@ class Coalescer:
     Parameters
     ----------
     answer_batch:
-        ``answer_batch(pairs) -> list`` — the blocking batch call (e.g.
-        ``Reachability.reachable_many``), executed on ``executor``.
+        ``answer_batch(pairs, budget) -> list`` — the blocking batch
+        call (e.g. wrapping ``Reachability.reachable_many``), executed
+        on ``executor``.  ``budget`` is whatever the submissions carried
+        (``None`` when they carried nothing).
     max_batch:
         Flush as soon as this many pairs are pending (``1`` = flush per
         submission, the uncoalesced baseline).
@@ -76,8 +78,8 @@ class Coalescer:
         self._executor = executor
         self._registry_fn = registry_fn if registry_fn is not None else get_registry
         self._loop = asyncio.get_running_loop()
-        # Pending entries: (u, v, future, enqueued_ns).
-        self._pending: list[tuple[int, int, asyncio.Future, int]] = []
+        # Pending entries: (u, v, budget, future, enqueued_ns).
+        self._pending: list[tuple] = []
         self._timer = None
         self._tasks: set[asyncio.Task] = set()
         self._closed = False
@@ -86,16 +88,21 @@ class Coalescer:
         self.coalesced_pairs = 0
 
     # -- submission -----------------------------------------------------
-    async def submit(self, u: int, v: int):
+    async def submit(self, u: int, v: int, budget=None):
         """Enqueue one pair; resolves to its ternary answer."""
-        return (await self.submit_many([(u, v)]))[0]
+        return (await self.submit_many([(u, v)], budget=budget))[0]
 
-    async def submit_many(self, pairs: Sequence[tuple[int, int]]) -> list:
+    async def submit_many(
+        self, pairs: Sequence[tuple[int, int]], budget=None
+    ) -> list:
         """Enqueue several pairs at once; resolves to aligned answers.
 
         The pairs join the *same* pending batch as concurrent single-pair
         submissions, so a ``POST /reach_many`` shares its cut pass with
-        whatever ``GET /reach`` traffic is in flight.
+        whatever ``GET /reach`` traffic is in flight.  ``budget`` rides
+        along per pair (a request-scoped deadline); a flush dispatches
+        one engine call per distinct budget so a deadline never leaks
+        onto batch mates that did not ask for one.
         """
         if self._closed:
             raise CoalescerClosed("coalescer is draining; no new queries")
@@ -103,7 +110,7 @@ class Coalescer:
         futures = []
         for u, v in pairs:
             future = self._loop.create_future()
-            self._pending.append((u, v, future, enqueued))
+            self._pending.append((u, v, budget, future, enqueued))
             futures.append(future)
             if len(self._pending) >= self.max_batch:
                 self.flush()
@@ -121,18 +128,27 @@ class Coalescer:
 
     # -- flushing -------------------------------------------------------
     def flush(self) -> None:
-        """Cut a batch from the pending queue and dispatch it."""
+        """Cut the pending queue into per-budget batches and dispatch.
+
+        Entries sharing a budget (usually ``None``) still merge into one
+        vectorized engine call; distinct request deadlines dispatch
+        separately, preserving "a budget applies only to who asked".
+        """
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
         if not self._pending:
             return
-        batch, self._pending = self._pending, []
-        task = self._loop.create_task(self._run_batch(batch))
-        self._tasks.add(task)
-        task.add_done_callback(self._tasks.discard)
+        pending, self._pending = self._pending, []
+        groups: dict = {}
+        for entry in pending:
+            groups.setdefault(entry[2], []).append(entry)
+        for budget, batch in groups.items():
+            task = self._loop.create_task(self._run_batch(batch, budget))
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
 
-    async def _run_batch(self, batch) -> None:
+    async def _run_batch(self, batch, budget) -> None:
         started = now_ns()
         size = len(batch)
         self.batches += 1
@@ -149,23 +165,50 @@ class Coalescer:
                 help="Time a request waited in the coalescer before its "
                 "batch was dispatched.",
             )
-            for _, _, _, enqueued in batch:
+            for *_, enqueued in batch:
                 queue_wait.observe(max(0, started - enqueued) * 1e-9)
-        pairs = [(u, v) for u, v, _, _ in batch]
+        pairs = [(u, v) for u, v, _, _, _ in batch]
         tracer = get_tracer()
         try:
             with tracer.span("serve.flush", size=size):
                 answers = await self._loop.run_in_executor(
-                    self._executor, self._answer_batch, pairs
+                    self._executor, self._answer_batch, pairs, budget
                 )
-        except BaseException as exc:  # noqa: BLE001 — relayed per request
-            for _, _, future, _ in batch:
-                if not future.done():
-                    future.set_exception(exc)
+        except BaseException:  # noqa: BLE001 — isolated per request below
+            await self._retry_isolated(batch, budget)
             return
-        for (_, _, future, _), answer in zip(batch, answers):
+        for (_, _, _, future, _), answer in zip(batch, answers):
             if not future.done():
                 future.set_result(answer)
+
+    async def _retry_isolated(self, batch, budget) -> None:
+        """Fault isolation: a failed batch is retried pair by pair.
+
+        One poisoned pair (or a transient engine fault) must not fail —
+        or hang — its batch mates: every pair gets its own engine call
+        and relays only its *own* outcome, so healthy siblings still
+        receive real answers and exactly the faulty ones surface errors.
+        """
+        registry = self._registry_fn()
+        if registry.enabled:
+            registry.counter(
+                "repro_serve_batch_isolation_total",
+                help="Coalesced batches that failed wholesale and were "
+                "retried pair by pair.",
+            ).inc()
+        for u, v, _, future, _ in batch:
+            if future.done():
+                continue
+            try:
+                answers = await self._loop.run_in_executor(
+                    self._executor, self._answer_batch, [(u, v)], budget
+                )
+            except BaseException as exc:  # noqa: BLE001 — this pair only
+                if not future.done():
+                    future.set_exception(exc)
+            else:
+                if not future.done():
+                    future.set_result(answers[0])
 
     # -- shutdown -------------------------------------------------------
     def close(self) -> None:

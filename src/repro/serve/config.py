@@ -31,9 +31,10 @@ from dataclasses import dataclass
 from repro.exceptions import ReproError
 from repro.resilience import QueryBudget
 
-__all__ = ["ServeConfig", "OVERLOAD_POLICIES"]
+__all__ = ["ServeConfig", "OVERLOAD_POLICIES", "DEADLINE_POLICIES"]
 
 OVERLOAD_POLICIES = ("shed", "unknown")
+DEADLINE_POLICIES = ("unknown", "gateway-timeout")
 
 
 @dataclass(frozen=True)
@@ -64,7 +65,16 @@ class ServeConfig:
         finish with real answers before forcing connections closed.
     budget:
         Optional per-query :class:`~repro.resilience.QueryBudget`
-        applied to every admitted query.
+        applied to every admitted query.  A request-supplied
+        ``deadline_ms`` overrides it for that request.
+    on_deadline:
+        What a deadline-degraded (:data:`~repro.resilience.UNKNOWN`)
+        answer becomes on the wire when the request carried a
+        ``deadline_ms``: ``"unknown"`` (HTTP 200 with an ``unknown``
+        verdict, the degrade-don't-fail default) or
+        ``"gateway-timeout"`` (a structured HTTP 504; for
+        ``/reach_many`` only when *every* answer degraded — partial
+        batches return 200 with per-pair verdicts).
     max_body_bytes:
         Upper bound on a ``POST /reach_many`` body (413 beyond it).
     """
@@ -78,6 +88,7 @@ class ServeConfig:
     retry_after_ms: int = 50
     drain_timeout_s: float = 5.0
     budget: QueryBudget | None = None
+    on_deadline: str = "unknown"
     max_body_bytes: int = 8 * 1024 * 1024
 
     def __post_init__(self) -> None:
@@ -99,6 +110,11 @@ class ServeConfig:
         if self.retry_after_ms < 0:
             raise ReproError(
                 f"retry_after_ms must be >= 0, got {self.retry_after_ms}"
+            )
+        if self.on_deadline not in DEADLINE_POLICIES:
+            raise ReproError(
+                f"unknown on_deadline policy {self.on_deadline!r}; "
+                f"use one of {', '.join(DEADLINE_POLICIES)}"
             )
         if self.drain_timeout_s < 0:
             raise ReproError(

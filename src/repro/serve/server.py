@@ -5,11 +5,16 @@ server that takes query traffic.  A single-threaded asyncio event loop
 (run on a daemon thread so synchronous code can embed it) accepts
 keep-alive HTTP/1.1 connections and serves:
 
-* ``GET /reach?u=..&v=..`` — one pair, answered through the request
-  coalescer: concurrent requests within the configured window share one
-  vectorized ``query_many`` cut pass (see :mod:`repro.serve.coalescer`);
-* ``POST /reach_many`` — ``{"pairs": [[u, v], ...]}``, joining the same
-  pending batch as the single-pair traffic;
+* ``GET /reach?u=..&v=..[&deadline_ms=..]`` — one pair, answered
+  through the request coalescer: concurrent requests within the
+  configured window share one vectorized ``query_many`` cut pass (see
+  :mod:`repro.serve.coalescer`).  ``deadline_ms`` maps to a per-request
+  wall-clock :class:`~repro.resilience.QueryBudget`; a deadline-degraded
+  answer renders as an ``unknown`` verdict or a structured 504 per
+  ``config.on_deadline``;
+* ``POST /reach_many`` — ``{"pairs": [[u, v], ...]}`` plus an optional
+  ``"deadline_ms"``, joining the same pending batch as the single-pair
+  traffic (deadline-carrying requests batch separately, per budget);
 * ``GET /metrics`` / ``GET /healthz`` / ``GET /slow`` — the
   observability triad, folded in from the old scrape endpoint so one
   port serves both traffic and scrapes.
@@ -46,6 +51,7 @@ from repro.obs.metrics import get_registry
 from repro.obs.server import slow_log_payload
 from repro.obs.spans import get_tracer
 from repro.obs.timing import elapsed_s, now_ns
+from repro.resilience.budget import UNKNOWN, QueryBudget
 from repro.serve.coalescer import Coalescer, CoalescerClosed
 from repro.serve.config import ServeConfig
 from repro.serve.results import ReachResult
@@ -60,6 +66,7 @@ _REASONS = {
     413: "Payload Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -235,8 +242,9 @@ class ReachServer:
         sockname = self._server.sockets[0].getsockname()
         self._address = (sockname[0], sockname[1])
 
-    def _answer_batch(self, pairs):
-        return self._answer(pairs, budget=self.config.budget)
+    def _answer_batch(self, pairs, budget=None):
+        effective = budget if budget is not None else self.config.budget
+        return self._answer(pairs, budget=effective)
 
     def stop(self, drain: bool = True) -> None:
         """Shut down; with ``drain`` (default) answer what was admitted.
@@ -486,10 +494,38 @@ class ReachServer:
         )
         raise error
 
+    def _parse_deadline(self, value):
+        """Validate an optional ``deadline_ms`` (query param or JSON)."""
+        if value is None:
+            return None
+        try:
+            deadline = float(value)
+        except (TypeError, ValueError):
+            deadline = math.nan
+        if not math.isfinite(deadline) or deadline <= 0:
+            raise _HTTPError(
+                400, "bad-request",
+                detail="deadline_ms must be a positive number of "
+                "milliseconds",
+            )
+        return deadline
+
+    @staticmethod
+    def _deadline_budget(deadline_ms):
+        """The per-request budget a ``deadline_ms`` maps to: a pure
+        wall-clock deadline that degrades to ``unknown`` — HTTP wire
+        policy (``on_deadline``) decides how that renders."""
+        if deadline_ms is None:
+            return None
+        return QueryBudget(deadline_s=deadline_ms / 1000.0, policy="unknown")
+
     async def _route_reach(self, query: str):
         params = parse_qs(query)
         u = self._check_vertex(params.get("u", [None])[0], "u")
         v = self._check_vertex(params.get("v", [None])[0], "v")
+        deadline_ms = self._parse_deadline(
+            params.get("deadline_ms", [None])[0]
+        )
         if self._admit(1) == "unknown":
             result = ReachResult(
                 u=u, v=v, answer=None, verdict="unknown",
@@ -498,9 +534,19 @@ class ReachServer:
             return 200, result.as_dict(), "application/json", {}
         self._set_inflight(1)
         try:
-            answer = await self.coalescer.submit(u, v)
+            answer = await self.coalescer.submit(
+                u, v, budget=self._deadline_budget(deadline_ms)
+            )
         finally:
             self._set_inflight(-1)
+        if (
+            answer is UNKNOWN
+            and deadline_ms is not None
+            and self.config.on_deadline == "gateway-timeout"
+        ):
+            raise _HTTPError(
+                504, "deadline-exceeded", u=u, v=v, deadline_ms=deadline_ms
+            )
         result = ReachResult.from_answer(u, v, answer)
         return 200, result.as_dict(), "application/json", {}
 
@@ -510,6 +556,9 @@ class ReachServer:
         except (UnicodeDecodeError, json.JSONDecodeError):
             raise _HTTPError(400, "bad-request", detail="body is not JSON")
         pairs_in = doc.get("pairs") if isinstance(doc, dict) else None
+        deadline_ms = self._parse_deadline(
+            doc.get("deadline_ms") if isinstance(doc, dict) else None
+        )
         if not isinstance(pairs_in, list):
             raise _HTTPError(
                 400, "bad-request",
@@ -540,9 +589,22 @@ class ReachServer:
                 "application/json", {}
         self._set_inflight(len(pairs))
         try:
-            answers = await self.coalescer.submit_many(pairs)
+            answers = await self.coalescer.submit_many(
+                pairs, budget=self._deadline_budget(deadline_ms)
+            )
         finally:
             self._set_inflight(-len(pairs))
+        if (
+            deadline_ms is not None
+            and self.config.on_deadline == "gateway-timeout"
+            and all(answer is UNKNOWN for answer in answers)
+        ):
+            # Partial batches still return 200 with per-pair verdicts;
+            # only a wholesale deadline blowout is a gateway timeout.
+            raise _HTTPError(
+                504, "deadline-exceeded",
+                deadline_ms=deadline_ms, pairs=len(pairs),
+            )
         results = [
             ReachResult.from_answer(u, v, answer).as_dict()
             for (u, v), answer in zip(pairs, answers)

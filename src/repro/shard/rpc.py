@@ -1,0 +1,163 @@
+"""Coordinator-side RPC channel to one shard worker process.
+
+The wire is a :func:`multiprocessing.Pipe`; messages are
+``(seq, op, payload)`` requests answered by ``(seq, status, payload)``
+responses.  Three properties make the channel survive murdered workers:
+
+* **Sequence matching.**  Every request carries a fresh sequence number
+  and the receive loop discards any response whose number does not match
+  — a duplicated response (chaos), or the stale answer of a request that
+  already timed out, can never be mistaken for the current answer.
+* **Deadline-bounded waits.**  :meth:`WorkerChannel.request` never waits
+  past its ``timeout_s``; the pipe is polled in short slices so a worker
+  that died *mid-wait* (SIGKILL closes its pipe end, but forked siblings
+  may hold copies of the fds open) is still detected within one slice
+  via ``Process.is_alive()``.
+* **Transient failure typing.**  Every failure mode — send on a broken
+  pipe, EOF on receive, timeout, worker-side error — surfaces as a
+  :class:`~repro.exceptions.WorkerError` with ``transient=True``, so the
+  service's :class:`~repro.resilience.retry.RetryPolicy` can hedge the
+  request onto a restarted worker.  All shard RPCs are idempotent (pure
+  functions of the immutable plan), which is what makes that retry safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import monotonic
+
+from repro.exceptions import WorkerError
+
+__all__ = ["WorkerChannel", "POLL_SLICE_S"]
+
+#: Upper bound of one pipe poll; also the worker-death detection latency
+#: while blocked on a response.
+POLL_SLICE_S = 0.02
+
+
+class WorkerChannel:
+    """One duplex pipe to a worker process, serialized by a lock.
+
+    A channel is single-flight: the lock admits one RPC at a time, which
+    keeps the request/response pairing trivial (sequence numbers handle
+    the rest).  The supervisor uses :meth:`try_request` to heartbeat
+    without queueing behind a long query.
+    """
+
+    _seq_lock = threading.Lock()
+    _seq = 0
+
+    def __init__(self, conn, process, shard_id: int) -> None:
+        self.conn = conn
+        self.process = process
+        self.shard_id = shard_id
+        self.lock = threading.Lock()
+        self.closed = False
+
+    @classmethod
+    def _next_seq(cls) -> int:
+        # Service-global sequence numbers: even across a channel rebuild
+        # no two in-flight requests ever share a number.
+        with cls._seq_lock:
+            cls._seq += 1
+            return cls._seq
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid
+
+    def alive(self) -> bool:
+        return not self.closed and self.process.is_alive()
+
+    def request(self, op: str, payload, timeout_s: float):
+        """One idempotent RPC; raises transient ``WorkerError`` on any
+        failure (timeout, death, broken pipe, worker-side error)."""
+        with self.lock:
+            return self._request_locked(op, payload, timeout_s)
+
+    def try_request(self, op: str, payload, timeout_s: float):
+        """Like :meth:`request` but gives up (returns ``None``) instead
+        of queueing when the channel is busy with another RPC."""
+        if not self.lock.acquire(blocking=False):
+            return None
+        try:
+            return self._request_locked(op, payload, timeout_s)
+        finally:
+            self.lock.release()
+
+    def _request_locked(self, op: str, payload, timeout_s: float):
+        if self.closed:
+            raise WorkerError(
+                f"shard {self.shard_id}: channel closed",
+                shard_id=self.shard_id,
+                transient=True,
+            )
+        seq = self._next_seq()
+        try:
+            self.conn.send((seq, op, payload))
+        except (BrokenPipeError, OSError, ValueError) as exc:
+            raise WorkerError(
+                f"shard {self.shard_id}: send failed ({exc})",
+                shard_id=self.shard_id,
+                transient=True,
+            ) from exc
+        deadline = monotonic() + max(0.0, timeout_s)
+        while True:
+            remaining = deadline - monotonic()
+            if remaining <= 0:
+                raise WorkerError(
+                    f"shard {self.shard_id}: {op} timed out "
+                    f"after {timeout_s:.3f}s",
+                    shard_id=self.shard_id,
+                    transient=True,
+                )
+            try:
+                ready = self.conn.poll(min(remaining, POLL_SLICE_S))
+            except (OSError, ValueError) as exc:
+                raise WorkerError(
+                    f"shard {self.shard_id}: poll failed ({exc})",
+                    shard_id=self.shard_id,
+                    transient=True,
+                ) from exc
+            if not ready:
+                if not self.process.is_alive():
+                    raise WorkerError(
+                        f"shard {self.shard_id}: worker died "
+                        f"(exitcode {self.process.exitcode})",
+                        shard_id=self.shard_id,
+                        transient=True,
+                    )
+                continue
+            try:
+                message = self.conn.recv()
+            except (EOFError, OSError) as exc:
+                raise WorkerError(
+                    f"shard {self.shard_id}: connection lost ({exc})",
+                    shard_id=self.shard_id,
+                    transient=True,
+                ) from exc
+            try:
+                rseq, status, result = message
+            except (TypeError, ValueError):
+                continue  # garbage frame: discard, keep waiting
+            if rseq != seq:
+                continue  # stale or duplicated response: discard
+            if status != "ok":
+                raise WorkerError(
+                    f"shard {self.shard_id}: {op} failed remotely: {result}",
+                    shard_id=self.shard_id,
+                    transient=True,
+                )
+            return result
+
+    def close(self) -> None:
+        """Close the pipe end (idempotent); the process is not touched."""
+        self.closed = True
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive() else "down"
+        return f"<WorkerChannel shard={self.shard_id} pid={self.pid} {state}>"

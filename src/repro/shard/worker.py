@@ -1,0 +1,128 @@
+"""The shard worker process: serve one partition, answer pure RPCs.
+
+A worker is forked from the coordinator *after* the shard plan is built,
+so its :class:`~repro.shard.plan.ShardState` (slab subgraph, budgeted
+FELINE index, gateway tables) arrives through copy-on-write memory with
+zero serialization — exactly the :class:`~repro.perf.pool.SearchPool`
+trick, applied to a long-lived serving process.  Because the state is
+immutable, every RPC is a pure function and the coordinator may freely
+retry or re-dispatch one to a *restarted* worker.
+
+Operations:
+
+* ``ping`` — liveness probe for the supervisor.
+* ``local (u, v, budget_ms)`` — same-shard query answered by the
+  shard's own FELINE index (exact: the slab is closed under paths, see
+  :mod:`repro.shard.plan`), deadline-guarded when ``budget_ms`` is set;
+  answers ``True`` / ``False`` / ``None`` (= UNKNOWN on the wire).
+* ``route_out (u, v)`` — the direct-edge check plus
+  ``Out(u) = ({u} ∪ N⁺(u)) ∩ B`` for the coordinator's gateway product.
+* ``route_in (v,)`` — the ``In(v)`` half.
+* ``stop`` — acknowledge and exit cleanly.
+
+Chaos hook points (inherited through fork, so tests install them on the
+coordinator *before* the service starts):
+
+* ``shard.worker.request`` — fires on receipt; a raising hook turns
+  into an error response (the coordinator sees a transient failure).
+* ``shard.worker.respond`` — fires before the reply is sent; raising
+  :class:`~repro.resilience.chaos.DropResponse` swallows the reply
+  (lost message) and :class:`~repro.resilience.chaos.DuplicateResponse`
+  sends it twice (duplicated message).
+"""
+
+from __future__ import annotations
+
+from repro.resilience import chaos
+from repro.resilience.budget import UNKNOWN, QueryBudget
+from repro.shard.plan import ShardState
+
+__all__ = ["worker_main"]
+
+
+def _handle(state: ShardState, op: str, payload):
+    if op == "ping":
+        return "pong"
+    if op == "local":
+        u, v, budget_ms = payload
+        lu, lv = state.sub.local_of[u], state.sub.local_of[v]
+        if lu == -1 or lv == -1:
+            raise ValueError(
+                f"shard {state.shard_id} does not own pair ({u}, {v})"
+            )
+        budget = None
+        if budget_ms is not None:
+            if budget_ms <= 0:
+                return None  # deadline already spent: honestly unknown
+            budget = QueryBudget(
+                deadline_s=budget_ms / 1000.0, policy="unknown"
+            )
+        answer = state.index.query(lu, lv, budget=budget)
+        return None if answer is UNKNOWN else bool(answer)
+    if op == "route_out":
+        u, v = payload
+        gateways = state.out_gateways.get(u)
+        if gateways is None:
+            raise ValueError(f"shard {state.shard_id} does not own {u}")
+        direct = v in state.out_neighbors[u]
+        return direct, gateways
+    if op == "route_in":
+        (v,) = payload
+        gateways = state.in_gateways.get(v)
+        if gateways is None:
+            raise ValueError(f"shard {state.shard_id} does not own {v}")
+        return gateways
+    raise ValueError(f"unknown shard op {op!r}")
+
+
+def worker_main(state: ShardState, conn) -> None:
+    """Serve RPCs over ``conn`` until ``stop``, EOF, or a closed pipe.
+
+    Runs as the target of a forked ``multiprocessing.Process``; never
+    touches the metrics registry or tracer (those belong to the
+    coordinator — a fork must not observe into an inherited registry
+    copy that nobody will ever scrape).
+    """
+    shard_id = state.shard_id
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        try:
+            seq, op, payload = message
+        except (TypeError, ValueError):
+            continue  # garbage frame: a well-behaved worker ignores it
+        if op == "stop":
+            try:
+                conn.send((seq, "ok", None))
+            except (BrokenPipeError, OSError):
+                pass
+            break
+        try:
+            chaos.fire(
+                "shard.worker.request", shard_id=shard_id, op=op, seq=seq
+            )
+            result = _handle(state, op, payload)
+        except Exception as exc:  # noqa: BLE001 — relayed as error frame
+            response = (seq, "error", f"{type(exc).__name__}: {exc}")
+        else:
+            response = (seq, "ok", result)
+        copies = 1
+        try:
+            chaos.fire(
+                "shard.worker.respond", shard_id=shard_id, op=op, seq=seq
+            )
+        except chaos.DropResponse:
+            continue
+        except chaos.DuplicateResponse:
+            copies = 2
+        try:
+            for _ in range(copies):
+                conn.send(response)
+        except (BrokenPipeError, OSError):
+            break
+    try:
+        conn.close()
+    except OSError:
+        pass

@@ -1,0 +1,125 @@
+"""SearchPool crash hardening: murdered workers, respawn bound, metrics."""
+
+import os
+import signal
+
+import pytest
+
+from repro.baselines.base import create_index
+from repro.graph.generators import crown_graph
+from repro.obs.metrics import disable_metrics, enable_metrics
+from repro.perf.pool import MAX_RESPAWNS, SearchPool, fork_available
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="pool crash tests need the fork start method"
+)
+
+
+def search_heavy_index():
+    # Crown graphs defeat FELINE's cuts: every non-trivial pair survives
+    # to the online search, so batches actually reach the pool.
+    return create_index("feline", crown_graph(8)).build()
+
+
+def all_pairs(index):
+    n = index.graph.num_vertices
+    return [(u, v) for u in range(n) for v in range(n)]
+
+
+def kill_one_worker(pool):
+    procs = pool._worker_snapshot()
+    assert procs, "expected live pool workers"
+    os.kill(procs[0].pid, signal.SIGKILL)
+    procs[0].join(timeout=2.0)  # reap so exitcode is visible
+
+
+@pytest.fixture
+def index():
+    idx = search_heavy_index()
+    yield idx
+    idx.close_search_pool()
+
+
+class TestWorkerDeath:
+    def test_killed_worker_answers_stay_correct(self, index):
+        pairs = all_pairs(index)
+        reference = list(index.query_many(pairs))
+        pool = index.enable_search_pool(2)
+        assert pool.mode == "fork"
+        kill_one_worker(pool)
+        assert list(index.query_many(pairs)) == reference
+        assert pool.worker_deaths == 1
+        # The pool respawned: still fork mode, fresh worker cohort.
+        assert pool.mode == "fork"
+        assert pool._pool is not None
+
+    def test_death_mid_dispatch_recomputes_lost_chunks(self, index):
+        pairs = all_pairs(index)
+        reference = list(index.query_many(pairs))
+        pool = index.enable_search_pool(2)
+
+        # Arm the murder inside the dispatch loop itself: the first
+        # damage poll kills a worker, so chunks are genuinely in flight.
+        armed = {"fired": False}
+        original = pool._pool_damaged
+
+        def kill_then_check():
+            if not armed["fired"]:
+                armed["fired"] = True
+                kill_one_worker(pool)
+            return original()
+
+        pool._pool_damaged = kill_then_check
+        try:
+            assert list(index.query_many(pairs)) == reference
+        finally:
+            pool._pool_damaged = original
+        assert pool.worker_deaths == 1
+
+    def test_deaths_counter_metric(self, index):
+        registry = enable_metrics()
+        try:
+            pool = index.enable_search_pool(2)
+            kill_one_worker(pool)
+            index.query_many(all_pairs(index))
+            counters = registry.snapshot()["counters"]
+            assert any(
+                key.startswith("repro_pool_worker_deaths_total")
+                for key in counters
+            ), sorted(counters)
+        finally:
+            disable_metrics()
+
+
+class TestRespawnBound:
+    def test_degrades_to_inline_after_max_respawns(self, index):
+        pairs = all_pairs(index)
+        reference = list(index.query_many(pairs))
+        pool = index.enable_search_pool(2)
+        for death in range(MAX_RESPAWNS + 1):
+            kill_one_worker(pool)
+            assert list(index.query_many(pairs)) == reference
+            assert pool.worker_deaths == death + 1
+        # Respawn budget spent: the pool now runs everything inline,
+        # and stays correct doing so.
+        assert pool.mode == "inline"
+        assert pool._pool is None
+        assert pool._respawns == MAX_RESPAWNS
+        assert list(index.query_many(pairs)) == reference
+
+
+class TestTeardownAfterDeath:
+    def test_close_does_not_hang_on_poisoned_pool(self, index):
+        pool = index.enable_search_pool(2)
+        kill_one_worker(pool)
+        # A SIGKILLed worker can die holding the shared queue lock;
+        # close() must still return (bounded teardown + hard kill).
+        pool.close()
+        pool.close()
+        assert pool.closed
+
+    def test_context_manager_survives_death(self):
+        idx = search_heavy_index()
+        with SearchPool(idx, workers=2) as pool:
+            kill_one_worker(pool)
+        assert pool.closed

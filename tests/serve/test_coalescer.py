@@ -20,7 +20,7 @@ def executor():
 
 
 def make_answerer(calls):
-    def answer_batch(pairs):
+    def answer_batch(pairs, budget=None):
         calls.append(list(pairs))
         return [u <= v for u, v in pairs]
 
@@ -96,7 +96,7 @@ class TestBatching:
     def test_answers_align_with_submission_order(self, executor):
         async def scenario():
             c = Coalescer(
-                lambda pairs: [u * 100 + v for u, v in pairs],
+                lambda pairs, budget=None: [u * 100 + v for u, v in pairs],
                 max_batch=64, max_wait_s=0.01, executor=executor,
             )
             return await asyncio.gather(
@@ -109,7 +109,7 @@ class TestBatching:
 class TestFailure:
     def test_engine_error_reaches_every_waiter(self, executor):
         async def scenario():
-            def explode(pairs):
+            def explode(pairs, budget=None):
                 raise ValueError("engine down")
 
             c = Coalescer(

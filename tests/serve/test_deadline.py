@@ -1,0 +1,276 @@
+"""Serve-tier deadlines (deadline_ms → QueryBudget → wire policy) and
+fault paths: injected engine faults must yield structured errors and a
+drained coalescer, never a hang or a poisoned sibling."""
+
+import json
+import threading
+from urllib.error import HTTPError
+from urllib.request import Request, urlopen
+
+import pytest
+
+from repro import Reachability
+from repro.graph.digraph import DiGraph
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience import UNKNOWN, chaos
+from repro.serve import ReachServer, ServeConfig
+
+EDGES = [(0, 1), (1, 2), (2, 3)]
+
+
+def make_oracle():
+    return Reachability(DiGraph(5, EDGES))
+
+
+def get_json(url: str):
+    with urlopen(url, timeout=5) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+def post_json(url: str, doc):
+    request = Request(
+        url,
+        data=json.dumps(doc).encode("utf-8"),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urlopen(request, timeout=5) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+class _Graph:
+    def __init__(self, num_vertices):
+        self.num_vertices = num_vertices
+
+
+class DeadlineSensitiveOracle:
+    """Quacks like Reachability; degrades iff a deadline budget arrives.
+
+    Lets the tests pin the wire policy without depending on how long a
+    real search takes on the test machine.
+    """
+
+    def __init__(self, num_vertices=5, unknown_pairs=None):
+        self.graph = _Graph(num_vertices)
+        self.unknown_pairs = unknown_pairs  # None = every pair degrades
+        self.seen_budgets = []
+
+    def reachable_many(self, pairs, budget=None):
+        self.seen_budgets.append(budget)
+        if budget is None or budget.deadline_s is None:
+            return [True for _ in pairs]
+        return [
+            UNKNOWN
+            if self.unknown_pairs is None or tuple(pair) in self.unknown_pairs
+            else True
+            for pair in pairs
+        ]
+
+
+def serve(oracle, **config_kwargs):
+    kwargs = {"max_batch": 16, "max_wait_ms": 0.5}
+    kwargs.update(config_kwargs)
+    return ReachServer(
+        oracle, ServeConfig(**kwargs), registry=MetricsRegistry()
+    )
+
+
+class TestDeadlineParameter:
+    def test_deadline_becomes_a_budget(self):
+        oracle = DeadlineSensitiveOracle()
+        with serve(oracle) as srv:
+            status, doc = get_json(srv.url + "/reach?u=0&v=3&deadline_ms=50")
+            assert status == 200
+            assert doc["verdict"] == "unknown"
+            assert doc["answer"] is None
+        budget = next(b for b in oracle.seen_budgets if b is not None)
+        assert budget.deadline_s == pytest.approx(0.05)
+        assert budget.policy == "unknown"
+
+    def test_no_deadline_means_no_budget(self):
+        oracle = DeadlineSensitiveOracle()
+        with serve(oracle) as srv:
+            _, doc = get_json(srv.url + "/reach?u=0&v=3")
+            assert doc["answer"] is True
+        assert oracle.seen_budgets == [None]
+
+    @pytest.mark.parametrize("bad", ["0", "-5", "nan", "inf", "soon"])
+    def test_bad_deadline_rejected_400(self, bad):
+        with serve(make_oracle()) as srv:
+            with pytest.raises(HTTPError) as excinfo:
+                get_json(srv.url + f"/reach?u=0&v=3&deadline_ms={bad}")
+            assert excinfo.value.code == 400
+            body = json.loads(excinfo.value.read())
+            assert body["error"] == "bad-request"
+            assert "deadline_ms" in body["detail"]
+
+    def test_generous_deadline_on_real_oracle_stays_exact(self):
+        with serve(make_oracle()) as srv:
+            _, doc = get_json(srv.url + "/reach?u=0&v=3&deadline_ms=5000")
+            assert doc["answer"] is True
+            _, doc = get_json(srv.url + "/reach?u=3&v=0&deadline_ms=5000")
+            assert doc["answer"] is False
+
+    def test_reach_many_deadline_applies_to_the_batch(self):
+        oracle = DeadlineSensitiveOracle()
+        with serve(oracle) as srv:
+            _, doc = post_json(
+                srv.url + "/reach_many",
+                {"pairs": [[0, 1], [1, 2]], "deadline_ms": 50},
+            )
+            assert [r["verdict"] for r in doc["results"]] == [
+                "unknown", "unknown"
+            ]
+
+
+class TestGatewayTimeoutPolicy:
+    def test_single_query_504_is_structured(self):
+        oracle = DeadlineSensitiveOracle()
+        with serve(oracle, on_deadline="gateway-timeout") as srv:
+            with pytest.raises(HTTPError) as excinfo:
+                get_json(srv.url + "/reach?u=0&v=3&deadline_ms=25")
+            assert excinfo.value.code == 504
+            body = json.loads(excinfo.value.read())
+            assert body == {
+                "error": "deadline-exceeded", "u": 0, "v": 3,
+                "deadline_ms": 25.0,
+            }
+
+    def test_unknown_policy_returns_200_unknown(self):
+        oracle = DeadlineSensitiveOracle()
+        with serve(oracle, on_deadline="unknown") as srv:
+            status, doc = get_json(srv.url + "/reach?u=0&v=3&deadline_ms=25")
+            assert status == 200
+            assert doc["verdict"] == "unknown"
+
+    def test_undeadlined_unknown_never_504s(self):
+        # The 504 belongs to the deadline contract: an UNKNOWN from
+        # other degradation (overload, server budget) stays a 200.
+        oracle = DeadlineSensitiveOracle()
+        config_budget_oracle = serve(oracle, on_deadline="gateway-timeout")
+        with config_budget_oracle as srv:
+            status, doc = get_json(srv.url + "/reach?u=0&v=3")
+            assert status == 200
+
+    def test_batch_504_only_when_every_answer_unknown(self):
+        partial = DeadlineSensitiveOracle(unknown_pairs={(0, 3)})
+        with serve(partial, on_deadline="gateway-timeout") as srv:
+            # Mixed batch: the answered pairs must not be discarded.
+            status, doc = post_json(
+                srv.url + "/reach_many",
+                {"pairs": [[0, 3], [1, 2]], "deadline_ms": 25},
+            )
+            assert status == 200
+            assert doc["results"][0]["verdict"] == "unknown"
+            assert doc["results"][1]["verdict"] == "reachable"
+        total = DeadlineSensitiveOracle()
+        with serve(total, on_deadline="gateway-timeout") as srv:
+            with pytest.raises(HTTPError) as excinfo:
+                post_json(
+                    srv.url + "/reach_many",
+                    {"pairs": [[0, 3], [1, 2]], "deadline_ms": 25},
+                )
+            assert excinfo.value.code == 504
+            body = json.loads(excinfo.value.read())
+            assert body["error"] == "deadline-exceeded"
+            assert body["pairs"] == 2
+
+
+class TestEngineFaultPaths:
+    """Satellite contract: a fault inside ``query_many`` surfaces as a
+    structured 500 and the coalescer batch drains — no hanging siblings,
+    no silently inherited errors."""
+
+    def test_persistent_fault_gives_structured_500(self):
+        with serve(make_oracle()) as srv:
+            with chaos.injected("index.query_many"):
+                with pytest.raises(HTTPError) as excinfo:
+                    get_json(srv.url + "/reach?u=0&v=3")
+                assert excinfo.value.code == 500
+                body = json.loads(excinfo.value.read())
+                assert body["error"] == "internal"
+                assert "InjectedFault" in body["detail"]
+            # The fault was per-request, not per-server: next query is
+            # answered exactly.
+            _, doc = get_json(srv.url + "/reach?u=0&v=3")
+            assert doc["answer"] is True
+
+    def test_coalesced_siblings_all_drain_under_persistent_fault(self):
+        # Pile concurrent requests into one coalescer batch, then fail
+        # the batch: every caller must get a response (a structured 500),
+        # within the timeout — nobody hangs on an abandoned future.
+        with serve(make_oracle(), max_wait_ms=20.0) as srv:
+            statuses = []
+            lock = threading.Lock()
+
+            def client(u, v):
+                try:
+                    status, _ = get_json(
+                        srv.url + f"/reach?u={u}&v={v}"
+                    )
+                except HTTPError as error:
+                    status = error.code
+                    json.loads(error.read())  # still structured JSON
+                with lock:
+                    statuses.append(status)
+
+            with chaos.injected("index.query_many"):
+                threads = [
+                    threading.Thread(target=client, args=(u, 3))
+                    for u in range(4)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=10)
+            assert len(statuses) == 4
+            assert all(status == 500 for status in statuses)
+
+    def test_one_shot_fault_isolated_and_siblings_answered(self):
+        # The fault kills only the first (batched) call; the coalescer
+        # must retry each pair alone, so every sibling gets its real
+        # answer and the isolation counter records the incident.
+        fired = {"count": 0}
+
+        def fail_first(**context):
+            fired["count"] += 1
+            if fired["count"] == 1:
+                raise chaos.InjectedFault(
+                    "chaos: first batch dies", point="index.query_many"
+                )
+
+        registry = MetricsRegistry()
+        srv = ReachServer(
+            make_oracle(),
+            ServeConfig(max_batch=16, max_wait_ms=20.0),
+            registry=registry,
+        )
+        with srv:
+            answers = {}
+            lock = threading.Lock()
+
+            def client(u):
+                _, doc = get_json(srv.url + f"/reach?u={u}&v=3")
+                with lock:
+                    answers[u] = doc["answer"]
+
+            with chaos.injected("index.query_many", fail_first):
+                threads = [
+                    threading.Thread(target=client, args=(u,))
+                    for u in (0, 1, 2, 4)  # vertex 4 is isolated
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=10)
+            assert answers == {0: True, 1: True, 2: True, 4: False}
+        assert fired["count"] >= 2  # the batch, then isolated retries
+        counters = registry.snapshot()["counters"]
+        if any(
+            key.startswith("repro_serve_coalesce_batch_size")
+            for key in registry.snapshot()["histograms"]
+        ):
+            assert any(
+                key.startswith("repro_serve_batch_isolation_total")
+                for key in counters
+            ), sorted(counters)

@@ -1,0 +1,145 @@
+"""Shard planning: partitioning invariants, budget tiers, slab closure."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.graph.generators import (
+    crown_graph,
+    layered_dag,
+    random_dag,
+    tree_like_dag,
+)
+from repro.shard import INDEX_TIERS, build_shard_plan
+from tests.conftest import reachability_oracle
+
+
+@pytest.fixture(scope="module")
+def dag():
+    return random_dag(120, avg_degree=2.0, seed=7)
+
+
+@pytest.fixture(scope="module")
+def plan(dag):
+    return build_shard_plan(dag, 3)
+
+
+class TestPartition:
+    def test_bad_shard_count_rejected(self, dag):
+        with pytest.raises(ReproError):
+            build_shard_plan(dag, 0)
+
+    def test_shard_count_clamped_to_vertices(self):
+        small = random_dag(4, avg_degree=1.0, seed=1)
+        plan = build_shard_plan(small, 16)
+        assert plan.num_shards == 4
+        assert all(size >= 1 for size in plan.shard_sizes())
+
+    def test_owned_sets_partition_the_vertices(self, dag, plan):
+        seen = set()
+        for shard in plan.shards:
+            owned = set(shard.owned)
+            assert not owned & seen
+            seen |= owned
+        assert seen == set(range(dag.num_vertices))
+        assert sum(plan.shard_sizes()) == dag.num_vertices
+
+    def test_owner_of_agrees_with_owned_lists(self, plan):
+        for shard in plan.shards:
+            for v in shard.owned:
+                assert plan.owner_of[v] == shard.shard_id
+                assert plan.shard_of(v) == shard.shard_id
+                assert shard.owns(v)
+
+    def test_slabs_are_contiguous_x_ranges(self, plan):
+        # The correctness argument rests on contiguity: shard s owns a
+        # contiguous X-rank interval, and the intervals are ordered.
+        x = plan.coords.x
+        previous_max = -1
+        for shard in plan.shards:
+            ranks = sorted(x[v] for v in shard.owned)
+            assert ranks == list(range(ranks[0], ranks[-1] + 1))
+            assert ranks[0] == previous_max + 1
+            previous_max = ranks[-1]
+
+    def test_gateway_tables_cover_every_owned_vertex(self, dag, plan):
+        backbone_n = plan.backbone.graph.num_vertices
+        for shard in plan.shards:
+            for v in shard.owned:
+                assert shard.out_neighbors[v] == frozenset(dag.successors(v))
+                for b in shard.out_gateways[v] + shard.in_gateways[v]:
+                    assert 0 <= b < backbone_n
+
+
+class TestSlabClosure:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            random_dag(80, avg_degree=2.5, seed=2),
+            crown_graph(5),
+            layered_dag(4, 6, edge_probability=0.5, seed=3),
+            tree_like_dag(60, extra_edge_fraction=0.1, seed=4),
+        ],
+        ids=["random", "crown", "layered", "tree-like"],
+    )
+    def test_local_index_exact_on_same_shard_pairs(self, graph):
+        # X is a topological order, so a contiguous slab is closed under
+        # paths: the induced-subgraph index must answer same-shard pairs
+        # exactly, with no cross-shard traffic at all.
+        plan = build_shard_plan(graph, 3)
+        oracle = reachability_oracle(graph)
+        for shard in plan.shards:
+            local_of = shard.sub.local_of
+            for u in shard.owned:
+                for v in shard.owned:
+                    expected = oracle(u, v)
+                    actual = shard.index.query(local_of[u], local_of[v])
+                    assert actual == expected, (
+                        f"shard {shard.shard_id} wrong on r({u}, {v}): "
+                        f"got {actual}, expected {expected}"
+                    )
+
+
+class TestIndexBudget:
+    def test_unrestricted_budget_builds_full_tier(self, plan):
+        assert all(shard.index_tier == "full" for shard in plan.shards)
+
+    def test_tiny_budget_degrades_to_cheapest_tier(self, dag):
+        plan = build_shard_plan(dag, 2, index_budget_bytes=1)
+        # Even an unmeetable budget must leave the shard answerable.
+        assert all(shard.index_tier == "coords" for shard in plan.shards)
+        for shard in plan.shards:
+            assert shard.index_bytes == shard.index.index_size_bytes()
+
+    def test_tiers_are_monotonically_cheaper(self, dag):
+        sizes = []
+        sub = build_shard_plan(dag, 1).shards[0]
+        for tier, budget in zip(
+            INDEX_TIERS, (None, sub.index_bytes - 1, 1)
+        ):
+            plan = build_shard_plan(dag, 1, index_budget_bytes=budget)
+            shard = plan.shards[0]
+            assert shard.index_tier == tier
+            sizes.append(shard.index_bytes)
+        assert sizes[0] > sizes[1] > sizes[2]
+
+    def test_degraded_tier_still_answers_exactly(self, dag):
+        plan = build_shard_plan(dag, 2, index_budget_bytes=1)
+        oracle = reachability_oracle(dag)
+        shard = plan.shards[0]
+        local_of = shard.sub.local_of
+        for u in shard.owned[:20]:
+            for v in shard.owned[:20]:
+                assert shard.index.query(local_of[u], local_of[v]) == oracle(
+                    u, v
+                )
+
+    def test_index_report_shape(self, plan):
+        report = plan.index_report()
+        assert len(report) == plan.num_shards
+        for row, shard in zip(report, plan.shards):
+            assert row == {
+                "shard": shard.shard_id,
+                "vertices": len(shard.owned),
+                "tier": shard.index_tier,
+                "index_bytes": shard.index_bytes,
+            }
