@@ -1,0 +1,149 @@
+"""Gate CI on the observer layer actually earning its keep.
+
+Reads a fresh ``BENCH_pr8.json`` (written by ``smoke.py``) and enforces
+two properties per method, plus an optional cross-run comparison:
+
+* **survivor-rate drop** (within the fresh file) — with observers
+  attached, the fraction of the search-heavy batch that still needs an
+  online search must fall by at least ``--min-drop`` (relative) below
+  the observer-less rate.  A layer that decides nothing is dead weight
+  and fails the gate.
+* **throughput floor** (within the fresh file) — the observer-on batch
+  must answer at least ``--floor`` × the observer-off throughput.  The
+  pre-pass is vectorized; if it ever costs more than the searches it
+  kills, that is a bug, not a tuning choice.
+* **baseline comparison** (optional) — against a committed
+  ``BENCH_pr8.json``, observer-on cells must hold their
+  calibration-normalized throughput within ``--tolerance``, the same
+  cross-machine normalization as ``check_regression.py``:
+
+      normalized_throughput = (queries / query_ms) * calibration_ms
+
+    PYTHONPATH=src python benchmarks/check_observers.py FRESH [BASELINE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "BENCH_pr8.json"
+
+
+def _by_method(report: dict) -> dict[str, dict[int, dict]]:
+    """method -> observers -> result cell."""
+    table: dict[str, dict[int, dict]] = {}
+    for cell in report["results"]:
+        table.setdefault(cell["method"], {})[cell["observers"]] = cell
+    return table
+
+
+def _normalized(report: dict, cell: dict) -> float:
+    queries = report["workload"]["queries"]
+    return (queries / cell["query_ms"]) * report["calibration_ms"]
+
+
+def check(
+    fresh: dict,
+    baseline: dict | None,
+    min_drop: float,
+    floor: float,
+    tolerance: float,
+) -> int:
+    failures: list[str] = []
+    table = _by_method(fresh)
+    print(
+        f"fresh calibration {fresh['calibration_ms']:.1f} ms "
+        f"({fresh.get('cpus', '?')} cpus); min-drop {min_drop:.0%}, "
+        f"floor {floor:.0%}, tolerance {tolerance:.0%}"
+    )
+    for method, cells in sorted(table.items()):
+        if 0 not in cells:
+            failures.append(f"{method}: no observers=0 reference cell")
+            continue
+        off = cells[0]
+        for k, cell in sorted(cells.items()):
+            if k == 0:
+                continue
+            label = f"{method:<10} observers={k}"
+            drop = 1 - cell["survivor_rate"] / max(
+                off["survivor_rate"], 1e-12
+            )
+            ratio = _normalized(fresh, cell) / _normalized(fresh, off)
+            verdict = "ok"
+            if drop < min_drop:
+                verdict = "FAIL survivor-rate"
+                failures.append(
+                    f"{label}: survivor rate fell only {drop:.1%} "
+                    f"({off['survivor_rate']:.3f} -> "
+                    f"{cell['survivor_rate']:.3f}), need {min_drop:.0%}"
+                )
+            if ratio < floor:
+                verdict = "FAIL throughput-floor"
+                failures.append(
+                    f"{label}: batch throughput {ratio:.2f}x of "
+                    f"observer-off, floor {floor:.2f}x"
+                )
+            print(
+                f"  {label}  survivors {off['survivor_rate']:.3f} -> "
+                f"{cell['survivor_rate']:.3f} ({drop:+.1%}), throughput "
+                f"{ratio:.2f}x of off  {verdict}"
+            )
+
+    if baseline is not None:
+        base_table = _by_method(baseline)
+        for method, cells in sorted(table.items()):
+            for k, cell in sorted(cells.items()):
+                base_cell = base_table.get(method, {}).get(k)
+                label = f"{method:<10} observers={k}"
+                if base_cell is None:
+                    print(f"  {label}  SKIP (not in baseline)")
+                    continue
+                ratio = _normalized(fresh, cell) / _normalized(
+                    baseline, base_cell
+                )
+                verdict = "ok"
+                if ratio < 1 - tolerance:
+                    verdict = "REGRESSION"
+                    failures.append(
+                        f"{label}: {ratio:.2f}x of baseline normalized "
+                        f"throughput (tolerance {tolerance:.0%})"
+                    )
+                print(f"  {label}  {ratio:6.2f}x of baseline  {verdict}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} observer gate violation(s)")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nOK: observer layer cuts survivors and holds throughput")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "fresh", type=Path, help="BENCH_pr8.json of this run"
+    )
+    parser.add_argument(
+        "baseline", nargs="?", type=Path, default=DEFAULT_BASELINE
+    )
+    parser.add_argument("--min-drop", type=float, default=0.10)
+    parser.add_argument("--floor", type=float, default=0.30)
+    parser.add_argument("--tolerance", type=float, default=0.2)
+    args = parser.parse_args(argv[1:])
+    fresh = json.loads(args.fresh.read_text(encoding="utf-8"))
+    baseline = None
+    if args.baseline.exists():
+        baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    else:
+        print(f"note: no baseline at {args.baseline}; within-run gates only")
+    return check(
+        fresh, baseline, args.min_drop, args.floor, args.tolerance
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -12,6 +12,13 @@ build/query timings to ``BENCH_pr5.json`` plus a sample Chrome
   ones), so batch time is dominated by online searches — the workload
   the survivor-search pool (``--workers``) parallelizes.
 
+The same search-heavy workload also feeds an *observer* sweep written
+to ``BENCH_pr8.json``: each method runs with and without an attached
+:class:`~repro.perf.observers.ObserverLayer`, recording the survivor
+rate (fraction of the batch no O(1) cut decided) and batch timing per
+observer count — ``check_observers.py`` gates CI on the survivor-rate
+drop and on calibration-normalized throughput.
+
 Every measurement records the machine context needed to compare runs
 across hosts: the CPU count (a pool cannot beat ``workers=0`` on a
 single core) and a pure-Python *calibration* loop timing that
@@ -49,6 +56,7 @@ SPECS = [
     MethodSpec("feline", "FELINE"),
     MethodSpec("feline-b", "FELINE-B"),
 ]
+OBSERVER_AXIS = [0, 16]
 
 
 def calibrate(rounds: int = 3, n: int = 2_000_000) -> float:
@@ -91,6 +99,75 @@ def survivor_pairs(graph, wanted: int, seed: int) -> list[tuple[int, int]]:
         )
         attempt += 1
     return keep
+
+
+def _observer_cell(graph, method: str, pairs, k: int, runs: int) -> dict:
+    """One (method, observer-count) batch measurement over ``pairs``."""
+    from repro.perf.observers import build_observers
+
+    index = create_index(method, graph).build()
+    build_ms = 0.0
+    if k:
+        start = time.perf_counter()
+        index.attach_observers(build_observers(graph, k=k))
+        build_ms = 1000 * (time.perf_counter() - start)
+    best = float("inf")
+    answers = None
+    for _ in range(runs):
+        index.stats.reset()
+        start = time.perf_counter()
+        answers = index.query_many(pairs)
+        best = min(best, 1000 * (time.perf_counter() - start))
+    stats = index.stats
+    cell = {
+        "method": method,
+        "observers": k,
+        "query_ms": best,
+        "observer_build_ms": build_ms,
+        "positives": sum(answers),
+        "searches": stats.searches,
+        "observer_hits": stats.observer_positive + stats.observer_negative,
+        "survivor_rate": stats.searches / max(len(pairs), 1),
+    }
+    return cell, answers
+
+
+def observer_report(out_dir: Path, graph, pairs, runs: int = 3) -> dict:
+    """The BENCH_pr8 observer sweep: survivor rate and batch timing per
+    observer count on the search-heavy workload.
+
+    Asserts answer equivalence between the observer counts as a safety
+    net — a benchmark must never publish numbers from wrong answers.
+    """
+    results = []
+    baseline_answers: dict[str, list] = {}
+    for spec in SPECS:
+        for k in OBSERVER_AXIS:
+            cell, answers = _observer_cell(
+                graph, spec.method, pairs, k, runs
+            )
+            results.append(cell)
+            reference = baseline_answers.setdefault(spec.method, answers)
+            assert answers == reference, (
+                f"{spec.method}: observers={k} changed batch answers"
+            )
+    report = {
+        "bench": "pr8-observers",
+        "python": platform.python_version(),
+        "seed": SEED,
+        "cpus": os.cpu_count(),
+        "calibration_ms": calibrate(),
+        "graph": {
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+        },
+        "workload": {"name": "search-heavy", "queries": len(pairs)},
+        "results": results,
+    }
+    (out_dir / "BENCH_pr8.json").write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+    return report
 
 
 def _result_dict(r, workers: int) -> dict:
@@ -154,6 +231,7 @@ def run(out_dir: Path, workers_axis: list[int], runs: int = 3) -> dict:
     (out_dir / "BENCH_pr5.json").write_text(
         json.dumps(report, indent=2) + "\n", encoding="utf-8"
     )
+    observer_report(out_dir, graph, workloads[1][1], runs=runs)
     return report
 
 
@@ -176,6 +254,7 @@ def main(argv: list[str]) -> int:
     print(json.dumps(report, indent=2))
     print(
         f"\nwritten: {args.out_dir / 'BENCH_pr5.json'}, "
+        f"{args.out_dir / 'BENCH_pr8.json'}, "
         f"{args.out_dir / 'smoke_trace.json'}"
     )
     return 0

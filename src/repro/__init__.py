@@ -85,6 +85,13 @@ class Reachability:
         :class:`repro.perf.SearchPool` is attached after the build, so
         :meth:`reachable_many` parallelizes the pairs its O(1) cuts
         cannot decide; see ``docs/PERFORMANCE.md`` for when that helps.
+    observers:
+        Number of O'Reach-style supporting vertices to select at build
+        time (default ``0`` — no observer layer).  With ``observers >=
+        1`` an :class:`repro.perf.ObserverLayer` is built over the
+        condensed DAG and consulted *before* the index's own cuts on
+        every query — scalar and batch — shrinking the set of pairs
+        that need an online search; see ``docs/PERFORMANCE.md``.
     **params:
         Forwarded to the index constructor (e.g. ``num_labelings=5`` for
         GRAIL).
@@ -95,6 +102,7 @@ class Reachability:
         graph: DiGraph | Iterable[tuple[int, int]],
         method: str = "feline",
         workers: int = 0,
+        observers: int = 0,
         **params,
     ) -> None:
         if not isinstance(graph, DiGraph):
@@ -106,6 +114,13 @@ class Reachability:
         self.index: ReachabilityIndex = create_index(
             method, self.condensation.dag, **params
         ).build()
+        if observers:
+            from repro.perf.observers import build_observers
+
+            with registry.phase("facade.init", "observers"):
+                self.index.attach_observers(
+                    build_observers(self.condensation.dag, k=observers)
+                )
         if workers and workers > 1:
             self.index.enable_search_pool(workers)
 

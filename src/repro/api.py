@@ -88,16 +88,26 @@ def _facade():
     return Reachability
 
 
-def build_index(graph, method: str = "feline", workers: int = 0, **params):
+def build_index(
+    graph,
+    method: str = "feline",
+    workers: int = 0,
+    observers: int = 0,
+    **params,
+):
     """Build a ready-to-query oracle over any directed graph.
 
     ``graph`` is a :class:`DiGraph` or an iterable of ``(u, v)`` edges;
     cycles are condensed automatically.  Returns a
     :class:`~repro.Reachability` — pass it straight to
     :class:`ReachServer` or query it in process.  ``workers >= 2``
-    attaches a survivor-search pool for batch traffic.
+    attaches a survivor-search pool for batch traffic; ``observers >= 1``
+    builds an O'Reach-style observer layer consulted before the index's
+    own cuts on every query (see ``docs/PERFORMANCE.md``).
     """
-    return _facade()(graph, method=method, workers=workers, **params)
+    return _facade()(
+        graph, method=method, workers=workers, observers=observers, **params
+    )
 
 
 def reach(

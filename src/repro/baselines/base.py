@@ -22,6 +22,7 @@ from repro.exceptions import (
     IndexNotBuiltError,
     InvalidVertexError,
     QueryBudgetExceeded,
+    ReproError,
     UnknownMethodError,
 )
 from repro.graph.digraph import DiGraph
@@ -54,6 +55,9 @@ class QueryStats:
 
     * ``queries`` — total queries answered;
     * ``equal_cuts`` — answered by ``u == v``;
+    * ``observer_positive`` / ``observer_negative`` — answered by the
+      attached :class:`~repro.perf.observers.ObserverLayer` before the
+      family's own cuts ran (0 unless observers are attached);
     * ``negative_cuts`` — answered negatively in O(1) (dominance, level or
       interval non-containment before any search);
     * ``positive_cuts`` — answered positively in O(1) by the positive-cut
@@ -74,6 +78,8 @@ class QueryStats:
 
     queries: int = 0
     equal_cuts: int = 0
+    observer_positive: int = 0
+    observer_negative: int = 0
     negative_cuts: int = 0
     positive_cuts: int = 0
     searches: int = 0
@@ -87,6 +93,8 @@ class QueryStats:
         """Zero every counter."""
         self.queries = 0
         self.equal_cuts = 0
+        self.observer_positive = 0
+        self.observer_negative = 0
         self.negative_cuts = 0
         self.positive_cuts = 0
         self.searches = 0
@@ -101,6 +109,8 @@ class QueryStats:
         return {
             "queries": self.queries,
             "equal_cuts": self.equal_cuts,
+            "observer_positive": self.observer_positive,
+            "observer_negative": self.observer_negative,
             "negative_cuts": self.negative_cuts,
             "positive_cuts": self.positive_cuts,
             "searches": self.searches,
@@ -153,6 +163,10 @@ class ReachabilityIndex(ABC):
         # parallel survivor searches (see enable_search_pool()).
         self._cut_table = None
         self._search_pool = None
+        # The optional ObserverLayer (attach_observers): O'Reach-style
+        # supporting-vertex cuts consulted before this family's own
+        # _query / cut table, on both the scalar and the batch path.
+        self._observers = None
 
     # -- lifecycle ------------------------------------------------------
     def build(self) -> "ReachabilityIndex":
@@ -370,6 +384,15 @@ class ReachabilityIndex(ABC):
         if u == v:
             self.stats.equal_cuts += 1
             return True
+        observers = self._observers
+        if observers is not None:
+            verdict = observers.decide(u, v)
+            if verdict is not None:
+                if verdict:
+                    self.stats.observer_positive += 1
+                else:
+                    self.stats.observer_negative += 1
+                return verdict
         obs = self._hot_obs
         if obs is None:
             if budget is None:
@@ -582,6 +605,30 @@ class ReachabilityIndex(ABC):
             "_search_pair for its survivors"
         )
 
+    def attach_observers(self, layer):
+        """Attach (or with ``None`` detach) an
+        :class:`~repro.perf.observers.ObserverLayer`; returns it.
+
+        Once attached, the layer's O(1) checks run before this family's
+        own cuts on both the scalar :meth:`query` and the vectorized
+        batch path; decided pairs count in
+        ``stats.observer_positive`` / ``observer_negative`` and never
+        touch the family's counters — the layer only shrinks the
+        survivor set, answers are unchanged.
+        """
+        if layer is not None and layer.num_vertices != self.graph.num_vertices:
+            raise ReproError(
+                f"observer layer covers {layer.num_vertices} vertices but "
+                f"the graph has {self.graph.num_vertices}"
+            )
+        self._observers = layer
+        return layer
+
+    @property
+    def observers(self):
+        """The attached observer layer, if any."""
+        return self._observers
+
     def enable_search_pool(
         self, workers: int, min_batch: int = 32
     ) -> "SearchPool | None":
@@ -649,13 +696,26 @@ class ReachabilityIndex(ABC):
         base = (
             stats.equal_cuts, stats.negative_cuts, stats.positive_cuts,
             stats.searches, stats.expanded, stats.pruned,
+            stats.observer_positive, stats.observer_negative,
         )
         budget_report = None
         stats.queries += 1
+        observer_verdict = None
+        if u != v and self._observers is not None:
+            observer_verdict = self._observers.decide(u, v)
         start = now_ns()
         if u == v:
             stats.equal_cuts += 1
             verdict = True
+        elif observer_verdict is not None:
+            # The observer layer decided — the family's _query never
+            # runs, exactly as in query(), and the verdict is attributed
+            # to the observers (never to the family's own cuts).
+            if observer_verdict:
+                stats.observer_positive += 1
+            else:
+                stats.observer_negative += 1
+            verdict = observer_verdict
         elif budget is None:
             verdict = self._query(u, v)
         else:
@@ -698,6 +758,10 @@ class ReachabilityIndex(ABC):
         # transitive closure) classify by the verdict's sign.
         if stats.equal_cuts > base[0]:
             cut = "equal"
+        elif stats.observer_positive > base[6]:
+            cut = "observer-positive"
+        elif stats.observer_negative > base[7]:
+            cut = "observer-negative"
         elif stats.searches > base[3]:
             cut = "search"
         elif stats.positive_cuts > base[2]:
@@ -718,6 +782,8 @@ class ReachabilityIndex(ABC):
             elapsed_ns=elapsed,
             budget=budget_report,
         )
+        if observer_verdict is not None:
+            explanation.details["observers(k)"] = self._observers.k
         self._explain_details(u, v, explanation)
         return explanation
 

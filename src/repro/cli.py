@@ -205,6 +205,14 @@ def _build_parser() -> argparse.ArgumentParser:
             help="survivor-search worker processes for batch queries "
             "(default 0: in-process; see docs/PERFORMANCE.md)",
         )
+        p.add_argument(
+            "--observers",
+            type=int,
+            default=0,
+            help="O'Reach-style supporting vertices consulted before "
+            "the index's own cuts (default 0: none; see "
+            "docs/PERFORMANCE.md)",
+        )
 
     serve = sub.add_parser(
         "serve", help="serve reachability queries (and the obs triad) over HTTP"
@@ -598,7 +606,12 @@ def _build_serving_oracle(args: argparse.Namespace):
     from repro.datasets.queries import random_pairs
 
     graph = read_edge_list(args.graph)
-    oracle = Reachability(graph, method=args.method, workers=args.workers)
+    oracle = Reachability(
+        graph,
+        method=args.method,
+        workers=args.workers,
+        observers=getattr(args, "observers", 0),
+    )
     warm = int(getattr(args, "warm", 0)) if args.command == "serve" else 0
     if warm > 0:
         oracle.reachable_many(random_pairs(graph, warm, seed=args.seed))
@@ -698,7 +711,10 @@ def _run_loadgen(args: argparse.Namespace) -> int:
             runs = [dict(report, label="remote")]
         else:
             oracle = Reachability(
-                graph, method=args.method, workers=args.workers
+                graph,
+                method=args.method,
+                workers=args.workers,
+                observers=getattr(args, "observers", 0),
             )
             if args.compare:
                 runs = compare_serving(
@@ -795,6 +811,7 @@ def _run_shard_serve(args: argparse.Namespace) -> int:
             ShardConfig(
                 num_shards=args.shards,
                 index_budget_bytes=args.index_budget_bytes,
+                observers=getattr(args, "observers", 0),
                 rpc_timeout_s=args.rpc_timeout_ms / 1000.0,
                 default_deadline_ms=args.default_deadline_ms,
                 on_shard_loss=args.on_shard_loss,

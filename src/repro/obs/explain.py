@@ -25,12 +25,17 @@ __all__ = ["CUTS", "BudgetReport", "QueryExplanation"]
 #: Every value :attr:`QueryExplanation.cut` can take.  ``negative-cut``
 #: means the O(1) coordinate/label cut (for FELINE: ``i(u) ⋠ i(v)``);
 #: ``level-filter`` and ``negative-cut-reversed`` are FELINE refinements
-#: of it; ``positive-cut`` the O(1) positive answer; ``search`` means the
-#: pruned online search (Algorithm 3) had to run; ``same-scc`` is the
-#: facade's condensation shortcut for two vertices in one component.
+#: of it; ``positive-cut`` the O(1) positive answer;
+#: ``observer-positive`` / ``observer-negative`` mean the attached
+#: O'Reach-style observer layer decided *before* the family's own cuts
+#: ran (see :mod:`repro.perf.observers`); ``search`` means the pruned
+#: online search (Algorithm 3) had to run; ``same-scc`` is the facade's
+#: condensation shortcut for two vertices in one component.
 CUTS = (
     "equal",
     "same-scc",
+    "observer-positive",
+    "observer-negative",
     "negative-cut",
     "negative-cut-reversed",
     "level-filter",
@@ -165,6 +170,11 @@ class QueryExplanation:
 _CUT_PROSE = {
     "equal": "reflexivity (u == v), O(1)",
     "same-scc": "same strongly connected component, O(1)",
+    "observer-positive":
+        "observer layer: a supporting vertex connects u to v, O(1)",
+    "observer-negative":
+        "observer layer: topological interval or supporting-vertex "
+        "contrapositive, O(1)",
     "negative-cut": "negative coordinate cut (Theorem 1), O(1)",
     "negative-cut-reversed":
         "negative cut on the reversed index (FELINE-B), O(1)",

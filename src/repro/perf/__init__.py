@@ -14,6 +14,11 @@ family:
   then per-pair online search only for the survivors.  Answers and
   :class:`~repro.baselines.base.QueryStats` are bit-identical to the
   scalar loop;
+* :mod:`repro.perf.observers` — :class:`ObserverLayer`, O'Reach-style
+  supporting-vertex and topological-interval cuts that run as a
+  vectorized pre-pass in front of *every* family's cut table (and
+  before the scalar ``_query``), shrinking the survivor set the online
+  search must process;
 * :mod:`repro.perf.pool` — :class:`SearchPool`, a ``fork``-based worker
   pool that partitions the surviving needs-search pairs across
   processes (CSR arrays and cut tables shared copy-on-write), with
@@ -29,12 +34,15 @@ from repro.perf.cut_table import (
     SwappedCutTable,
 )
 from repro.perf.engine import vectorized_query_many
+from repro.perf.observers import ObserverLayer, build_observers
 from repro.perf.pool import SearchPool, fork_available
 
 __all__ = [
     "CutTable",
     "SearchOnlyCutTable",
     "SwappedCutTable",
+    "ObserverLayer",
+    "build_observers",
     "vectorized_query_many",
     "SearchPool",
     "fork_available",

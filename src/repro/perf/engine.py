@@ -1,7 +1,9 @@
 """The generic vectorized batch pass over a :class:`CutTable`.
 
 One call classifies every pair of a batch through the index family's O(1)
-cuts — reflexive, negative, positive — with numpy, updates the
+cuts — reflexive, observer (when an
+:class:`~repro.perf.observers.ObserverLayer` is attached), negative,
+positive — with numpy, updates the
 :class:`~repro.baselines.base.QueryStats` counters exactly as the scalar
 loop would, and runs the per-pair online search only for the survivors
 (in process, or partitioned across a :class:`repro.perf.pool.SearchPool`
@@ -13,6 +15,15 @@ index that declares a cut table — which, as of this engine, is every
 registered family.  Answers are bit-identical to the scalar path; the
 win is constant-factor (no Python interpreter work for the cut
 majority), typically 3-10x on cut-dominated workloads.
+
+Duplicate pairs in a batch are searched once: survivors are deduplicated
+before dispatch and each representative's answer is fanned back out.
+The scalar loop *would* repeat those searches, so to keep the stats
+contract bit-identical the representative's ``expanded``/``pruned``
+deltas are scaled by the pair's multiplicity (searches are deterministic
+— the timestamped visited arrays make a repeat expand identically).
+``searches`` itself still counts every survivor occurrence, like the
+scalar loop.
 """
 
 from __future__ import annotations
@@ -21,7 +32,72 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
+
 __all__ = ["vectorized_query_many"]
+
+
+def _search_survivors(index, sources, targets, survivors, answers) -> None:
+    """Answer the undecided positions in place, deduplicated.
+
+    ``survivors`` is the array of undecided batch positions; duplicated
+    ``(u, v)`` pairs collapse to one search whose stats deltas are
+    weighted by the multiplicity (see module doc).
+    """
+    n = max(index.graph.num_vertices, 1)
+    keys = sources[survivors] * np.int64(n) + targets[survivors]
+    _, first, inverse, counts = np.unique(
+        keys, return_index=True, return_inverse=True, return_counts=True
+    )
+    reps = survivors[first]
+    pool = index._search_pool
+    if pool is not None and len(survivors) >= pool.min_batch:
+        rep_answers = pool.run(index, sources, targets, reps, weights=counts)
+    else:
+        stats = index.stats
+        search = index._search_pair
+        rep_answers = np.empty(len(reps), dtype=bool)
+        for j, i in enumerate(reps):
+            weight = int(counts[j])
+            if weight == 1:
+                rep_answers[j] = search(int(sources[i]), int(targets[i]))
+                continue
+            expanded, pruned = stats.expanded, stats.pruned
+            rep_answers[j] = search(int(sources[i]), int(targets[i]))
+            stats.expanded += (stats.expanded - expanded) * (weight - 1)
+            stats.pruned += (stats.pruned - pruned) * (weight - 1)
+    answers[survivors] = rep_answers[inverse]
+
+
+def _observe_layer(index, hits_positive, hits_negative, num, survivors):
+    """Observer-layer metrics: hit counters and the survivor-rate gauge.
+
+    No-op when the global registry is the zero-cost default.
+    """
+    registry = get_registry()
+    if not registry.enabled:
+        return
+    method = index.method_name
+    if hits_positive:
+        registry.counter(
+            "repro_observer_hits_total",
+            help="Batch pairs decided by the observer layer, by kind.",
+            method=method,
+            kind="positive",
+        ).inc(hits_positive)
+    if hits_negative:
+        registry.counter(
+            "repro_observer_hits_total",
+            help="Batch pairs decided by the observer layer, by kind.",
+            method=method,
+            kind="negative",
+        ).inc(hits_negative)
+    registry.gauge(
+        "repro_observer_survivor_rate",
+        help="Fraction of the last batch no O(1) cut decided "
+        "(observers included).",
+        method=method,
+    ).set(survivors / num)
 
 
 def vectorized_query_many(index, pairs: Sequence[tuple[int, int]]) -> list[bool]:
@@ -30,10 +106,14 @@ def vectorized_query_many(index, pairs: Sequence[tuple[int, int]]) -> list[bool]
     ``index`` must be built and carry a materialized ``_cut_table``.
     Returns a plain ``list[bool]`` aligned with ``pairs`` (the base-class
     contract).  Statistics counters update identically to the scalar
-    loop: ``queries``, ``equal_cuts``, ``negative_cuts``,
-    ``positive_cuts``, ``searches`` here; per-search ``expanded`` /
-    ``pruned`` inside the survivor searches (merged back from worker
-    processes when a pool runs them).
+    loop: ``queries``, ``equal_cuts``, ``observer_positive`` /
+    ``observer_negative`` (when an observer layer is attached),
+    ``negative_cuts``, ``positive_cuts``, ``searches`` here; per-search
+    ``expanded`` / ``pruned`` inside the survivor searches (merged back
+    from worker processes when a pool runs them).
+
+    An empty batch returns ``[]`` immediately — no masks are built and
+    neither the observers nor the pool are touched.
     """
     num = len(pairs)
     if num == 0:
@@ -45,26 +125,42 @@ def vectorized_query_many(index, pairs: Sequence[tuple[int, int]]) -> list[bool]
     sources, targets = pairs_arr[:, 0], pairs_arr[:, 1]
     equal = sources == targets
 
-    positive, negative = table.classify(sources, targets)
-    positive = positive & ~equal
-    negative = negative & ~equal
-    undecided = ~(equal | positive | negative)
-
     stats.queries += num
     stats.equal_cuts += int(equal.sum())
+
+    # Observer pre-pass: decided pairs never reach the family's cuts,
+    # exactly like the scalar path where decide() short-circuits _query.
+    observers = index._observers
+    obs_positive = None
+    if observers is not None:
+        obs_positive, obs_negative = observers.classify(sources, targets)
+        obs_positive &= ~equal
+        obs_negative &= ~equal
+        hits_positive = int(obs_positive.sum())
+        hits_negative = int(obs_negative.sum())
+        stats.observer_positive += hits_positive
+        stats.observer_negative += hits_negative
+        decided = equal | obs_positive | obs_negative
+    else:
+        decided = equal
+
+    positive, negative = table.classify(sources, targets)
+    positive = positive & ~decided
+    negative = negative & ~decided
+    undecided = ~(decided | positive | negative)
     if table.counts_cuts:
         stats.negative_cuts += int(negative.sum())
         stats.positive_cuts += int(positive.sum())
 
     answers = equal | positive
+    if obs_positive is not None:
+        answers |= obs_positive
     survivors = np.flatnonzero(undecided)
     stats.searches += len(survivors)
     if len(survivors):
-        pool = index._search_pool
-        if pool is not None and len(survivors) >= pool.min_batch:
-            answers[survivors] = pool.run(index, sources, targets, survivors)
-        else:
-            search = index._search_pair
-            for i in survivors:
-                answers[i] = search(int(sources[i]), int(targets[i]))
+        _search_survivors(index, sources, targets, survivors, answers)
+    if observers is not None:
+        _observe_layer(
+            index, hits_positive, hits_negative, num, len(survivors)
+        )
     return answers.tolist()

@@ -1,0 +1,267 @@
+"""Observer cuts: O'Reach-style supporting vertices in front of any index.
+
+O'Reach (PAPERS.md) shows that a handful of well-chosen *supporting
+vertices* plus topological min/max intervals answer a large fraction of
+reachability queries in O(1) — *before* any index-specific structure is
+consulted.  This module packages that idea as an :class:`ObserverLayer`
+the batch engine (:mod:`repro.perf.engine`) runs as a vectorized
+pre-pass in front of **every** family's
+:class:`~repro.perf.cut_table.CutTable`, and the scalar
+:meth:`~repro.baselines.base.ReachabilityIndex.query` consults before
+the family's own ``_query``.
+
+The layer holds a few numpy arrays over the DAG's ``n`` vertices:
+
+* ``t1`` / ``t2`` — two topological rank arrays (DFS-based and Kahn);
+  ``u ⇝ v`` with ``u != v`` forces ``t1[u] < t1[v]`` *and*
+  ``t2[u] < t2[v]``, so either rank out of order is a negative cut
+  (the FELINE dominance argument, reused here as the cheapest check);
+* ``fmax`` — ``fmax[u] = max{t1[w] : u ⇝ w}``: a target ranked above
+  everything reachable from ``u`` is unreachable;
+* ``bmin`` — ``bmin[v] = min{t1[w] : w ⇝ v}``: a source ranked below
+  everything reaching ``v`` cannot reach it;
+* ``supports`` + ``fwd_bits`` / ``bwd_bits`` — ``k`` supporting
+  vertices ``s_i`` with per-vertex bitsets: bit ``i`` of ``fwd_bits[v]``
+  means ``s_i ⇝ v``, bit ``i`` of ``bwd_bits[v]`` means ``v ⇝ s_i``
+  (both reflexive).  They give one O(k/64) positive cut and two
+  negative contrapositives:
+
+  - **positive**: ``∃i: u ⇝ s_i ∧ s_i ⇝ v  ⇒  u ⇝ v``;
+  - **negative**: ``∃i: s_i ⇝ u ∧ ¬(s_i ⇝ v)  ⇒  ¬(u ⇝ v)`` (anything
+    below an observer that sees ``u`` would also be seen by it);
+  - **negative**: ``∃i: v ⇝ s_i ∧ ¬(u ⇝ s_i)  ⇒  ¬(u ⇝ v)``.
+
+Every check is a sound deduction from exact reachability data, so the
+layer never contradicts the index behind it — it only shrinks the
+survivor set the online search must process.  Supporting vertices are
+selected by :func:`build_observers` at build time: degree-ranked
+candidates get exact ancestor/descendant sets (one boolean-matrix DP
+along the topological order), scored by the number of (ordered) pairs
+each would decide, and the top ``k`` win.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.graph.toposort import (
+    dfs_topological_order,
+    kahn_order,
+    ranks_from_order,
+)
+
+__all__ = ["ObserverLayer", "build_observers"]
+
+
+class ObserverLayer:
+    """The built observer arrays plus their scalar and batch checks.
+
+    Instances are immutable value objects produced by
+    :func:`build_observers` (or reattached by
+    :mod:`repro.core.persistence`); attach one to an index with
+    :meth:`~repro.baselines.base.ReachabilityIndex.attach_observers`.
+    """
+
+    def __init__(
+        self,
+        t1: np.ndarray,
+        t2: np.ndarray,
+        fmax: np.ndarray,
+        bmin: np.ndarray,
+        supports: np.ndarray,
+        fwd_bits: np.ndarray,
+        bwd_bits: np.ndarray,
+    ) -> None:
+        self.t1 = np.asarray(t1, dtype=np.int64)
+        self.t2 = np.asarray(t2, dtype=np.int64)
+        self.fmax = np.asarray(fmax, dtype=np.int64)
+        self.bmin = np.asarray(bmin, dtype=np.int64)
+        self.supports = np.asarray(supports, dtype=np.int64)
+        self.fwd_bits = np.asarray(fwd_bits, dtype=np.uint8)
+        self.bwd_bits = np.asarray(bwd_bits, dtype=np.uint8)
+        # Python-int mirrors of the bit rows for the scalar decide();
+        # built lazily so an mmap-loaded layer stays lazy until the
+        # scalar path is actually used.
+        self._fwd_ints: list[int] | None = None
+        self._bwd_ints: list[int] | None = None
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.t1)
+
+    @property
+    def k(self) -> int:
+        """Number of supporting vertices (0 = interval checks only)."""
+        return len(self.supports)
+
+    def memory_bytes(self) -> int:
+        """Size of the observer arrays (the layer's index-size share)."""
+        return sum(
+            arr.nbytes
+            for arr in (
+                self.t1, self.t2, self.fmax, self.bmin,
+                self.supports, self.fwd_bits, self.bwd_bits,
+            )
+        )
+
+    # -- batch ----------------------------------------------------------
+    def classify(
+        self, sources: np.ndarray, targets: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized observer cuts: disjoint ``(positive, negative)``
+        masks, same contract as :meth:`CutTable.classify` (reflexive
+        pairs may classify arbitrarily; the engine masks them out).
+        """
+        t1s, t1t = self.t1[sources], self.t1[targets]
+        negative = (t1s >= t1t) | (self.t2[sources] >= self.t2[targets])
+        negative |= t1t > self.fmax[sources]
+        negative |= t1s < self.bmin[targets]
+        if self.k:
+            fwd_t = self.fwd_bits[targets]
+            bwd_s = self.bwd_bits[sources]
+            positive = (bwd_s & fwd_t).any(axis=1) & ~negative
+            contrapositive = (
+                (self.fwd_bits[sources] & ~fwd_t).any(axis=1)
+                | (self.bwd_bits[targets] & ~bwd_s).any(axis=1)
+            )
+            negative |= contrapositive & ~positive
+        else:
+            positive = np.zeros(len(sources), dtype=bool)
+        return positive, negative
+
+    # -- scalar ---------------------------------------------------------
+    def _ensure_ints(self) -> None:
+        if self._fwd_ints is None:
+            self._fwd_ints = [
+                int.from_bytes(row.tobytes(), "little")
+                for row in self.fwd_bits
+            ]
+            self._bwd_ints = [
+                int.from_bytes(row.tobytes(), "little")
+                for row in self.bwd_bits
+            ]
+
+    def decide(self, u: int, v: int) -> bool | None:
+        """One pair through the same checks, in the same priority, as
+        :meth:`classify`; ``None`` when no observer decides.
+
+        Intended for ``u != v`` (the engine and scalar query handle the
+        reflexive cut before observers run).
+        """
+        t1 = self.t1
+        if t1[u] >= t1[v] or self.t2[u] >= self.t2[v]:
+            return False
+        if t1[v] > self.fmax[u] or t1[u] < self.bmin[v]:
+            return False
+        if self.k:
+            self._ensure_ints()
+            fwd_u, fwd_v = self._fwd_ints[u], self._fwd_ints[v]
+            bwd_u, bwd_v = self._bwd_ints[u], self._bwd_ints[v]
+            if bwd_u & fwd_v:
+                return True
+            if (fwd_u & ~fwd_v) or (bwd_v & ~bwd_u):
+                return False
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"<ObserverLayer n={self.num_vertices} k={self.k} "
+            f"{self.memory_bytes()} bytes>"
+        )
+
+
+def _reach_matrix(graph: DiGraph, candidates: np.ndarray, forward: bool):
+    """Exact reachability bitsets for ``candidates``, one DP sweep.
+
+    Returns an ``(n, len(candidates))`` boolean matrix ``M`` with
+    ``M[v, j] = candidate_j ⇝ v`` (``forward=True``) or ``v ⇝
+    candidate_j`` (``forward=False``); reflexive in both directions.
+    """
+    n = graph.num_vertices
+    matrix = np.zeros((n, len(candidates)), dtype=bool)
+    matrix[candidates, np.arange(len(candidates))] = True
+    order = dfs_topological_order(graph)
+    if forward:
+        indptr, indices = graph.in_indptr, graph.in_indices
+    else:
+        order = list(reversed(order))
+        indptr, indices = graph.out_indptr, graph.out_indices
+    for v in order:
+        lo, hi = indptr[v], indptr[v + 1]
+        if hi > lo:
+            neighbors = np.asarray(indices[lo:hi], dtype=np.int64)
+            matrix[v] |= matrix[neighbors].any(axis=0)
+    return matrix
+
+
+def build_observers(
+    graph: DiGraph, k: int = 8, candidate_factor: int = 4
+) -> ObserverLayer:
+    """Select ``k`` supporting vertices over ``graph`` (a DAG) and build
+    the full :class:`ObserverLayer`.
+
+    ``k = 0`` still yields a useful layer (the topological interval and
+    rank checks need no supports).  Candidates are the
+    ``candidate_factor * k`` vertices with the largest in×out degree
+    product; each gets exact ancestor/descendant sets via one
+    boolean-matrix DP along the topological order, is scored by the
+    ordered pairs it would decide — ``|anc|·|desc|`` positives plus
+    ``|desc|·(n−|desc|) + |anc|·(n−|anc|)`` contrapositive negatives —
+    and the best ``k`` win.
+    """
+    if k < 0:
+        raise ValueError(f"observer count must be >= 0, got {k}")
+    n = graph.num_vertices
+    order = dfs_topological_order(graph)
+    t1 = np.asarray(ranks_from_order(order), dtype=np.int64)
+    t2 = np.asarray(ranks_from_order(kahn_order(graph)), dtype=np.int64)
+
+    fmax = t1.copy()
+    bmin = t1.copy()
+    out_indptr, out_indices = graph.out_indptr, graph.out_indices
+    in_indptr, in_indices = graph.in_indptr, graph.in_indices
+    for v in reversed(order):
+        best = fmax[v]
+        for e in range(out_indptr[v], out_indptr[v + 1]):
+            child = fmax[out_indices[e]]
+            if child > best:
+                best = child
+        fmax[v] = best
+    for v in order:
+        best = bmin[v]
+        for e in range(in_indptr[v], in_indptr[v + 1]):
+            parent = bmin[in_indices[e]]
+            if parent < best:
+                best = parent
+        bmin[v] = best
+
+    k_eff = min(k, n)
+    if k_eff:
+        out_deg = np.diff(np.asarray(out_indptr, dtype=np.int64))
+        in_deg = np.diff(np.asarray(in_indptr, dtype=np.int64))
+        attractiveness = (in_deg + 1) * (out_deg + 1)
+        pool = min(n, max(k_eff * max(candidate_factor, 1), k_eff))
+        candidates = np.argsort(-attractiveness, kind="stable")[:pool]
+        desc = _reach_matrix(graph, candidates, forward=True)
+        anc = _reach_matrix(graph, candidates, forward=False)
+        num_desc = desc.sum(axis=0, dtype=np.int64)
+        num_anc = anc.sum(axis=0, dtype=np.int64)
+        score = (
+            num_anc * num_desc
+            + num_desc * (n - num_desc)
+            + num_anc * (n - num_anc)
+        )
+        chosen = np.argsort(-score, kind="stable")[:k_eff]
+        supports = candidates[chosen].astype(np.int64)
+        fwd_bits = np.packbits(desc[:, chosen], axis=1, bitorder="little")
+        bwd_bits = np.packbits(anc[:, chosen], axis=1, bitorder="little")
+    else:
+        supports = np.zeros(0, dtype=np.int64)
+        fwd_bits = np.zeros((n, 0), dtype=np.uint8)
+        bwd_bits = np.zeros((n, 0), dtype=np.uint8)
+
+    return ObserverLayer(
+        t1=t1, t2=t2, fmax=fmax, bmin=bmin,
+        supports=supports, fwd_bits=fwd_bits, bwd_bits=bwd_bits,
+    )

@@ -88,19 +88,24 @@ def _pool_worker_init(index) -> None:
 def _run_chunk(task):
     """Worker body: answer one contiguous chunk of survivor pairs.
 
-    Returns ``(chunk_id, answers, stats_delta, elapsed_s)`` — the delta
-    is against the worker's (forked) stats copy, merged by the parent.
+    Returns ``(chunk_id, answers, deltas, elapsed_s)`` — ``deltas`` is a
+    per-pair list of ``(expanded, pruned)`` increments against the
+    worker's (forked) stats copy, merged (and multiplicity-weighted, for
+    deduplicated batch pairs) by the parent.
     """
     chunk_id, pairs = task
     index = _WORKER_INDEX
-    before = index.stats.as_dict()
+    stats = index.stats
     start = perf_counter()
     search = index._search_pair
-    answers = [bool(search(u, v)) for u, v in pairs]
+    answers = []
+    deltas = []
+    for u, v in pairs:
+        expanded, pruned = stats.expanded, stats.pruned
+        answers.append(bool(search(u, v)))
+        deltas.append((stats.expanded - expanded, stats.pruned - pruned))
     elapsed = perf_counter() - start
-    after = index.stats.as_dict()
-    delta = {key: after[key] - before[key] for key in after}
-    return chunk_id, answers, delta, elapsed
+    return chunk_id, answers, deltas, elapsed
 
 
 def _abandon_pool(pool) -> None:
@@ -176,17 +181,27 @@ class SearchPool:
         """Whether :meth:`close` has run (inline pools never close)."""
         return self.mode == "fork" and self._pool is None
 
-    def run(self, index, sources, targets, survivors) -> np.ndarray:
+    def run(self, index, sources, targets, survivors, weights=None) -> np.ndarray:
         """Answer the survivor pairs; returns a bool array aligned with
         ``survivors``.
 
         ``sources``/``targets`` are the full batch arrays and
         ``survivors`` the undecided positions (the engine's calling
-        convention).  Order of answers is deterministic in both modes.
+        convention).  ``weights``, when given, is aligned with
+        ``survivors`` and carries each pair's multiplicity in the
+        original batch (the engine deduplicates before dispatch): each
+        pair is searched once and its ``expanded``/``pruned`` deltas are
+        folded back scaled by the weight, so parent stats stay
+        bit-identical to the scalar loop that would have repeated the
+        search.  Order of answers is deterministic in both modes.
         """
         pairs = [
             (int(sources[i]), int(targets[i])) for i in survivors
         ]
+        if weights is None:
+            weights = [1] * len(pairs)
+        else:
+            weights = [int(w) for w in weights]
         registry = get_registry()
         if registry.enabled:
             registry.counter(
@@ -196,16 +211,16 @@ class SearchPool:
                 mode=self.mode,
             ).inc(len(pairs))
         if self._pool is None:
-            search = index._search_pair
-            return np.fromiter(
-                (search(u, v) for u, v in pairs), dtype=bool, count=len(pairs)
-            )
+            return self._run_inline(index, pairs, weights)
 
         bounds = np.array_split(np.arange(len(pairs)), self.workers)
         tasks = [
             (chunk_id, [pairs[i] for i in chunk])
             for chunk_id, chunk in enumerate(bounds)
             if len(chunk)
+        ]
+        task_weights = [
+            [weights[i] for i in chunk] for chunk in bounds if len(chunk)
         ]
         tracer = get_tracer()
         with tracer.span(
@@ -223,22 +238,24 @@ class SearchPool:
         chunk_hist = None
         if registry.enabled:
             chunk_hist = registry.histogram
-        search = index._search_pair
-        for (chunk_id, chunk_pairs), result in zip(tasks, results):
+        for (chunk_id, chunk_pairs), chunk_weights, result in zip(
+            tasks, task_weights, results
+        ):
             size = len(chunk_pairs)
             if result is None:
                 # The chunk was lost with its worker: recompute inline.
                 # Stats accrue directly on the parent's counters here.
-                answers[offset : offset + size] = [
-                    bool(search(u, v)) for u, v in chunk_pairs
-                ]
+                answers[offset : offset + size] = self._run_inline(
+                    index, chunk_pairs, chunk_weights
+                )
                 offset += size
                 continue
-            _, chunk_answers, delta, elapsed = result
+            _, chunk_answers, deltas, elapsed = result
             answers[offset : offset + size] = chunk_answers
             offset += size
-            stats.expanded += delta["expanded"]
-            stats.pruned += delta["pruned"]
+            for (expanded, pruned), weight in zip(deltas, chunk_weights):
+                stats.expanded += expanded * weight
+                stats.pruned += pruned * weight
             if chunk_hist is not None:
                 chunk_hist(
                     "repro_pool_chunk_seconds",
@@ -246,6 +263,23 @@ class SearchPool:
                     method=index.method_name,
                     worker=str(chunk_id),
                 ).observe(elapsed)
+        return answers
+
+    @staticmethod
+    def _run_inline(index, pairs, weights) -> np.ndarray:
+        """Answer ``pairs`` in process, scaling stats by multiplicity."""
+        stats = index.stats
+        search = index._search_pair
+        answers = np.empty(len(pairs), dtype=bool)
+        for i, (u, v) in enumerate(pairs):
+            weight = weights[i]
+            if weight == 1:
+                answers[i] = search(u, v)
+                continue
+            expanded, pruned = stats.expanded, stats.pruned
+            answers[i] = search(u, v)
+            stats.expanded += (stats.expanded - expanded) * (weight - 1)
+            stats.pruned += (stats.pruned - pruned) * (weight - 1)
         return answers
 
     def _worker_snapshot(self) -> list:

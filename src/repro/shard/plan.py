@@ -173,8 +173,14 @@ def build_shard_plan(
     dag: DiGraph,
     num_shards: int,
     index_budget_bytes: int | None = None,
+    observers: int = 0,
 ) -> ShardPlan:
     """Partition ``dag`` into ``num_shards`` X-rank slabs with indexes.
+
+    With ``observers >= 1`` every per-shard index gets its own
+    :class:`~repro.perf.ObserverLayer` (built on the shard's subgraph)
+    attached *before* the workers fork, so the batched ``local_many``
+    path inherits the observer pre-pass copy-on-write.
 
     Raises :class:`~repro.exceptions.ReproError` for ``num_shards < 1``;
     the shard count is clamped to the vertex count so no shard is empty
@@ -204,6 +210,11 @@ def build_shard_plan(
         owned = by_shard[shard_id]
         sub = induced_subgraph(dag, owned, name=f"shard{shard_id}")
         index, tier, size = _budgeted_index(sub.graph, index_budget_bytes)
+        if observers:
+            from repro.perf.observers import build_observers
+
+            index.attach_observers(build_observers(sub.graph, k=observers))
+            size += index.observers.memory_bytes()
         state = ShardState(
             shard_id=shard_id,
             owned=owned,

@@ -91,6 +91,11 @@ class ShardConfig:
     index_budget_bytes:
         FERRARI-style per-shard index budget: each shard builds the
         richest FELINE tier that fits (``None`` = unrestricted).
+    observers:
+        O'Reach-style supporting vertices per shard (``0`` = none);
+        each worker's index gets an observer pre-pass built on its own
+        slab, inherited copy-on-write through the fork (see
+        :mod:`repro.perf.observers`).
     rpc_timeout_s:
         Per-attempt RPC cap; the effective cap is the minimum of this
         and the query's remaining deadline.
@@ -115,6 +120,7 @@ class ShardConfig:
 
     num_shards: int = 2
     index_budget_bytes: int | None = None
+    observers: int = 0
     rpc_timeout_s: float = 1.0
     default_deadline_ms: float | None = None
     on_shard_loss: str = "fallback"
@@ -130,6 +136,10 @@ class ShardConfig:
     def __post_init__(self) -> None:
         if self.num_shards < 1:
             raise ReproError(f"num_shards must be >= 1, got {self.num_shards}")
+        if self.observers < 0:
+            raise ReproError(
+                f"observers must be >= 0, got {self.observers}"
+            )
         if self.rpc_timeout_s <= 0:
             raise ReproError(
                 f"rpc_timeout_s must be > 0, got {self.rpc_timeout_s}"
@@ -213,6 +223,10 @@ class ShardService:
     True
     """
 
+    #: Cap on one ``local_many`` sub-batch: bounds a single RPC frame
+    #: and the worker's time-to-first-reply under a deadline envelope.
+    _LOCAL_MANY_CHUNK = 1024
+
     def __init__(
         self,
         graph: DiGraph | Iterable[tuple[int, int]],
@@ -232,6 +246,7 @@ class ShardService:
             self.condensation.dag,
             self.config.num_shards,
             self.config.index_budget_bytes,
+            observers=self.config.observers,
         )
         self.stats = ShardServiceStats()
         self.retry_policy = RetryPolicy(
@@ -405,12 +420,23 @@ class ShardService:
             return None
         return deadline_at - monotonic()
 
-    def _rpc(self, shard_id: int, op: str, payload, deadline_at: float | None):
+    def _rpc(
+        self,
+        shard_id: int,
+        op: str,
+        payload,
+        deadline_at: float | None,
+        timeout_s: float | None = None,
+    ):
         """One idempotent shard RPC, retried with hedged re-dispatch.
 
-        Raises :class:`ShardLostError` when the shard is halted or every
-        attempt within the retry/deadline envelope failed, and
-        :class:`_DeadlineExceeded` when the query's clock ran out.
+        ``timeout_s`` overrides the per-attempt transport timeout
+        (``ShardConfig.rpc_timeout_s``) — batched ops scale it with the
+        sub-batch size so a legitimate long reply is not mistaken for a
+        dead worker.  Raises :class:`ShardLostError` when the shard is
+        halted or every attempt within the retry/deadline envelope
+        failed, and :class:`_DeadlineExceeded` when the query's clock
+        ran out.
         """
         policy = self.retry_policy
         first_failure: float | None = None
@@ -432,7 +458,10 @@ class ShardService:
                     raise ShardLostError(
                         f"shard {shard_id} is halted", shard_id=shard_id
                     )
-            timeout = self.config.rpc_timeout_s
+            timeout = (
+                timeout_s if timeout_s is not None
+                else self.config.rpc_timeout_s
+            )
             if remaining is not None:
                 timeout = min(timeout, remaining)
             try:
@@ -556,7 +585,12 @@ class ShardService:
                     any_unknown = True
         return UNKNOWN if any_unknown else False
 
-    def _query_condensed(self, cu: int, cv: int, deadline_at: float | None):
+    def _cut_classify(self, cu: int, cv: int) -> bool | None:
+        """Coordinator-side O(1) cuts; ``None`` means a shard must run.
+
+        Shared by the scalar and batch paths so the grouped
+        :meth:`query_many` counts cuts exactly like a per-pair loop.
+        """
         stats = self.stats
         if cu == cv:
             return True
@@ -572,6 +606,13 @@ class ShardService:
         if intervals is not None and intervals.contains(cu, cv):
             stats.positive_cuts += 1
             return True
+        return None
+
+    def _query_condensed(self, cu: int, cv: int, deadline_at: float | None):
+        stats = self.stats
+        verdict = self._cut_classify(cu, cv)
+        if verdict is not None:
+            return verdict
 
         owner_u = self.plan.owner_of[cu]
         owner_v = self.plan.owner_of[cv]
@@ -647,6 +688,132 @@ class ShardService:
             )
             return answer
 
+    def _local_many(
+        self,
+        shard_id: int,
+        idxs: list[int],
+        condensed: list[tuple[int, int]],
+        deadline_ms: float | None,
+        answers: list,
+    ) -> None:
+        """One ``local_many`` RPC for a same-shard sub-batch.
+
+        ``deadline_ms`` is the *per-pair* allowance (the worker applies
+        it to each pair, like a run of ``local`` calls); the RPC's own
+        envelope and transport timeout scale with the sub-batch size so
+        a full batch is never cheated out of its per-pair budgets.
+        Fills ``answers`` in place at ``idxs``; any failure degrades
+        every pair of the sub-batch, exactly like the scalar path.
+        """
+        self.stats.local_queries += len(idxs)
+        chunk_pairs = [condensed[i] for i in idxs]
+        deadline_at = (
+            monotonic() + (deadline_ms / 1000.0) * len(idxs)
+            if deadline_ms is not None
+            else None
+        )
+        try:
+            results = self._rpc(
+                shard_id,
+                "local_many",
+                (chunk_pairs, deadline_ms),
+                deadline_at,
+                timeout_s=self.config.rpc_timeout_s * len(idxs),
+            )
+            if not isinstance(results, list) or len(results) != len(idxs):
+                raise ShardLostError(
+                    f"shard {shard_id}: malformed local_many reply",
+                    shard_id=shard_id,
+                )
+        except _DeadlineExceeded:
+            for i in idxs:
+                cu, cv = condensed[i]
+                answers[i] = self._degrade(cu, cv, deadline_at, "deadline")
+            return
+        except ShardLostError:
+            mode = self.config.on_shard_loss
+            for i in idxs:
+                cu, cv = condensed[i]
+                answers[i] = self._degrade(cu, cv, deadline_at, mode)
+            return
+        for i, result in zip(idxs, results):
+            if result is None:
+                cu, cv = condensed[i]
+                answers[i] = self._degrade(cu, cv, deadline_at, "deadline")
+            else:
+                answers[i] = result
+
+    def query_many(self, pairs, deadline_ms: float | None = None) -> list:
+        """Answer a batch of ``(u, v)`` pairs through the shard protocol.
+
+        The coordinator cuts classify every pair first; surviving
+        same-shard pairs are grouped per owning shard and shipped as
+        chunked ``local_many`` sub-batches — **one RPC per (shard,
+        sub-batch)** instead of one per pair — while cross-shard pairs
+        keep the per-pair gateway-product path.  Answers, degradation
+        and deadline semantics are identical to
+        ``[self.query(u, v, deadline_ms) for u, v in pairs]``
+        (``deadline_ms`` is per pair, as in :meth:`query`).
+        """
+        if self._closed:
+            raise ReproError("ShardService is closed")
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        if deadline_ms is None:
+            deadline_ms = self.config.default_deadline_ms
+        condensed = [
+            (self._map_vertex(u), self._map_vertex(v)) for u, v in pairs
+        ]
+        self.stats.queries += len(pairs)
+        answers: list = [None] * len(pairs)
+        groups: dict[int, list[int]] = {}
+        cross: list[int] = []
+        for i, (cu, cv) in enumerate(condensed):
+            verdict = self._cut_classify(cu, cv)
+            if verdict is not None:
+                answers[i] = verdict
+                continue
+            owner_u = self.plan.owner_of[cu]
+            if owner_u == self.plan.owner_of[cv]:
+                groups.setdefault(int(owner_u), []).append(i)
+            else:
+                cross.append(i)
+        tracer = get_tracer()
+        span = (
+            tracer.span(
+                "shard.query_many", size=len(pairs), shards=self.num_shards
+            )
+            if tracer.enabled
+            else None
+        )
+        if span is not None:
+            span.__enter__()
+        try:
+            chunk = self._LOCAL_MANY_CHUNK
+            for shard_id in sorted(groups):
+                idxs = groups[shard_id]
+                for start in range(0, len(idxs), chunk):
+                    self._local_many(
+                        shard_id,
+                        idxs[start:start + chunk],
+                        condensed,
+                        deadline_ms,
+                        answers,
+                    )
+            for i in cross:
+                cu, cv = condensed[i]
+                deadline_at = (
+                    monotonic() + deadline_ms / 1000.0
+                    if deadline_ms is not None
+                    else None
+                )
+                answers[i] = self._query_condensed(cu, cv, deadline_at)
+        finally:
+            if span is not None:
+                span.__exit__(None, None, None)
+        return answers
+
     # -- facade-compatible surface (ReachServer's oracle contract) ------
     def reachable(self, u: int, v: int, budget: QueryBudget | None = None):
         """Budget-compatible alias: ``budget.deadline_s`` propagates as
@@ -670,8 +837,29 @@ class ShardService:
         return answer
 
     def reachable_many(self, pairs, budget: QueryBudget | None = None) -> list:
-        """A batch of queries, each under its own deadline envelope."""
-        return [self.reachable(u, v, budget=budget) for u, v in pairs]
+        """A batch of queries, each under its own deadline envelope.
+
+        Routes through :meth:`query_many`, so same-shard pairs travel
+        as grouped ``local_many`` sub-batches instead of one RPC per
+        pair; answers and budget semantics match
+        ``[self.reachable(u, v, budget=budget) for u, v in pairs]`` —
+        with ``policy="raise"`` the first degraded pair (in batch
+        order) raises :class:`~repro.exceptions.QueryBudgetExceeded`.
+        """
+        pairs = list(pairs)
+        deadline_ms = None
+        if budget is not None and budget.deadline_s is not None:
+            deadline_ms = budget.deadline_s * 1000.0
+        answers = self.query_many(pairs, deadline_ms=deadline_ms)
+        if budget is not None and budget.policy == "raise":
+            for (u, v), answer in zip(pairs, answers):
+                if answer is UNKNOWN:
+                    raise QueryBudgetExceeded(
+                        f"shard query ({u}, {v}) degraded to UNKNOWN "
+                        "within its deadline",
+                        resource="deadline",
+                    )
+        return answers
 
     # -- shutdown -------------------------------------------------------
     def close(self) -> None:

@@ -15,6 +15,11 @@ Operations:
   shard's own FELINE index (exact: the slab is closed under paths, see
   :mod:`repro.shard.plan`), deadline-guarded when ``budget_ms`` is set;
   answers ``True`` / ``False`` / ``None`` (= UNKNOWN on the wire).
+* ``local_many (pairs, budget_ms)`` — a whole same-shard sub-batch in
+  one round trip, routed through the index's vectorized
+  ``query_many``; ``budget_ms`` applies *per pair* (the same contract
+  as ``local``), and the answer is an aligned list of
+  ``True`` / ``False`` / ``None``.
 * ``route_out (u, v)`` — the direct-edge check plus
   ``Out(u) = ({u} ∪ N⁺(u)) ∩ B`` for the coordinator's gateway product.
 * ``route_in (v,)`` — the ``In(v)`` half.
@@ -59,6 +64,27 @@ def _handle(state: ShardState, op: str, payload):
             )
         answer = state.index.query(lu, lv, budget=budget)
         return None if answer is UNKNOWN else bool(answer)
+    if op == "local_many":
+        pairs, budget_ms = payload
+        local_pairs = []
+        for u, v in pairs:
+            lu, lv = state.sub.local_of[u], state.sub.local_of[v]
+            if lu == -1 or lv == -1:
+                raise ValueError(
+                    f"shard {state.shard_id} does not own pair ({u}, {v})"
+                )
+            local_pairs.append((lu, lv))
+        budget = None
+        if budget_ms is not None:
+            if budget_ms <= 0:
+                return [None] * len(local_pairs)
+            # Per-pair allowance, exactly as a sequence of ``local``
+            # calls: query_many creates a fresh guard for every pair.
+            budget = QueryBudget(
+                deadline_s=budget_ms / 1000.0, policy="unknown"
+            )
+        answers = state.index.query_many(local_pairs, budget=budget)
+        return [None if a is UNKNOWN else bool(a) for a in answers]
     if op == "route_out":
         u, v = payload
         gateways = state.out_gateways.get(u)

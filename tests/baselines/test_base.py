@@ -76,6 +76,7 @@ class TestQueryStats:
         keys = set(QueryStats().as_dict())
         assert keys == {
             "queries", "equal_cuts", "negative_cuts", "positive_cuts",
+            "observer_positive", "observer_negative",
             "searches", "expanded", "pruned",
             "budget_exhausted", "fallbacks", "unknowns",
         }

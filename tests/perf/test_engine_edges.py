@@ -1,0 +1,121 @@
+"""Batch-engine edge cases: empty batches and duplicate pairs.
+
+Regression tests for two subtle batch behaviours:
+
+* ``query_many([])`` returns ``[]`` without building masks, consulting
+  observers, or touching an attached pool;
+* duplicate survivor pairs are searched **once** — the representative's
+  answer fans back out, and the stats deltas are multiplicity-scaled so
+  the counters stay bit-identical to the scalar loop (which *would*
+  repeat the search).
+"""
+
+import pytest
+
+from repro.baselines.base import create_index
+from repro.graph.generators import crown_graph, random_dag
+
+
+def _duplicated_pairs(graph, times=3):
+    n = graph.num_vertices
+    pairs = [(u, v) for u in range(n) for v in range(n)]
+    return pairs * times
+
+
+class TestEmptyBatch:
+    def test_no_pool_dispatch(self):
+        index = create_index(
+            "feline", random_dag(20, avg_degree=1.5, seed=2)
+        ).build()
+        index.enable_search_pool(2, min_batch=1)
+        try:
+            calls = []
+            orig = index._search_pool.run
+            index._search_pool.run = lambda *a, **kw: (
+                calls.append(a), orig(*a, **kw)
+            )[1]
+            assert index.query_many([]) == []
+            assert calls == []
+            assert index.stats.queries == 0
+        finally:
+            index.close_search_pool()
+
+    def test_observers_untouched(self):
+        graph = random_dag(20, avg_degree=1.5, seed=2)
+        index = create_index("feline", graph).build()
+
+        class Exploding:
+            num_vertices = graph.num_vertices
+            k = 0
+
+            def classify(self, sources, targets):
+                raise AssertionError("observers consulted on empty batch")
+
+            def decide(self, u, v):
+                raise AssertionError("observers consulted on empty batch")
+
+        index.attach_observers(Exploding())
+        assert index.query_many([]) == []
+
+
+class TestDuplicatePairs:
+    @pytest.mark.parametrize("method", ["feline", "grail", "bfs"])
+    def test_searched_once_inline(self, method):
+        graph = crown_graph(5)
+        index = create_index(method, graph).build()
+        unique = {(u, v) for u, v in _duplicated_pairs(graph, times=1)}
+        calls = []
+        orig = index._search_pair
+
+        def counting(u, v):
+            calls.append((u, v))
+            return orig(u, v)
+
+        index._search_pair = counting
+        index.query_many(_duplicated_pairs(graph, times=3))
+        assert len(calls) == len(set(calls)), (
+            f"{method}: duplicated pairs searched "
+            f"{len(calls) - len(set(calls))} extra times"
+        )
+        assert set(calls) <= unique
+
+    def test_searched_once_through_pool(self):
+        graph = crown_graph(5)
+        index = create_index("feline", graph).build()
+        index.enable_search_pool(2, min_batch=1)
+        try:
+            seen = []
+            orig = index._search_pool.run
+
+            def spying(idx, sources, targets, survivors, weights=None):
+                seen.append((len(survivors), None if weights is None
+                             else list(weights)))
+                return orig(idx, sources, targets, survivors,
+                            weights=weights)
+
+            index._search_pool.run = spying
+            pairs = _duplicated_pairs(graph, times=3)
+            index.query_many(pairs)
+        finally:
+            index.close_search_pool()
+        assert seen, "the pool never ran"
+        (dispatched, weights), = seen
+        assert weights is not None and all(w == 3 for w in weights)
+        assert dispatched * 3 == index.stats.searches
+
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_stats_stay_bit_identical(self, workers):
+        graph = crown_graph(5)
+        pairs = _duplicated_pairs(graph, times=3)
+        batch_index = create_index("feline", graph).build()
+        scalar_index = create_index("feline", graph).build()
+        if workers:
+            batch_index.enable_search_pool(workers, min_batch=1)
+        try:
+            batch = batch_index.query_many(pairs)
+        finally:
+            batch_index.close_search_pool()
+        scalar = [scalar_index.query(u, v) for u, v in pairs]
+        assert batch == scalar
+        assert batch_index.stats.as_dict() == scalar_index.stats.as_dict()
+        assert batch_index.stats.searches % 3 == 0

@@ -1,0 +1,179 @@
+"""Property tests: an attached ObserverLayer never changes any answer.
+
+The observer pre-pass (:mod:`repro.perf.observers`) is pure deduction
+from exact reachability data, so its contract is threefold, for every
+registered index family:
+
+* **answer equivalence** — ``query_many`` (and the scalar loop) with
+  observers attached returns exactly what the same family answers
+  without them, with and without a survivor-search pool, and under a
+  per-query budget (an observer verdict is an O(1) cut: it can never be
+  budget-degraded into UNKNOWN);
+* **scalar ≡ batch** — with observers attached, the batch engine stays
+  bit-identical to the scalar loop, counters included;
+* **explain honesty** — when the layer decides a pair, ``explain``
+  reports ``observer-positive`` / ``observer-negative`` and never
+  attributes the verdict to the family's own cut.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.base import available_methods, create_index
+from repro.graph.generators import crown_graph, random_dag
+from repro.perf.observers import build_observers
+from repro.resilience import UNKNOWN, QueryBudget
+
+from tests.property.test_invariants import dags
+from tests.property.test_query_many_engine import SEARCHING_METHODS
+
+
+def _all_pairs(n: int) -> list[tuple[int, int]]:
+    return [(u, v) for u in range(n) for v in range(n)]
+
+
+def _assert_observer_equivalent(method, g, pairs, k=8, workers=0, **params):
+    """observer-on ≡ observer-off answers, and scalar ≡ batch with
+    observers attached (stats included)."""
+    plain = create_index(method, g, **params).build()
+    batch_index = create_index(method, g, **params).build()
+    scalar_index = create_index(method, g, **params).build()
+    layer = build_observers(g, k=k)
+    batch_index.attach_observers(layer)
+    scalar_index.attach_observers(layer)
+    if workers > 1:
+        batch_index.enable_search_pool(workers, min_batch=1)
+    try:
+        batch = batch_index.query_many(pairs)
+    finally:
+        batch_index.close_search_pool()
+    assert batch == plain.query_many(pairs)
+    scalar = [scalar_index.query(u, v) for u, v in pairs]
+    assert batch == scalar
+    assert batch_index.stats.as_dict() == scalar_index.stats.as_dict()
+
+
+class TestEveryRegisteredMethod:
+    @pytest.mark.parametrize("method", available_methods())
+    @pytest.mark.parametrize("k", [0, 8])
+    def test_random_dag(self, method, k):
+        g = random_dag(60, avg_degree=2.0, seed=11)
+        _assert_observer_equivalent(
+            method, g, _all_pairs(g.num_vertices), k=k
+        )
+
+    @pytest.mark.parametrize("method", SEARCHING_METHODS)
+    def test_crown_graph(self, method):
+        g = crown_graph(5)
+        _assert_observer_equivalent(method, g, _all_pairs(g.num_vertices))
+
+
+class TestWithSearchPool:
+    @pytest.mark.parametrize("method", ["feline", "grail", "bfs"])
+    def test_pooled_crown_graph(self, method):
+        g = crown_graph(5)
+        _assert_observer_equivalent(
+            method, g, _all_pairs(g.num_vertices), workers=2
+        )
+
+
+class TestWithBudgets:
+    @pytest.mark.parametrize("method", ["feline", "grail"])
+    def test_budgeted_answers_match_or_degrade(self, method):
+        # A pair the observers decide is O(1): it must survive even a
+        # 1-step budget; pairs the budget degrades stay UNKNOWN, never
+        # a wrong boolean.
+        g = crown_graph(6)
+        plain = create_index(method, g).build()
+        observed = create_index(method, g).build()
+        observed.attach_observers(build_observers(g, k=12))
+        budget = QueryBudget(max_steps=1, policy="unknown")
+        pairs = _all_pairs(g.num_vertices)
+        truth = plain.query_many(pairs)
+        answers = observed.query_many(pairs, budget=budget)
+        decided = 0
+        for (u, v), answer, exact in zip(pairs, answers, truth):
+            if answer is not UNKNOWN:
+                assert answer == exact
+            if u != v and observed.observers.decide(u, v) is not None:
+                assert answer is not UNKNOWN, (
+                    f"observer-decided pair {(u, v)} was budget-degraded"
+                )
+                decided += 1
+        assert decided > 0
+
+
+class TestExplainHonesty:
+    @given(g=dags(max_vertices=12))
+    @settings(max_examples=20, deadline=None)
+    def test_observer_cuts_reported_truthfully(self, g):
+        index = create_index("feline", g).build()
+        index.attach_observers(build_observers(g, k=4))
+        twin = create_index("feline", g).build()
+        twin.attach_observers(index.observers)
+        for u in range(g.num_vertices):
+            for v in range(g.num_vertices):
+                explanation = index.explain(u, v)
+                assert explanation.verdict == twin.query(u, v)
+                verdict = (
+                    None if u == v else index.observers.decide(u, v)
+                )
+                if verdict is None:
+                    assert not explanation.cut.startswith("observer"), (
+                        f"({u},{v}): cut {explanation.cut} claimed "
+                        "without an observer verdict"
+                    )
+                else:
+                    expected = (
+                        "observer-positive" if verdict
+                        else "observer-negative"
+                    )
+                    assert explanation.cut == expected, (
+                        f"({u},{v}): observer decided {verdict} but "
+                        f"explain said {explanation.cut}"
+                    )
+                    # k clamps to num_vertices on tiny graphs
+                    assert (
+                        explanation.details["observers(k)"]
+                        == index.observers.k
+                    )
+
+    @pytest.mark.parametrize(
+        "method", ["feline", "feline-b", "feline-i", "grail"]
+    )
+    def test_family_details_never_overwrite_observer_cut(self, method):
+        g = random_dag(50, avg_degree=2.5, seed=21)
+        index = create_index(method, g).build()
+        index.attach_observers(build_observers(g, k=8))
+        seen = set()
+        for u, v in _all_pairs(g.num_vertices):
+            explanation = index.explain(u, v)
+            if explanation.cut.startswith("observer"):
+                seen.add(explanation.cut)
+                # Family refinements ("negative-cut" → "level-filter",
+                # interval details, ...) must leave the cut untouched.
+                assert explanation.expanded == 0
+                assert explanation.pruned == 0
+        assert seen, f"{method}: observers never fired on this workload"
+
+
+class TestEquivalenceProperty:
+    @given(g=dags(max_vertices=12), k=st.integers(0, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_feline_family(self, g, k):
+        pairs = _all_pairs(g.num_vertices)
+        for method in ("feline", "feline-i", "feline-b"):
+            _assert_observer_equivalent(method, g, pairs, k=k)
+
+    @given(g=dags(max_vertices=10))
+    @settings(max_examples=8, deadline=None)
+    def test_label_families(self, g):
+        pairs = _all_pairs(g.num_vertices)
+        _assert_observer_equivalent(
+            "grail", g, pairs, num_labelings=2, seed=1
+        )
+        _assert_observer_equivalent("ferrari", g, pairs)
+        _assert_observer_equivalent("tf-label", g, pairs)
