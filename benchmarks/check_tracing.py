@@ -1,0 +1,262 @@
+"""Gate CI on the distributed-tracing pipeline, end to end.
+
+Boots ``repro shard-serve --trace --slow-ms 0`` as a real subprocess,
+drives it with ``repro loadgen --url`` plus direct batch requests, and
+enforces the stitching contract rather than performance:
+
+* **topology is visible** — ``/healthz`` is JSON reporting tracing on,
+  the shard count, and every worker alive;
+* **one trace, many processes** — a traced ``/reach_many`` request
+  returns an ``X-Trace-Id`` whose ``/trace?trace_id=`` tree contains
+  spans from at least two distinct pids (the HTTP edge and a forked
+  shard worker);
+* **worker telemetry folds home** — ``/metrics`` exposes
+  worker-originated series relabelled with ``shard=``, including the
+  per-worker ``repro_shard_index_tier_info`` gauge and at least one
+  worker counter/histogram-count series;
+* **slow entries join the trace** — ``/slow`` records carry
+  ``trace_id`` and the owning ``shard``;
+* **the export is loadable** — ``repro trace --out`` writes a
+  Perfetto-loadable ``trace_event`` artifact with multi-pid slices.
+
+    PYTHONPATH=src python benchmarks/check_tracing.py EDGES OUTDIR
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import re
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from urllib.request import Request, urlopen
+
+URL_RE = re.compile(r"serving sharded queries on (http://\S+)")
+
+
+def get_json(url: str):
+    with urlopen(url, timeout=10) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def post_json(url: str, doc):
+    request = Request(
+        url,
+        data=json.dumps(doc).encode("utf-8"),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urlopen(request, timeout=30) as response:
+        return dict(response.headers), json.loads(
+            response.read().decode("utf-8")
+        )
+
+
+def boot_server(edges: str):
+    """Start shard-serve with tracing on; returns (process, base_url)."""
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "shard-serve", edges,
+            "--shards", "2", "--port", "0", "--trace", "--slow-ms", "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    lines: list[str] = []
+
+    def pump():
+        for line in process.stdout:
+            lines.append(line)
+
+    threading.Thread(target=pump, daemon=True).start()
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        for line in list(lines):
+            match = URL_RE.search(line)
+            if match:
+                return process, match.group(1)
+        if process.poll() is not None:
+            break
+        time.sleep(0.05)
+    process.kill()
+    raise SystemExit(
+        "shard-serve never announced its URL; output was:\n" + "".join(lines)
+    )
+
+
+def find_stitched_trace(url: str, num_vertices: int, failures: list[str]):
+    """Drive batches until one trace shows spans from >= 2 processes."""
+    rng = random.Random(42)
+    for _ in range(20):
+        pairs = [
+            [rng.randrange(num_vertices), rng.randrange(num_vertices)]
+            for _ in range(64)
+        ]
+        headers, doc = post_json(url + "/reach_many", {"pairs": pairs})
+        if doc["count"] != len(pairs):
+            failures.append(f"batch answered {doc['count']}/{len(pairs)}")
+            return None
+        trace_id = headers.get("X-Trace-Id")
+        if trace_id is None:
+            failures.append("traced request returned no X-Trace-Id header")
+            return None
+        payload = get_json(url + f"/trace?trace_id={trace_id}")
+        if payload["span_count"] > 0 and len(payload["pids"]) >= 2:
+            print(
+                f"stitched trace {trace_id}: {payload['span_count']} spans "
+                f"from pids {payload['pids']}"
+            )
+            return trace_id
+    failures.append(
+        "no trace collected spans from more than one process in 20 batches"
+    )
+    return None
+
+
+def check_metrics(url: str, failures: list[str]) -> None:
+    # Telemetry rides heartbeats (and traced responses); give the
+    # supervisor a few beats before scraping.
+    tier_re = re.compile(r'repro_shard_index_tier_info\{[^}]*shard="(\d+)"')
+    counter_re = re.compile(
+        r'^repro_(?!shard_)[a-z_]+(?:_total|_count)\{[^}]*shard="\d+"',
+        re.MULTILINE,
+    )
+    deadline = time.monotonic() + 10.0
+    text = ""
+    while time.monotonic() < deadline:
+        with urlopen(url + "/metrics", timeout=10) as response:
+            text = response.read().decode("utf-8")
+        shards = set(tier_re.findall(text))
+        if shards == {"0", "1"} and counter_re.search(text):
+            print(
+                "worker telemetry merged: tier info for shards "
+                f"{sorted(shards)}, worker series example: "
+                f"{counter_re.search(text).group(0)}"
+            )
+            return
+        time.sleep(0.25)
+    if set(tier_re.findall(text)) != {"0", "1"}:
+        failures.append(
+            "repro_shard_index_tier_info not exported for both shards"
+        )
+    if not counter_re.search(text):
+        failures.append(
+            "no worker-originated counter with a shard label in /metrics"
+        )
+
+
+def check_slow(url: str, failures: list[str]) -> None:
+    doc = get_json(url + "/slow")
+    records = doc.get("records", [])
+    if not records:
+        failures.append("/slow is empty despite --slow-ms 0")
+        return
+    if not any("trace_id" in record for record in records):
+        failures.append("no /slow record carries a trace_id")
+    if not any("shard" in record for record in records):
+        failures.append("no /slow record names its owning shard")
+
+
+def check_export(
+    url: str, trace_id: str, out: Path, failures: list[str]
+) -> None:
+    result = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "trace", url,
+            "--trace-id", trace_id, "--out", str(out),
+        ],
+        capture_output=True,
+        text=True,
+    )
+    if result.returncode != 0:
+        failures.append(
+            f"repro trace exited {result.returncode}: {result.stderr}"
+        )
+        return
+    doc = json.loads(out.read_text(encoding="utf-8"))
+    slices = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+    if not slices:
+        failures.append("trace export has no complete events")
+        return
+    if not all({"name", "ts", "dur", "pid", "tid"} <= set(e) for e in slices):
+        failures.append("trace export slices are missing required fields")
+    pids = {e["pid"] for e in slices}
+    if len(pids) < 2:
+        failures.append(f"trace export covers only pids {sorted(pids)}")
+    print(f"trace artifact ok: {len(slices)} slices across {len(pids)} pids")
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("edges", help="edge-list file to serve")
+    parser.add_argument(
+        "outdir", help="directory for the stitched trace artifact"
+    )
+    parser.add_argument(
+        "--duration", type=float, default=1.5,
+        help="loadgen duration in seconds (default 1.5)",
+    )
+    args = parser.parse_args(argv)
+    outdir = Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    from repro.graph.io import read_edge_list
+
+    num_vertices = read_edge_list(args.edges).num_vertices
+    failures: list[str] = []
+    process, url = boot_server(args.edges)
+    try:
+        health = get_json(url + "/healthz")
+        print(f"healthz: {json.dumps(health)}")
+        if health.get("status") != "ok":
+            failures.append(f"healthz status {health.get('status')!r}")
+        if health.get("tracing") is not True:
+            failures.append("healthz does not report tracing enabled")
+        if health.get("shards") != 2:
+            failures.append(f"healthz shards = {health.get('shards')!r}")
+        if health.get("workers_alive") != 2:
+            failures.append(
+                f"healthz workers_alive = {health.get('workers_alive')!r}"
+            )
+
+        loadgen = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "loadgen", args.edges,
+                "--url", url, "--duration", str(args.duration),
+                "--concurrency", "8", "--pairs", "256", "--seed", "42",
+            ],
+            text=True,
+        )
+        if loadgen.returncode != 0:
+            failures.append(f"loadgen exited {loadgen.returncode}")
+
+        trace_id = find_stitched_trace(url, num_vertices, failures)
+        check_metrics(url, failures)
+        check_slow(url, failures)
+        if trace_id is not None:
+            check_export(
+                url, trace_id, outdir / "shard_trace.json", failures
+            )
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nOK: one stitched trace per request, edge to worker")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -424,7 +424,10 @@ class ReachabilityIndex(ABC):
         if hist is not None:
             hist.observe(duration * 1e-9)
         if slow is not None:
-            slow.record(u, v, answer, duration, self.method_name)
+            slow.record(
+                u, v, answer, duration, self.method_name,
+                trace_id=span.trace_id if span is not None else None,
+            )
         return answer
 
     def _budgeted_query(self, u: int, v: int, budget: QueryBudget):

@@ -63,6 +63,12 @@ Commands
     loss.  ``deadline_ms`` on requests propagates end-to-end;
     ``--on-deadline gateway-timeout`` renders deadline-degraded answers
     as structured 504s.  ``--once`` scrapes each endpoint and exits.
+``trace URL [--trace-id HEX] [--json] [--out P]``
+    Fetch one stitched distributed trace from a server started with
+    ``--trace`` (``serve`` or ``shard-serve``) and render it as an
+    indented tree — spans from the HTTP edge, the coalescer, shard
+    RPCs and worker processes under one trace id.  ``--out`` writes
+    Chrome ``trace_event`` JSON for https://ui.perfetto.dev.
 ``chaos-drill GRAPH.edges [--shards N] [--chaos-s T] [--out P]``
     The kill-based chaos suite: SIGKILL (and occasionally SIGSTOP)
     random shard workers under live deadline-bounded traffic, assert
@@ -212,6 +218,14 @@ def _build_parser() -> argparse.ArgumentParser:
             help="O'Reach-style supporting vertices consulted before "
             "the index's own cuts (default 0: none; see "
             "docs/PERFORMANCE.md)",
+        )
+        p.add_argument(
+            "--trace",
+            action="store_true",
+            help="distributed span tracing: every request gets a "
+            "trace_id (X-Trace-Id header), /trace serves stitched "
+            "trees, and per-stage latency lands in "
+            "repro_stage_seconds (see docs/OBSERVABILITY.md)",
         )
 
     serve = sub.add_parser(
@@ -429,6 +443,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "(200) or structured 504 (default unknown)",
     )
     shard_serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        help="slow-query log threshold in milliseconds; entries carry "
+        "the trace_id and owning shard (default: no slow log)",
+    )
+    shard_serve.add_argument(
         "--once",
         action="store_true",
         help="scrape each endpoint once, print, and exit (smoke tests)",
@@ -501,6 +522,32 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     recommend.add_argument("graph", help="edge-list file of a DAG")
     recommend.add_argument("--query-heavy", action="store_true")
+
+    trace = sub.add_parser(
+        "trace",
+        help="fetch and render a stitched trace from a running server",
+    )
+    trace.add_argument(
+        "url", help="base URL of a repro server started with --trace"
+    )
+    trace.add_argument(
+        "--trace-id",
+        default=None,
+        help="trace to fetch (16-hex-char id from an X-Trace-Id header "
+        "or /trace listing; default: the most recent trace)",
+    )
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw /trace JSON payload instead of the tree",
+    )
+    trace.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the trace as Chrome trace_event JSON to PATH "
+        "(open it at https://ui.perfetto.dev)",
+    )
     return parser
 
 
@@ -618,11 +665,22 @@ def _build_serving_oracle(args: argparse.Namespace):
     return graph, oracle
 
 
+def _enable_cli_tracing(args: argparse.Namespace):
+    """``--trace``: turn the span tracer on *before* any index builds
+    (hot paths resolve their tracer handle at build time)."""
+    if not getattr(args, "trace", False):
+        return None
+    from repro.obs.spans import enable_tracing
+
+    return enable_tracing()
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     """The ``serve`` subcommand: warm an index, serve query traffic."""
     from repro.serve import ReachServer, ServeConfig
 
     registry = obs.enable_metrics()
+    tracer = _enable_cli_tracing(args)
     oracle = None
     try:
         graph, oracle = _build_serving_oracle(args)
@@ -653,7 +711,10 @@ def _run_serve(args: argparse.Namespace) -> int:
                 from urllib.request import urlopen
 
                 sample = f"/reach?u=0&v={graph.num_vertices - 1}"
-                for endpoint in ("/healthz", sample, "/metrics", "/slow"):
+                scrapes = ["/healthz", sample, "/metrics", "/slow"]
+                if tracer is not None:
+                    scrapes.append("/trace")
+                for endpoint in scrapes:
                     with urlopen(server.url + endpoint) as response:
                         body = response.read().decode("utf-8")
                     print(f"--- GET {endpoint} [{response.status}]")
@@ -671,6 +732,10 @@ def _run_serve(args: argparse.Namespace) -> int:
     finally:
         if oracle is not None:
             oracle.close_search_pool()
+        if tracer is not None:
+            from repro.obs.spans import disable_tracing
+
+            disable_tracing()
         obs.disable_metrics()
 
 
@@ -687,6 +752,7 @@ def _run_loadgen(args: argparse.Namespace) -> int:
         run_loadgen,
     )
 
+    tracer = _enable_cli_tracing(args)
     graph = read_edge_list(args.graph)
     pairs = random_pairs(graph, args.pairs, seed=args.seed)
     config = ServeConfig(
@@ -749,6 +815,10 @@ def _run_loadgen(args: argparse.Namespace) -> int:
     finally:
         if oracle is not None:
             oracle.close_search_pool()
+        if tracer is not None:
+            from repro.obs.spans import disable_tracing
+
+            disable_tracing()
 
     for run in runs:
         latency = run["latency_ms"]
@@ -803,6 +873,10 @@ def _run_shard_serve(args: argparse.Namespace) -> int:
     from repro.shard import ShardConfig, ShardService
 
     registry = obs.enable_metrics()
+    # Tracing must be on before the service forks its workers: each
+    # worker inherits the (enabled) tracer/registry and ships spans and
+    # telemetry back on RPC responses.
+    tracer = _enable_cli_tracing(args)
     service = None
     try:
         graph = read_edge_list(args.graph)
@@ -817,6 +891,13 @@ def _run_shard_serve(args: argparse.Namespace) -> int:
                 on_shard_loss=args.on_shard_loss,
             ),
         )
+        slow_log = None
+        if args.slow_ms is not None:
+            from repro.obs.slowlog import SlowQueryLog
+
+            slow_log = service.attach_slow_log(
+                SlowQueryLog(threshold_ns=int(args.slow_ms * 1e6))
+            )
         config = ServeConfig(
             host=args.host,
             port=args.port,
@@ -826,7 +907,9 @@ def _run_shard_serve(args: argparse.Namespace) -> int:
             overload=args.overload,
             on_deadline=args.on_deadline,
         )
-        server = ReachServer(service, config, registry=registry)
+        server = ReachServer(
+            service, config, registry=registry, slow_log=slow_log
+        )
         server.start()
         try:
             sizes = service.plan.shard_sizes()
@@ -848,7 +931,10 @@ def _run_shard_serve(args: argparse.Namespace) -> int:
                 sample = (
                     f"/reach?u=0&v={graph.num_vertices - 1}&deadline_ms=1000"
                 )
-                for endpoint in ("/healthz", sample, "/metrics"):
+                scrapes = ["/healthz", sample, "/metrics", "/slow"]
+                if tracer is not None:
+                    scrapes.append("/trace")
+                for endpoint in scrapes:
                     with urlopen(server.url + endpoint) as response:
                         body = response.read().decode("utf-8")
                     print(f"--- GET {endpoint} [{response.status}]")
@@ -866,7 +952,61 @@ def _run_shard_serve(args: argparse.Namespace) -> int:
     finally:
         if service is not None:
             service.close()
+        if tracer is not None:
+            from repro.obs.spans import disable_tracing
+
+            disable_tracing()
         obs.disable_metrics()
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    """The ``trace`` subcommand: fetch one stitched trace over HTTP."""
+    import json
+    from urllib.request import urlopen
+
+    from repro.obs.distributed import render_trace_tree, trace_to_chrome
+
+    base = args.url.rstrip("/")
+
+    def fetch(path: str):
+        with urlopen(base + path) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    trace_id = args.trace_id
+    if trace_id is None:
+        listing = fetch("/trace")
+        if not listing.get("enabled", False):
+            print(
+                "tracing is disabled on the server "
+                "(start it with --trace)",
+                file=sys.stderr,
+            )
+            return 2
+        traces = listing.get("traces") or []
+        if not traces:
+            print("no traces recorded yet", file=sys.stderr)
+            return 2
+        trace_id = traces[0]["trace_id"]
+    payload = fetch(f"/trace?trace_id={trace_id}")
+    if not payload.get("span_count"):
+        print(
+            f"trace {trace_id}: no spans in the server's ring",
+            file=sys.stderr,
+        )
+        return 2
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(trace_to_chrome(payload), handle)
+            handle.write("\n")
+        print(
+            f"chrome trace written: {args.out} "
+            "(open at https://ui.perfetto.dev)"
+        )
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_trace_tree(payload))
+    return 0
 
 
 def _run_chaos_drill(args: argparse.Namespace) -> int:
@@ -1009,6 +1149,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "shard-serve":
         return _run_shard_serve(args)
+
+    if args.command == "trace":
+        return _run_trace(args)
 
     if args.command == "chaos-drill":
         return _run_chaos_drill(args)

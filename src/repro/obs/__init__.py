@@ -48,9 +48,25 @@ docs/OBSERVABILITY.md):
 * **slow-query log** (:mod:`repro.obs.slowlog`) — a bounded ring buffer
   with threshold or reservoir sampling;
 * **scrape endpoint** (:mod:`repro.obs.server`) — a stdlib HTTP server
-  exposing ``/metrics``, ``/healthz``, and ``/slow``.
+  exposing ``/metrics``, ``/healthz``, and ``/slow``;
+* **distributed stitching** (:mod:`repro.obs.distributed`) — one trace
+  per request across the HTTP edge, coalescer, shard coordinator and
+  forked workers: trace-context propagation in RPC frames, worker spans
+  and telemetry piggybacked on responses, per-stage latency under
+  ``repro_stage_seconds{stage=...}``.
 """
 
+from repro.obs.distributed import (
+    STAGES,
+    TelemetryMerger,
+    build_aux,
+    ingest_aux,
+    recent_traces,
+    render_trace_tree,
+    trace_payload,
+    trace_to_chrome,
+    trace_tree,
+)
 from repro.obs.explain import CUTS, BudgetReport, QueryExplanation
 from repro.obs.export import (
     to_jsonl,
@@ -70,7 +86,9 @@ from repro.obs.metrics import (
     enable_metrics,
     get_registry,
     metrics_enabled,
+    reset_instruments,
     set_registry,
+    snapshot_instruments,
 )
 from repro.obs.server import ObsServer
 from repro.obs.slowlog import SlowQueryLog, SlowQueryRecord
@@ -81,7 +99,10 @@ from repro.obs.spans import (
     current_span,
     disable_tracing,
     enable_tracing,
+    format_trace_id,
     get_tracer,
+    new_trace_id,
+    parse_trace_id,
     set_tracer,
     spans_to_chrome_trace,
     spans_to_jsonl,
@@ -130,6 +151,21 @@ __all__ = [
     "write_spans_jsonl",
     "spans_to_chrome_trace",
     "write_chrome_trace",
+    "new_trace_id",
+    "format_trace_id",
+    "parse_trace_id",
+    # distributed stitching
+    "STAGES",
+    "TelemetryMerger",
+    "build_aux",
+    "ingest_aux",
+    "trace_tree",
+    "trace_payload",
+    "recent_traces",
+    "render_trace_tree",
+    "trace_to_chrome",
+    "snapshot_instruments",
+    "reset_instruments",
     # explain
     "CUTS",
     "BudgetReport",

@@ -1,0 +1,404 @@
+"""Distributed tracing and cross-process telemetry stitching.
+
+One HTTP request to the serving tier touches up to four kinds of
+process: the asyncio server, the coalescer's executor thread, the shard
+coordinator, and forked shard (or pool) workers.  This module is the
+glue that makes all of that one observable unit:
+
+* **Trace context** rides in-band: the server mints a 64-bit trace id
+  per admitted request (:func:`repro.obs.spans.new_trace_id`), child
+  spans inherit it through the ambient parent, and shard RPC frames
+  carry ``(trace_id, parent_span_id)`` as an optional fourth element —
+  absent entirely when tracing is off, so the default wire format is
+  bit-identical to the untraced one.
+* **Worker spans piggyback** on RPC responses: a worker runs the forked
+  copy of the coordinator's tracer, drains its ring into the response's
+  ``aux`` envelope (:func:`build_aux`), and the coordinator re-parents
+  them under the originating ``shard.rpc`` span with
+  :meth:`~repro.obs.spans.Tracer.adopt` (:func:`ingest_aux`).  Spans
+  finished without a trace context (orphans) are dropped at the worker,
+  never shipped under the wrong parent; a lost or garbled envelope is
+  counted and discarded — piggyback loss never fails the query path.
+* **Worker telemetry** ships the same way, at low frequency: cumulative
+  :func:`~repro.obs.metrics.snapshot_instruments` documents ride the
+  piggyback (rate-limited worker-side) and every supervisor heartbeat.
+  :class:`TelemetryMerger` folds them into the coordinator registry as
+  *deltas* against the previous snapshot per source, under an extra
+  ``shard`` (or ``pool_worker``) label — so ``/metrics`` exposes
+  worker-side counters without double counting, and a restarted worker
+  (fresh zeroed registry) just resets its baseline.
+
+The stage taxonomy (``repro_stage_seconds{stage=...}``) is derived from
+finished span names in :mod:`repro.obs.spans`; :data:`STAGES` lists the
+labels.  See docs/OBSERVABILITY.md ("Distributed tracing") for the
+protocol diagram.
+"""
+
+from __future__ import annotations
+
+import threading
+from math import inf
+
+from repro.obs.metrics import get_registry, snapshot_instruments
+from repro.obs.spans import format_trace_id, get_tracer
+
+__all__ = [
+    "STAGES",
+    "PIGGYBACK_MAX_SPANS",
+    "TELEMETRY_INTERVAL_S",
+    "TelemetryMerger",
+    "build_aux",
+    "ingest_aux",
+    "trace_tree",
+    "trace_payload",
+    "recent_traces",
+    "render_trace_tree",
+    "trace_to_chrome",
+]
+
+#: The per-stage latency decomposition labels (`repro_stage_seconds`).
+STAGES = ("queue", "coalesce", "observer", "cut", "search", "rpc", "worker")
+
+#: Cap on spans one piggyback envelope carries; the overflow count ships
+#: as ``dropped_spans`` so truncation is visible, never silent.
+PIGGYBACK_MAX_SPANS = 512
+
+#: Minimum seconds between telemetry snapshots on the piggyback channel
+#: (heartbeats always carry one — that is the low-frequency floor).
+TELEMETRY_INTERVAL_S = 1.0
+
+
+class TelemetryMerger:
+    """Fold cumulative per-worker instrument snapshots into a registry.
+
+    Workers ship *cumulative* snapshots (simple and loss-tolerant: a
+    dropped envelope is recovered by the next one).  The merger keeps
+    the last applied snapshot per ``(source, instrument)`` and applies
+    only the delta, so re-shipping totals never double counts.  A
+    negative delta means the worker restarted with a fresh registry
+    between snapshots — the current totals are then applied whole.
+    :meth:`reset` drops a source's baselines explicitly (the service
+    calls it on every respawn).
+    """
+
+    def __init__(self) -> None:
+        self._last: dict[tuple, dict] = {}
+        self._lock = threading.Lock()
+
+    def reset(self, source) -> None:
+        """Forget ``source``'s baselines (its next snapshot is fresh)."""
+        with self._lock:
+            for key in [k for k in self._last if k[0] == source]:
+                del self._last[key]
+
+    def apply(self, source, snapshot, registry, **extra_labels) -> int:
+        """Merge one snapshot; returns instruments that changed.
+
+        ``extra_labels`` (e.g. ``shard="1"``) are appended to every
+        merged series so worker-originated metrics are attributable.
+        Malformed documents are skipped one by one — a single bad entry
+        never poisons the rest of the snapshot.
+        """
+        if not isinstance(snapshot, list) or not registry.enabled:
+            return 0
+        applied = 0
+        for doc in snapshot:
+            try:
+                applied += self._apply_one(source, doc, registry, extra_labels)
+            except Exception:  # noqa: BLE001 — per-doc isolation
+                continue
+        return applied
+
+    def _apply_one(self, source, doc, registry, extra_labels) -> int:
+        kind = doc["kind"]
+        name = doc["name"]
+        labels = {str(k): str(v) for k, v in dict(doc.get("labels") or {}).items()}
+        help_ = str(doc.get("help", ""))
+        merged = {**labels, **extra_labels}
+        key = (source, kind, name, tuple(sorted(labels.items())))
+        with self._lock:
+            prev = self._last.get(key)
+            self._last[key] = doc
+        if kind == "counter":
+            value = int(doc["value"])
+            delta = value - (int(prev["value"]) if prev is not None else 0)
+            if delta < 0:  # restarted source without reset(): fresh totals
+                delta = value
+            if delta:
+                registry.counter(name, help=help_, **merged).inc(delta)
+            return 1 if delta else 0
+        if kind == "gauge":
+            registry.gauge(name, help=help_, **merged).set(float(doc["value"]))
+            return 1
+        if kind != "histogram":
+            return 0
+        bounds = tuple(float(b) for b in doc["bounds"])
+        counts = [int(c) for c in doc["bucket_counts"]]
+        count = int(doc["count"])
+        total = float(doc["sum"])
+        if prev is not None and tuple(float(b) for b in prev["bounds"]) == bounds:
+            d_counts = [
+                c - int(p) for c, p in zip(counts, prev["bucket_counts"])
+            ]
+            d_count = count - int(prev["count"])
+            d_sum = total - float(prev["sum"])
+            if d_count < 0 or any(c < 0 for c in d_counts):
+                d_counts, d_count, d_sum = counts, count, total
+        else:
+            d_counts, d_count, d_sum = counts, count, total
+        if d_count <= 0:
+            return 0
+        hist = registry.histogram(name, buckets=bounds, help=help_, **merged)
+        if len(hist.bucket_counts) != len(d_counts):
+            return 0  # bucket layout clash with an existing series: drop
+        for i, c in enumerate(d_counts):
+            hist.bucket_counts[i] += c
+        hist.count += d_count
+        hist.sum += d_sum
+        low = float(doc.get("min", inf))
+        high = float(doc.get("max", -inf))
+        if low < hist.min:
+            hist.min = low
+        if high > hist.max:
+            hist.max = high
+        return 1
+
+
+# ---------------------------------------------------------------------------
+# The piggyback envelope (worker builds, coordinator ingests)
+# ---------------------------------------------------------------------------
+def build_aux(
+    *,
+    tracer,
+    registry,
+    trace_ctx: tuple | None,
+    pid: int,
+    ship_telemetry: bool,
+) -> dict | None:
+    """Assemble the ``aux`` envelope a worker attaches to a response.
+
+    Drains the worker's span ring either way — spans finished without a
+    request's ``trace_ctx`` are orphans and are *dropped here*, bounded,
+    rather than shipped under a wrong parent.  Returns ``None`` when
+    there is nothing to ship (the response then stays a plain 3-tuple).
+    """
+    aux: dict = {}
+    if tracer.enabled:
+        spans = tracer.spans()
+        tracer.clear()
+        if trace_ctx is not None and spans:
+            aux["trace_id"], aux["parent_id"] = trace_ctx
+            aux["spans"] = [s.as_dict() for s in spans[:PIGGYBACK_MAX_SPANS]]
+            if len(spans) > PIGGYBACK_MAX_SPANS:
+                aux["dropped_spans"] = len(spans) - PIGGYBACK_MAX_SPANS
+    if ship_telemetry and registry.enabled:
+        snapshot = snapshot_instruments(registry)
+        if snapshot:
+            aux["telemetry"] = snapshot
+    if not aux:
+        return None
+    aux["pid"] = pid
+    return aux
+
+
+def ingest_aux(
+    aux,
+    *,
+    merger: TelemetryMerger | None = None,
+    source=None,
+    tracer=None,
+    registry=None,
+    **extra_labels,
+) -> None:
+    """Fold one piggyback envelope into the coordinator's tracer/registry.
+
+    Never raises: a malformed envelope is counted
+    (``repro_telemetry_ingest_errors_total``) and discarded, because the
+    query answer riding the same response must not be lost to a
+    telemetry bug.
+    """
+    try:
+        if not isinstance(aux, dict):
+            return
+        tracer = tracer if tracer is not None else get_tracer()
+        spans = aux.get("spans")
+        if spans and tracer.enabled:
+            tracer.adopt(
+                spans,
+                trace_id=aux.get("trace_id"),
+                parent_id=aux.get("parent_id"),
+            )
+        snapshot = aux.get("telemetry")
+        if snapshot and merger is not None:
+            registry = registry if registry is not None else get_registry()
+            merger.apply(source, snapshot, registry, **extra_labels)
+    except Exception:  # noqa: BLE001 — observability must not fail queries
+        try:
+            live = registry if registry is not None else get_registry()
+            if live.enabled:
+                live.counter(
+                    "repro_telemetry_ingest_errors_total",
+                    help="Malformed piggyback envelopes dropped by the "
+                    "coordinator.",
+                ).inc()
+        except Exception:  # noqa: BLE001 — last resort: stay silent
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Trace views (/trace endpoint, `repro trace` CLI)
+# ---------------------------------------------------------------------------
+def trace_tree(tracer, trace_id: int) -> list[dict]:
+    """Nested span trees (list of roots) for one trace id.
+
+    Children sort by start time; a span whose parent is outside the
+    trace (or already evicted from the ring) becomes a root rather than
+    disappearing.
+    """
+    spans = tracer.spans_for_trace(trace_id)
+    nodes = {s.span_id: {**s.as_dict(), "children": []} for s in spans}
+    roots = []
+    for s in spans:
+        node = nodes[s.span_id]
+        parent = nodes.get(s.parent_id)
+        if parent is not None:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+    for node in nodes.values():
+        node["children"].sort(key=lambda n: n["start_ns"])
+    roots.sort(key=lambda n: n["start_ns"])
+    return roots
+
+
+def trace_payload(tracer, trace_id: int) -> dict:
+    """The ``/trace?trace_id=`` JSON document: one stitched tree."""
+    spans = tracer.spans_for_trace(trace_id)
+    return {
+        "trace_id": format_trace_id(trace_id),
+        "span_count": len(spans),
+        "pids": sorted({s.pid for s in spans}),
+        "roots": trace_tree(tracer, trace_id),
+    }
+
+
+def recent_traces(tracer, limit: int = 20) -> list[dict]:
+    """Distinct traces in the ring, most recently finished first."""
+    summary: dict[int, dict] = {}
+    for span in tracer.spans():
+        tid = span.trace_id
+        if tid is None:
+            continue
+        entry = summary.get(tid)
+        if entry is None:
+            summary[tid] = {
+                "trace_id": format_trace_id(tid),
+                "name": span.name,
+                "span_count": 1,
+                "_start": span.start_ns,
+                "_end": span.end_ns or span.start_ns,
+            }
+            continue
+        entry["span_count"] += 1
+        if span.start_ns < entry["_start"]:
+            entry["_start"] = span.start_ns
+            entry["name"] = span.name
+        end = span.end_ns or span.start_ns
+        if end > entry["_end"]:
+            entry["_end"] = end
+    ordered = sorted(summary.values(), key=lambda e: e["_end"], reverse=True)
+    for entry in ordered:
+        del entry["_start"], entry["_end"]
+    return ordered[:limit]
+
+
+def _walk_payload(payload) -> list[dict]:
+    flat: list[dict] = []
+
+    def walk(node):
+        flat.append(node)
+        for child in node.get("children") or []:
+            walk(child)
+
+    for root in payload.get("roots") or []:
+        walk(root)
+    return flat
+
+
+def render_trace_tree(payload: dict) -> str:
+    """Pretty-print a :func:`trace_payload` document for a terminal."""
+    pids = ",".join(str(p) for p in payload.get("pids", []))
+    lines = [
+        f"trace {payload['trace_id']}  "
+        f"({payload.get('span_count', 0)} spans, pids {pids})"
+    ]
+    shown = ("endpoint", "op", "shard", "size", "verdict", "survivors", "attempt")
+
+    def walk(node, depth):
+        duration_us = node.get("duration_ns", 0) / 1000.0
+        attrs = node.get("attributes") or {}
+        extra = " ".join(
+            f"{k}={attrs[k]}" for k in shown if k in attrs
+        )
+        lines.append(
+            f"{'  ' * depth}{node['name']:<28} {duration_us:>10.1f} us"
+            f"  pid={node.get('pid', '?')}" + (f"  {extra}" if extra else "")
+        )
+        for child in node.get("children") or []:
+            walk(child, depth + 1)
+
+    for root in payload.get("roots") or []:
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def trace_to_chrome(payload: dict, process_name: str = "repro") -> dict:
+    """One :func:`trace_payload` tree as a Chrome ``trace_event`` doc.
+
+    Works on the plain JSON payload (no live tracer needed), so the
+    ``repro trace`` CLI can export a tree it fetched over HTTP.
+    """
+    flat = _walk_payload(payload)
+    pids: list = []
+    for node in flat:
+        pid = node.get("pid", 0)
+        if pid not in pids:
+            pids.append(pid)
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "args": {
+                "name": process_name
+                if pid == pids[0]
+                else f"{process_name} worker {pid}",
+            },
+        }
+        for pid in pids
+    ]
+    for node in flat:
+        args = {
+            "span_id": node.get("span_id"),
+            "parent_id": node.get("parent_id"),
+            "trace_id": payload.get("trace_id"),
+        }
+        attrs = node.get("attributes") or {}
+        for key, value in attrs.items():
+            if isinstance(value, (bool, int, float, str)) or value is None:
+                args[key] = value
+            else:
+                args[key] = str(value)
+        events.append(
+            {
+                "name": node["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": node.get("start_ns", 0) / 1000.0,
+                "dur": node.get("duration_ns", 0) / 1000.0,
+                "pid": node.get("pid", 0),
+                "tid": node.get("thread_id", 0),
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -40,6 +40,8 @@ __all__ = [
     "enable_metrics",
     "disable_metrics",
     "metrics_enabled",
+    "snapshot_instruments",
+    "reset_instruments",
 ]
 
 # Log-spaced seconds: 1µs .. 10s, the range a pure-Python reachability
@@ -343,6 +345,67 @@ class NullRegistry(MetricsRegistry):
 
     def phase(self, name: str, phase: str, **fields):
         return _NULL_INSTRUMENT
+
+
+def snapshot_instruments(registry: MetricsRegistry) -> list[dict]:
+    """Serializable cumulative state of every live instrument.
+
+    The worker-telemetry wire format: one plain-data document per
+    instrument, shippable over a pipe and re-playable into another
+    registry by :class:`repro.obs.distributed.TelemetryMerger` (which
+    applies deltas, so re-shipping full snapshots never double counts).
+    Zero-valued counters and empty histograms are omitted; gauges always
+    ship (an info gauge's value *is* its payload).
+    """
+    docs: list[dict] = []
+    for (kind, name, labels), inst in list(registry._instruments.items()):
+        doc: dict = {
+            "kind": kind,
+            "name": name,
+            "labels": dict(labels),
+            "help": inst.help,
+        }
+        if kind == "counter":
+            if not inst.value:
+                continue
+            doc["value"] = inst.value
+        elif kind == "gauge":
+            doc["value"] = inst.value
+        else:
+            if not inst.count:
+                continue
+            doc.update(
+                bounds=list(inst.bucket_bounds),
+                bucket_counts=list(inst.bucket_counts),
+                count=inst.count,
+                sum=inst.sum,
+                min=inst.min,
+                max=inst.max,
+            )
+        docs.append(doc)
+    return docs
+
+
+def reset_instruments(registry: MetricsRegistry) -> None:
+    """Zero every instrument *in place*, keeping existing handles valid.
+
+    A forked worker inherits the coordinator's registry object along
+    with the instrument handles its index resolved at build time; this
+    resets the inherited totals (they belong to the parent) without
+    invalidating those handles, so the worker's subsequent snapshots
+    contain only what it observed itself.
+    """
+    for inst in registry.instruments():
+        if isinstance(inst, Histogram):
+            inst.bucket_counts = [0] * len(inst.bucket_counts)
+            inst.count = 0
+            inst.sum = 0.0
+            inst.min = inf
+            inst.max = -inf
+        elif isinstance(inst, Counter):
+            inst.value = 0
+        elif isinstance(inst, Gauge):
+            inst.value = 0.0
 
 
 _registry: MetricsRegistry = NullRegistry()

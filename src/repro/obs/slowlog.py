@@ -25,12 +25,19 @@ import threading
 from collections import deque
 from dataclasses import dataclass
 
+from repro.obs.spans import format_trace_id
+
 __all__ = ["SlowQueryRecord", "SlowQueryLog"]
 
 
 @dataclass(frozen=True)
 class SlowQueryRecord:
-    """One logged query: who, what, how slow, and how it was answered."""
+    """One logged query: who, what, how slow, and how it was answered.
+
+    ``trace_id`` carries the request's distributed trace (when tracing
+    was on), so a slow entry joins its ``/trace`` tree; ``shard`` is the
+    owning shard for queries the shard tier routed to one worker.
+    """
 
     seq: int
     method: str
@@ -39,6 +46,8 @@ class SlowQueryRecord:
     verdict: object
     elapsed_ns: int
     cut: str | None = None
+    trace_id: int | None = None
+    shard: int | None = None
 
     def as_dict(self) -> dict:
         """JSON-ready view (``UNKNOWN`` verdicts render as a string)."""
@@ -56,6 +65,10 @@ class SlowQueryRecord:
         }
         if self.cut is not None:
             out["cut"] = self.cut
+        if self.trace_id is not None:
+            out["trace_id"] = format_trace_id(self.trace_id)
+        if self.shard is not None:
+            out["shard"] = self.shard
         return out
 
 
@@ -111,6 +124,8 @@ class SlowQueryLog:
         elapsed_ns: int,
         method: str,
         cut: str | None = None,
+        trace_id: int | None = None,
+        shard: int | None = None,
     ) -> SlowQueryRecord | None:
         """Offer one query; returns the stored record or ``None``.
 
@@ -125,14 +140,18 @@ class SlowQueryLog:
                 if elapsed_ns < self.threshold_ns:
                     return None
                 rec = SlowQueryRecord(
-                    seq, method, u, v, verdict, elapsed_ns, cut
+                    seq, method, u, v, verdict, elapsed_ns, cut,
+                    trace_id=trace_id, shard=shard,
                 )
                 self._records.append(rec)
                 return rec
             # Reservoir (algorithm R): the first `capacity` fill the
             # buffer; afterwards each new query replaces a uniformly
             # random slot with probability capacity/seq.
-            rec = SlowQueryRecord(seq, method, u, v, verdict, elapsed_ns, cut)
+            rec = SlowQueryRecord(
+                seq, method, u, v, verdict, elapsed_ns, cut,
+                trace_id=trace_id, shard=shard,
+            )
             if len(self._records) < self.capacity:
                 self._records.append(rec)
                 return rec

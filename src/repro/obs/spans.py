@@ -16,18 +16,32 @@ allocation.  Enable with :func:`enable_tracing` (or the scoped
 :func:`tracing_enabled`) *before* building indexes, mirroring
 :func:`repro.obs.enable_metrics`.
 
+Spans are *distributed*-trace aware: every span carries the ``pid`` of
+the process that recorded it and an optional 64-bit ``trace_id`` that
+groups all the work of one external request.  A trace id is minted at
+the request edge (:func:`new_trace_id`), inherited by child spans
+through the ambient parent, carried across process boundaries inside
+shard RPC frames, and stitched back together with :meth:`Tracer.adopt`
+(see :mod:`repro.obs.distributed`).  Span timestamps come from
+``CLOCK_MONOTONIC`` which is system-wide on Linux, so spans recorded in
+forked workers align on the coordinator's timeline without offset
+correction.
+
 Finished spans export two ways:
 
 * :func:`spans_to_jsonl` — one JSON object per span, for offline joins
   against the metrics JSONL;
 * :func:`spans_to_chrome_trace` — the Chrome ``trace_event`` JSON format
   (``ph: "X"`` complete events, microsecond timestamps), which
-  https://ui.perfetto.dev and ``chrome://tracing`` open directly.
+  https://ui.perfetto.dev and ``chrome://tracing`` open directly;
+  adopted worker spans render as their own process track.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import random
 import threading
 from contextvars import ContextVar
 from pathlib import Path
@@ -44,11 +58,49 @@ __all__ = [
     "disable_tracing",
     "tracing_enabled",
     "current_span",
+    "new_trace_id",
+    "format_trace_id",
+    "parse_trace_id",
     "spans_to_jsonl",
     "write_spans_jsonl",
     "spans_to_chrome_trace",
     "write_chrome_trace",
 ]
+
+#: This process's pid, refreshed after fork so spans recorded in shard
+#: workers and pool workers are attributed to the right process.
+_PID = os.getpid()
+
+
+def _refresh_pid() -> None:
+    global _PID
+    _PID = os.getpid()
+
+
+os.register_at_fork(after_in_child=_refresh_pid)
+
+
+def new_trace_id() -> int:
+    """Mint a 64-bit non-zero trace id for one external request."""
+    return random.getrandbits(64) or 1
+
+
+def format_trace_id(trace_id: int) -> str:
+    """Canonical wire form: 16 lowercase hex chars (``%016x``)."""
+    return f"{trace_id:016x}"
+
+
+def parse_trace_id(text) -> int:
+    """Parse a trace id from its canonical 16-hex-char form, a ``0x``
+    prefixed hex string, or a plain decimal; raises ``ValueError``."""
+    if isinstance(text, int):
+        return text
+    s = str(text).strip().lower()
+    if s.startswith("0x"):
+        return int(s, 16)
+    if len(s) == 16:
+        return int(s, 16)
+    return int(s, 10)
 
 #: The ambient span: children created while it is active parent to it.
 _CURRENT_SPAN: ContextVar["Span | None"] = ContextVar(
@@ -67,8 +119,8 @@ class Span:
     """
 
     __slots__ = (
-        "span_id", "parent_id", "name", "start_ns", "end_ns",
-        "attributes", "thread_id", "_tracer", "_token",
+        "span_id", "parent_id", "trace_id", "name", "start_ns", "end_ns",
+        "attributes", "thread_id", "pid", "_tracer", "_token",
     )
 
     def __init__(
@@ -78,14 +130,17 @@ class Span:
         parent_id: int | None,
         name: str,
         attributes: dict,
+        trace_id: int | None = None,
     ) -> None:
         self.span_id = span_id
         self.parent_id = parent_id
+        self.trace_id = trace_id
         self.name = name
         self.attributes = attributes
         self.start_ns = now_ns()
         self.end_ns: int | None = None
         self.thread_id = threading.get_ident()
+        self.pid = _PID
         self._tracer = tracer
         self._token = None
 
@@ -130,7 +185,10 @@ class Span:
             "start_ns": self.start_ns,
             "duration_ns": self.duration_ns,
             "thread_id": self.thread_id,
+            "pid": self.pid,
         }
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
         if self.attributes:
             out["attributes"] = dict(self.attributes)
         return out
@@ -160,6 +218,30 @@ class _NullSpan:
 
 _NULL_SPAN = _NullSpan()
 
+#: Span name → stage label of the ``repro_stage_seconds`` family.  The
+#: per-stage latency decomposition is derived from finished spans, so it
+#: exists exactly when tracing is on and costs nothing otherwise.
+_STAGE_OF_SPAN = {
+    "serve.queue": "queue",
+    "serve.flush": "coalesce",
+    "engine.observer": "observer",
+    "engine.cut": "cut",
+    "engine.search": "search",
+    "shard.rpc": "rpc",
+}
+
+
+def _stage_of(name: str) -> str | None:
+    stage = _STAGE_OF_SPAN.get(name)
+    if stage is None and name.startswith("worker."):
+        return "worker"
+    return stage
+
+
+#: Cap on spans adopted from one remote envelope: bounds the ring-buffer
+#: churn a single piggyback can cause.
+_ADOPT_MAX = 2048
+
 
 class Tracer:
     """Collects finished spans in a bounded ring buffer.
@@ -181,8 +263,13 @@ class Tracer:
         self._lock = threading.Lock()
         self._next_id = 0
 
-    def span(self, name: str, **attributes) -> Span:
+    def span(self, name: str, *, trace_id: int | None = None, **attributes) -> Span:
         """Open a span parented to the ambient current span.
+
+        ``trace_id`` stamps the span with an explicit trace (the request
+        edge does this after :func:`new_trace_id`); otherwise the span
+        inherits its parent's trace, so one id flows through the whole
+        tree without threading it through every signature.
 
         Use as a context manager — entering makes the new span ambient,
         exiting restores the parent and records the finished span::
@@ -192,6 +279,8 @@ class Tracer:
                 sp.set_attribute("verdict", answer)
         """
         parent = _CURRENT_SPAN.get()
+        if trace_id is None and parent is not None:
+            trace_id = parent.trace_id
         with self._lock:
             span_id = self._next_id
             self._next_id += 1
@@ -201,6 +290,7 @@ class Tracer:
             parent.span_id if parent is not None else None,
             name,
             attributes,
+            trace_id=trace_id,
         )
 
     def _finish(self, span: Span) -> None:
@@ -209,6 +299,97 @@ class Tracer:
             self._spans.append(span)
             if len(self._spans) > self.capacity:
                 del self._spans[: len(self._spans) - self.capacity]
+        stage = _stage_of(span.name)
+        if stage is not None:
+            from repro.obs.metrics import get_registry
+
+            registry = get_registry()
+            if registry.enabled:
+                registry.histogram(
+                    "repro_stage_seconds",
+                    help="Per-stage request latency decomposition, derived "
+                    "from finished spans (tracing must be enabled).",
+                    stage=stage,
+                ).observe(span.duration_ns * 1e-9)
+
+    def adopt(
+        self,
+        span_dicts,
+        *,
+        trace_id: int | None = None,
+        parent_id: int | None = None,
+    ) -> list[Span]:
+        """Stitch spans shipped from another process into this ring.
+
+        ``span_dicts`` are :meth:`Span.as_dict` documents (piggybacked on
+        an RPC response).  Remote span ids are remapped into this
+        tracer's id space — internal parent/child edges are preserved,
+        remote *roots* (whose parent was not shipped) re-parent to
+        ``parent_id`` (the coordinator-side ``shard.rpc`` span), and
+        ``trace_id``, when given, overrides whatever the remote recorded
+        so the whole tree shares the request's trace.  Malformed entries
+        are skipped; at most ``_ADOPT_MAX`` spans are taken per call.
+        Returns the adopted spans.
+        """
+        entries = []
+        for doc in list(span_dicts)[:_ADOPT_MAX]:
+            if not isinstance(doc, dict):
+                continue
+            name = doc.get("name")
+            start = doc.get("start_ns")
+            duration = doc.get("duration_ns")
+            if (
+                not isinstance(name, str)
+                or not isinstance(start, int)
+                or not isinstance(duration, int)
+                or duration < 0
+            ):
+                continue
+            entries.append(doc)
+        if not entries:
+            return []
+        with self._lock:
+            base = self._next_id
+            self._next_id += len(entries)
+        id_map = {
+            doc.get("span_id"): base + i for i, doc in enumerate(entries)
+        }
+        adopted = []
+        for doc in entries:
+            attributes = doc.get("attributes")
+            span = Span(
+                self,
+                id_map[doc.get("span_id")],
+                None,
+                doc["name"],
+                dict(attributes) if isinstance(attributes, dict) else {},
+            )
+            remote_parent = doc.get("parent_id")
+            span.parent_id = id_map.get(remote_parent, parent_id)
+            span.trace_id = (
+                trace_id if trace_id is not None else doc.get("trace_id")
+            )
+            span.start_ns = doc["start_ns"]
+            span.end_ns = doc["start_ns"] + doc["duration_ns"]
+            thread_id = doc.get("thread_id")
+            if isinstance(thread_id, int):
+                span.thread_id = thread_id
+            pid = doc.get("pid")
+            if isinstance(pid, int):
+                span.pid = pid
+            adopted.append(span)
+        # Appended directly (not via _finish): the remote already counted
+        # these into its stage histograms before shipping.
+        with self._lock:
+            self.total += len(adopted)
+            self._spans.extend(adopted)
+            if len(self._spans) > self.capacity:
+                del self._spans[: len(self._spans) - self.capacity]
+        return adopted
+
+    def spans_for_trace(self, trace_id: int) -> list[Span]:
+        """Finished spans of one trace, oldest first."""
+        return [s for s in self.spans() if s.trace_id == trace_id]
 
     @property
     def truncated(self) -> bool:
@@ -231,8 +412,11 @@ class NullTracer(Tracer):
 
     enabled = False
 
-    def span(self, name: str, **attributes):
+    def span(self, name: str, *, trace_id: int | None = None, **attributes):
         return _NULL_SPAN
+
+    def adopt(self, span_dicts, *, trace_id=None, parent_id=None) -> list:
+        return []
 
     def _finish(self, span) -> None:  # pragma: no cover - nothing finishes
         pass
@@ -320,31 +504,47 @@ def spans_to_chrome_trace(tracer: Tracer, process_name: str = "repro") -> str:
     Emits ``ph: "X"`` (complete) events with microsecond timestamps —
     the subset every viewer supports.  Load the file directly in
     https://ui.perfetto.dev or ``chrome://tracing``; the span hierarchy
-    appears as stacked slices per thread track, and span attributes show
-    in the ``args`` panel on click.
+    appears as stacked slices per thread track, adopted worker spans get
+    their own process track (named after their pid), and span attributes
+    show in the ``args`` panel on click.
     """
+    spans = tracer.spans()
+    pids: list[int] = []
+    for span in spans:
+        if span.pid not in pids:
+            pids.append(span.pid)
+    if not pids:
+        pids = [_PID]
     events: list[dict] = [
         {
             "name": "process_name",
             "ph": "M",
-            "pid": 1,
-            "args": {"name": process_name},
+            "pid": pid,
+            "args": {
+                "name": process_name
+                if pid == pids[0]
+                else f"{process_name} worker {pid}",
+            },
         }
+        for pid in pids
     ]
-    for span in tracer.spans():
+    for span in spans:
+        args: dict = {
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            **{k: _json_safe(v) for k, v in span.attributes.items()},
+        }
+        if span.trace_id is not None:
+            args["trace_id"] = format_trace_id(span.trace_id)
         event: dict = {
             "name": span.name,
             "cat": "repro",
             "ph": "X",
             "ts": span.start_ns / 1000.0,
             "dur": span.duration_ns / 1000.0,
-            "pid": 1,
+            "pid": span.pid,
             "tid": span.thread_id,
-            "args": {
-                "span_id": span.span_id,
-                "parent_id": span.parent_id,
-                **{k: _json_safe(v) for k, v in span.attributes.items()},
-            },
+            "args": args,
         }
         events.append(event)
     return json.dumps(

@@ -33,6 +33,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.obs.metrics import get_registry
+from repro.obs.spans import get_tracer
 
 __all__ = ["vectorized_query_many"]
 
@@ -120,6 +121,8 @@ def vectorized_query_many(index, pairs: Sequence[tuple[int, int]]) -> list[bool]
         return []
     table = index._cut_table
     stats = index.stats
+    tracer = get_tracer()
+    traced = tracer.enabled
 
     pairs_arr = np.asarray(pairs, dtype=np.int64)
     sources, targets = pairs_arr[:, 0], pairs_arr[:, 1]
@@ -133,7 +136,13 @@ def vectorized_query_many(index, pairs: Sequence[tuple[int, int]]) -> list[bool]
     observers = index._observers
     obs_positive = None
     if observers is not None:
-        obs_positive, obs_negative = observers.classify(sources, targets)
+        if traced:
+            with tracer.span("engine.observer", size=num):
+                obs_positive, obs_negative = observers.classify(
+                    sources, targets
+                )
+        else:
+            obs_positive, obs_negative = observers.classify(sources, targets)
         obs_positive &= ~equal
         obs_negative &= ~equal
         hits_positive = int(obs_positive.sum())
@@ -144,7 +153,11 @@ def vectorized_query_many(index, pairs: Sequence[tuple[int, int]]) -> list[bool]
     else:
         decided = equal
 
-    positive, negative = table.classify(sources, targets)
+    if traced:
+        with tracer.span("engine.cut", size=num):
+            positive, negative = table.classify(sources, targets)
+    else:
+        positive, negative = table.classify(sources, targets)
     positive = positive & ~decided
     negative = negative & ~decided
     undecided = ~(decided | positive | negative)
@@ -158,7 +171,11 @@ def vectorized_query_many(index, pairs: Sequence[tuple[int, int]]) -> list[bool]
     survivors = np.flatnonzero(undecided)
     stats.searches += len(survivors)
     if len(survivors):
-        _search_survivors(index, sources, targets, survivors, answers)
+        if traced:
+            with tracer.span("engine.search", survivors=len(survivors)):
+                _search_survivors(index, sources, targets, survivors, answers)
+        else:
+            _search_survivors(index, sources, targets, survivors, answers)
     if observers is not None:
         _observe_layer(
             index, hits_positive, hits_negative, num, len(survivors)

@@ -48,7 +48,8 @@ from time import monotonic, perf_counter, sleep
 
 import numpy as np
 
-from repro.obs.metrics import get_registry
+from repro.obs.distributed import TelemetryMerger, build_aux, ingest_aux
+from repro.obs.metrics import get_registry, reset_instruments
 from repro.obs.spans import get_tracer
 
 __all__ = ["SearchPool", "fork_available", "MAX_RESPAWNS"]
@@ -83,19 +84,40 @@ def _pool_worker_init(index) -> None:
     _WORKER_INDEX = index
     # The forked copy must never re-enter pooled dispatch.
     index._search_pool = None
+    # The fork also copied the parent's tracer ring and registry totals;
+    # both belong to the parent.  Clearing/zeroing them (in place — the
+    # index's observability handles were resolved pre-fork) makes
+    # everything this worker records from here on worker-pure, so it can
+    # ship back on chunk results without double counting.
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.clear()
+    registry = get_registry()
+    if registry.enabled:
+        reset_instruments(registry)
 
 
 def _run_chunk(task):
     """Worker body: answer one contiguous chunk of survivor pairs.
 
-    Returns ``(chunk_id, answers, deltas, elapsed_s)`` — ``deltas`` is a
-    per-pair list of ``(expanded, pruned)`` increments against the
+    Returns ``(chunk_id, answers, deltas, elapsed_s, aux)`` — ``deltas``
+    is a per-pair list of ``(expanded, pruned)`` increments against the
     worker's (forked) stats copy, merged (and multiplicity-weighted, for
-    deduplicated batch pairs) by the parent.
+    deduplicated batch pairs) by the parent; ``aux`` is the piggyback
+    envelope (worker spans + telemetry snapshot, see
+    :mod:`repro.obs.distributed`), ``None`` when observability is off.
     """
     chunk_id, pairs = task
     index = _WORKER_INDEX
     stats = index.stats
+    tracer = get_tracer()
+    span = (
+        tracer.span("worker.pool_chunk", chunk=chunk_id, pairs=len(pairs))
+        if tracer.enabled
+        else None
+    )
+    if span is not None:
+        span.__enter__()
     start = perf_counter()
     search = index._search_pair
     answers = []
@@ -105,7 +127,22 @@ def _run_chunk(task):
         answers.append(bool(search(u, v)))
         deltas.append((stats.expanded - expanded, stats.pruned - pruned))
     elapsed = perf_counter() - start
-    return chunk_id, answers, deltas, elapsed
+    if span is not None:
+        span.__exit__(None, None, None)
+    registry = get_registry()
+    aux = None
+    if tracer.enabled or registry.enabled:
+        # The trace/parent ids are placeholders: the parent overwrites
+        # them with its ``pool.dispatch`` span before adoption (chunk
+        # results return out of band, not on a traced RPC).
+        aux = build_aux(
+            tracer=tracer,
+            registry=registry,
+            trace_ctx=(None, None) if tracer.enabled else None,
+            pid=os.getpid(),
+            ship_telemetry=registry.enabled,
+        )
+    return chunk_id, answers, deltas, elapsed, aux
 
 
 def _abandon_pool(pool) -> None:
@@ -156,6 +193,9 @@ class SearchPool:
         self._respawns = 0
         self._pool = None
         self._cohort_pids: set = set()
+        # Worker chunk telemetry folds back through here, labeled
+        # ``pool_worker=<pid>`` (same delta semantics as shard workers).
+        self._telemetry = TelemetryMerger()
         if self.workers > 1 and fork_available():
             self.mode = "fork"
             self._pool = self._make_pool()
@@ -229,7 +269,7 @@ class SearchPool:
             workers=self.workers,
             pairs=len(pairs),
             chunks=len(tasks),
-        ):
+        ) as dispatch_span:
             results = self._dispatch(tasks)
 
         answers = np.empty(len(pairs), dtype=bool)
@@ -250,12 +290,23 @@ class SearchPool:
                 )
                 offset += size
                 continue
-            _, chunk_answers, deltas, elapsed = result
+            _, chunk_answers, deltas, elapsed, aux = result
             answers[offset : offset + size] = chunk_answers
             offset += size
             for (expanded, pruned), weight in zip(deltas, chunk_weights):
                 stats.expanded += expanded * weight
                 stats.pruned += pruned * weight
+            if isinstance(aux, dict):
+                if aux.get("spans") and tracer.enabled:
+                    aux["trace_id"] = dispatch_span.trace_id
+                    aux["parent_id"] = dispatch_span.span_id
+                pid = aux.get("pid")
+                ingest_aux(
+                    aux,
+                    merger=self._telemetry,
+                    source=pid,
+                    pool_worker=str(pid),
+                )
             if chunk_hist is not None:
                 chunk_hist(
                     "repro_pool_chunk_seconds",

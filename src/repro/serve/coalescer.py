@@ -24,6 +24,7 @@ coalescing win measurable on ``/metrics``.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 from collections.abc import Callable, Sequence
 
 from repro.obs.metrics import COUNT_BUCKETS, get_registry
@@ -78,7 +79,11 @@ class Coalescer:
         self._executor = executor
         self._registry_fn = registry_fn if registry_fn is not None else get_registry
         self._loop = asyncio.get_running_loop()
-        # Pending entries: (u, v, budget, future, enqueued_ns).
+        # Pending entries: (u, v, budget, future, enqueued_ns, queue_span).
+        # The queue span (None when tracing is off) is created at submit
+        # time — under the request's ambient ``serve.request`` span, so it
+        # inherits the request's trace — and ended when its batch
+        # dispatches, making per-request queue wait visible in the trace.
         self._pending: list[tuple] = []
         self._timer = None
         self._tasks: set[asyncio.Task] = set()
@@ -107,10 +112,15 @@ class Coalescer:
         if self._closed:
             raise CoalescerClosed("coalescer is draining; no new queries")
         enqueued = now_ns()
+        tracer = get_tracer()
+        traced = tracer.enabled
         futures = []
         for u, v in pairs:
             future = self._loop.create_future()
-            self._pending.append((u, v, budget, future, enqueued))
+            queue_span = (
+                tracer.span("serve.queue", u=u, v=v) if traced else None
+            )
+            self._pending.append((u, v, budget, future, enqueued, queue_span))
             futures.append(future)
             if len(self._pending) >= self.max_batch:
                 self.flush()
@@ -165,19 +175,52 @@ class Coalescer:
                 help="Time a request waited in the coalescer before its "
                 "batch was dispatched.",
             )
-            for *_, enqueued in batch:
-                queue_wait.observe(max(0, started - enqueued) * 1e-9)
-        pairs = [(u, v) for u, v, _, _, _ in batch]
+            for entry in batch:
+                queue_wait.observe(max(0, started - entry[4]) * 1e-9)
+        pairs = [(u, v) for u, v, *_ in batch]
         tracer = get_tracer()
-        try:
-            with tracer.span("serve.flush", size=size):
+        if not tracer.enabled:
+            try:
                 answers = await self._loop.run_in_executor(
                     self._executor, self._answer_batch, pairs, budget
                 )
-        except BaseException:  # noqa: BLE001 — isolated per request below
-            await self._retry_isolated(batch, budget)
-            return
-        for (_, _, _, future, _), answer in zip(batch, answers):
+            except BaseException:  # noqa: BLE001 — isolated per request below
+                await self._retry_isolated(batch, budget)
+                return
+        else:
+            # Close every request's queue span at dispatch and collect the
+            # distinct traces feeding this batch; the flush span carries
+            # the trace only when the batch serves a single trace — a
+            # coalesced batch belongs to no one request, but the queue
+            # spans still link each request to this flush by timing.
+            trace_ids: list[int] = []
+            for entry in batch:
+                queue_span = entry[5]
+                if queue_span is None:
+                    continue
+                queue_span.set_attribute("batch_size", size)
+                queue_span.end()
+                tid = queue_span.trace_id
+                if tid is not None and tid not in trace_ids:
+                    trace_ids.append(tid)
+            flush_trace = trace_ids[0] if len(trace_ids) == 1 else None
+            try:
+                with tracer.span(
+                    "serve.flush", trace_id=flush_trace, size=size
+                ):
+                    # run_in_executor does not propagate contextvars; copy
+                    # the context (flush span ambient) so the engine spans
+                    # recorded on the executor thread parent under it.
+                    ctx = contextvars.copy_context()
+                    answers = await self._loop.run_in_executor(
+                        self._executor,
+                        lambda: ctx.run(self._answer_batch, pairs, budget),
+                    )
+            except BaseException:  # noqa: BLE001 — isolated per request below
+                await self._retry_isolated(batch, budget)
+                return
+        for entry, answer in zip(batch, answers):
+            future = entry[3]
             if not future.done():
                 future.set_result(answer)
 
@@ -196,7 +239,7 @@ class Coalescer:
                 help="Coalesced batches that failed wholesale and were "
                 "retried pair by pair.",
             ).inc()
-        for u, v, _, future, _ in batch:
+        for u, v, _, future, *_ in batch:
             if future.done():
                 continue
             try:

@@ -46,10 +46,16 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from urllib.parse import parse_qs, urlsplit
 
+from repro.obs.distributed import recent_traces, trace_payload
 from repro.obs.export import to_prometheus
 from repro.obs.metrics import get_registry
 from repro.obs.server import slow_log_payload
-from repro.obs.spans import get_tracer
+from repro.obs.spans import (
+    format_trace_id,
+    get_tracer,
+    new_trace_id,
+    parse_trace_id,
+)
 from repro.obs.timing import elapsed_s, now_ns
 from repro.resilience.budget import UNKNOWN, QueryBudget
 from repro.serve.coalescer import Coalescer, CoalescerClosed
@@ -370,14 +376,22 @@ class ReachServer:
         parts = urlsplit(target)
         endpoint = parts.path
         tracer = get_tracer()
+        # One trace per admitted request, minted at the HTTP edge; every
+        # span below — coalescer queue, flush, engine, shard RPCs, even
+        # worker-process spans stitched back in — inherits this id.
+        trace_id = new_trace_id() if tracer.enabled else None
         try:
             body = None
             if method == "POST":
                 body = await self._read_body(headers, reader)
-            with tracer.span("serve.request", endpoint=endpoint):
+            with tracer.span(
+                "serve.request", trace_id=trace_id, endpoint=endpoint
+            ):
                 status, doc, content_type, extra = await self._route(
                     method, endpoint, parts.query, body
                 )
+            if trace_id is not None:
+                extra = {**extra, "X-Trace-Id": format_trace_id(trace_id)}
         except _HTTPError as exc:
             return self._render(
                 endpoint, exc.status, exc.body, close=close,
@@ -432,17 +446,69 @@ class ReachServer:
             raise _HTTPError(400, "bad-request", detail="truncated body")
 
     # -- routing --------------------------------------------------------
+    def _health_doc(self) -> dict:
+        """The ``/healthz`` body: liveness plus build/topology info."""
+        import repro
+
+        oracle = self.oracle
+        index = getattr(oracle, "index", None)
+        method = getattr(
+            index if index is not None else oracle, "method_name", None
+        )
+        doc = {
+            "status": "draining" if self._draining else "ok",
+            "version": getattr(repro, "__version__", "unknown"),
+            "index": method if method is not None else type(oracle).__name__,
+            "tracing": get_tracer().enabled,
+        }
+        observers = getattr(
+            getattr(index if index is not None else oracle,
+                    "_observers", None),
+            "k", None,
+        )
+        if observers is None:
+            observers = getattr(
+                getattr(oracle, "config", None), "observers", None
+            )
+        if observers is not None:
+            doc["observers_k"] = observers
+        num_shards = getattr(oracle, "num_shards", None)
+        if num_shards is not None:
+            doc["shards"] = num_shards
+            alive = getattr(oracle, "alive_workers", None)
+            if callable(alive):
+                doc["workers_alive"] = alive()
+        return doc
+
+    def _route_trace(self, query: str):
+        """``/trace``: recent trace summaries, or one stitched tree."""
+        tracer = get_tracer()
+        params = parse_qs(query)
+        raw = params.get("trace_id", [None])[0]
+        if raw is None:
+            doc = {"enabled": tracer.enabled, "traces": recent_traces(tracer)}
+            return 200, doc, "application/json", {}
+        try:
+            trace_id = parse_trace_id(raw)
+        except ValueError:
+            raise _HTTPError(
+                400, "bad-request",
+                detail=f"unparseable trace_id {raw!r}",
+            )
+        return 200, trace_payload(tracer, trace_id), "application/json", {}
+
     async def _route(self, method: str, path: str, query: str, body):
         if path == "/healthz":
-            if self._draining:
-                return 503, "draining\n", "text/plain", {}
-            return 200, "ok\n", "text/plain", {}
+            status = 503 if self._draining else 200
+            return status, self._health_doc(), "application/json", {}
         if path == "/metrics":
             return 200, to_prometheus(self.registry), \
                 "text/plain; version=0.0.4", {}
         if path == "/slow":
             doc = json.dumps(slow_log_payload(self.slow_log), indent=2)
             return 200, doc + "\n", "application/json", {}
+        if path == "/trace":
+            return self._route_trace(query)
         if path == "/reach":
             if method != "GET":
                 raise _HTTPError(405, "method-not-allowed", method=method)

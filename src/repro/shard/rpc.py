@@ -2,7 +2,13 @@
 
 The wire is a :func:`multiprocessing.Pipe`; messages are
 ``(seq, op, payload)`` requests answered by ``(seq, status, payload)``
-responses.  Three properties make the channel survive murdered workers:
+responses.  With tracing enabled both directions grow an *optional*
+fourth element — ``(seq, op, payload, (trace_id, parent_span_id))``
+requests, ``(seq, status, payload, aux)`` responses carrying the
+worker's piggybacked spans and telemetry (see
+:mod:`repro.obs.distributed`) — and stay 3-tuples otherwise, so the
+default wire format is bit-identical to the untraced one.  Three
+properties make the channel survive murdered workers:
 
 * **Sequence matching.**  Every request carries a fresh sequence number
   and the receive loop discards any response whose number does not match
@@ -69,23 +75,43 @@ class WorkerChannel:
     def alive(self) -> bool:
         return not self.closed and self.process.is_alive()
 
-    def request(self, op: str, payload, timeout_s: float):
+    def request(
+        self, op: str, payload, timeout_s: float,
+        trace_ctx: tuple | None = None, on_aux=None,
+    ):
         """One idempotent RPC; raises transient ``WorkerError`` on any
-        failure (timeout, death, broken pipe, worker-side error)."""
-        with self.lock:
-            return self._request_locked(op, payload, timeout_s)
+        failure (timeout, death, broken pipe, worker-side error).
 
-    def try_request(self, op: str, payload, timeout_s: float):
+        ``trace_ctx`` is an optional ``(trace_id, parent_span_id)``
+        appended to the request frame (the worker parents its spans
+        under it); ``on_aux`` receives the response's piggyback envelope
+        when one arrives — its failures are swallowed, because telemetry
+        must never cost the answer that carried it.
+        """
+        with self.lock:
+            return self._request_locked(
+                op, payload, timeout_s, trace_ctx, on_aux
+            )
+
+    def try_request(
+        self, op: str, payload, timeout_s: float,
+        trace_ctx: tuple | None = None, on_aux=None,
+    ):
         """Like :meth:`request` but gives up (returns ``None``) instead
         of queueing when the channel is busy with another RPC."""
         if not self.lock.acquire(blocking=False):
             return None
         try:
-            return self._request_locked(op, payload, timeout_s)
+            return self._request_locked(
+                op, payload, timeout_s, trace_ctx, on_aux
+            )
         finally:
             self.lock.release()
 
-    def _request_locked(self, op: str, payload, timeout_s: float):
+    def _request_locked(
+        self, op: str, payload, timeout_s: float,
+        trace_ctx: tuple | None = None, on_aux=None,
+    ):
         if self.closed:
             raise WorkerError(
                 f"shard {self.shard_id}: channel closed",
@@ -93,8 +119,13 @@ class WorkerChannel:
                 transient=True,
             )
         seq = self._next_seq()
+        frame = (
+            (seq, op, payload)
+            if trace_ctx is None
+            else (seq, op, payload, trace_ctx)
+        )
         try:
-            self.conn.send((seq, op, payload))
+            self.conn.send(frame)
         except (BrokenPipeError, OSError, ValueError) as exc:
             raise WorkerError(
                 f"shard {self.shard_id}: send failed ({exc})",
@@ -136,10 +167,10 @@ class WorkerChannel:
                     shard_id=self.shard_id,
                     transient=True,
                 ) from exc
-            try:
-                rseq, status, result = message
-            except (TypeError, ValueError):
+            if not isinstance(message, tuple) or len(message) < 3:
                 continue  # garbage frame: discard, keep waiting
+            rseq, status, result = message[0], message[1], message[2]
+            aux = message[3] if len(message) > 3 else None
             if rseq != seq:
                 continue  # stale or duplicated response: discard
             if status != "ok":
@@ -148,6 +179,11 @@ class WorkerChannel:
                     shard_id=self.shard_id,
                     transient=True,
                 )
+            if aux is not None and on_aux is not None:
+                try:
+                    on_aux(aux)
+                except Exception:  # noqa: BLE001 — piggyback loss is free
+                    pass
             return result
 
     def close(self) -> None:

@@ -53,8 +53,10 @@ from repro.exceptions import (
 from repro.graph.digraph import DiGraph
 from repro.graph.scc import condense
 from repro.graph.traversal import bounded_bidirectional_reachable
+from repro.obs.distributed import TelemetryMerger, ingest_aux
 from repro.obs.metrics import get_registry
-from repro.obs.spans import get_tracer
+from repro.obs.spans import get_tracer, new_trace_id
+from repro.obs.timing import elapsed_ns, now_ns
 from repro.resilience import chaos
 from repro.resilience.budget import UNKNOWN, QueryBudget
 from repro.resilience.retry import RetryPolicy
@@ -260,6 +262,14 @@ class ShardService:
         self._lost: set[int] = set()
         self._closed = False
         self._hb_misses = [0] * self.num_shards
+        self.slow_log = None
+        # Worker telemetry lands here; the per-shard sinks are prebuilt
+        # so the RPC hot path allocates no closure per call.
+        self._telemetry = TelemetryMerger()
+        self._aux_sinks = [
+            (lambda aux, _sid=shard_id: self._ingest_aux(_sid, aux))
+            for shard_id in range(self.num_shards)
+        ]
         for shard_id in range(self.num_shards):
             self._channels[shard_id] = self._spawn(shard_id)
         self._stop_supervisor = threading.Event()
@@ -294,8 +304,32 @@ class ShardService:
             f"|V|={self.graph.num_vertices} |E|={self.graph.num_edges}>"
         )
 
+    def attach_slow_log(self, log) -> object:
+        """Attach a :class:`~repro.obs.slowlog.SlowQueryLog`; returns it.
+
+        Routed queries record per-pair entries carrying their
+        ``trace_id`` (when tracing is on) and the owning shard;
+        ``local_many`` sub-batches record each pair with the sub-batch
+        RPC's wall time (the per-pair cost is not observable
+        coordinator-side — the entry identifies the slow *batch*).
+        """
+        self.slow_log = log
+        return log
+
+    def _ingest_aux(self, shard_id: int, aux) -> None:
+        """Fold one worker piggyback envelope in; never raises."""
+        ingest_aux(
+            aux,
+            merger=self._telemetry,
+            source=shard_id,
+            shard=str(shard_id),
+        )
+
     # -- worker lifecycle ----------------------------------------------
     def _spawn(self, shard_id: int) -> WorkerChannel:
+        # A fresh worker starts from a zeroed registry: drop the merger's
+        # baseline so its first snapshot is applied whole.
+        self._telemetry.reset(shard_id)
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=worker_main,
@@ -394,7 +428,8 @@ class ShardService:
                     continue
                 try:
                     answer = channel.try_request(
-                        "ping", None, config.heartbeat_timeout_s
+                        "ping", None, config.heartbeat_timeout_s,
+                        on_aux=self._aux_sinks[shard_id],
                     )
                 except WorkerError:
                     answer = "miss"
@@ -468,10 +503,17 @@ class ShardService:
                 if tracer.enabled:
                     with tracer.span(
                         "shard.rpc", shard=shard_id, op=op, attempt=attempt
-                    ):
-                        result = channel.request(op, payload, timeout)
+                    ) as rpc_span:
+                        result = channel.request(
+                            op, payload, timeout,
+                            trace_ctx=(rpc_span.trace_id, rpc_span.span_id),
+                            on_aux=self._aux_sinks[shard_id],
+                        )
                 else:
-                    result = channel.request(op, payload, timeout)
+                    result = channel.request(
+                        op, payload, timeout,
+                        on_aux=self._aux_sinks[shard_id],
+                    )
             except WorkerError:
                 self.stats.rpc_failures += 1
                 self._count(
@@ -677,16 +719,39 @@ class ShardService:
             else None
         )
         tracer = get_tracer()
-        if not tracer.enabled:
+        slow = self.slow_log
+        if not tracer.enabled and slow is None:
             return self._query_condensed(cu, cv, deadline_at)
-        with tracer.span(
-            "shard.query", u=u, v=v, shards=self.num_shards
-        ) as span:
+        span = (
+            tracer.span("shard.query", u=u, v=v, shards=self.num_shards)
+            if tracer.enabled
+            else None
+        )
+        if span is not None:
+            if span.trace_id is None:
+                # No ambient trace (direct service use, not behind the
+                # HTTP edge): this query is its own request edge.
+                span.trace_id = new_trace_id()
+            span.__enter__()
+        start = now_ns() if slow is not None else 0
+        try:
             answer = self._query_condensed(cu, cv, deadline_at)
-            span.set_attribute(
-                "verdict", "unknown" if answer is UNKNOWN else answer
-            )
+            if span is not None:
+                span.set_attribute(
+                    "verdict", "unknown" if answer is UNKNOWN else answer
+                )
+            if slow is not None:
+                owner_u = self.plan.owner_of[cu]
+                owner_v = self.plan.owner_of[cv]
+                slow.record(
+                    u, v, answer, elapsed_ns(start), "shard",
+                    trace_id=span.trace_id if span is not None else None,
+                    shard=int(owner_u) if owner_u == owner_v else None,
+                )
             return answer
+        finally:
+            if span is not None:
+                span.__exit__(None, None, None)
 
     def _local_many(
         self,
@@ -695,6 +760,8 @@ class ShardService:
         condensed: list[tuple[int, int]],
         deadline_ms: float | None,
         answers: list,
+        pairs=None,
+        trace_id: int | None = None,
     ) -> None:
         """One ``local_many`` RPC for a same-shard sub-batch.
 
@@ -704,6 +771,10 @@ class ShardService:
         a full batch is never cheated out of its per-pair budgets.
         Fills ``answers`` in place at ``idxs``; any failure degrades
         every pair of the sub-batch, exactly like the scalar path.
+        With a slow log attached (and ``pairs`` given) every pair is
+        recorded with the sub-batch RPC's wall time — the per-pair cost
+        is not observable coordinator-side, so the entry identifies the
+        slow *batch* — tagged with the owning shard and ``trace_id``.
         """
         self.stats.local_queries += len(idxs)
         chunk_pairs = [condensed[i] for i in idxs]
@@ -712,6 +783,8 @@ class ShardService:
             if deadline_ms is not None
             else None
         )
+        slow = self.slow_log if pairs is not None else None
+        start = now_ns() if slow is not None else 0
         try:
             results = self._rpc(
                 shard_id,
@@ -729,19 +802,26 @@ class ShardService:
             for i in idxs:
                 cu, cv = condensed[i]
                 answers[i] = self._degrade(cu, cv, deadline_at, "deadline")
-            return
         except ShardLostError:
             mode = self.config.on_shard_loss
             for i in idxs:
                 cu, cv = condensed[i]
                 answers[i] = self._degrade(cu, cv, deadline_at, mode)
-            return
-        for i, result in zip(idxs, results):
-            if result is None:
-                cu, cv = condensed[i]
-                answers[i] = self._degrade(cu, cv, deadline_at, "deadline")
-            else:
-                answers[i] = result
+        else:
+            for i, result in zip(idxs, results):
+                if result is None:
+                    cu, cv = condensed[i]
+                    answers[i] = self._degrade(cu, cv, deadline_at, "deadline")
+                else:
+                    answers[i] = result
+        if slow is not None:
+            elapsed = elapsed_ns(start)
+            for i in idxs:
+                u, v = pairs[i]
+                slow.record(
+                    u, v, answers[i], elapsed, "shard.local_many",
+                    trace_id=trace_id, shard=shard_id,
+                )
 
     def query_many(self, pairs, deadline_ms: float | None = None) -> list:
         """Answer a batch of ``(u, v)`` pairs through the shard protocol.
@@ -788,7 +868,12 @@ class ShardService:
             else None
         )
         if span is not None:
+            if span.trace_id is None:
+                # Batch equivalent of the scalar edge-minting above.
+                span.trace_id = new_trace_id()
             span.__enter__()
+        batch_trace = span.trace_id if span is not None else None
+        slow = self.slow_log
         try:
             chunk = self._LOCAL_MANY_CHUNK
             for shard_id in sorted(groups):
@@ -800,6 +885,8 @@ class ShardService:
                         condensed,
                         deadline_ms,
                         answers,
+                        pairs=pairs,
+                        trace_id=batch_trace,
                     )
             for i in cross:
                 cu, cv = condensed[i]
@@ -808,7 +895,15 @@ class ShardService:
                     if deadline_ms is not None
                     else None
                 )
+                if slow is not None:
+                    pair_start = now_ns()
                 answers[i] = self._query_condensed(cu, cv, deadline_at)
+                if slow is not None:
+                    u, v = pairs[i]
+                    slow.record(
+                        u, v, answers[i], elapsed_ns(pair_start), "shard",
+                        trace_id=batch_trace,
+                    )
         finally:
             if span is not None:
                 span.__exit__(None, None, None)

@@ -25,6 +25,17 @@ Operations:
 * ``route_in (v,)`` — the ``In(v)`` half.
 * ``stop`` — acknowledge and exit cleanly.
 
+With tracing/metrics enabled before the service was built, a worker is a
+first-class observability citizen: it inherits the coordinator's tracer
+and registry objects through the fork, clears/zeroes them at startup (the
+inherited contents belong to the parent), and then records spans and
+instrument updates of its own.  Finished spans and cumulative telemetry
+snapshots are *piggybacked* on RPC responses as an optional fourth frame
+element and stitched coordinator-side (see :mod:`repro.obs.distributed`);
+spans finished without a request's trace context are dropped here, never
+shipped under a wrong parent.  With the default null tracer/registry the
+worker does none of this and the response frames stay 3-tuples.
+
 Chaos hook points (inherited through fork, so tests install them on the
 coordinator *before* the service starts):
 
@@ -38,6 +49,12 @@ coordinator *before* the service starts):
 
 from __future__ import annotations
 
+import os
+from time import monotonic
+
+from repro.obs.distributed import TELEMETRY_INTERVAL_S, build_aux
+from repro.obs.metrics import get_registry, reset_instruments
+from repro.obs.spans import get_tracer
 from repro.resilience import chaos
 from repro.resilience.budget import UNKNOWN, QueryBudget
 from repro.shard.plan import ShardState
@@ -104,36 +121,85 @@ def _handle(state: ShardState, op: str, payload):
 def worker_main(state: ShardState, conn) -> None:
     """Serve RPCs over ``conn`` until ``stop``, EOF, or a closed pipe.
 
-    Runs as the target of a forked ``multiprocessing.Process``; never
-    touches the metrics registry or tracer (those belong to the
-    coordinator — a fork must not observe into an inherited registry
-    copy that nobody will ever scrape).
+    Runs as the target of a forked ``multiprocessing.Process``.  The
+    inherited tracer ring is cleared and the inherited registry zeroed
+    *in place* at startup — the index's observability handles (resolved
+    at build time, pre-fork) keep pointing at them, so everything the
+    worker's index observes from here on is worker-pure and shippable;
+    the pre-fork contents belong to the coordinator.  With the default
+    null tracer/registry this is all skipped and the worker behaves
+    exactly as before: pure RPCs, 3-tuple responses.
     """
     shard_id = state.shard_id
+    tracer = get_tracer()
+    tracing = tracer.enabled
+    if tracing:
+        tracer.clear()
+    registry = get_registry()
+    telemetry = registry.enabled
+    if telemetry:
+        reset_instruments(registry)
+        registry.gauge(
+            "repro_shard_index_tier_info",
+            help="Index tier this worker serves (info gauge: value 1).",
+            tier=state.index_tier,
+        ).set(1)
+    pid = os.getpid()
+    last_ship = 0.0
     while True:
         try:
             message = conn.recv()
         except (EOFError, OSError, KeyboardInterrupt):
             break
         try:
-            seq, op, payload = message
-        except (TypeError, ValueError):
+            seq, op, payload = message[0], message[1], message[2]
+        except (TypeError, IndexError, KeyError):
             continue  # garbage frame: a well-behaved worker ignores it
+        trace_ctx = message[3] if isinstance(message, tuple) and len(message) > 3 else None
+        if not (isinstance(trace_ctx, tuple) and len(trace_ctx) == 2):
+            trace_ctx = None
         if op == "stop":
             try:
                 conn.send((seq, "ok", None))
             except (BrokenPipeError, OSError):
                 pass
             break
+        aux = None
         try:
             chaos.fire(
                 "shard.worker.request", shard_id=shard_id, op=op, seq=seq
             )
-            result = _handle(state, op, payload)
+            if tracing and trace_ctx is not None and op != "ping":
+                with tracer.span(
+                    f"worker.{op}", trace_id=trace_ctx[0], shard=shard_id
+                ):
+                    result = _handle(state, op, payload)
+            else:
+                result = _handle(state, op, payload)
         except Exception as exc:  # noqa: BLE001 — relayed as error frame
+            if tracing:
+                tracer.clear()  # never ship spans of a failed request
             response = (seq, "error", f"{type(exc).__name__}: {exc}")
         else:
-            response = (seq, "ok", result)
+            now = monotonic()
+            ship = telemetry and (
+                op == "ping" or now - last_ship >= TELEMETRY_INTERVAL_S
+            )
+            if tracing or ship:
+                aux = build_aux(
+                    tracer=tracer,
+                    registry=registry,
+                    trace_ctx=trace_ctx if tracing else None,
+                    pid=pid,
+                    ship_telemetry=ship,
+                )
+            if ship:
+                last_ship = now
+            response = (
+                (seq, "ok", result)
+                if aux is None
+                else (seq, "ok", result, aux)
+            )
         copies = 1
         try:
             chaos.fire(

@@ -1,0 +1,470 @@
+"""Unit tests for distributed tracing + cross-process telemetry glue.
+
+Everything here is single-process: trace-id propagation through the
+ambient parent, remote-span adoption (remapping, re-parenting, orphan
+and garbage handling), the delta-merging telemetry fold, the per-stage
+latency histogram, and the trace views behind ``/trace`` and the
+``repro trace`` CLI.  Multi-process stitching over real shard workers
+lives in ``tests/shard/test_trace_stitch.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.obs.distributed import (
+    TelemetryMerger,
+    build_aux,
+    ingest_aux,
+    recent_traces,
+    render_trace_tree,
+    trace_payload,
+    trace_to_chrome,
+    trace_tree,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    metrics_enabled,
+    reset_instruments,
+    snapshot_instruments,
+)
+from repro.obs.spans import (
+    NullTracer,
+    Tracer,
+    format_trace_id,
+    new_trace_id,
+    parse_trace_id,
+    tracing_enabled,
+)
+
+EDGES = [(0, 1), (1, 2), (2, 3)]
+
+
+# ---------------------------------------------------------------------------
+# Trace ids
+# ---------------------------------------------------------------------------
+class TestTraceIds:
+    def test_new_trace_id_is_nonzero_64_bit(self):
+        for _ in range(64):
+            tid = new_trace_id()
+            assert 1 <= tid < 2**64
+
+    def test_format_parse_roundtrip(self):
+        tid = 0xDEADBEEF12345678
+        text = format_trace_id(tid)
+        assert len(text) == 16
+        assert parse_trace_id(text) == tid
+
+    def test_parse_accepts_0x_decimal_and_int(self):
+        assert parse_trace_id("0xff") == 255
+        assert parse_trace_id("123") == 123
+        assert parse_trace_id(42) == 42
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_trace_id("not-a-trace")
+
+
+# ---------------------------------------------------------------------------
+# Propagation through the ambient parent
+# ---------------------------------------------------------------------------
+class TestTracePropagation:
+    def test_children_inherit_the_roots_trace(self):
+        tracer = Tracer()
+        tid = new_trace_id()
+        with tracer.span("serve.request", trace_id=tid):
+            with tracer.span("serve.flush"):
+                with tracer.span("engine.cut"):
+                    pass
+        assert [s.trace_id for s in tracer.spans()] == [tid, tid, tid]
+
+    def test_explicit_trace_id_overrides_inheritance(self):
+        tracer = Tracer()
+        with tracer.span("serve.request", trace_id=7):
+            with tracer.span("shard.rpc", trace_id=9):
+                pass
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["shard.rpc"].trace_id == 9
+        assert by_name["serve.request"].trace_id == 7
+
+    def test_untraced_spans_have_no_trace_id(self):
+        tracer = Tracer()
+        with tracer.span("query"):
+            pass
+        assert tracer.spans()[0].trace_id is None
+
+    def test_spans_for_trace_filters(self):
+        tracer = Tracer()
+        with tracer.span("a", trace_id=1):
+            pass
+        with tracer.span("b", trace_id=2):
+            pass
+        assert [s.name for s in tracer.spans_for_trace(2)] == ["b"]
+
+    def test_null_tracer_span_accepts_trace_id(self):
+        tracer = NullTracer()
+        with tracer.span("query", trace_id=123, u=0) as span:
+            span.set_attribute("verdict", True)
+        assert len(tracer) == 0
+
+
+# ---------------------------------------------------------------------------
+# Adoption (the coordinator side of the piggyback)
+# ---------------------------------------------------------------------------
+def remote_span_dicts():
+    """Two spans from a 'worker': local_many with one child search."""
+    worker = Tracer()
+    with worker.span("worker.local_many", shard=1):
+        with worker.span("engine.search"):
+            pass
+    return [s.as_dict() for s in worker.spans()]
+
+
+class TestAdoption:
+    def test_adopt_remaps_ids_and_reparents_roots(self):
+        tracer = Tracer()
+        with tracer.span("shard.rpc", trace_id=5) as rpc:
+            pass
+        adopted = tracer.adopt(
+            remote_span_dicts(), trace_id=5, parent_id=rpc.span_id
+        )
+        assert len(adopted) == 2
+        by_name = {s.name: s for s in adopted}
+        root = by_name["worker.local_many"]
+        child = by_name["engine.search"]
+        # The remote root hangs off the coordinator's shard.rpc span,
+        # the internal parent edge is preserved in the new id space.
+        assert root.parent_id == rpc.span_id
+        assert child.parent_id == root.span_id
+        assert {s.trace_id for s in adopted} == {5}
+        local_ids = {s.span_id for s in tracer.spans()}
+        assert len(local_ids) == len(tracer.spans())  # no id collisions
+
+    def test_adopt_skips_malformed_entries(self):
+        tracer = Tracer()
+        docs = [
+            "garbage",
+            {"name": 42, "start_ns": 0, "duration_ns": 1},
+            {"name": "ok", "start_ns": 10, "duration_ns": -5},
+            {"name": "good", "start_ns": 10, "duration_ns": 5, "pid": 999},
+        ]
+        adopted = tracer.adopt(docs, trace_id=1, parent_id=None)
+        assert [s.name for s in adopted] == ["good"]
+        assert adopted[0].pid == 999
+
+    def test_adopt_does_not_touch_stage_histograms(self):
+        # Workers already observed their stage times before shipping;
+        # adoption must append raw, never re-observe.
+        docs = remote_span_dicts()
+        with metrics_enabled() as registry:
+            tracer = Tracer()
+            tracer.adopt(docs, trace_id=1)
+            hist = registry.histogram("repro_stage_seconds", stage="worker")
+            assert hist.count == 0
+
+    def test_null_tracer_adopt_is_a_noop(self):
+        assert NullTracer().adopt(remote_span_dicts(), trace_id=1) == []
+
+
+# ---------------------------------------------------------------------------
+# The per-stage latency decomposition
+# ---------------------------------------------------------------------------
+class TestStageHistogram:
+    def test_stage_spans_observe_repro_stage_seconds(self):
+        with metrics_enabled() as registry:
+            with tracing_enabled() as tracer:
+                for name, stage in [
+                    ("serve.queue", "queue"),
+                    ("serve.flush", "coalesce"),
+                    ("engine.observer", "observer"),
+                    ("engine.cut", "cut"),
+                    ("engine.search", "search"),
+                    ("shard.rpc", "rpc"),
+                    ("worker.local_many", "worker"),
+                ]:
+                    with tracer.span(name):
+                        pass
+                    hist = registry.histogram(
+                        "repro_stage_seconds", stage=stage
+                    )
+                    assert hist.count == 1, name
+
+    def test_unmapped_span_names_observe_nothing(self):
+        with metrics_enabled() as registry:
+            with tracing_enabled() as tracer:
+                with tracer.span("query"):
+                    pass
+            assert all(
+                name != "repro_stage_seconds"
+                for (_, name, _) in registry._instruments
+            )
+
+
+# ---------------------------------------------------------------------------
+# Telemetry snapshots and the delta merge
+# ---------------------------------------------------------------------------
+class TestTelemetryMerger:
+    def test_counter_deltas_never_double_count(self):
+        worker = MetricsRegistry()
+        worker.counter("jobs_total", kind="x").inc(5)
+        parent = MetricsRegistry()
+        merger = TelemetryMerger()
+        snap = snapshot_instruments(worker)
+        merger.apply("w0", snap, parent, shard="0")
+        merger.apply("w0", snap, parent, shard="0")  # re-shipped totals
+        assert parent.counter("jobs_total", kind="x", shard="0").value == 5
+        worker.counter("jobs_total", kind="x").inc(2)
+        merger.apply("w0", snapshot_instruments(worker), parent, shard="0")
+        assert parent.counter("jobs_total", kind="x", shard="0").value == 7
+
+    def test_restart_detected_by_negative_delta(self):
+        worker = MetricsRegistry()
+        worker.counter("jobs_total").inc(10)
+        parent = MetricsRegistry()
+        merger = TelemetryMerger()
+        merger.apply("w0", snapshot_instruments(worker), parent)
+        fresh = MetricsRegistry()  # the restarted worker, zeroed
+        fresh.counter("jobs_total").inc(3)
+        merger.apply("w0", snapshot_instruments(fresh), parent)
+        assert parent.counter("jobs_total").value == 13
+
+    def test_reset_drops_the_baseline(self):
+        worker = MetricsRegistry()
+        worker.counter("jobs_total").inc(4)
+        parent = MetricsRegistry()
+        merger = TelemetryMerger()
+        snap = snapshot_instruments(worker)
+        merger.apply("w0", snap, parent)
+        merger.reset("w0")
+        merger.apply("w0", snap, parent)  # fresh source: applied whole
+        assert parent.counter("jobs_total").value == 8
+
+    def test_gauges_are_absolute(self):
+        worker = MetricsRegistry()
+        worker.gauge("depth").set(7.0)
+        parent = MetricsRegistry()
+        merger = TelemetryMerger()
+        snapshot = snapshot_instruments(worker)
+        merger.apply("w0", snapshot, parent, shard="2")
+        merger.apply("w0", snapshot, parent, shard="2")
+        assert parent.gauge("depth", shard="2").value == 7.0
+
+    def test_histogram_deltas_and_min_max_fold(self):
+        worker = MetricsRegistry()
+        worker.histogram("lat_seconds").observe(0.5)
+        parent = MetricsRegistry()
+        merger = TelemetryMerger()
+        merger.apply("w0", snapshot_instruments(worker), parent)
+        worker.histogram("lat_seconds").observe(2.0)
+        merger.apply("w0", snapshot_instruments(worker), parent)
+        merged = parent.histogram("lat_seconds")
+        assert merged.count == 2
+        assert merged.sum == pytest.approx(2.5)
+        assert merged.min == pytest.approx(0.5)
+        assert merged.max == pytest.approx(2.0)
+
+    def test_malformed_docs_are_isolated(self):
+        parent = MetricsRegistry()
+        merger = TelemetryMerger()
+        snapshot = [
+            {"kind": "counter"},  # missing fields
+            "garbage",
+            {"kind": "counter", "name": "ok_total", "labels": {}, "value": 2},
+        ]
+        assert merger.apply("w0", snapshot, parent) == 1
+        assert parent.counter("ok_total").value == 2
+
+
+class TestSnapshotReset:
+    def test_snapshot_skips_zero_counters_and_ships_gauges(self):
+        registry = MetricsRegistry()
+        registry.counter("zero_total")
+        registry.counter("hot_total").inc()
+        registry.gauge("idle").set(0.0)
+        names = {doc["name"] for doc in snapshot_instruments(registry)}
+        assert names == {"hot_total", "idle"}
+
+    def test_reset_zeroes_in_place(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("jobs_total")
+        counter.inc(9)
+        hist = registry.histogram("lat_seconds")
+        hist.observe(1.0)
+        reset_instruments(registry)
+        # Same objects, zeroed: handles resolved pre-fork stay valid.
+        assert counter.value == 0
+        assert hist.count == 0 and hist.sum == 0.0
+        assert registry.counter("jobs_total") is counter
+
+
+# ---------------------------------------------------------------------------
+# The piggyback envelope
+# ---------------------------------------------------------------------------
+class TestBuildIngestAux:
+    def test_orphan_spans_are_drained_but_not_shipped(self):
+        tracer = Tracer()
+        with tracer.span("worker.local"):
+            pass
+        aux = build_aux(
+            tracer=tracer,
+            registry=MetricsRegistry(),
+            trace_ctx=None,
+            pid=123,
+            ship_telemetry=False,
+        )
+        assert aux is None
+        assert len(tracer) == 0  # the ring was cleared either way
+
+    def test_spans_ship_under_the_trace_ctx(self):
+        tracer = Tracer()
+        with tracer.span("worker.local", shard=0):
+            pass
+        aux = build_aux(
+            tracer=tracer,
+            registry=MetricsRegistry(),
+            trace_ctx=(77, 4),
+            pid=123,
+            ship_telemetry=False,
+        )
+        assert aux["trace_id"] == 77 and aux["parent_id"] == 4
+        assert [doc["name"] for doc in aux["spans"]] == ["worker.local"]
+        assert aux["pid"] == 123
+        assert len(tracer) == 0
+
+    def test_telemetry_ships_when_asked(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total").inc(3)
+        aux = build_aux(
+            tracer=NullTracer(),
+            registry=registry,
+            trace_ctx=None,
+            pid=9,
+            ship_telemetry=True,
+        )
+        assert {doc["name"] for doc in aux["telemetry"]} == {"jobs_total"}
+
+    def test_ingest_adopts_and_merges(self):
+        coordinator = Tracer()
+        with coordinator.span("shard.rpc", trace_id=11) as rpc:
+            pass
+        worker_reg = MetricsRegistry()
+        worker_reg.counter("jobs_total").inc(2)
+        worker = Tracer()
+        with worker.span("worker.local"):
+            pass
+        aux = build_aux(
+            tracer=worker,
+            registry=worker_reg,
+            trace_ctx=(11, rpc.span_id),
+            pid=4242,
+            ship_telemetry=True,
+        )
+        parent_reg = MetricsRegistry()
+        merger = TelemetryMerger()
+        ingest_aux(
+            aux,
+            merger=merger,
+            source=0,
+            tracer=coordinator,
+            registry=parent_reg,
+            shard="0",
+        )
+        stitched = coordinator.spans_for_trace(11)
+        assert {s.name for s in stitched} == {"shard.rpc", "worker.local"}
+        assert parent_reg.counter("jobs_total", shard="0").value == 2
+
+    def test_ingest_never_raises_on_garbage(self):
+        for garbage in [None, 42, "x", {"spans": "nope", "telemetry": 3}]:
+            ingest_aux(garbage, merger=TelemetryMerger(), source=0)
+
+
+# ---------------------------------------------------------------------------
+# Trace views
+# ---------------------------------------------------------------------------
+def stitched_tracer():
+    tracer = Tracer()
+    tid = 0xABC
+    with tracer.span("serve.request", trace_id=tid, endpoint="/reach"):
+        with tracer.span("shard.rpc", shard=1, op="local") as rpc:
+            pass
+    worker = Tracer()
+    with worker.span("worker.local", shard=1):
+        pass
+    docs = [s.as_dict() for s in worker.spans()]
+    for doc in docs:
+        doc["pid"] = 99999  # a foreign process
+    tracer.adopt(docs, trace_id=tid, parent_id=rpc.span_id)
+    return tracer, tid
+
+
+class TestTraceViews:
+    def test_trace_tree_nests_and_sorts(self):
+        tracer, tid = stitched_tracer()
+        roots = trace_tree(tracer, tid)
+        assert len(roots) == 1
+        assert roots[0]["name"] == "serve.request"
+        rpc = roots[0]["children"][0]
+        assert rpc["name"] == "shard.rpc"
+        assert rpc["children"][0]["name"] == "worker.local"
+
+    def test_trace_payload_reports_pids(self):
+        tracer, tid = stitched_tracer()
+        payload = trace_payload(tracer, tid)
+        assert payload["trace_id"] == format_trace_id(tid)
+        assert payload["span_count"] == 3
+        assert 99999 in payload["pids"] and len(payload["pids"]) == 2
+
+    def test_recent_traces_most_recent_first(self):
+        tracer = Tracer()
+        with tracer.span("first", trace_id=1):
+            pass
+        with tracer.span("second", trace_id=2):
+            pass
+        listing = recent_traces(tracer)
+        assert [entry["trace_id"] for entry in listing] == [
+            format_trace_id(2),
+            format_trace_id(1),
+        ]
+        assert listing[0]["name"] == "second"
+
+    def test_render_trace_tree_is_indented_text(self):
+        tracer, tid = stitched_tracer()
+        text = render_trace_tree(trace_payload(tracer, tid))
+        lines = text.splitlines()
+        assert format_trace_id(tid) in lines[0]
+        assert lines[1].startswith("serve.request")
+        assert lines[2].startswith("  shard.rpc")
+        assert lines[3].startswith("    worker.local")
+
+    def test_trace_to_chrome_has_one_track_per_pid(self):
+        tracer, tid = stitched_tracer()
+        doc = trace_to_chrome(trace_payload(tracer, tid))
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert len(meta) == 2  # coordinator + the foreign worker pid
+        slices = [e for e in events if e["ph"] == "X"]
+        assert len(slices) == 3
+        for event in slices:
+            assert {"name", "ts", "dur", "pid", "tid"} <= set(event)
+        json.dumps(doc)  # the document must be serializable as-is
+
+
+# ---------------------------------------------------------------------------
+# Zero overhead when disabled
+# ---------------------------------------------------------------------------
+class TestZeroOverheadDefaults:
+    def test_batch_answers_and_stats_identical_with_tracing_toggle(self):
+        from repro import Reachability
+
+        pairs = [(u, v) for u in range(5) for v in range(5)]
+        plain = Reachability(DiGraph(5, EDGES))
+        baseline = plain.reachable_many(pairs)
+        base_stats = plain.index.stats.as_dict()
+
+        with tracing_enabled():
+            traced = Reachability(DiGraph(5, EDGES))
+            answers = traced.reachable_many(pairs)
+            traced_stats = traced.index.stats.as_dict()
+        assert answers == baseline
+        assert traced_stats == base_stats

@@ -144,7 +144,11 @@ class TestObsEndpoints:
     def test_healthz(self, server):
         with urlopen(server.url + "/healthz", timeout=5) as response:
             assert response.status == 200
-            assert response.read() == b"ok\n"
+            doc = json.loads(response.read())
+        assert doc["status"] == "ok"
+        assert doc["version"]
+        assert doc["index"]
+        assert doc["tracing"] is False
 
     def test_metrics_exposes_serving_histograms(self, server):
         get_json(server.url + "/reach?u=0&v=3")

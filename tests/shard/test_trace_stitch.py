@@ -1,0 +1,232 @@
+"""Cross-process trace stitching over real forked shard workers.
+
+One traced query against :class:`ShardService` must yield one tree in
+the coordinator's ring: ``shard.query → shard.rpc → worker.* → …`` with
+the worker spans carrying a foreign pid, all under a single trace id.
+Worker telemetry rides the same piggyback and folds into the
+coordinator registry under a ``shard`` label.  And because piggyback
+loss is free, SIGKILLing workers mid-traffic may cost spans, never ring
+integrity and never a wrong answer.
+"""
+
+import multiprocessing
+import os
+import random
+import time
+
+import pytest
+
+from repro.graph.generators import crown_graph, random_dag
+from repro.obs.distributed import trace_payload, trace_tree
+from repro.obs.metrics import metrics_enabled
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.spans import tracing_enabled
+from repro.resilience import UNKNOWN, chaos
+from repro.shard import ShardConfig, ShardService
+from tests.conftest import reachability_oracle
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="shard workers need the fork start method",
+)
+
+FAST_CONFIG = ShardConfig(
+    num_shards=2,
+    rpc_timeout_s=0.5,
+    heartbeat_interval_s=0.05,
+    heartbeat_timeout_s=0.2,
+)
+
+
+def drive_all_pairs(service, graph):
+    """Query every pair once; returns {(u, v): answer}."""
+    n = graph.num_vertices
+    return {
+        (u, v): service.query(u, v, deadline_ms=500.0)
+        for u in range(n)
+        for v in range(n)
+    }
+
+
+class TestStitchedTrace:
+    def test_worker_spans_reparent_under_the_coordinator_rpc(self):
+        graph = crown_graph(6)
+        with tracing_enabled() as tracer:
+            # The tracer must be live *before* the fork so workers
+            # inherit an enabled ring.
+            with ShardService(graph, FAST_CONFIG) as service:
+                drive_all_pairs(service, graph)
+                assert service.stats.local_queries > 0
+        me = os.getpid()
+        spans = tracer.spans()
+        by_id = {s.span_id: s for s in spans}
+        worker_spans = [s for s in spans if s.name.startswith("worker.")]
+        assert worker_spans, "no worker spans were piggybacked home"
+        stitched = 0
+        for span in worker_spans:
+            assert span.pid != me  # genuinely from another process
+            assert span.trace_id is not None
+            parent = by_id.get(span.parent_id)
+            if parent is None:
+                continue  # child of another adopted worker span's batch
+            stitched += 1
+            # A worker root hangs off the coordinator's shard.rpc span
+            # and shares the originating query's trace end to end.
+            assert parent.name == "shard.rpc"
+            assert parent.pid == me
+            assert parent.trace_id == span.trace_id
+            root = by_id.get(parent.parent_id)
+            assert root is not None and root.name == "shard.query"
+            assert root.trace_id == span.trace_id
+        assert stitched > 0
+
+    def test_trace_payload_spans_multiple_processes(self):
+        graph = crown_graph(6)
+        with tracing_enabled() as tracer:
+            with ShardService(graph, FAST_CONFIG) as service:
+                drive_all_pairs(service, graph)
+        me = os.getpid()
+        multi = [
+            tid
+            for tid in {s.trace_id for s in tracer.spans() if s.trace_id}
+            if len({s.pid for s in tracer.spans_for_trace(tid)}) >= 2
+        ]
+        assert multi, "no trace collected spans from more than one process"
+        payload = trace_payload(tracer, multi[0])
+        assert len(payload["pids"]) >= 2 and me in payload["pids"]
+        roots = trace_tree(tracer, multi[0])
+        assert roots and roots[0]["name"] == "shard.query"
+
+    def test_worker_telemetry_lands_with_a_shard_label(self):
+        graph = random_dag(120, avg_degree=2.0, seed=11)
+        with metrics_enabled() as registry:
+            with ShardService(graph, FAST_CONFIG) as service:
+                # The heartbeat ping carries each worker's registry
+                # snapshot; wait for at least one round trip.
+                deadline = time.monotonic() + 5.0
+                found = set()
+                while time.monotonic() < deadline and len(found) < 2:
+                    for (_, name, labels), gauge in list(
+                        registry._instruments.items()
+                    ):
+                        if name != "repro_shard_index_tier_info":
+                            continue
+                        shard = dict(labels).get("shard")
+                        if shard is not None and gauge.value == 1:
+                            found.add(shard)
+                    time.sleep(0.02)
+                assert found == {"0", "1"}
+                assert service.alive_workers() == 2
+
+    def test_slow_log_entries_carry_trace_and_shard(self):
+        graph = crown_graph(6)
+        with tracing_enabled():
+            with ShardService(graph, FAST_CONFIG) as service:
+                log = service.attach_slow_log(
+                    SlowQueryLog(capacity=4096, threshold_ns=0)
+                )
+                answers = drive_all_pairs(service, graph)
+                n = graph.num_vertices
+                batch = service.query_many(
+                    [(u, v) for u in range(n) for v in range(n)],
+                    deadline_ms=500.0,
+                )
+        assert list(answers.values()) == batch
+        records = log.records()
+        assert records
+        traced = [r for r in records if r.trace_id is not None]
+        assert traced, "no slow-log entry joined a trace"
+        routed = [r for r in records if r.shard is not None]
+        assert routed, "no slow-log entry named its owning shard"
+        assert {r.method for r in records} <= {"shard", "shard.local_many"}
+        batched = [r for r in records if r.method == "shard.local_many"]
+        assert all(r.shard is not None for r in batched)
+
+
+class TestChaosWithTracing:
+    def test_sigkill_mid_traffic_never_corrupts_the_ring(self):
+        graph = crown_graph(6)
+        oracle = reachability_oracle(graph)
+        rng = random.Random(7)
+        n = graph.num_vertices
+        with tracing_enabled() as tracer:
+            with ShardService(graph, FAST_CONFIG) as service:
+                wrong = 0
+                for i in range(120):
+                    if i % 15 == 14:
+                        pids = [
+                            p for p in service.worker_pids() if p is not None
+                        ]
+                        if pids:
+                            chaos.kill_process(rng.choice(pids))
+                    u, v = rng.randrange(n), rng.randrange(n)
+                    answer = service.query(u, v, deadline_ms=400.0)
+                    if answer is not UNKNOWN and answer != oracle(u, v):
+                        wrong += 1
+                assert wrong == 0
+                assert service.stats.restarts >= 1
+        # Piggyback loss must never corrupt the ring: every span is
+        # well-formed and every trace still renders as a tree.
+        spans = tracer.spans()
+        assert spans
+        ids = set()
+        for span in spans:
+            assert isinstance(span.name, str) and span.name
+            assert span.duration_ns >= 0
+            assert span.span_id not in ids  # adoption never collides ids
+            ids.add(span.span_id)
+        for tid in {s.trace_id for s in spans if s.trace_id is not None}:
+            payload = trace_payload(tracer, tid)
+            assert payload["span_count"] >= 1
+
+
+class TestZeroOverheadWire:
+    @staticmethod
+    def spy_on_frames(service):
+        frames = []
+        for channel in service._channels:
+            original = channel.conn.send
+
+            def send(frame, _original=original):
+                frames.append(frame)
+                return _original(frame)
+
+            channel.conn.send = send
+        return frames
+
+    def test_default_frames_stay_3_tuples(self):
+        graph = crown_graph(6)
+        config = ShardConfig(num_shards=2, supervise=False)
+        with ShardService(graph, config) as service:
+            frames = self.spy_on_frames(service)
+            drive_all_pairs(service, graph)
+            n = graph.num_vertices
+            service.query_many([(u, v) for u in range(n) for v in range(n)])
+        assert frames, "no RPC left the coordinator"
+        assert all(len(frame) == 3 for frame in frames)
+
+    def test_traced_frames_carry_the_trace_ctx(self):
+        graph = crown_graph(6)
+        config = ShardConfig(num_shards=2, supervise=False)
+        with tracing_enabled():
+            with ShardService(graph, config) as service:
+                frames = self.spy_on_frames(service)
+                drive_all_pairs(service, graph)
+        tagged = [frame for frame in frames if len(frame) == 4]
+        assert tagged
+        for frame in tagged:
+            trace_id, parent_id = frame[3]
+            assert isinstance(trace_id, int) and trace_id > 0
+            assert isinstance(parent_id, int)
+
+    def test_answers_bit_identical_with_tracing_toggled(self):
+        graph = random_dag(150, avg_degree=2.0, seed=5)
+        rng = random.Random(9)
+        pairs = [(rng.randrange(150), rng.randrange(150)) for _ in range(60)]
+        config = ShardConfig(num_shards=2, supervise=False)
+        with ShardService(graph, config) as plain:
+            baseline = plain.query_many(pairs)
+        with tracing_enabled():
+            with ShardService(graph, config) as traced:
+                answers = traced.query_many(pairs)
+        assert answers == baseline
