@@ -52,6 +52,15 @@ def check(fresh: dict, baseline: dict, tolerance: float) -> int:
         f"{fresh['calibration_ms']:.1f} ms ({fresh.get('cpus', '?')} cpus); "
         f"tolerance {tolerance:.0%}"
     )
+    # Like-for-like context: a pre-kernel baseline (no kernel_backend
+    # field) ran the pure-Python loops, so a fresh run on a stronger
+    # backend can only look better — the gate stays sound either way.
+    base_kernel = baseline.get("kernel_backend", "python (pre-PR10 baseline)")
+    fresh_kernel = fresh.get("kernel_backend", "python (pre-PR10 run)")
+    note = "" if base_kernel == fresh_kernel else "  [backends differ]"
+    print(
+        f"kernel backend: baseline {base_kernel}, fresh {fresh_kernel}{note}"
+    )
     for key in sorted(base_cells):
         workload, method, workers = key
         label = f"{workload:>14} {method:<10} workers={workers}"

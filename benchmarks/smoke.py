@@ -19,6 +19,16 @@ rate (fraction of the batch no O(1) cut decided) and batch timing per
 observer count — ``check_observers.py`` gates CI on the survivor-rate
 drop and on calibration-normalized throughput.
 
+Both workloads additionally feed a *kernel* sweep written to
+``BENCH_pr10.json``: each method's batch runs once per available
+search-kernel backend (``python``, ``numpy``, and ``numba`` when
+installed — see :mod:`repro.perf.kernels`), with answers asserted
+identical across backends.  ``check_kernels.py`` gates CI on the numpy
+tier being no slower than pure Python and (when numba cells exist) on
+the compiled tier's search-heavy speedup.  Every report records
+``kernel_backend`` / ``numba_version`` / ``shared_pages`` so baseline
+comparisons are like-for-like.
+
 Every measurement records the machine context needed to compare runs
 across hosts: the CPU count (a pool cannot beat ``workers=0`` on a
 single core) and a pure-Python *calibration* loop timing that
@@ -47,6 +57,11 @@ from repro.baselines.base import create_index
 from repro.datasets.queries import random_pairs
 from repro.graph.generators import random_dag
 from repro.obs.spans import disable_tracing, enable_tracing, write_chrome_trace
+from repro.perf.kernels import (
+    available_backends,
+    numba_version,
+    resolve_backend,
+)
 
 SEED = 42
 VERTICES = 5_000
@@ -157,6 +172,7 @@ def observer_report(out_dir: Path, graph, pairs, runs: int = 3) -> dict:
         "seed": SEED,
         "cpus": os.cpu_count(),
         "calibration_ms": calibrate(),
+        **_environment(),
         "graph": {
             "vertices": graph.num_vertices,
             "edges": graph.num_edges,
@@ -165,6 +181,91 @@ def observer_report(out_dir: Path, graph, pairs, runs: int = 3) -> dict:
         "results": results,
     }
     (out_dir / "BENCH_pr8.json").write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+    return report
+
+
+def _environment() -> dict:
+    """The like-for-like context every report carries.
+
+    ``kernel_backend`` is the backend auto-selection resolves to on this
+    machine, ``shared_pages`` whether pool workers map a shared arena
+    (on whenever a pool is attached) — a baseline measured under one
+    configuration must not silently gate a run under another.
+    """
+    return {
+        "kernel_backend": resolve_backend(),
+        "numba_version": numba_version(),
+        "shared_pages": True,
+    }
+
+
+def _kernel_cell(graph, method: str, pairs, backend: str, runs: int):
+    """One (method, kernel-backend) batch measurement over ``pairs``."""
+    index = create_index(method, graph)
+    index.set_kernel(backend)
+    index.build()
+    best = float("inf")
+    answers = None
+    for _ in range(runs):
+        index.stats.reset()
+        start = time.perf_counter()
+        answers = index.query_many(pairs)
+        best = min(best, 1000 * (time.perf_counter() - start))
+    stats = index.stats
+    cell = {
+        "method": method,
+        "kernel": backend,
+        "query_ms": best,
+        "positives": sum(answers),
+        "searches": stats.searches,
+        "expanded": stats.expanded,
+        "pruned": stats.pruned,
+    }
+    return cell, answers
+
+
+def kernel_report(out_dir: Path, workloads, graph, runs: int = 3) -> dict:
+    """The BENCH_pr10 kernel sweep: batch timing per search backend.
+
+    Runs every method over every available backend on both workloads,
+    asserting bit-identical answers between backends — the published
+    numbers are meaningless if a backend changes a verdict.  The numba
+    column appears only where numba is installed; ``check_kernels.py``
+    gates conditionally on its presence.
+    """
+    measured = []
+    for name, pairs in workloads:
+        results = []
+        reference: dict[str, list] = {}
+        for spec in SPECS:
+            for backend in available_backends()[::-1]:  # python first
+                cell, answers = _kernel_cell(
+                    graph, spec.method, pairs, backend, runs
+                )
+                results.append(cell)
+                baseline = reference.setdefault(spec.method, answers)
+                assert answers == baseline, (
+                    f"{spec.method}: kernel={backend} changed batch answers"
+                )
+        measured.append(
+            {"workload": name, "queries": len(pairs), "results": results}
+        )
+    report = {
+        "bench": "pr10-kernels",
+        "python": platform.python_version(),
+        "seed": SEED,
+        "cpus": os.cpu_count(),
+        "calibration_ms": calibrate(),
+        **_environment(),
+        "graph": {
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+        },
+        "workloads": measured,
+    }
+    (out_dir / "BENCH_pr10.json").write_text(
         json.dumps(report, indent=2) + "\n", encoding="utf-8"
     )
     return report
@@ -221,6 +322,7 @@ def run(out_dir: Path, workers_axis: list[int], runs: int = 3) -> dict:
         "seed": SEED,
         "cpus": os.cpu_count(),
         "calibration_ms": calibrate(),
+        **_environment(),
         "graph": {
             "vertices": graph.num_vertices,
             "edges": graph.num_edges,
@@ -232,6 +334,7 @@ def run(out_dir: Path, workers_axis: list[int], runs: int = 3) -> dict:
         json.dumps(report, indent=2) + "\n", encoding="utf-8"
     )
     observer_report(out_dir, graph, workloads[1][1], runs=runs)
+    kernel_report(out_dir, workloads, graph, runs=runs)
     return report
 
 
@@ -255,6 +358,7 @@ def main(argv: list[str]) -> int:
     print(
         f"\nwritten: {args.out_dir / 'BENCH_pr5.json'}, "
         f"{args.out_dir / 'BENCH_pr8.json'}, "
+        f"{args.out_dir / 'BENCH_pr10.json'}, "
         f"{args.out_dir / 'smoke_trace.json'}"
     )
     return 0

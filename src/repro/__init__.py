@@ -92,6 +92,17 @@ class Reachability:
         condensed DAG and consulted *before* the index's own cuts on
         every query — scalar and batch — shrinking the set of pairs
         that need an online search; see ``docs/PERFORMANCE.md``.
+    kernel:
+        Search-kernel backend for the survivor path: ``"auto"``/``None``
+        (strongest available tier — numba when installed, else numpy),
+        or an explicit ``"numba"`` / ``"numpy"`` / ``"python"``; every
+        backend is bit-identical in answers and stats (see
+        :mod:`repro.perf.kernels`).
+    shared_pages:
+        Move the index's read-only numpy pages into a shared-memory
+        arena (:class:`repro.perf.SharedIndexPages`) after the build, so
+        pool/fork workers map one physical copy.  Default ``False``;
+        ``workers >= 2`` enables it implicitly for the pool.
     **params:
         Forwarded to the index constructor (e.g. ``num_labelings=5`` for
         GRAIL).
@@ -103,6 +114,8 @@ class Reachability:
         method: str = "feline",
         workers: int = 0,
         observers: int = 0,
+        kernel: str | None = None,
+        shared_pages: bool = False,
         **params,
     ) -> None:
         if not isinstance(graph, DiGraph):
@@ -111,9 +124,12 @@ class Reachability:
         registry = obs.get_registry()
         with registry.phase("facade.init", "condense"):
             self.condensation = condense(graph)
-        self.index: ReachabilityIndex = create_index(
+        index: ReachabilityIndex = create_index(
             method, self.condensation.dag, **params
-        ).build()
+        )
+        if kernel is not None:
+            index.set_kernel(kernel)  # validates before the build runs
+        self.index = index.build()
         if observers:
             from repro.perf.observers import build_observers
 
@@ -121,6 +137,8 @@ class Reachability:
                 self.index.attach_observers(
                     build_observers(self.condensation.dag, k=observers)
                 )
+        if shared_pages:
+            self.index.enable_shared_pages()
         if workers and workers > 1:
             self.index.enable_search_pool(workers)
 
@@ -132,6 +150,38 @@ class Reachability:
     def close_search_pool(self) -> None:
         """Terminate the survivor-search pool, if one is attached."""
         self.index.close_search_pool()
+
+    def set_kernel(self, kernel: str | None) -> str:
+        """Select the search-kernel backend; returns the resolved name."""
+        return self.index.set_kernel(kernel)
+
+    @property
+    def kernel_backend(self) -> str:
+        """The bound search-kernel backend (see :mod:`repro.perf.kernels`)."""
+        return self.index.kernel_backend
+
+    def enable_shared_pages(self):
+        """Move the index's read-only pages into shared memory; returns
+        the :class:`repro.perf.SharedIndexPages` arena (``None`` = COW
+        fallback)."""
+        return self.index.enable_shared_pages()
+
+    @property
+    def shared_pages(self):
+        """The attached shared-memory arena, or ``None``."""
+        return self.index.shared_pages
+
+    def close(self) -> None:
+        """Release process-level resources: the survivor-search pool and
+        the shared-memory arena (idempotent; queries keep working)."""
+        self.index.close_search_pool()
+        self.index.close_shared_pages()
+
+    def __enter__(self) -> "Reachability":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def _map_vertex(self, vertex: int) -> int:
         if vertex < 0 or vertex >= self.graph.num_vertices:

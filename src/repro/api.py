@@ -93,6 +93,8 @@ def build_index(
     method: str = "feline",
     workers: int = 0,
     observers: int = 0,
+    kernel: str | None = None,
+    shared_pages: bool = False,
     **params,
 ):
     """Build a ready-to-query oracle over any directed graph.
@@ -103,10 +105,19 @@ def build_index(
     :class:`ReachServer` or query it in process.  ``workers >= 2``
     attaches a survivor-search pool for batch traffic; ``observers >= 1``
     builds an O'Reach-style observer layer consulted before the index's
-    own cuts on every query (see ``docs/PERFORMANCE.md``).
+    own cuts on every query; ``kernel`` selects the survivor-path search
+    backend (``"auto"``/``"numba"``/``"numpy"``/``"python"``, all
+    bit-identical) and ``shared_pages=True`` moves the read-only index
+    pages into shared memory (see ``docs/PERFORMANCE.md``).
     """
     return _facade()(
-        graph, method=method, workers=workers, observers=observers, **params
+        graph,
+        method=method,
+        workers=workers,
+        observers=observers,
+        kernel=kernel,
+        shared_pages=shared_pages,
+        **params,
     )
 
 

@@ -36,6 +36,12 @@ from repro.perf.pool import SearchPool
 from repro.resilience import chaos
 from repro.resilience.budget import UNKNOWN, QueryBudget, bounded_fallback
 
+# The ObserverLayer arrays eligible for shared-memory placement (see
+# _shared_arrays / _adopt_shared_arrays).
+_OBSERVER_ARRAYS = (
+    "t1", "t2", "fmax", "bmin", "supports", "fwd_bits", "bwd_bits"
+)
+
 __all__ = [
     "QueryStats",
     "ReachabilityIndex",
@@ -167,6 +173,17 @@ class ReachabilityIndex(ABC):
         # supporting-vertex cuts consulted before this family's own
         # _query / cut table, on both the scalar and the batch path.
         self._observers = None
+        # Native search-kernel state (repro.perf.kernels): _kernel is
+        # the bound kernel object (None = the family's pure-Python
+        # loops), _kernel_choice the requested backend (None = auto),
+        # _kernel_backend the resolved name `kernel_backend` reports.
+        self._kernel = None
+        self._kernel_choice = None
+        self._kernel_backend = "python"
+        # Shared-memory index pages (repro.perf.shm): the owned arena
+        # and the original arrays it displaced (restored on close).
+        self._shared_pages = None
+        self._shared_originals = None
 
     # -- lifecycle ------------------------------------------------------
     def build(self) -> "ReachabilityIndex":
@@ -190,6 +207,7 @@ class ReachabilityIndex(ABC):
         ):
             self._build_instrumented()
             self._materialize_cut_table()
+            self._bind_kernel()
         if tracer.enabled:
             self._query_tracer = tracer
         self._refresh_hot_obs()
@@ -608,6 +626,85 @@ class ReachabilityIndex(ABC):
             "_search_pair for its survivors"
         )
 
+    def _search_pairs_batch(self, us, vs):
+        """Hook: answer many engine survivors in one native call.
+
+        Returns per-pair ``(answers, expanded, pruned)`` arrays — stats
+        and stamp bookkeeping aside, nothing else is touched, so the
+        caller folds the deltas (with multiplicity weights) itself — or
+        ``None`` to keep the scalar per-pair loop.  ``None`` whenever no
+        batch-capable kernel is bound, a budget guard is active, or an
+        instance-level ``_search`` wrapper (metrics observers, test
+        spies) must stay in the loop.
+        """
+        kernel = self._kernel
+        if (
+            kernel is None
+            or self._guard is not None
+            or "_search" in self.__dict__
+        ):
+            return None
+        batch = getattr(kernel, "search_batch", None)
+        if batch is None:
+            return None
+        return batch(us, vs)
+
+    # -- native search kernels ---------------------------------------------
+    def set_kernel(self, kernel: str | None) -> str:
+        """Select the search-kernel backend for this index.
+
+        ``kernel`` is ``None``/``"auto"`` (strongest available tier,
+        honouring the ``REPRO_KERNEL`` environment variable),
+        ``"numba"``, ``"numpy"`` or ``"python"``; unknown or unavailable
+        backends raise immediately.  When the index is already built the
+        kernel is rebound at once, otherwise :meth:`build` binds it.
+        Returns the resolved backend name (families without a native
+        path resolve the request but always report ``"python"``).
+        """
+        from repro.perf import kernels
+
+        self._kernel_choice = kernel
+        if self._built:
+            self._bind_kernel()
+        else:
+            self._kernel_backend = kernels.resolve_backend(kernel)
+        return self._kernel_backend
+
+    @property
+    def kernel_backend(self) -> str:
+        """The bound search-kernel backend (``"python"`` = original loops)."""
+        return self._kernel_backend
+
+    def _bind_kernel(self) -> None:
+        """Hook: bind the family's native search kernel, if it has one.
+
+        Called at the end of :meth:`build`, by persistence loading, by
+        :meth:`set_kernel` on a built index, and after shared-memory
+        adoption (so kernels read the adopted arrays).  The default
+        validates the requested backend but binds nothing — families
+        without a CSR-native path keep their loops and report
+        ``"python"``.
+        """
+        from repro.perf import kernels
+
+        kernels.resolve_backend(self._kernel_choice)
+        self._kernel_backend = "python"
+        self._arm_kernel(None)
+
+    def _arm_kernel(self, kernel) -> None:
+        """Install a bound kernel, arming its dispatch counter when live."""
+        self._kernel = kernel
+        if kernel is None:
+            return
+        registry = get_registry()
+        if registry.enabled:
+            kernel.dispatch_counter = registry.counter(
+                "repro_kernel_dispatch_total",
+                help="Native search-kernel dispatches.",
+                backend=kernel.backend,
+                method=self.method_name,
+            )
+
     def attach_observers(self, layer):
         """Attach (or with ``None`` detach) an
         :class:`~repro.perf.observers.ObserverLayer`; returns it.
@@ -633,15 +730,21 @@ class ReachabilityIndex(ABC):
         return self._observers
 
     def enable_search_pool(
-        self, workers: int, min_batch: int = 32
+        self, workers: int, min_batch: int = 32, shared_pages: bool = True
     ) -> "SearchPool | None":
         """Attach a :class:`~repro.perf.pool.SearchPool` for batch
         survivor searches; returns it (or ``None`` for ``workers <= 1``).
 
         Must run *after* :meth:`build` — the forked workers inherit the
-        built structures copy-on-write.  ``workers <= 1`` detaches any
-        existing pool and stays in process.  On platforms without
-        ``fork`` the pool degrades to in-process execution.
+        built structures.  With ``shared_pages`` (the default) the
+        index's read-only numpy pages move into a
+        :class:`~repro.perf.shm.SharedIndexPages` arena *before* the
+        fork, so every worker maps one physical copy instead of
+        COW-duplicating pages as refcounts are touched; where POSIX
+        shared memory is unavailable this silently stays on fork-COW.
+        ``workers <= 1`` detaches any existing pool and stays in
+        process.  On platforms without ``fork`` the pool degrades to
+        in-process execution.
         """
         if not self._built:
             raise IndexNotBuiltError(
@@ -650,6 +753,8 @@ class ReachabilityIndex(ABC):
         self.close_search_pool()
         if workers <= 1:
             return None
+        if shared_pages:
+            self.enable_shared_pages()
         self._search_pool = SearchPool(self, workers=workers, min_batch=min_batch)
         return self._search_pool
 
@@ -663,6 +768,145 @@ class ReachabilityIndex(ABC):
     def search_pool(self) -> "SearchPool | None":
         """The attached survivor-search pool, if any."""
         return self._search_pool
+
+    # -- shared-memory index pages ----------------------------------------
+    def enable_shared_pages(self):
+        """Move the index's read-only numpy pages into shared memory.
+
+        Creates a :class:`~repro.perf.shm.SharedIndexPages` arena
+        holding the CSR views, the family's label arrays (FELINE
+        coordinates), and any attached observer arrays, then re-points
+        every numpy consumer — cut table, native kernels, batch engine —
+        at the arena, so processes forked afterwards (``SearchPool``,
+        ``repro.shard`` workers) map **one** physical copy instead of
+        COW-duplicating pages as Python touches refcounts.  (The
+        ``array``-module scalars behind the pure-Python loops stay
+        COW-shared — only the numpy pages, which carry the native hot
+        path, move.)
+
+        Returns the arena, or ``None`` where POSIX shared memory is
+        unavailable (everything keeps working on fork-COW).  Idempotent.
+        """
+        if not self._built:
+            raise IndexNotBuiltError(
+                f"{self.method_name}: call build() before "
+                "enable_shared_pages()"
+            )
+        if self._shared_pages is not None:
+            return self._shared_pages
+        from repro.perf.shm import SharedIndexPages
+
+        arrays = self._shared_arrays()
+        if not arrays:
+            return None
+        pages = SharedIndexPages.create(arrays, label=self.method_name)
+        if pages is None:
+            return None
+        self._shared_pages = pages
+        self._shared_originals = {}
+        self._adopt_shared_arrays(pages)
+        self._rematerialize_after_swap()
+        self._publish_shared_bytes(pages.nbytes)
+        return pages
+
+    def close_shared_pages(self) -> None:
+        """Restore the original arrays and unlink the arena (idempotent)."""
+        pages = self._shared_pages
+        if pages is None:
+            return
+        self._shared_pages = None
+        self._restore_shared_arrays()
+        self._shared_originals = None
+        self._rematerialize_after_swap()
+        pages.close()
+        self._publish_shared_bytes(0)
+
+    @property
+    def shared_pages(self):
+        """The owned shared-memory arena, if any."""
+        return self._shared_pages
+
+    def _publish_shared_bytes(self, nbytes: int) -> None:
+        registry = get_registry()
+        if registry.enabled:
+            registry.gauge(
+                "repro_shared_pages_bytes",
+                help="Bytes of index pages held in POSIX shared memory.",
+                method=self.method_name,
+            ).set(nbytes)
+
+    def _shared_arrays(self) -> dict:
+        """Hook: named numpy arrays to place into the shared arena.
+
+        The base contributes the graph's CSR views and the attached
+        observer layer's arrays; families extend this with their label
+        structures.  Names are arbitrary but must round-trip through
+        :meth:`_adopt_shared_arrays`.
+        """
+        csr = self.graph.csr()
+        arrays = {
+            "csr.out_indptr": csr.out_indptr,
+            "csr.out_indices": csr.out_indices,
+            "csr.in_indptr": csr.in_indptr,
+            "csr.in_indices": csr.in_indices,
+        }
+        arrays.update(self._observer_shared_arrays())
+        return arrays
+
+    def _observer_shared_arrays(self) -> dict:
+        observers = self._observers
+        if observers is None:
+            return {}
+        return {
+            f"obs.{attr}": getattr(observers, attr)
+            for attr in _OBSERVER_ARRAYS
+        }
+
+    def _adopt_shared_arrays(self, pages) -> None:
+        """Hook: re-point numpy consumers at the arena's copies.
+
+        Originals are stashed in ``_shared_originals`` for
+        :meth:`_restore_shared_arrays`.  Subclasses extend both hooks
+        symmetrically; the caller re-materializes the cut table and
+        rebinds the kernel afterwards, so neither hook needs to.
+        """
+        from repro.graph.digraph import CsrViews
+
+        self._shared_originals["csr"] = self.graph.adopt_csr(
+            CsrViews(
+                out_indptr=pages.view("csr.out_indptr"),
+                out_indices=pages.view("csr.out_indices"),
+                in_indptr=pages.view("csr.in_indptr"),
+                in_indices=pages.view("csr.in_indices"),
+            )
+        )
+        self._adopt_observer_arrays(pages)
+
+    def _adopt_observer_arrays(self, pages) -> None:
+        observers = self._observers
+        if observers is None:
+            return
+        stash = {}
+        for attr in _OBSERVER_ARRAYS:
+            stash[attr] = getattr(observers, attr)
+            setattr(observers, attr, pages.view(f"obs.{attr}"))
+        self._shared_originals["observers"] = stash
+
+    def _restore_shared_arrays(self) -> None:
+        """Hook: undo :meth:`_adopt_shared_arrays`."""
+        originals = self._shared_originals or {}
+        csr = originals.get("csr")
+        if csr is not None:
+            self.graph.adopt_csr(csr)
+        stash = originals.get("observers")
+        if stash is not None:
+            for attr, arr in stash.items():
+                setattr(self._observers, attr, arr)
+
+    def _rematerialize_after_swap(self) -> None:
+        """Rebuild the views-derived machinery after an array swap."""
+        self._materialize_cut_table()
+        self._bind_kernel()
 
     # -- explain -----------------------------------------------------------
     def explain(

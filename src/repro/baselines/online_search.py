@@ -69,7 +69,14 @@ class BFSIndex(ReachabilityIndex):
 
 
 class BidirectionalBFSIndex(ReachabilityIndex):
-    """Bidirectional BFS per query — the strongest un-indexed baseline."""
+    """Bidirectional BFS per query — the strongest un-indexed baseline.
+
+    The only un-indexed family with a native kernel path: the
+    level-synchronous frontier expansion vectorizes well, so
+    :mod:`repro.perf.kernels` provides numpy and numba tiers (DFS/BFS
+    stay pure Python — their single-vertex expansion order has no
+    profitable native formulation that keeps answers bit-identical).
+    """
 
     method_name = "bibfs"
 
@@ -79,18 +86,34 @@ class BidirectionalBFSIndex(ReachabilityIndex):
     def index_size_bytes(self) -> int:
         return 0
 
+    def _bind_kernel(self) -> None:
+        from repro.perf import kernels
+
+        backend = kernels.resolve_backend(self._kernel_choice)
+        self._kernel_backend = backend
+        if backend == "python":
+            self._arm_kernel(None)
+            return
+        self._arm_kernel(kernels.bibfs_kernel_for(self.graph, backend))
+
+    def _run_search(self, u: int, v: int) -> bool:
+        kernel = self._kernel
+        if kernel is not None:
+            return kernel.run(u, v, self._guard)
+        return bidirectional_reachable(self.graph, u, v, guard=self._guard)
+
     def _query(self, u: int, v: int) -> bool:
         if u == v:
             self.stats.equal_cuts += 1
             return True
         self.stats.searches += 1
-        return bidirectional_reachable(self.graph, u, v, guard=self._guard)
+        return self._run_search(u, v)
 
     def _make_cut_table(self) -> SearchOnlyCutTable:
         return SearchOnlyCutTable()
 
     def _search_pair(self, u: int, v: int) -> bool:
-        return bidirectional_reachable(self.graph, u, v, guard=self._guard)
+        return self._run_search(u, v)
 
 
 register_index(DFSIndex)

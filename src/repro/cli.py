@@ -92,6 +92,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Callable
 
@@ -150,6 +151,16 @@ def _build_parser() -> argparse.ArgumentParser:
             help="what budget exhaustion degrades to (default: unknown)",
         )
 
+    def add_kernel_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--kernel",
+            choices=["auto", "numba", "numpy", "python"],
+            default=None,
+            help="survivor-path search-kernel backend (default auto: "
+            "numba when installed, else numpy; all backends are "
+            "bit-identical — see docs/PERFORMANCE.md)",
+        )
+
     query = sub.add_parser("query", help="answer one reachability query")
     query.add_argument("graph", help="edge-list file (u v per line)")
     query.add_argument("source", type=int)
@@ -161,6 +172,7 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--mmap", action="store_true", help="memory-map the saved index"
     )
+    add_kernel_arg(query)
     add_budget_args(query)
 
     explain = sub.add_parser(
@@ -173,6 +185,7 @@ def _build_parser() -> argparse.ArgumentParser:
     explain.add_argument(
         "--json", action="store_true", help="print the explanation as JSON"
     )
+    add_kernel_arg(explain)
     add_budget_args(explain)
 
     def add_serve_args(p: argparse.ArgumentParser) -> None:
@@ -227,6 +240,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "trees, and per-stage latency lands in "
             "repro_stage_seconds (see docs/OBSERVABILITY.md)",
         )
+        add_kernel_arg(p)
 
     serve = sub.add_parser(
         "serve", help="serve reachability queries (and the obs triad) over HTTP"
@@ -390,6 +404,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="survivor-search worker processes attached to every "
         "measured index (default 0: in-process)",
     )
+    add_kernel_arg(bench)
 
     def add_shard_args(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -658,6 +673,7 @@ def _build_serving_oracle(args: argparse.Namespace):
         method=args.method,
         workers=args.workers,
         observers=getattr(args, "observers", 0),
+        kernel=getattr(args, "kernel", None),
     )
     warm = int(getattr(args, "warm", 0)) if args.command == "serve" else 0
     if warm > 0:
@@ -781,6 +797,7 @@ def _run_loadgen(args: argparse.Namespace) -> int:
                 method=args.method,
                 workers=args.workers,
                 observers=getattr(args, "observers", 0),
+                kernel=getattr(args, "kernel", None),
             )
             if args.compare:
                 runs = compare_serving(
@@ -886,6 +903,7 @@ def _run_shard_serve(args: argparse.Namespace) -> int:
                 num_shards=args.shards,
                 index_budget_bytes=args.index_budget_bytes,
                 observers=getattr(args, "observers", 0),
+                kernel=getattr(args, "kernel", None),
                 rpc_timeout_s=args.rpc_timeout_ms / 1000.0,
                 default_deadline_ms=args.default_deadline_ms,
                 on_shard_loss=args.on_shard_loss,
@@ -1104,9 +1122,13 @@ def main(argv: list[str] | None = None) -> int:
             from repro.core.persistence import load_index
 
             index = load_index(graph, args.index, mmap=args.mmap)
+            if args.kernel is not None:
+                index.set_kernel(args.kernel)
             answer = index.query(args.source, args.target, budget=budget)
         else:
-            oracle = Reachability(graph, method=args.method)
+            oracle = Reachability(
+                graph, method=args.method, kernel=args.kernel
+            )
             answer = oracle.reachable(args.source, args.target, budget=budget)
         if answer is UNKNOWN:
             print("unknown (query budget exhausted)")
@@ -1131,7 +1153,7 @@ def main(argv: list[str] | None = None) -> int:
                 policy=args.on_budget,
             )
         graph = read_edge_list(args.graph)
-        oracle = Reachability(graph, method=args.method)
+        oracle = Reachability(graph, method=args.method, kernel=args.kernel)
         explanation = oracle.explain(args.source, args.target, budget=budget)
         if args.json:
             print(json.dumps(explanation.as_dict(), indent=2, default=str))
@@ -1213,6 +1235,13 @@ def main(argv: list[str] | None = None) -> int:
             sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
         )
         set_default_workers(args.workers)
+        kernel_env_prev = None
+        if args.kernel is not None:
+            from repro.perf.kernels import resolve_backend
+
+            resolve_backend(args.kernel)  # fail fast on an impossible request
+            kernel_env_prev = os.environ.get("REPRO_KERNEL")
+            os.environ["REPRO_KERNEL"] = args.kernel
         registry = obs.enable_metrics() if args.metrics_out else None
         tracer = None
         if args.trace_out:
@@ -1238,6 +1267,11 @@ def main(argv: list[str] | None = None) -> int:
                 )
         finally:
             set_default_workers(0)
+            if args.kernel is not None:
+                if kernel_env_prev is None:
+                    os.environ.pop("REPRO_KERNEL", None)
+                else:
+                    os.environ["REPRO_KERNEL"] = kernel_env_prev
             if registry is not None:
                 obs.disable_metrics()
             if tracer is not None:

@@ -23,7 +23,11 @@ from array import array
 import numpy as np
 
 from repro.baselines.base import ReachabilityIndex, register_index
-from repro.core.index import FelineCoordinates, build_feline_index
+from repro.core.index import (
+    FelineCoordinates,
+    FelineCoordinateViews,
+    build_feline_index,
+)
 from repro.core.query import FelineIndex
 from repro.graph.digraph import DiGraph
 from repro.perf.cut_table import CutTable, SwappedCutTable
@@ -112,6 +116,45 @@ class FelineIIndex(ReachabilityIndex):
 
     def _search_pair(self, u: int, v: int) -> bool:
         return self._inner._search_pair(v, u)
+
+    def _bind_kernel(self) -> None:
+        # Every search runs inside the delegate, so the kernel binds
+        # there; the outer index only mirrors the resolved backend name.
+        inner = self._inner
+        inner._kernel_choice = self._kernel_choice
+        inner._bind_kernel()
+        self._kernel_backend = inner._kernel_backend
+
+    def _search_pairs_batch(self, us, vs):
+        return self._inner._search_pairs_batch(vs, us)
+
+    # -- shared-memory pages: the label structures live in the delegate
+    # (whose reversed graph shares this graph's CSR buffers), while the
+    # observer layer — attached to the outer index — is handled here.
+    def _shared_arrays(self) -> dict:
+        arrays = self._inner._shared_arrays()
+        arrays.update(self._observer_shared_arrays())
+        return arrays
+
+    def _adopt_shared_arrays(self, pages) -> None:
+        self._inner._shared_originals = {}
+        self._inner._adopt_shared_arrays(pages)
+        self._adopt_observer_arrays(pages)
+
+    def _restore_shared_arrays(self) -> None:
+        self._inner._restore_shared_arrays()
+        self._inner._shared_originals = None
+        stash = (self._shared_originals or {}).get("observers")
+        if stash is not None:
+            for attr, arr in stash.items():
+                setattr(self._observers, attr, arr)
+
+    def _rematerialize_after_swap(self) -> None:
+        # The delegate rebuilds its table and kernel from the adopted
+        # views first; the outer table is a swap of the fresh inner one.
+        self._inner._rematerialize_after_swap()
+        self._materialize_cut_table()
+        self._kernel_backend = self._inner._kernel_backend
 
     def _explain_details(self, u: int, v: int, explanation) -> None:
         # Provenance comes from the reversed-graph index with the
@@ -220,6 +263,61 @@ class FelineBIndex(ReachabilityIndex):
             u, v, fwd.x[v], fwd.y[v], bwd.x[v], bwd.y[v]
         )
 
+    def _bind_kernel(self) -> None:
+        from repro.perf import kernels
+
+        backend = kernels.resolve_backend(self._kernel_choice)
+        self._kernel_backend = backend
+        self._arm_kernel(
+            kernels.feline_kernel(self, backend, self.forward, self.backward)
+        )
+
+    def _shared_arrays(self) -> dict:
+        arrays = super()._shared_arrays()
+        for prefix, coords in (("fwd", self.forward), ("bwd", self.backward)):
+            views = coords.views
+            arrays[f"{prefix}.x"] = views.x
+            arrays[f"{prefix}.y"] = views.y
+            if views.levels is not None:
+                arrays[f"{prefix}.levels"] = views.levels
+            if views.start is not None:
+                arrays[f"{prefix}.start"] = views.start
+                arrays[f"{prefix}.post"] = views.post
+        return arrays
+
+    def _adopt_shared_arrays(self, pages) -> None:
+        super()._adopt_shared_arrays(pages)
+        for prefix, coords in (("fwd", self.forward), ("bwd", self.backward)):
+            views = coords.views
+            self._shared_originals[prefix] = views
+            coords.__dict__["views"] = FelineCoordinateViews(
+                x=pages.view(f"{prefix}.x"),
+                y=pages.view(f"{prefix}.y"),
+                levels=(
+                    pages.view(f"{prefix}.levels")
+                    if views.levels is not None
+                    else None
+                ),
+                start=(
+                    pages.view(f"{prefix}.start")
+                    if views.start is not None
+                    else None
+                ),
+                post=(
+                    pages.view(f"{prefix}.post")
+                    if views.post is not None
+                    else None
+                ),
+            )
+
+    def _restore_shared_arrays(self) -> None:
+        super()._restore_shared_arrays()
+        originals = self._shared_originals or {}
+        for prefix, coords in (("fwd", self.forward), ("bwd", self.backward)):
+            views = originals.get(prefix)
+            if views is not None:
+                coords.__dict__["views"] = views
+
     def _explain_details(self, u: int, v: int, explanation) -> None:
         """Both coordinate sets; splits the three negative cuts apart."""
         fwd, bwd = self.forward, self.backward
@@ -246,6 +344,15 @@ class FelineBIndex(ReachabilityIndex):
             details["interval(v)"] = (intervals.start[v], intervals.post[v])
 
     def _search(
+        self, u: int, v: int, xv: int, yv: int, rxv: int, ryv: int
+    ) -> bool:
+        """Dispatch one four-bound pruned DFS to the bound kernel."""
+        kernel = self._kernel
+        if kernel is not None:
+            return kernel.search(u, v, xv, yv, rxv, ryv)
+        return self._search_python(u, v, xv, yv, rxv, ryv)
+
+    def _search_python(
         self, u: int, v: int, xv: int, yv: int, rxv: int, ryv: int
     ) -> bool:
         """DFS restricted to the intersection of both admissible regions."""

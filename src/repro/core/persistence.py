@@ -422,9 +422,11 @@ def load_index(
     index = FelineIndex(graph)
     index.coordinates = coords
     # Loaded indexes skip build(), so materialize the batch engine's cut
-    # table here; numpy views work over both in-memory and mmap arrays.
+    # table and bind the search kernel here; numpy views work over both
+    # in-memory and mmap arrays.
     index._cut_table = index._make_cut_table()
     index._built = True
+    index._bind_kernel()
     if observers is not None:
         index.attach_observers(observers)
     return index

@@ -24,7 +24,11 @@ from array import array
 import numpy as np
 
 from repro.baselines.base import ReachabilityIndex, register_index
-from repro.core.index import FelineCoordinates, build_feline_index
+from repro.core.index import (
+    FelineCoordinates,
+    FelineCoordinateViews,
+    build_feline_index,
+)
 from repro.graph.digraph import DiGraph
 from repro.perf.cut_table import CutTable
 
@@ -135,6 +139,60 @@ class FelineIndex(ReachabilityIndex):
         coords = self.coordinates
         return self._search(u, v, coords.x[v], coords.y[v])
 
+    def _bind_kernel(self) -> None:
+        from repro.perf import kernels
+
+        backend = kernels.resolve_backend(self._kernel_choice)
+        self._kernel_backend = backend
+        self._arm_kernel(
+            kernels.feline_kernel(self, backend, self.coordinates)
+        )
+
+    def _shared_arrays(self) -> dict:
+        arrays = super()._shared_arrays()
+        views = self.coordinates.views
+        arrays["feline.x"] = views.x
+        arrays["feline.y"] = views.y
+        if views.levels is not None:
+            arrays["feline.levels"] = views.levels
+        if views.start is not None:
+            arrays["feline.start"] = views.start
+            arrays["feline.post"] = views.post
+        return arrays
+
+    def _adopt_shared_arrays(self, pages) -> None:
+        super()._adopt_shared_arrays(pages)
+        coords = self.coordinates
+        views = coords.views
+        self._shared_originals["feline"] = views
+        # cached_property storage — assign through __dict__ (the
+        # dataclass is frozen; cached_property itself does the same).
+        coords.__dict__["views"] = FelineCoordinateViews(
+            x=pages.view("feline.x"),
+            y=pages.view("feline.y"),
+            levels=(
+                pages.view("feline.levels")
+                if views.levels is not None
+                else None
+            ),
+            start=(
+                pages.view("feline.start")
+                if views.start is not None
+                else None
+            ),
+            post=(
+                pages.view("feline.post")
+                if views.post is not None
+                else None
+            ),
+        )
+
+    def _restore_shared_arrays(self) -> None:
+        super()._restore_shared_arrays()
+        views = (self._shared_originals or {}).get("feline")
+        if views is not None:
+            self.coordinates.__dict__["views"] = views
+
     # ------------------------------------------------------------------
     def _query(self, u: int, v: int) -> bool:
         stats = self.stats
@@ -189,6 +247,18 @@ class FelineIndex(ReachabilityIndex):
             details["interval(v)"] = (intervals.start[v], intervals.post[v])
 
     def _search(self, u: int, v: int, xv: int, yv: int) -> bool:
+        """Dispatch one pruned DFS to the bound kernel backend.
+
+        The native kernels (``repro.perf.kernels``) are bit-identical to
+        :meth:`_search_python` in answers, stats, and budget semantics;
+        without one (the ``python`` backend) the original loop runs.
+        """
+        kernel = self._kernel
+        if kernel is not None:
+            return kernel.search(u, v, xv, yv)
+        return self._search_python(u, v, xv, yv)
+
+    def _search_python(self, u: int, v: int, xv: int, yv: int) -> bool:
         """Iterative DFS from ``u`` restricted to ``{w : i(w) ≼ i(v)}``.
 
         Honours the active :class:`~repro.resilience.budget.SearchGuard`

@@ -21,14 +21,32 @@ from __future__ import annotations
 
 from array import array
 from collections.abc import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, NamedTuple
 
 from repro.exceptions import GraphError
 
-__all__ = ["DiGraph"]
+if TYPE_CHECKING:  # numpy is only needed by csr(); keep the core lazy
+    import numpy as np
+
+__all__ = ["DiGraph", "CsrViews"]
 
 # C `long` is 8 bytes on LP64 but 4 on Windows/32-bit platforms; zeroed
 # buffers below must match it, not assume 8.
 _L_ITEMSIZE = array("l").itemsize
+
+
+class CsrViews(NamedTuple):
+    """Int64 numpy views of a graph's four CSR arrays.
+
+    Produced once per graph by :meth:`DiGraph.csr` and consumed by every
+    numpy/numba consumer (search kernels, shared-memory pages) so hot
+    paths never pay a per-call ``array`` → ``ndarray`` conversion.
+    """
+
+    out_indptr: "np.ndarray"
+    out_indices: "np.ndarray"
+    in_indptr: "np.ndarray"
+    in_indices: "np.ndarray"
 
 
 def _csr_from_edges(
@@ -80,7 +98,11 @@ class DiGraph:
         "out_indices",
         "in_indptr",
         "in_indices",
+        "_csr_views",
         "name",
+        # Weak referenceability: per-graph caches (traversal scratch
+        # buffers, kernel registries) key on the graph without pinning it.
+        "__weakref__",
     )
 
     def __init__(
@@ -107,6 +129,7 @@ class DiGraph:
         self._num_edges = len(sources)
         self.out_indptr, self.out_indices = _csr_from_edges(n, sources, targets)
         self.in_indptr, self.in_indices = _csr_from_edges(n, targets, sources)
+        self._csr_views = None
         self.name = name
 
     # ------------------------------------------------------------------
@@ -218,8 +241,54 @@ class DiGraph:
         rev.out_indices = self.in_indices
         rev.in_indptr = self.out_indptr
         rev.in_indices = self.out_indices
+        views = self._csr_views
+        rev._csr_views = (
+            CsrViews(
+                out_indptr=views.in_indptr,
+                out_indices=views.in_indices,
+                in_indptr=views.out_indptr,
+                in_indices=views.out_indices,
+            )
+            if views is not None
+            else None
+        )
         rev.name = f"{self.name}-reversed" if self.name else "reversed"
         return rev
+
+    # ------------------------------------------------------------------
+    # flat numpy export (search kernels, shared-memory pages)
+    # ------------------------------------------------------------------
+    def csr(self) -> CsrViews:
+        """Cached ``int64`` numpy views of the four CSR arrays.
+
+        Created on first use (zero-copy where the platform ``long`` is
+        already 8 bytes) and reused by every kernel invocation;
+        :meth:`adopt_csr` swaps them for shared-memory-backed copies.
+        """
+        views = self._csr_views
+        if views is None:
+            from repro.perf.cut_table import view_i64
+
+            views = CsrViews(
+                out_indptr=view_i64(self.out_indptr),
+                out_indices=view_i64(self.out_indices),
+                in_indptr=view_i64(self.in_indptr),
+                in_indices=view_i64(self.in_indices),
+            )
+            self._csr_views = views
+        return views
+
+    def adopt_csr(self, views: CsrViews) -> CsrViews:
+        """Replace the cached numpy CSR views (shared-memory adoption).
+
+        Returns the previous views so callers can restore them when the
+        shared arena is torn down.  The ``array`` storage is untouched —
+        scalar traversals keep reading it — only numpy consumers move to
+        the adopted arrays.
+        """
+        previous = self.csr()
+        self._csr_views = views
+        return previous
 
     def memory_bytes(self) -> int:
         """Approximate memory footprint of the CSR arrays, in bytes."""

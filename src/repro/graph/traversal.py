@@ -7,8 +7,11 @@ oracle for every index's test suite.
 
 from __future__ import annotations
 
+import threading
+from array import array
 from collections import deque
 from collections.abc import Iterator
+from weakref import WeakKeyDictionary
 
 from repro.graph.digraph import DiGraph
 
@@ -110,6 +113,39 @@ def bfs_reachable(
     return False
 
 
+class _BiScratch:
+    """Reusable bidirectional-search state for one graph.
+
+    Timestamped seen marks (``seen[w] == stamp`` ⇔ seen in the current
+    search) replace the two per-call ``bytearray(n)`` allocations the
+    old implementation paid on *every* query — O(|V|) of zeroing that
+    dominated small searches.  One scratch per (graph, thread), held
+    weakly so dropped graphs free their buffers.
+    """
+
+    __slots__ = ("fwd", "bwd", "stamp")
+
+    def __init__(self, num_vertices: int) -> None:
+        itemsize = array("l").itemsize
+        self.fwd = array("l", bytes(itemsize * num_vertices))
+        self.bwd = array("l", bytes(itemsize * num_vertices))
+        self.stamp = 0
+
+
+_SCRATCH = threading.local()
+
+
+def _bi_scratch(graph: DiGraph) -> _BiScratch:
+    try:
+        cache = _SCRATCH.cache
+    except AttributeError:
+        cache = _SCRATCH.cache = WeakKeyDictionary()
+    scratch = cache.get(graph)
+    if scratch is None:
+        scratch = cache[graph] = _BiScratch(graph.num_vertices)
+    return scratch
+
+
 def bidirectional_reachable(
     graph: DiGraph, source: int, target: int, guard=None
 ) -> bool:
@@ -121,11 +157,13 @@ def bidirectional_reachable(
     """
     if source == target:
         return True
-    n = graph.num_vertices
-    fwd_seen = bytearray(n)
-    bwd_seen = bytearray(n)
-    fwd_seen[source] = 1
-    bwd_seen[target] = 1
+    scratch = _bi_scratch(graph)
+    scratch.stamp += 1
+    stamp = scratch.stamp
+    fwd_seen = scratch.fwd
+    bwd_seen = scratch.bwd
+    fwd_seen[source] = stamp
+    bwd_seen[target] = stamp
     fwd_frontier = [source]
     bwd_frontier = [target]
     out_indptr, out_indices = graph.out_indptr, graph.out_indices
@@ -144,10 +182,10 @@ def bidirectional_reachable(
                 guard.step()
             for k in range(indptr[u], indptr[u + 1]):
                 w = indices[k]
-                if other[w]:
+                if other[w] == stamp:
                     return True
-                if not seen[w]:
-                    seen[w] = 1
+                if seen[w] != stamp:
+                    seen[w] = stamp
                     next_frontier.append(w)
     return False
 
@@ -164,11 +202,13 @@ def bounded_bidirectional_reachable(
     """
     if source == target:
         return True
-    n = graph.num_vertices
-    fwd_seen = bytearray(n)
-    bwd_seen = bytearray(n)
-    fwd_seen[source] = 1
-    bwd_seen[target] = 1
+    scratch = _bi_scratch(graph)
+    scratch.stamp += 1
+    stamp = scratch.stamp
+    fwd_seen = scratch.fwd
+    bwd_seen = scratch.bwd
+    fwd_seen[source] = stamp
+    bwd_seen[target] = stamp
     fwd_frontier = [source]
     bwd_frontier = [target]
     out_indptr, out_indices = graph.out_indptr, graph.out_indices
@@ -189,10 +229,10 @@ def bounded_bidirectional_reachable(
                 return None
             for k in range(indptr[u], indptr[u + 1]):
                 w = indices[k]
-                if other[w]:
+                if other[w] == stamp:
                     return True
-                if not seen[w]:
-                    seen[w] = 1
+                if seen[w] != stamp:
+                    seen[w] = stamp
                     next_frontier.append(w)
     return False
 

@@ -23,7 +23,15 @@ family:
   pool that partitions the surviving needs-search pairs across
   processes (CSR arrays and cut tables shared copy-on-write), with
   deterministic result ordering and a graceful in-process fallback on
-  platforms without ``fork``.
+  platforms without ``fork``;
+* :mod:`repro.perf.kernels` — CSR-native search kernels for the
+  survivor path (pruned DFS, bidirectional BFS, the batch survivor
+  sweep) with a three-tier backend: numba ``@njit`` when installed, a
+  vectorized numpy fallback, pure Python last — every tier bit-identical
+  in answers *and* ``QueryStats``;
+* :mod:`repro.perf.shm` — :class:`SharedIndexPages`, a
+  ``multiprocessing.shared_memory`` arena for the read-only index pages
+  so forked workers map one physical copy instead of COW-duplicating.
 
 See ``docs/PERFORMANCE.md`` for the architecture and workload guidance.
 """
@@ -34,8 +42,16 @@ from repro.perf.cut_table import (
     SwappedCutTable,
 )
 from repro.perf.engine import vectorized_query_many
+from repro.perf.kernels import (
+    KERNEL_BACKENDS,
+    available_backends,
+    numba_available,
+    numba_version,
+    resolve_backend,
+)
 from repro.perf.observers import ObserverLayer, build_observers
 from repro.perf.pool import SearchPool, fork_available
+from repro.perf.shm import SharedIndexPages, shared_memory_available
 
 __all__ = [
     "CutTable",
@@ -46,4 +62,11 @@ __all__ = [
     "vectorized_query_many",
     "SearchPool",
     "fork_available",
+    "KERNEL_BACKENDS",
+    "available_backends",
+    "numba_available",
+    "numba_version",
+    "resolve_backend",
+    "SharedIndexPages",
+    "shared_memory_available",
 ]

@@ -56,6 +56,16 @@ def _search_survivors(index, sources, targets, survivors, answers) -> None:
         rep_answers = pool.run(index, sources, targets, reps, weights=counts)
     else:
         stats = index.stats
+        # One native call for the whole deduplicated sweep when the
+        # index carries a batch-capable kernel (stats deltas come back
+        # per pair so the multiplicity weighting below still applies).
+        batch = index._search_pairs_batch(sources[reps], targets[reps])
+        if batch is not None:
+            rep_answers, expanded, pruned = batch
+            stats.expanded += int(expanded @ counts)
+            stats.pruned += int(pruned @ counts)
+            answers[survivors] = rep_answers[inverse]
+            return
         search = index._search_pair
         rep_answers = np.empty(len(reps), dtype=bool)
         for j, i in enumerate(reps):

@@ -119,13 +119,32 @@ def _run_chunk(task):
     if span is not None:
         span.__enter__()
     start = perf_counter()
-    search = index._search_pair
-    answers = []
-    deltas = []
-    for u, v in pairs:
-        expanded, pruned = stats.expanded, stats.pruned
-        answers.append(bool(search(u, v)))
-        deltas.append((stats.expanded - expanded, stats.pruned - pruned))
+    batch = (
+        index._search_pairs_batch(
+            np.fromiter(
+                (u for u, _ in pairs), dtype=np.int64, count=len(pairs)
+            ),
+            np.fromiter(
+                (v for _, v in pairs), dtype=np.int64, count=len(pairs)
+            ),
+        )
+        if pairs
+        else None
+    )
+    if batch is not None:
+        # The native batch sweep: per-pair deltas come back directly
+        # (worker stats are discarded anyway, see module doc).
+        chunk_answers, expanded, pruned = batch
+        answers = [bool(a) for a in chunk_answers]
+        deltas = list(zip(expanded.tolist(), pruned.tolist()))
+    else:
+        search = index._search_pair
+        answers = []
+        deltas = []
+        for u, v in pairs:
+            expanded, pruned = stats.expanded, stats.pruned
+            answers.append(bool(search(u, v)))
+            deltas.append((stats.expanded - expanded, stats.pruned - pruned))
     elapsed = perf_counter() - start
     if span is not None:
         span.__exit__(None, None, None)

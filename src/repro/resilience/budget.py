@@ -197,8 +197,12 @@ def bounded_fallback(graph, u: int, v: int, max_nodes: int):
     ``max_nodes`` visited vertices, :data:`UNKNOWN` when the bound is hit
     first.  A ``False`` is definitive — both frontiers were exhausted —
     so the soundness contract holds.
-    """
-    from repro.graph.traversal import bounded_bidirectional_reachable
 
-    answer = bounded_bidirectional_reachable(graph, u, v, max_nodes)
+    Runs through :func:`repro.perf.kernels.bounded_search`, so the
+    degradation path uses the same native tiers as the main searches;
+    every backend returns bit-identical ``True``/``False``/``None``.
+    """
+    from repro.perf.kernels import bounded_search
+
+    answer = bounded_search(graph, u, v, max_nodes)
     return UNKNOWN if answer is None else answer

@@ -472,6 +472,12 @@ class ReachServer:
             )
         if observers is not None:
             doc["observers_k"] = observers
+        target = index if index is not None else oracle
+        backend = getattr(target, "kernel_backend", None)
+        if backend is not None:
+            doc["kernel_backend"] = backend
+        pages = getattr(target, "shared_pages", None)
+        doc["shared_pages"] = bool(pages is not None and not pages.closed)
         num_shards = getattr(oracle, "num_shards", None)
         if num_shards is not None:
             doc["shards"] = num_shards

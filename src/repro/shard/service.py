@@ -98,6 +98,16 @@ class ShardConfig:
         each worker's index gets an observer pre-pass built on its own
         slab, inherited copy-on-write through the fork (see
         :mod:`repro.perf.observers`).
+    kernel:
+        Search-kernel backend for every per-shard index and the
+        coordinator's backbone index (``None`` = auto; see
+        :mod:`repro.perf.kernels`).
+    shared_pages:
+        Move each shard index's read-only numpy pages into a
+        :class:`~repro.perf.shm.SharedIndexPages` arena before the
+        workers fork, so restarted workers re-map one physical copy
+        instead of COW-duplicating (graceful COW fallback when shared
+        memory is unavailable).
     rpc_timeout_s:
         Per-attempt RPC cap; the effective cap is the minimum of this
         and the query's remaining deadline.
@@ -123,6 +133,8 @@ class ShardConfig:
     num_shards: int = 2
     index_budget_bytes: int | None = None
     observers: int = 0
+    kernel: str | None = None
+    shared_pages: bool = True
     rpc_timeout_s: float = 1.0
     default_deadline_ms: float | None = None
     on_shard_loss: str = "fallback"
@@ -142,6 +154,10 @@ class ShardConfig:
             raise ReproError(
                 f"observers must be >= 0, got {self.observers}"
             )
+        if self.kernel is not None:
+            from repro.perf.kernels import resolve_backend
+
+            resolve_backend(self.kernel)  # fail at config time, not fork time
         if self.rpc_timeout_s <= 0:
             raise ReproError(
                 f"rpc_timeout_s must be > 0, got {self.rpc_timeout_s}"
@@ -250,6 +266,15 @@ class ShardService:
             self.config.index_budget_bytes,
             observers=self.config.observers,
         )
+        if self.config.kernel is not None:
+            self.plan.backbone_index.set_kernel(self.config.kernel)
+        for state in self.plan.shards:
+            if self.config.kernel is not None:
+                state.index.set_kernel(self.config.kernel)
+            if self.config.shared_pages:
+                # Pre-fork, so every worker (including restarts) maps the
+                # one shared physical copy of the read-only index pages.
+                state.index.enable_shared_pages()
         self.stats = ShardServiceStats()
         self.retry_policy = RetryPolicy(
             max_attempts=self.config.max_attempts,
@@ -977,6 +1002,8 @@ class ShardService:
             channel.process.join(timeout=2.0)
             channel.close()
             self._channels[shard_id] = None
+        for state in self.plan.shards:
+            state.index.close_shared_pages()
 
     def __enter__(self) -> "ShardService":
         return self

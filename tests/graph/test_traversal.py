@@ -63,6 +63,53 @@ class TestReachability:
         assert not bidirectional_reachable(diamond, 1, 2)
 
 
+class TestScratchReuse:
+    def test_bidirectional_reuses_one_scratch_per_graph(self):
+        # The timestamped visited buffers replace the two per-call
+        # bytearray(n) allocations: same arrays every call, only the
+        # stamp moves.
+        from repro.graph.traversal import _bi_scratch
+
+        g = random_dag(80, avg_degree=2.0, seed=6)
+        bidirectional_reachable(g, 0, 79)
+        scratch = _bi_scratch(g)
+        fwd, bwd, stamp = scratch.fwd, scratch.bwd, scratch.stamp
+        oracle = reachability_oracle(g)
+        for u, v in [(0, 79), (79, 0), (3, 40), (40, 3)]:
+            assert bidirectional_reachable(g, u, v) == oracle(u, v)
+        again = _bi_scratch(g)
+        assert again is scratch
+        assert again.fwd is fwd and again.bwd is bwd
+        assert again.stamp == stamp + 4  # one bump per search
+
+    def test_bounded_search_shares_the_same_scratch(self):
+        from repro.graph.traversal import (
+            _bi_scratch,
+            bounded_bidirectional_reachable,
+        )
+
+        g = random_dag(60, avg_degree=2.0, seed=8)
+        bidirectional_reachable(g, 0, 59)
+        scratch = _bi_scratch(g)
+        stamp = scratch.stamp
+        assert bounded_bidirectional_reachable(g, 0, 59, 1_000_000) in (
+            True, False,
+        )
+        assert _bi_scratch(g) is scratch
+        assert scratch.stamp == stamp + 1
+
+    def test_scratch_dies_with_the_graph(self):
+        import gc
+        import weakref
+
+        g = random_dag(30, avg_degree=2.0, seed=9)
+        bidirectional_reachable(g, 0, 29)
+        ref = weakref.ref(g)
+        del g
+        gc.collect()
+        assert ref() is None, "scratch cache kept the graph alive"
+
+
 class TestSets:
     def test_descendants_includes_self(self, diamond):
         assert descendants(diamond, 3) == {3}

@@ -1,0 +1,213 @@
+"""Unit tests for :mod:`repro.perf.kernels`: selection, dispatch, tiers.
+
+The bit-identity contract itself lives in
+``tests/property/test_kernel_equivalence.py``; this file covers the
+machinery around it — backend discovery and the environment knobs, the
+explicit-numba refusal, the vectorized wide-slice path, the one-call
+batch survivor sweep, the dispatch/shared-bytes instruments, and the
+:func:`~repro.perf.kernels.bounded_search` degradation engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import create_index
+from repro.exceptions import ReproError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import crown_graph, random_dag
+from repro.obs.metrics import disable_metrics, enable_metrics
+from repro.perf import kernels
+from repro.perf.kernels import (
+    KERNEL_BACKENDS,
+    VECTOR_MIN_DEGREE,
+    available_backends,
+    bounded_search,
+    describe_backend,
+    numba_available,
+    resolve_backend,
+)
+
+
+@pytest.fixture
+def no_numba(monkeypatch):
+    """Force the numba-absent world regardless of the host machine."""
+    monkeypatch.setattr(kernels, "_numba_checked", True)
+    monkeypatch.setattr(kernels, "_NUMBA_VERSION", None)
+
+
+@pytest.fixture
+def interpreted_numba(monkeypatch):
+    """A working 'numba' tier everywhere: the kernel bodies, interpreted."""
+    if not numba_available():
+        monkeypatch.setattr(
+            kernels, "_native", kernels._compile_tier(lambda f: f)
+        )
+        monkeypatch.setattr(kernels, "_numba_checked", True)
+        monkeypatch.setattr(kernels, "_NUMBA_VERSION", "interpreted")
+
+
+class TestBackendResolution:
+    def test_auto_without_numba_is_numpy(self, no_numba, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert resolve_backend() == "numpy"
+        assert resolve_backend("auto") == "numpy"
+        assert available_backends() == ("numpy", "python")
+
+    def test_auto_with_numba_is_numba(self, interpreted_numba, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert resolve_backend() == "numba"
+        assert available_backends() == KERNEL_BACKENDS
+
+    def test_env_var_steers_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "python")
+        assert resolve_backend() == "python"
+        assert resolve_backend("auto") == "python"
+        # An explicit request always beats the environment.
+        assert resolve_backend("numpy") == "numpy"
+
+    def test_repro_no_numba_hides_an_installed_numba(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_numba_checked", False)
+        monkeypatch.setattr(kernels, "_NUMBA_VERSION", None)
+        monkeypatch.setenv("REPRO_NO_NUMBA", "1")
+        assert not numba_available()
+        assert "numba" not in available_backends()
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ReproError, match="unknown kernel backend"):
+            resolve_backend("fortran")
+
+    def test_explicit_numba_refused_when_absent(self, no_numba):
+        # A silent downgrade would invalidate a benchmark that believes
+        # it measured numba.
+        with pytest.raises(ReproError, match="not importable"):
+            resolve_backend("numba")
+
+    def test_describe_backend_stanza(self, no_numba):
+        doc = describe_backend()
+        assert doc["kernel_backend"] == "numpy"
+        assert doc["numba_version"] is None
+        assert doc["available_backends"] == ["numpy", "python"]
+
+
+class TestIndexBinding:
+    def test_set_kernel_before_and_after_build(self):
+        g = random_dag(40, avg_degree=2.0, seed=3)
+        index = create_index("feline", g)
+        assert index.set_kernel("numpy") == "numpy"
+        index.build()
+        assert index.kernel_backend == "numpy"
+        assert index.set_kernel("python") == "python"
+        assert index._kernel is None  # python = the original loops
+
+    def test_family_without_native_path_reports_python(self):
+        g = random_dag(30, avg_degree=2.0, seed=3)
+        index = create_index("bfs", g)
+        index.set_kernel("numpy")  # resolvable, but bfs has no kernel
+        index.build()
+        assert index.kernel_backend == "python"
+
+    def test_invalid_kernel_rejected_before_build(self):
+        g = random_dag(10, avg_degree=1.0, seed=3)
+        with pytest.raises(ReproError, match="unknown kernel backend"):
+            create_index("feline", g).set_kernel("fortran")
+
+
+class TestWideSlices:
+    def test_high_degree_vertices_take_the_vectorized_path(self):
+        # Degrees far above VECTOR_MIN_DEGREE force _expand_wide; the
+        # answers and counters must still match the python loops.
+        fan = 3 * VECTOR_MIN_DEGREE
+        edges = [(0, k) for k in range(1, fan + 1)]
+        edges += [(k, fan + 1) for k in range(1, fan + 1)]
+        edges += [(fan + 1, fan + 2), (0, fan + 3)]  # a dead-end branch
+        g = DiGraph(fan + 4, edges, name="wide-fan")
+        python = create_index("feline", g)
+        python.set_kernel("python")
+        python.build()
+        numpy_ix = create_index("feline", g)
+        numpy_ix.set_kernel("numpy")
+        numpy_ix.build()
+        pairs = [(u, v) for u in range(g.num_vertices) for v in (0, fan + 2)]
+        assert numpy_ix.query_many(pairs) == python.query_many(pairs)
+        assert numpy_ix.stats.as_dict() == python.stats.as_dict()
+
+
+class TestBatchSweep:
+    def test_survivors_answered_in_one_native_call(
+        self, interpreted_numba, monkeypatch
+    ):
+        g = crown_graph(5)
+        index = create_index("feline", g)
+        index.set_kernel("numba")
+        index.build()
+        kernel = index._kernel
+        calls = []
+        original = kernel.search_batch
+
+        def spy(us, vs):
+            calls.append(len(us))
+            return original(us, vs)
+
+        monkeypatch.setattr(kernel, "search_batch", spy)
+        pairs = [
+            (u, v) for u in range(g.num_vertices)
+            for v in range(g.num_vertices)
+        ]
+        answers = index.query_many(pairs)
+        assert calls, "batch engine never dispatched the native sweep"
+        assert sum(calls) <= len(pairs)
+        python = create_index("feline", g)
+        python.set_kernel("python")
+        python.build()
+        assert answers == python.query_many(pairs)
+        assert index.stats.as_dict() == python.stats.as_dict()
+
+
+class TestInstruments:
+    def test_dispatch_counter_and_shared_bytes_gauge(self):
+        g = crown_graph(4)
+        registry = enable_metrics()
+        try:
+            index = create_index("feline", g)
+            index.set_kernel("numpy")
+            index.build()
+            for u in range(g.num_vertices):
+                for v in range(g.num_vertices):
+                    index.query(u, v)
+            counter = registry.counter(
+                "repro_kernel_dispatch_total",
+                backend="numpy", method="feline",
+            )
+            assert counter.value > 0
+            pages = index.enable_shared_pages()
+            gauge = registry.gauge(
+                "repro_shared_pages_bytes", method="feline"
+            )
+            if pages is not None:
+                assert gauge.value == pages.nbytes > 0
+                index.close_shared_pages()
+                assert gauge.value == 0
+        finally:
+            disable_metrics()
+
+
+class TestBoundedSearch:
+    @pytest.mark.parametrize("backend", ["numpy", "python", "numba"])
+    def test_tiers_agree_with_the_python_engine(
+        self, backend, interpreted_numba
+    ):
+        g = random_dag(60, avg_degree=2.0, seed=9)
+        rng = np.random.default_rng(9)
+        pairs = rng.integers(0, g.num_vertices, size=(60, 2))
+        for cap in (1, 3, 5, 1000):
+            for u, v in pairs:
+                expected = bounded_search(
+                    g, int(u), int(v), cap, backend="python"
+                )
+                got = bounded_search(g, int(u), int(v), cap, backend=backend)
+                assert got == expected, (
+                    f"cap={cap} ({u}->{v}): {backend} said {got}, "
+                    f"python said {expected}"
+                )
